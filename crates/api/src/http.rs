@@ -1,0 +1,229 @@
+//! Minimal HTTP/1.x transport for the control API over `std::net`.
+//!
+//! Enough of HTTP for programmatic clients: request line, headers,
+//! `Content-Length` bodies, JSON in/out, connection-close semantics.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bp_util::json::Json;
+
+use crate::router::{ApiServer, Method, Request};
+
+/// A running HTTP listener; shuts down when the guard is dropped.
+pub struct HttpServerGuard {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServerGuard {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for HttpServerGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl ApiServer {
+    /// Serve the API over HTTP on `addr` (e.g. "127.0.0.1:0").
+    pub fn serve_http(self: &Arc<Self>, addr: &str) -> std::io::Result<HttpServerGuard> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let server = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("bp-api-http".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let server = server.clone();
+                    std::thread::spawn(move || {
+                        let _ = handle_connection(stream, &server);
+                    });
+                }
+            })?;
+        Ok(HttpServerGuard { addr: local, stop, handle: Some(handle) })
+    }
+}
+
+fn handle_connection(stream: TcpStream, server: &ApiServer) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+
+    // Request line.
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => return write_response(stream, 400, &Json::obj().set("error", "bad request line")),
+    };
+
+    // Headers.
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+
+    // Body.
+    let body = if content_length > 0 {
+        let mut buf = vec![0u8; content_length.min(1 << 20)];
+        reader.read_exact(&mut buf)?;
+        match std::str::from_utf8(&buf).ok().and_then(|s| Json::parse(s).ok()) {
+            Some(j) => Some(j),
+            None => {
+                return write_response(stream, 400, &Json::obj().set("error", "invalid JSON body"))
+            }
+        }
+    } else {
+        None
+    };
+
+    let Some(method) = Method::parse(&method) else {
+        return write_response(stream, 405, &Json::obj().set("error", "unsupported method"));
+    };
+    let response = server.handle(&Request { method, path, body });
+    write_response(stream, response.status, &response.body)
+}
+
+fn write_response(mut stream: TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
+    let text = body.to_string();
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        501 => "Not Implemented",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        text.len(),
+        text
+    )?;
+    stream.flush()
+}
+
+/// A tiny blocking HTTP client for tests and examples.
+pub fn http_request(addr: SocketAddr, method: &str, path: &str, body: Option<&Json>) -> std::io::Result<(u16, Json)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body_text = body.map(|b| b.to_string()).unwrap_or_default();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body_text.len(),
+        body_text
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    BufReader::new(stream).read_to_string(&mut response)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let json = response
+        .split("\r\n\r\n")
+        .nth(1)
+        .and_then(|b| Json::parse(b).ok())
+        .unwrap_or(Json::Null);
+    Ok((status, json))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_core::{ControlState, Controller, Mixture, Rate, RequestQueue, StatsCollector, TransactionType};
+    use bp_storage::{Database, Personality};
+    use bp_util::clock::sim_clock;
+
+    fn server() -> Arc<ApiServer> {
+        let (_, clock) = sim_clock();
+        let types = vec![TransactionType::new("T", 100.0, true)];
+        let mixture = Mixture::default_of(&types);
+        let state = ControlState::new(Rate::Limited(50.0), mixture, 1e4);
+        let queue = Arc::new(RequestQueue::new(clock.clone()));
+        let stats = Arc::new(StatsCollector::new(clock, &["T"]));
+        let db = Database::new(Personality::test());
+        let c = Controller::new(state, queue, stats, db, types, "w");
+        let s = Arc::new(ApiServer::new());
+        s.register("w", c);
+        s
+    }
+
+    #[test]
+    fn http_roundtrip() {
+        let s = server();
+        let guard = s.serve_http("127.0.0.1:0").unwrap();
+        let (status, body) = http_request(guard.addr(), "GET", "/workloads", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, Json::Arr(vec![Json::Str("w".into())]));
+
+        let (status, body) = http_request(
+            guard.addr(),
+            "POST",
+            "/workloads/w/rate",
+            Some(&Json::obj().set("tps", 123.0)),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.get("rate").unwrap().as_f64(), Some(123.0));
+    }
+
+    #[test]
+    fn http_errors() {
+        let s = server();
+        let guard = s.serve_http("127.0.0.1:0").unwrap();
+        let (status, _) = http_request(guard.addr(), "GET", "/ghost", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http_request(guard.addr(), "PATCH", "/workloads", None).unwrap();
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let s = server();
+        let guard = s.serve_http("127.0.0.1:0").unwrap();
+        let addr = guard.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let (status, _) = http_request(addr, "GET", "/status", None).unwrap();
+                    assert_eq!(status, 200);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! The API router: endpoints, request/response model and handlers.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use bp_core::{Controller, MixturePreset, Rate, StatusSnapshot};
+use bp_util::json::Json;
+
+/// HTTP-style method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    Get,
+    Post,
+    Delete,
+}
+
+impl Method {
+    pub fn parse(s: &str) -> Option<Method> {
+        match s.to_ascii_uppercase().as_str() {
+            "GET" => Some(Method::Get),
+            "POST" | "PUT" => Some(Method::Post),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// An API request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: Method,
+    pub path: String,
+    pub body: Option<Json>,
+}
+
+impl Request {
+    pub fn get(path: &str) -> Request {
+        Request { method: Method::Get, path: path.to_string(), body: None }
+    }
+
+    pub fn post(path: &str, body: Json) -> Request {
+        Request { method: Method::Post, path: path.to_string(), body: Some(body) }
+    }
+}
+
+/// An API response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    pub status: u16,
+    pub body: Json,
+}
+
+impl Response {
+    pub fn ok(body: Json) -> Response {
+        Response { status: 200, body }
+    }
+
+    pub fn error(status: u16, message: &str) -> Response {
+        Response { status, body: Json::obj().set("error", message) }
+    }
+
+    pub fn is_ok(&self) -> bool {
+        self.status == 200
+    }
+}
+
+/// Pluggable hook for adding benchmarks on the fly (POST /workloads):
+/// the embedding application decides how to set up and start a workload.
+pub trait Launcher: Send + Sync {
+    /// Benchmarks this launcher can start.
+    fn available(&self) -> Vec<String>;
+
+    /// Set up (if needed) and start the named benchmark; returns the new
+    /// tenant's controller.
+    fn launch(&self, benchmark: &str, body: &Json) -> Result<Controller, String>;
+}
+
+/// The API server: a named set of workload controllers plus an optional
+/// launcher and metrics provider.
+pub struct ApiServer {
+    workloads: RwLock<HashMap<String, Controller>>,
+    launcher: Option<Arc<dyn Launcher>>,
+    metrics: Option<Arc<dyn Fn() -> Json + Send + Sync>>,
+}
+
+impl Default for ApiServer {
+    fn default() -> Self {
+        ApiServer::new()
+    }
+}
+
+fn status_json(st: &StatusSnapshot) -> Json {
+    Json::obj()
+        .set("throughput", st.throughput)
+        .set(
+            "latency_by_type",
+            Json::Arr(
+                st.latency_by_type
+                    .iter()
+                    .map(|(n, l)| Json::obj().set("type", n.as_str()).set("avg_latency_us", *l))
+                    .collect(),
+            ),
+        )
+        .set("p95_latency_us", st.p95_latency_us)
+        .set("committed", st.committed)
+        .set("user_aborted", st.user_aborted)
+        .set("failed", st.failed)
+        .set("retries", st.retries)
+        .set("elapsed_s", st.elapsed_s)
+}
+
+fn rate_json(rate: Rate) -> Json {
+    match rate {
+        Rate::Unlimited => Json::Str("unlimited".into()),
+        Rate::Disabled => Json::Str("disabled".into()),
+        Rate::Limited(tps) => Json::Num(tps),
+    }
+}
+
+impl ApiServer {
+    pub fn new() -> ApiServer {
+        ApiServer { workloads: RwLock::new(HashMap::new()), launcher: None, metrics: None }
+    }
+
+    pub fn with_launcher(mut self, launcher: Arc<dyn Launcher>) -> ApiServer {
+        self.launcher = Some(launcher);
+        self
+    }
+
+    /// Provide a metrics callback for GET /metrics (e.g. from bp-monitor).
+    pub fn with_metrics(mut self, f: Arc<dyn Fn() -> Json + Send + Sync>) -> ApiServer {
+        self.metrics = Some(f);
+        self
+    }
+
+    /// Register a running workload under an id.
+    pub fn register(&self, id: &str, controller: Controller) {
+        self.workloads.write().insert(id.to_string(), controller);
+    }
+
+    pub fn controller(&self, id: &str) -> Option<Controller> {
+        self.workloads.read().get(id).cloned()
+    }
+
+    pub fn workload_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.workloads.read().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Route and handle a request.
+    pub fn handle(&self, req: &Request) -> Response {
+        let path = req.path.trim_matches('/');
+        let parts: Vec<&str> = if path.is_empty() { Vec::new() } else { path.split('/').collect() };
+        match (req.method, parts.as_slice()) {
+            (Method::Get, ["status"]) | (Method::Get, []) => self.all_status(),
+            (Method::Get, ["workloads"]) => Response::ok(
+                Json::Arr(self.workload_ids().into_iter().map(Json::Str).collect()),
+            ),
+            (Method::Post, ["workloads"]) => self.add_workload(req),
+            (Method::Get, ["benchmarks"]) => match &self.launcher {
+                Some(l) => Response::ok(Json::Arr(
+                    l.available().into_iter().map(Json::Str).collect(),
+                )),
+                None => Response::error(501, "no launcher configured"),
+            },
+            (Method::Get, ["metrics"]) => match &self.metrics {
+                Some(f) => Response::ok(f()),
+                None => Response::error(501, "no metrics provider configured"),
+            },
+            (Method::Get, ["workloads", id]) => self.workload_status(id),
+            (Method::Post, ["workloads", id, action]) => self.workload_action(id, action, req),
+            _ => Response::error(404, &format!("no route for {}", req.path)),
+        }
+    }
+
+    fn all_status(&self) -> Response {
+        let map = self.workloads.read();
+        let items: Vec<Json> = map
+            .iter()
+            .map(|(id, c)| {
+                Json::obj()
+                    .set("id", id.as_str())
+                    .set("benchmark", c.workload_name())
+                    .set("paused", c.is_paused())
+                    .set("stopped", c.is_stopped())
+                    .set("status", status_json(&c.status()))
+            })
+            .collect();
+        Response::ok(Json::obj().set("workloads", Json::Arr(items)))
+    }
+
+    fn workload_status(&self, id: &str) -> Response {
+        let Some(c) = self.controller(id) else {
+            return Response::error(404, &format!("unknown workload {id}"));
+        };
+        let mixture = c.current_mixture();
+        Response::ok(
+            Json::obj()
+                .set("id", id)
+                .set("benchmark", c.workload_name())
+                .set("rate", rate_json(c.current_rate()))
+                .set("mixture", mixture.weights().to_vec())
+                .set(
+                    "transaction_types",
+                    Json::Arr(
+                        c.transaction_types()
+                            .iter()
+                            .map(|t| Json::Str(t.name.to_string()))
+                            .collect(),
+                    ),
+                )
+                .set("paused", c.is_paused())
+                .set("stopped", c.is_stopped())
+                .set("backlog", c.backlog() as u64)
+                .set("status", status_json(&c.status())),
+        )
+    }
+
+    fn workload_action(&self, id: &str, action: &str, req: &Request) -> Response {
+        let Some(c) = self.controller(id) else {
+            return Response::error(404, &format!("unknown workload {id}"));
+        };
+        let body = req.body.clone().unwrap_or(Json::Null);
+        match action {
+            "rate" => {
+                // {"tps": 500} or {"rate": "unlimited" | "disabled" | 500}
+                let rate = body
+                    .get("tps")
+                    .and_then(Json::as_f64)
+                    .map(Rate::Limited)
+                    .or_else(|| match body.get("rate") {
+                        Some(Json::Num(tps)) => Some(Rate::Limited(*tps)),
+                        Some(Json::Str(s)) => Rate::parse(s),
+                        _ => None,
+                    });
+                match rate {
+                    Some(r @ Rate::Limited(tps)) if tps >= 0.0 => {
+                        c.set_rate(r);
+                        self.workload_status(id)
+                    }
+                    Some(r @ (Rate::Unlimited | Rate::Disabled)) => {
+                        c.set_rate(r);
+                        self.workload_status(id)
+                    }
+                    _ => Response::error(400, "body must contain tps or rate"),
+                }
+            }
+            "mixture" => {
+                // {"weights":[...]} or {"preset":"read_only"}
+                if let Some(weights) = body.get("weights").and_then(Json::as_arr) {
+                    let w: Option<Vec<f64>> = weights.iter().map(Json::as_f64).collect();
+                    match w {
+                        Some(w) => match c.set_mixture(w) {
+                            Ok(()) => self.workload_status(id),
+                            Err(e) => Response::error(400, &e.to_string()),
+                        },
+                        None => Response::error(400, "weights must be numbers"),
+                    }
+                } else if let Some(name) = body.get("preset").and_then(Json::as_str) {
+                    match MixturePreset::by_name(name) {
+                        Some(p) => {
+                            c.set_preset(p);
+                            self.workload_status(id)
+                        }
+                        None => Response::error(400, &format!("unknown preset {name}")),
+                    }
+                } else {
+                    Response::error(400, "body must contain weights or preset")
+                }
+            }
+            "pause" => {
+                c.pause();
+                self.workload_status(id)
+            }
+            "resume" => {
+                c.resume();
+                self.workload_status(id)
+            }
+            "stop" => {
+                c.stop();
+                self.workload_status(id)
+            }
+            "reset" => {
+                // The game-over path: halt the benchmark, reset the DB.
+                let dropped = c.halt_and_reset();
+                Response::ok(Json::obj().set("halted", true).set("dropped_requests", dropped))
+            }
+            other => Response::error(404, &format!("unknown action {other}")),
+        }
+    }
+
+    fn add_workload(&self, req: &Request) -> Response {
+        let Some(launcher) = &self.launcher else {
+            return Response::error(501, "no launcher configured");
+        };
+        let body = req.body.clone().unwrap_or(Json::Null);
+        let Some(benchmark) = body.get("benchmark").and_then(Json::as_str) else {
+            return Response::error(400, "body must contain benchmark");
+        };
+        let id = body
+            .get("id")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| {
+                let base = benchmark.to_string();
+                let existing = self.workload_ids();
+                if existing.contains(&base) {
+                    format!("{base}-{}", existing.len())
+                } else {
+                    base
+                }
+            });
+        if self.controller(&id).is_some() {
+            return Response::error(409, &format!("workload {id} already exists"));
+        }
+        match launcher.launch(benchmark, &body) {
+            Ok(controller) => {
+                self.register(&id, controller);
+                self.workload_status(&id)
+            }
+            Err(e) => Response::error(400, &e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_core::{ControlState, Mixture, RequestQueue, StatsCollector, TransactionType};
+    use bp_storage::{Database, Personality};
+    use bp_util::clock::sim_clock;
+
+    fn controller() -> Controller {
+        let (_, clock) = sim_clock();
+        let types = vec![
+            TransactionType::new("Read", 60.0, true),
+            TransactionType::new("Write", 40.0, false),
+        ];
+        let mixture = Mixture::default_of(&types);
+        let state = ControlState::new(Rate::Limited(100.0), mixture, 10_000.0);
+        let queue = Arc::new(RequestQueue::new(clock.clone()));
+        let stats = Arc::new(StatsCollector::new(clock, &["Read", "Write"]));
+        let db = Database::new(Personality::test());
+        Controller::new(state, queue, stats, db, types, "demo")
+    }
+
+    fn server() -> ApiServer {
+        let s = ApiServer::new();
+        s.register("demo", controller());
+        s
+    }
+
+    #[test]
+    fn list_workloads() {
+        let s = server();
+        let r = s.handle(&Request::get("/workloads"));
+        assert!(r.is_ok());
+        assert_eq!(r.body, Json::Arr(vec![Json::Str("demo".into())]));
+    }
+
+    #[test]
+    fn get_status() {
+        let s = server();
+        let r = s.handle(&Request::get("/workloads/demo"));
+        assert!(r.is_ok());
+        assert_eq!(r.body.get("benchmark").unwrap().as_str(), Some("demo"));
+        assert_eq!(r.body.get("rate").unwrap().as_f64(), Some(100.0));
+        assert!(r.body.get("status").unwrap().get("throughput").is_some());
+    }
+
+    #[test]
+    fn throttle_rate() {
+        let s = server();
+        let r = s.handle(&Request::post("/workloads/demo/rate", Json::obj().set("tps", 750.0)));
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(r.body.get("rate").unwrap().as_f64(), Some(750.0));
+        let r = s.handle(&Request::post(
+            "/workloads/demo/rate",
+            Json::obj().set("rate", "unlimited"),
+        ));
+        assert_eq!(r.body.get("rate").unwrap().as_str(), Some("unlimited"));
+    }
+
+    #[test]
+    fn rate_requires_body() {
+        let s = server();
+        let r = s.handle(&Request::post("/workloads/demo/rate", Json::obj()));
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn change_mixture_by_weights_and_preset() {
+        let s = server();
+        let r = s.handle(&Request::post(
+            "/workloads/demo/mixture",
+            Json::obj().set("weights", vec![10.0, 90.0]),
+        ));
+        assert!(r.is_ok(), "{r:?}");
+        let mix = r.body.get("mixture").unwrap().as_arr().unwrap();
+        assert_eq!(mix[1].as_f64(), Some(90.0));
+
+        let r = s.handle(&Request::post(
+            "/workloads/demo/mixture",
+            Json::obj().set("preset", "read_only"),
+        ));
+        assert!(r.is_ok());
+        let mix = r.body.get("mixture").unwrap().as_arr().unwrap();
+        assert_eq!(mix[1].as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn wrong_arity_mixture_rejected() {
+        let s = server();
+        let r = s.handle(&Request::post(
+            "/workloads/demo/mixture",
+            Json::obj().set("weights", vec![1.0]),
+        ));
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn pause_resume_reset() {
+        let s = server();
+        let r = s.handle(&Request::post("/workloads/demo/pause", Json::obj()));
+        assert_eq!(r.body.get("paused").unwrap().as_bool(), Some(true));
+        let r = s.handle(&Request::post("/workloads/demo/resume", Json::obj()));
+        assert_eq!(r.body.get("paused").unwrap().as_bool(), Some(false));
+        let r = s.handle(&Request::post("/workloads/demo/reset", Json::obj()));
+        assert!(r.is_ok());
+        assert_eq!(r.body.get("halted").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn unknown_routes_404() {
+        let s = server();
+        assert_eq!(s.handle(&Request::get("/nope")).status, 404);
+        assert_eq!(s.handle(&Request::get("/workloads/ghost")).status, 404);
+        assert_eq!(
+            s.handle(&Request::post("/workloads/demo/explode", Json::obj())).status,
+            404
+        );
+    }
+
+    #[test]
+    fn add_workload_without_launcher_501() {
+        let s = server();
+        let r = s.handle(&Request::post("/workloads", Json::obj().set("benchmark", "voter")));
+        assert_eq!(r.status, 501);
+    }
+
+    struct FakeLauncher;
+    impl Launcher for FakeLauncher {
+        fn available(&self) -> Vec<String> {
+            vec!["demo2".into()]
+        }
+        fn launch(&self, benchmark: &str, _body: &Json) -> Result<Controller, String> {
+            if benchmark == "demo2" {
+                Ok(controller())
+            } else {
+                Err(format!("unknown benchmark {benchmark}"))
+            }
+        }
+    }
+
+    #[test]
+    fn add_workload_on_the_fly() {
+        let s = ApiServer::new().with_launcher(Arc::new(FakeLauncher));
+        let r = s.handle(&Request::get("/benchmarks"));
+        assert!(r.is_ok());
+        let r = s.handle(&Request::post("/workloads", Json::obj().set("benchmark", "demo2")));
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(s.workload_ids(), vec!["demo2"]);
+        // Duplicate id rejected.
+        let r = s.handle(&Request::post(
+            "/workloads",
+            Json::obj().set("benchmark", "demo2").set("id", "demo2"),
+        ));
+        assert_eq!(r.status, 409);
+        // Unknown benchmark surfaces launcher error.
+        let r = s.handle(&Request::post("/workloads", Json::obj().set("benchmark", "ghost")));
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn metrics_endpoint() {
+        let s = ApiServer::new()
+            .with_metrics(Arc::new(|| Json::obj().set("cpu_busy", 0.42)));
+        let r = s.handle(&Request::get("/metrics"));
+        assert!(r.is_ok());
+        assert_eq!(r.body.get("cpu_busy").unwrap().as_f64(), Some(0.42));
+    }
+}

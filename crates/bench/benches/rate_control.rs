@@ -1,0 +1,80 @@
+//! Bench E3 (§2.2.1): rate-control machinery — arrival generation, the
+//! centralized queue's gated dispatch, and DES shape tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bp_bench::simulate_shape;
+use bp_core::{ArrivalDist, RequestQueue};
+use bp_util::clock::sim_clock;
+use bp_util::rng::Rng;
+
+fn bench_arrival_offsets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrival_offsets");
+    for n in [100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("uniform", n), &n, |b, &n| {
+            let mut rng = Rng::new(1);
+            b.iter(|| black_box(ArrivalDist::Uniform.offsets(n, &mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("exponential", n), &n, |b, &n| {
+            let mut rng = Rng::new(1);
+            b.iter(|| black_box(ArrivalDist::Exponential.offsets(n, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_queue_dispatch(c: &mut Criterion) {
+    c.bench_function("queue_push_pull_1k", |b| {
+        b.iter(|| {
+            let (sim, clock) = sim_clock();
+            let q = RequestQueue::new(clock);
+            q.push_arrivals(0..1_000u64);
+            sim.advance_to(2_000);
+            let mut n = 0;
+            while q.try_pull().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        });
+    });
+    c.bench_function("queue_gated_drain_1k", |b| {
+        b.iter(|| {
+            let (sim, clock) = sim_clock();
+            let q = RequestQueue::new(clock);
+            q.set_rate(1_000_000.0); // 1µs spacing
+            q.push_arrivals(0..1_000u64);
+            let mut n = 0;
+            while n < 1_000 {
+                sim.advance(1);
+                while q.try_pull().is_some() {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        });
+    });
+}
+
+/// Figure-style series: simulate each challenge shape on the model DBMS
+/// (this is what regenerates the §4.1.2 target-vs-delivered curves).
+fn bench_shape_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shape_tracking_des");
+    group.sample_size(20);
+    for shape in ["steps", "sin", "peak", "tunnel"] {
+        group.bench_with_input(BenchmarkId::new("mysql", shape), &shape, |b, shape| {
+            b.iter(|| black_box(simulate_shape("mysql", shape, 60.0)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(20);
+    targets = bench_arrival_offsets, bench_queue_dispatch, bench_shape_tracking
+}
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! The experiment harness CLI: regenerates every table/figure artifact.
+//!
+//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|queue|all]`
+
+use bp_bench::*;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let run_all = arg == "all";
+    let mut ran = false;
+
+    if run_all || arg == "table1" {
+        ran = true;
+        println!("=== E1: Table 1 — bundled benchmarks ===");
+        println!("{}", run_table1(0.2).render());
+    }
+    if run_all || arg == "rate" {
+        ran = true;
+        println!("=== E3: rate control (§2.2.1) — target 300 tps, 4s per arrival dist ===");
+        println!(
+            "{:<14}{:>10}{:>14}{:>10}{:>12}",
+            "arrival", "target", "delivered", "MAE", "overshoot-s"
+        );
+        for r in run_rate_control(300.0, 4.0) {
+            println!(
+                "{:<14}{:>10.0}{:>14.1}{:>10.2}{:>12}",
+                r.arrival, r.target_tps, r.delivered_mean, r.mean_abs_error, r.overshoot_seconds
+            );
+        }
+        println!();
+    }
+    if run_all || arg == "mixture" {
+        ran = true;
+        println!("=== E4: mixture control (§2.2.2) — smallbank, open loop, 3s each ===");
+        println!("{:<14}{:>14}{:>12}{:>11}", "mixture", "tput (tx/s)", "lock waits", "deadlocks");
+        for r in run_mixture(3.0) {
+            println!(
+                "{:<14}{:>14.0}{:>12}{:>11}",
+                r.preset, r.throughput, r.lock_waits, r.deadlocks
+            );
+        }
+        println!();
+    }
+    if run_all || arg == "tenancy" {
+        ran = true;
+        println!("=== E5: multi-tenancy (§2.2.3) — ycsb alone vs with smallbank neighbor ===");
+        let r = run_tenancy(3.0);
+        println!("solo:      {:>10.0} tx/s", r.solo_tps);
+        println!("contended: {:>10.0} tx/s (neighbor {:.0} tx/s)", r.contended_tps, r.neighbor_tps);
+        println!(
+            "interference: {:.0}% slowdown\n",
+            (1.0 - r.contended_tps / r.solo_tps.max(1.0)) * 100.0
+        );
+    }
+    if run_all || arg == "challenges" {
+        ran = true;
+        println!("=== E6: challenge shapes (§4.1.2) × DBMS stages, autopilot on simulation ===");
+        println!("{:<10}{:<12}{:<9}{:>11}{:>9}", "dbms", "course", "outcome", "survived-s", "score");
+        for r in run_challenges(1_000.0) {
+            println!(
+                "{:<10}{:<12}{:<9}{:>11.1}{:>9}",
+                r.dbms, r.course, r.outcome, r.survived_s, r.score
+            );
+        }
+        println!();
+    }
+    if run_all || arg == "physics" {
+        ran = true;
+        println!("=== E7: game physics (§4.1) ===");
+        let r = run_physics();
+        println!("deterministic trajectories: {}", r.deterministic);
+        println!("gravity linear to zero:     {}", r.gravity_linear);
+        println!("crash halts + resets DB:    {}\n", r.crash_resets_db);
+    }
+    if run_all || arg == "dbms" {
+        ran = true;
+        println!("=== E8: DBMS personalities (Fig. 2b) — voter, open loop, 3s on embedded engine ===");
+        println!(
+            "{:<12}{:>14}{:>14}{:>9}{:>12}",
+            "personality", "tput (tx/s)", "p95 (µs)", "failed", "jitter CV"
+        );
+        for r in run_personalities(3.0) {
+            println!(
+                "{:<12}{:>14.0}{:>14}{:>9}{:>12.3}",
+                r.personality, r.throughput, r.p95_latency_us, r.failed, r.jitter_cv
+            );
+        }
+        println!();
+    }
+    if run_all || arg == "api" {
+        ran = true;
+        println!("=== E9: control API (§2.2.4) — throttle 200 → 600 tps mid-run ===");
+        let r = run_api(200.0, 600.0);
+        println!("instantaneous feedback available: {}", r.feedback_ok);
+        println!(
+            "rate-change effect latency: {:.1}s ({} → {} tps)\n",
+            r.effect_latency_s, r.old_rate, r.new_rate
+        );
+    }
+    if run_all || arg == "dialects" {
+        ran = true;
+        println!("=== E10: SQL-dialect management (§2.1) ===");
+        println!("{:<18}{:>12}{:>16}", "benchmark", "statements", "renderings OK");
+        for r in run_dialects() {
+            println!(
+                "{:<18}{:>12}{:>13}/{}",
+                r.benchmark, r.statements, r.dialects_ok, r.total_renderings
+            );
+        }
+        println!();
+    }
+    if run_all || arg == "queue" {
+        ran = true;
+        println!("=== Ablation: centralized queue dispatch gate (never-exceed, §2.2.1) ===");
+        let r = run_queue_ablation();
+        println!("target: {} tx/s with a 2s backlog", r.target_tps);
+        println!("gated drain overshoot seconds:  {}", r.gated_overshoot_seconds);
+        println!("ungated drain burst: {:.0} tx/s\n", r.ungated_burst_tps);
+    }
+
+    if !ran {
+        eprintln!(
+            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects queue all"
+        );
+        std::process::exit(2);
+    }
+}

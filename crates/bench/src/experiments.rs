@@ -1,0 +1,558 @@
+//! Experiment runners, one per paper artifact.
+
+use std::sync::Arc;
+
+use bp_core::{
+    simulate_script, ArrivalDist, CapacityModel, MixturePreset, Phase, PhaseScript, Rate,
+    RunConfig, SimDbms, Testbed, TraceAnalyzer,
+};
+use bp_game::{chase_center_policy, Course, Game, GameSession, Input, PhysicsConfig, SimBackend};
+use bp_sql::Connection;
+use bp_storage::{Database, Personality};
+use bp_util::clock::wall_clock;
+use bp_util::rng::Rng;
+use bp_util::timeseries::Summary;
+use bp_workloads::{all_workloads, by_name, catalog_of, table1};
+
+/// E1 — regenerate **Table 1**: every bundled benchmark, loaded and probed.
+pub struct Table1Report {
+    pub rows: Vec<Table1VerifiedRow>,
+}
+
+pub struct Table1VerifiedRow {
+    pub class: String,
+    pub benchmark: String,
+    pub domain: String,
+    pub txn_types: usize,
+    pub loaded_rows: u64,
+    pub tables: usize,
+    pub sampled_txns_ok: bool,
+}
+
+pub fn run_table1(scale: f64) -> Table1Report {
+    let mut rows = Vec::new();
+    for (meta, w) in table1().into_iter().zip(all_workloads()) {
+        let db = Database::new(Personality::test());
+        let mut conn = Connection::open(&db);
+        let mut rng = Rng::new(1);
+        let summary = w.setup(&mut conn, scale, &mut rng).expect("setup");
+        let mut ok = true;
+        for idx in 0..w.transaction_types().len() {
+            for _ in 0..3 {
+                if w.execute(idx, &mut conn, &mut rng).is_err() {
+                    ok = false;
+                }
+            }
+        }
+        rows.push(Table1VerifiedRow {
+            class: meta.class.label().to_string(),
+            benchmark: meta.benchmark,
+            domain: meta.domain,
+            txn_types: meta.transaction_types,
+            loaded_rows: summary.rows,
+            tables: summary.tables,
+            sampled_txns_ok: ok,
+        });
+    }
+    Table1Report { rows }
+}
+
+impl Table1Report {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Table 1: The set of benchmarks supported in OLTP-Bench\n");
+        out.push_str(&format!(
+            "{:<16}{:<18}{:<30}{:>6}{:>10}{:>8}{:>6}\n",
+            "Class", "Benchmark", "Application Domain", "Txns", "Rows", "Tables", "OK"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<16}{:<18}{:<30}{:>6}{:>10}{:>8}{:>6}\n",
+                r.class,
+                r.benchmark,
+                r.domain,
+                r.txn_types,
+                r.loaded_rows,
+                r.tables,
+                if r.sampled_txns_ok { "yes" } else { "NO" }
+            ));
+        }
+        out
+    }
+}
+
+/// E3 — §2.2.1 rate control: target vs delivered under both arrival
+/// distributions, on the live threaded testbed with the embedded engine.
+pub struct RateControlReport {
+    pub arrival: &'static str,
+    pub target_tps: f64,
+    pub delivered_mean: f64,
+    pub mean_abs_error: f64,
+    pub overshoot_seconds: usize,
+}
+
+pub fn run_rate_control(target_tps: f64, seconds: f64) -> Vec<RateControlReport> {
+    let mut out = Vec::new();
+    for (arrival, name) in [
+        (ArrivalDist::Uniform, "uniform"),
+        (ArrivalDist::Exponential, "exponential"),
+    ] {
+        let db = Database::new(Personality::test());
+        let w = by_name("voter").unwrap();
+        let mut conn = Connection::open(&db);
+        w.setup(&mut conn, 0.5, &mut Rng::new(7)).unwrap();
+        let script = PhaseScript::new(vec![
+            Phase::new(Rate::Limited(target_tps), seconds).with_arrival(arrival),
+        ]);
+        let cfg = RunConfig { terminals: 4, script: script.clone(), ..Default::default() };
+        let handle = bp_core::start(db, w, wall_clock(), cfg);
+        let trace = handle.trace.clone().unwrap();
+        handle.join();
+        let report = TraceAnalyzer::tracking(&trace, &script, 50_000.0, 0.05);
+        let delivered = Summary::of(&report.delivered);
+        out.push(RateControlReport {
+            arrival: name,
+            target_tps,
+            delivered_mean: delivered.mean,
+            mean_abs_error: report.mean_abs_error,
+            overshoot_seconds: report.overshoot_seconds,
+        });
+    }
+    out
+}
+
+/// E4 — §2.2.2 mixture control: read-heavy vs write-heavy throughput under
+/// open-loop load (real lock contention on the embedded engine).
+pub struct MixtureReport {
+    pub preset: &'static str,
+    pub throughput: f64,
+    pub lock_waits: u64,
+    pub deadlocks: u64,
+}
+
+pub fn run_mixture(seconds: f64) -> Vec<MixtureReport> {
+    let mut out = Vec::new();
+    for (preset, name) in [
+        (MixturePreset::SuperWrites, "super-writes"),
+        (MixturePreset::Default, "default"),
+        (MixturePreset::ReadOnly, "read-only"),
+    ] {
+        let db = Database::new(Personality::mysql_like());
+        let w = by_name("smallbank").unwrap();
+        let mut conn = Connection::open(&db);
+        w.setup(&mut conn, 0.3, &mut Rng::new(3)).unwrap();
+        let types = w.transaction_types();
+        let weights = preset.build(&types).weights().to_vec();
+        let script = PhaseScript::new(vec![
+            Phase::new(Rate::Unlimited, seconds).with_weights(weights),
+        ]);
+        let before = db.metrics().snapshot();
+        let cfg = RunConfig { terminals: 8, script, collect_trace: false, ..Default::default() };
+        let handle = bp_core::start(db.clone(), w, wall_clock(), cfg);
+        let controller = handle.join();
+        let m = db.metrics().snapshot().delta(&before);
+        out.push(MixtureReport {
+            preset: name,
+            throughput: controller.stats().total_completed() as f64 / seconds,
+            lock_waits: m.lock_waits,
+            deadlocks: m.deadlocks,
+        });
+    }
+    out
+}
+
+/// E5 — §2.2.3 multi-tenancy: a tenant's throughput alone vs alongside a
+/// second tenant on the same instance.
+pub struct TenancyReport {
+    pub solo_tps: f64,
+    pub contended_tps: f64,
+    pub neighbor_tps: f64,
+}
+
+pub fn run_tenancy(seconds: f64) -> TenancyReport {
+    let run = |with_neighbor: bool| -> (f64, f64) {
+        let db = Database::new(Personality::mysql_like());
+        let clock = wall_clock();
+        let mut bed = Testbed::new(db, clock);
+        let w1 = by_name("ycsb").unwrap();
+        bed.setup_workload(w1.as_ref(), 0.3, 1).unwrap();
+        let cfg = RunConfig {
+            terminals: 4,
+            script: PhaseScript::new(vec![Phase::new(Rate::Unlimited, seconds)]),
+            collect_trace: false,
+            ..Default::default()
+        };
+        bed.start_tenant("primary", w1, cfg.clone());
+        if with_neighbor {
+            let w2 = by_name("smallbank").unwrap();
+            bed.setup_workload(w2.as_ref(), 0.3, 2).unwrap();
+            bed.start_tenant("neighbor", w2, cfg);
+        }
+        let results = bed.join_all();
+        let tps = |name: &str| {
+            results
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| c.stats().total_completed() as f64 / seconds)
+                .unwrap_or(0.0)
+        };
+        (tps("primary"), tps("neighbor"))
+    };
+    let (solo, _) = run(false);
+    let (contended, neighbor) = run(true);
+    TenancyReport { solo_tps: solo, contended_tps: contended, neighbor_tps: neighbor }
+}
+
+/// E6/E8 — §4.1.2 challenge shapes across DBMS personalities: the autopilot
+/// plays each course against each capacity model; pass/fail plus tracking
+/// error, on deterministic simulation.
+pub struct ChallengeReport {
+    pub dbms: &'static str,
+    pub course: String,
+    pub outcome: &'static str,
+    pub survived_s: f64,
+    pub score: u64,
+}
+
+pub fn run_challenges(scale_tps: f64) -> Vec<ChallengeReport> {
+    let mut out = Vec::new();
+    for model in CapacityModel::all() {
+        for course in Course::demo_set(scale_tps) {
+            let course_name = course.name.clone();
+            let game = Game::new(
+                "ycsb",
+                model.name,
+                course,
+                PhysicsConfig { jump_tps: scale_tps * 0.06, gravity_tps_per_s: scale_tps * 0.04, max_tps: scale_tps * 1.5 },
+            );
+            let types = by_name("ycsb").unwrap().transaction_types();
+            let backend = SimBackend::new(model.clone(), types, 42);
+            let mut session = GameSession::new(game, backend);
+            session.run_policy(100_000, 1_000, chase_center_policy);
+            let g = &session.game;
+            out.push(ChallengeReport {
+                dbms: model.name,
+                course: course_name,
+                outcome: match g.screen() {
+                    bp_game::Screen::Won => "pass",
+                    bp_game::Screen::Crashed { .. } => "crash",
+                    _ => "timeout",
+                },
+                survived_s: g.elapsed_us() as f64 / 1e6,
+                score: g.score(),
+            });
+        }
+    }
+    out
+}
+
+/// E7 — game physics determinism: the same seed must reproduce the same
+/// trajectory, and gravity/jump laws must hold.
+pub struct PhysicsReport {
+    pub deterministic: bool,
+    pub gravity_linear: bool,
+    pub crash_resets_db: bool,
+}
+
+pub fn run_physics() -> PhysicsReport {
+    // Determinism.
+    let run_once = || {
+        let model = CapacityModel::mysql_like();
+        let types = by_name("voter").unwrap().transaction_types();
+        let course = Course::demo_set(1_000.0).remove(0);
+        let game = Game::new("voter", "mysql", course, PhysicsConfig::default());
+        let mut s = GameSession::new(game, SimBackend::new(model, types, 9));
+        s.run_policy(100_000, 500, chase_center_policy);
+        (s.game.score(), s.game.elapsed_us(), format!("{:?}", s.game.screen()))
+    };
+    let deterministic = run_once() == run_once();
+
+    // Gravity linearity.
+    let mut c = bp_game::Character::new(PhysicsConfig {
+        jump_tps: 100.0,
+        gravity_tps_per_s: 50.0,
+        max_tps: 1_000.0,
+    });
+    c.set_requested(500.0);
+    c.apply_gravity(2_000_000);
+    let gravity_linear = (c.requested_tps - 400.0).abs() < 1e-9;
+
+    // Crash semantics.
+    let model = CapacityModel::mysql_like();
+    let types = by_name("voter").unwrap().transaction_types();
+    let course = Course::demo_set(1_000.0).remove(0);
+    let game = Game::new("voter", "mysql", course, PhysicsConfig::default());
+    let mut s = GameSession::new(game, SimBackend::new(model, types, 10));
+    s.run_policy(100_000, 1_000, |_| Input::None); // crash by inaction
+    let crash_resets_db = s.backend.resets == 1;
+
+    PhysicsReport { deterministic, gravity_linear, crash_resets_db }
+}
+
+/// E8 — Fig. 2b: the same saturating workload against every personality on
+/// the *embedded engine* (not the model): peak throughput and abort rates.
+pub struct PersonalityReport {
+    pub personality: &'static str,
+    pub throughput: f64,
+    pub p95_latency_us: u64,
+    pub failed: u64,
+    pub jitter_cv: f64,
+}
+
+pub fn run_personalities(seconds: f64) -> Vec<PersonalityReport> {
+    let mut out = Vec::new();
+    for p in Personality::all() {
+        let name = p.name;
+        let db = Database::new(p);
+        let w = by_name("voter").unwrap();
+        let mut conn = Connection::open(&db);
+        w.setup(&mut conn, 0.3, &mut Rng::new(5)).unwrap();
+        let script = PhaseScript::new(vec![Phase::new(Rate::Unlimited, seconds)]);
+        let cfg = RunConfig { terminals: 6, script, ..Default::default() };
+        let handle = bp_core::start(db, w, wall_clock(), cfg);
+        let controller = handle.join();
+        let st = controller.stats().status(seconds as usize);
+        let series = controller.stats().throughput_series();
+        let steady = if series.len() > 2 { &series[1..series.len() - 1] } else { &series[..] };
+        out.push(PersonalityReport {
+            personality: name,
+            throughput: controller.stats().total_completed() as f64 / seconds,
+            p95_latency_us: st.p95_latency_us,
+            failed: st.failed,
+            jitter_cv: Summary::of(steady).cv(),
+        });
+    }
+    out
+}
+
+/// E9 — §2.2.4 control API: command-to-effect latency for a rate change on
+/// a live run (seconds until the delivered rate reaches the new target band).
+pub struct ApiReport {
+    pub old_rate: f64,
+    pub new_rate: f64,
+    pub effect_latency_s: f64,
+    pub feedback_ok: bool,
+}
+
+pub fn run_api(old_rate: f64, new_rate: f64) -> ApiReport {
+    let db = Database::new(Personality::test());
+    let w = by_name("voter").unwrap();
+    let mut conn = Connection::open(&db);
+    w.setup(&mut conn, 0.3, &mut Rng::new(11)).unwrap();
+    let script = PhaseScript::new(vec![Phase::new(Rate::Limited(old_rate), 30.0)]);
+    let cfg = RunConfig { terminals: 4, script, collect_trace: false, ..Default::default() };
+    let handle = bp_core::start(db, w, wall_clock(), cfg);
+    let api = Arc::new(bp_api::ApiServer::new());
+    api.register("voter", handle.controller.clone());
+
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+    let resp = api.handle(&bp_api::Request::get("/workloads/voter"));
+    let feedback_ok = resp.is_ok()
+        && resp
+            .body
+            .get("status")
+            .and_then(|s| s.get("throughput"))
+            .and_then(bp_util::json::Json::as_f64)
+            .is_some();
+
+    // Issue the rate change and time until the 1s-window rate is in band.
+    let t0 = std::time::Instant::now();
+    let resp = api.handle(&bp_api::Request::post(
+        "/workloads/voter/rate",
+        bp_util::json::Json::obj().set("tps", new_rate),
+    ));
+    assert!(resp.is_ok(), "{resp:?}");
+    let mut effect_latency_s = f64::NAN;
+    for _ in 0..100 {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let tput = handle.controller.stats().status(1).throughput;
+        if (tput - new_rate).abs() <= new_rate * 0.15 {
+            effect_latency_s = t0.elapsed().as_secs_f64();
+            break;
+        }
+    }
+    handle.controller.stop();
+    handle.join();
+    ApiReport { old_rate, new_rate, effect_latency_s, feedback_ok }
+}
+
+/// E10 — §2.1 dialect management: every benchmark statement rendered in all
+/// four dialects and re-parsed.
+pub struct DialectReport {
+    pub benchmark: String,
+    pub statements: usize,
+    pub dialects_ok: usize,
+    pub total_renderings: usize,
+}
+
+pub fn run_dialects() -> Vec<DialectReport> {
+    let mut out = Vec::new();
+    for w in all_workloads() {
+        let cat = catalog_of(w.name()).expect("catalog");
+        let mut ok = 0;
+        let mut total = 0;
+        for name in cat.names() {
+            for d in bp_sql::Dialect::all() {
+                total += 1;
+                if let Some(sql) = cat.resolve(name, d) {
+                    if bp_sql::parse(&sql).is_ok() {
+                        ok += 1;
+                    }
+                }
+            }
+        }
+        out.push(DialectReport {
+            benchmark: w.name().to_string(),
+            statements: cat.len(),
+            dialects_ok: ok,
+            total_renderings: total,
+        });
+    }
+    out
+}
+
+/// Shape-tracking on the DES path (fast version of E6 used by criterion):
+/// returns (target series, delivered series) for a named shape and model.
+pub fn simulate_shape(model_name: &str, shape: &str, seconds: f64) -> (Vec<f64>, Vec<f64>) {
+    let model = CapacityModel::by_name(model_name).expect("model");
+    let cap = model.capacity(0.3, 1.0);
+    let phases = match shape {
+        "steps" => (0..5)
+            .map(|i| {
+                Phase::new(Rate::Limited(cap * 0.25 * (i + 1) as f64), seconds / 5.0)
+            })
+            .collect::<Vec<_>>(),
+        "sin" => (0..20)
+            .map(|i| {
+                let level = cap * (0.5 + 0.35 * (i as f64 / 20.0 * std::f64::consts::TAU * 2.0).sin());
+                Phase::new(Rate::Limited(level), seconds / 20.0)
+            })
+            .collect(),
+        "peak" => vec![
+            Phase::new(Rate::Limited(cap * 0.3), seconds * 0.4),
+            Phase::new(Rate::Limited(cap * 0.95), seconds * 0.2),
+            Phase::new(Rate::Limited(cap * 0.3), seconds * 0.4),
+        ],
+        "tunnel" => vec![Phase::new(Rate::Limited(cap * 0.6), seconds)],
+        other => panic!("unknown shape {other}"),
+    };
+    let script = PhaseScript::new(phases);
+    let w = by_name("ycsb").unwrap();
+    let types = w.transaction_types();
+    let mut dbms = SimDbms::new(model, 42);
+    let run = simulate_script(&mut dbms, &script, &types, 1e5, 0.1);
+    (run.requested(), run.delivered())
+}
+
+/// Ablation: centralized-queue gating on/off — how much the delivered rate
+/// overshoots the target while draining a backlog (why the central queue
+/// gates dispatches, §2.2.1).
+pub struct QueueAblationReport {
+    pub gated_overshoot_seconds: usize,
+    pub ungated_burst_tps: f64,
+    pub target_tps: f64,
+}
+
+pub fn run_queue_ablation() -> QueueAblationReport {
+    use bp_core::RequestQueue;
+    use bp_util::clock::sim_clock;
+
+    let target = 1_000.0f64;
+    // Build a 2-second backlog, then measure the dispatch rate over the
+    // next simulated second with and without the rate gate.
+    let drain = |gated: bool| -> f64 {
+        let (sim, clock) = sim_clock();
+        let q = RequestQueue::new(clock);
+        if gated {
+            q.set_rate(target);
+        }
+        q.push_arrivals(0..2 * target as u64); // all overdue
+        sim.advance_to(1_000_000);
+        let mut dispatched = 0u64;
+        // Walk simulated time in 1ms steps for one second.
+        for _ in 0..1_000 {
+            while q.try_pull().is_some() {
+                dispatched += 1;
+            }
+            sim.advance(1_000);
+        }
+        dispatched as f64
+    };
+    let gated = drain(true);
+    let ungated = drain(false);
+    QueueAblationReport {
+        gated_overshoot_seconds: if gated > target * 1.05 { 1 } else { 0 },
+        ungated_burst_tps: ungated,
+        target_tps: target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_runs_all_benchmarks() {
+        let report = run_table1(0.05);
+        assert_eq!(report.rows.len(), 15);
+        assert!(report.rows.iter().all(|r| r.sampled_txns_ok), "some benchmark failed");
+        assert!(report.rows.iter().all(|r| r.loaded_rows > 0));
+        let text = report.render();
+        assert!(text.contains("tpcc"));
+        assert!(text.contains("Feature Testing"));
+    }
+
+    #[test]
+    fn dialect_report_full_coverage() {
+        for r in run_dialects() {
+            assert_eq!(r.dialects_ok, r.total_renderings, "{} has failing dialects", r.benchmark);
+            assert!(r.statements > 0);
+        }
+    }
+
+    #[test]
+    fn shape_simulation_tracks_under_capacity() {
+        let (target, delivered) = simulate_shape("oracle", "steps", 50.0);
+        assert_eq!(target.len(), delivered.len());
+        // The first (lowest) step should be tracked closely at steady state.
+        let fifth = target.len() / 5;
+        let tail = &delivered[fifth - 10..fifth];
+        let want = target[fifth - 5];
+        let got = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!((got - want).abs() < want * 0.1, "want {want} got {got}");
+    }
+
+    #[test]
+    fn physics_report_all_green() {
+        let r = run_physics();
+        assert!(r.deterministic);
+        assert!(r.gravity_linear);
+        assert!(r.crash_resets_db);
+    }
+
+    #[test]
+    fn challenges_distinguish_personalities() {
+        let rows = run_challenges(1_000.0);
+        assert_eq!(rows.len(), 16); // 4 models × 4 shapes
+        let passes = |dbms: &str| rows.iter().filter(|r| r.dbms == dbms && r.outcome == "pass").count();
+        // The stable models must pass at least as many courses as derby.
+        assert!(passes("oracle") >= passes("derby"));
+        let derby_tunnel = rows
+            .iter()
+            .find(|r| r.dbms == "derby" && r.course == "tunnel")
+            .unwrap();
+        assert_eq!(derby_tunnel.outcome, "crash", "derby must fail the tunnel");
+    }
+
+    #[test]
+    fn queue_ablation_shows_gate_effect() {
+        let r = run_queue_ablation();
+        assert_eq!(r.gated_overshoot_seconds, 0, "gated queue must never exceed target");
+        assert!(
+            r.ungated_burst_tps > r.target_tps * 1.5,
+            "ungated drain should burst: {} vs {}",
+            r.ungated_burst_tps,
+            r.target_tps
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! `bp-bench`: the experiment harness.
+//!
+//! One runner per paper artifact (see DESIGN.md §4 and EXPERIMENTS.md):
+//! Table 1, the §2.2 feature experiments (rate control, mixture control,
+//! multi-tenancy, control API), the §4 game experiments (challenge shapes,
+//! physics, per-DBMS comparison) and the dialect-management check. Each
+//! runner returns a struct and can print the table the paper's artifact
+//! corresponds to; the `harness` binary drives them from the command line.
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,238 @@
+//! OLTP-Bench style `config.xml` workload configuration files (Fig. 1).
+//!
+//! ```xml
+//! <parameters>
+//!     <dbtype>mysql</dbtype>
+//!     <benchmark>tpcc</benchmark>
+//!     <scalefactor>2</scalefactor>
+//!     <terminals>8</terminals>
+//!     <works>
+//!         <work>
+//!             <time>60</time>
+//!             <rate>500</rate>
+//!             <weights>45,43,4,4,4</weights>
+//!             <arrival>exponential</arrival>
+//!             <thinktime>0</thinktime>
+//!         </work>
+//!     </works>
+//! </parameters>
+//! ```
+
+use bp_util::xml::XmlNode;
+
+use crate::executor::RunConfig;
+use crate::rate::{ArrivalDist, Phase, PhaseScript, Rate};
+
+/// A parsed workload configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Target DBMS personality name ("mysql", "postgres", ...).
+    pub dbtype: String,
+    /// Benchmark name ("tpcc", "ycsb", ...).
+    pub benchmark: String,
+    pub scale_factor: f64,
+    pub terminals: usize,
+    pub script: PhaseScript,
+}
+
+/// Configuration errors with context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl WorkloadConfig {
+    /// Parse from XML text.
+    pub fn parse(xml: &str) -> Result<WorkloadConfig, ConfigError> {
+        let root = XmlNode::parse(xml).map_err(|e| ConfigError(e.to_string()))?;
+        if root.name != "parameters" {
+            return Err(ConfigError(format!("root element must be <parameters>, got <{}>", root.name)));
+        }
+        let dbtype = root
+            .child_text("dbtype")
+            .ok_or_else(|| ConfigError("missing <dbtype>".into()))?
+            .to_string();
+        let benchmark = root
+            .child_text("benchmark")
+            .ok_or_else(|| ConfigError("missing <benchmark>".into()))?
+            .to_string();
+        let scale_factor = root.child_parse::<f64>("scalefactor").unwrap_or(1.0);
+        let terminals = root.child_parse::<usize>("terminals").unwrap_or(1).max(1);
+
+        let works = root
+            .child("works")
+            .ok_or_else(|| ConfigError("missing <works>".into()))?;
+        let mut phases = Vec::new();
+        for (i, work) in works.children_named("work").enumerate() {
+            let ctx = |m: &str| ConfigError(format!("work #{}: {m}", i + 1));
+            let time = work
+                .child_parse::<f64>("time")
+                .ok_or_else(|| ctx("missing or invalid <time>"))?;
+            if time <= 0.0 {
+                return Err(ctx("<time> must be positive"));
+            }
+            let rate_text = work.child_text("rate").unwrap_or("unlimited");
+            let rate = Rate::parse(rate_text)
+                .ok_or_else(|| ctx(&format!("invalid <rate> '{rate_text}'")))?;
+            let weights = match work.child_text("weights") {
+                Some(w) if !w.is_empty() => Some(
+                    w.split(',')
+                        .map(|p| p.trim().parse::<f64>())
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(|e| ctx(&format!("invalid <weights>: {e}")))?,
+                ),
+                _ => None,
+            };
+            let arrival = match work.child_text("arrival").or_else(|| work.attr("arrival")) {
+                Some(a) => ArrivalDist::parse(a)
+                    .ok_or_else(|| ctx(&format!("invalid <arrival> '{a}'")))?,
+                None => ArrivalDist::Uniform,
+            };
+            let think_ms = work.child_parse::<u64>("thinktime").unwrap_or(0);
+            let mut phase = Phase::new(rate, time).with_arrival(arrival).with_think_time(think_ms * 1_000);
+            phase.weights = weights;
+            phases.push(phase);
+        }
+        if phases.is_empty() {
+            return Err(ConfigError("<works> has no <work> phases".into()));
+        }
+        Ok(WorkloadConfig { dbtype, benchmark, scale_factor, terminals, script: PhaseScript::new(phases) })
+    }
+
+    /// Build a [`RunConfig`] from this configuration.
+    pub fn run_config(&self, seed: u64) -> RunConfig {
+        RunConfig {
+            terminals: self.terminals,
+            script: self.script.clone(),
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Serialize back to config.xml (for generated sample configs).
+    pub fn to_xml(&self) -> String {
+        let mut root = XmlNode::new("parameters");
+        let add = |name: &str, text: String| {
+            let mut n = XmlNode::new(name);
+            n.text = text;
+            n
+        };
+        root.children.push(add("dbtype", self.dbtype.clone()));
+        root.children.push(add("benchmark", self.benchmark.clone()));
+        root.children.push(add("scalefactor", format!("{}", self.scale_factor)));
+        root.children.push(add("terminals", format!("{}", self.terminals)));
+        let mut works = XmlNode::new("works");
+        for p in &self.script.phases {
+            let mut work = XmlNode::new("work");
+            work.children.push(add("time", format!("{}", p.duration_s)));
+            let rate = match p.rate {
+                Rate::Unlimited => "unlimited".to_string(),
+                Rate::Disabled => "disabled".to_string(),
+                Rate::Limited(t) => format!("{t}"),
+            };
+            work.children.push(add("rate", rate));
+            if let Some(w) = &p.weights {
+                let txt = w.iter().map(|x| format!("{x}")).collect::<Vec<_>>().join(",");
+                work.children.push(add("weights", txt));
+            }
+            if p.arrival == ArrivalDist::Exponential {
+                work.children.push(add("arrival", "exponential".into()));
+            }
+            if p.think_time_us > 0 {
+                work.children.push(add("thinktime", format!("{}", p.think_time_us / 1_000)));
+            }
+            works.children.push(work);
+        }
+        root.children.push(works);
+        root.to_xml()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0"?>
+<parameters>
+    <dbtype>mysql</dbtype>
+    <benchmark>tpcc</benchmark>
+    <scalefactor>2</scalefactor>
+    <terminals>8</terminals>
+    <works>
+        <work>
+            <time>60</time>
+            <rate>500</rate>
+            <weights>45,43,4,4,4</weights>
+        </work>
+        <work>
+            <time>30</time>
+            <rate>unlimited</rate>
+            <arrival>exponential</arrival>
+            <thinktime>10</thinktime>
+        </work>
+    </works>
+</parameters>"#;
+
+    #[test]
+    fn parse_sample() {
+        let cfg = WorkloadConfig::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.dbtype, "mysql");
+        assert_eq!(cfg.benchmark, "tpcc");
+        assert_eq!(cfg.scale_factor, 2.0);
+        assert_eq!(cfg.terminals, 8);
+        assert_eq!(cfg.script.phases.len(), 2);
+        let p0 = &cfg.script.phases[0];
+        assert_eq!(p0.rate, Rate::Limited(500.0));
+        assert_eq!(p0.weights.as_deref(), Some(&[45.0, 43.0, 4.0, 4.0, 4.0][..]));
+        let p1 = &cfg.script.phases[1];
+        assert_eq!(p1.rate, Rate::Unlimited);
+        assert_eq!(p1.arrival, ArrivalDist::Exponential);
+        assert_eq!(p1.think_time_us, 10_000);
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let cfg = WorkloadConfig::parse(SAMPLE).unwrap();
+        let xml = cfg.to_xml();
+        let back = WorkloadConfig::parse(&xml).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        assert!(WorkloadConfig::parse("<parameters></parameters>").is_err());
+        assert!(WorkloadConfig::parse(
+            "<parameters><dbtype>x</dbtype><benchmark>y</benchmark><works></works></parameters>"
+        )
+        .is_err());
+        let bad_rate = SAMPLE.replace("<rate>500</rate>", "<rate>fast</rate>");
+        assert!(WorkloadConfig::parse(&bad_rate).is_err());
+        let bad_time = SAMPLE.replace("<time>60</time>", "<time>-5</time>");
+        assert!(WorkloadConfig::parse(&bad_time).is_err());
+    }
+
+    #[test]
+    fn defaults() {
+        let min = r#"<parameters><dbtype>d</dbtype><benchmark>b</benchmark>
+            <works><work><time>5</time></work></works></parameters>"#;
+        let cfg = WorkloadConfig::parse(min).unwrap();
+        assert_eq!(cfg.scale_factor, 1.0);
+        assert_eq!(cfg.terminals, 1);
+        assert_eq!(cfg.script.phases[0].rate, Rate::Unlimited);
+    }
+
+    #[test]
+    fn run_config_conversion() {
+        let cfg = WorkloadConfig::parse(SAMPLE).unwrap();
+        let rc = cfg.run_config(7);
+        assert_eq!(rc.terminals, 8);
+        assert_eq!(rc.seed, 7);
+        assert_eq!(rc.script.phases.len(), 2);
+    }
+}

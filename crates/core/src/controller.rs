@@ -1,0 +1,367 @@
+//! Runtime control state and the [`Controller`] handle (§2.2.4).
+//!
+//! The controller is the programmatic surface behind the REST API: throttle
+//! the rate, swap the mixture, pause/resume the workers, read instantaneous
+//! throughput and latency, and halt-and-reset (the game's crash semantics).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use bp_storage::Database;
+use bp_util::clock::Micros;
+
+use crate::mixture::{Mixture, MixtureError, MixturePreset};
+use crate::queue::RequestQueue;
+use crate::rate::{ArrivalDist, Rate};
+use crate::stats::{StatsCollector, StatusSnapshot};
+use crate::workload::TransactionType;
+
+/// Shared mutable control state read by the manager and workers.
+pub struct ControlState {
+    rate: RwLock<Rate>,
+    arrival: RwLock<ArrivalDist>,
+    mixture: RwLock<Arc<Mixture>>,
+    paused: AtomicBool,
+    stopped: AtomicBool,
+    think_time_us: AtomicU64,
+    /// Set when the API changed rate/mixture; cleared at phase transitions
+    /// (API changes override *the current phase*, like OLTP-Bench).
+    rate_override: AtomicBool,
+    mixture_override: AtomicBool,
+    phase_idx: AtomicUsize,
+    pub unlimited_rate: f64,
+}
+
+impl ControlState {
+    pub fn new(initial_rate: Rate, mixture: Mixture, unlimited_rate: f64) -> Arc<ControlState> {
+        Arc::new(ControlState {
+            rate: RwLock::new(initial_rate),
+            arrival: RwLock::new(ArrivalDist::Uniform),
+            mixture: RwLock::new(Arc::new(mixture)),
+            paused: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            think_time_us: AtomicU64::new(0),
+            rate_override: AtomicBool::new(false),
+            mixture_override: AtomicBool::new(false),
+            phase_idx: AtomicUsize::new(0),
+            unlimited_rate,
+        })
+    }
+
+    pub fn rate(&self) -> Rate {
+        *self.rate.read()
+    }
+
+    pub fn arrival(&self) -> ArrivalDist {
+        *self.arrival.read()
+    }
+
+    pub fn mixture(&self) -> Arc<Mixture> {
+        self.mixture.read().clone()
+    }
+
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::SeqCst)
+    }
+
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::SeqCst)
+    }
+
+    pub fn think_time_us(&self) -> Micros {
+        self.think_time_us.load(Ordering::Relaxed)
+    }
+
+    pub fn phase_idx(&self) -> usize {
+        self.phase_idx.load(Ordering::Relaxed)
+    }
+
+    // -- manager-side (phase transitions) --
+
+    /// Apply a phase's parameters unless an API override is active for the
+    /// corresponding knob; `new_phase` clears overrides first.
+    pub fn apply_phase(
+        &self,
+        idx: usize,
+        rate: Rate,
+        arrival: ArrivalDist,
+        weights: Option<&[f64]>,
+        think_time_us: Micros,
+        new_phase: bool,
+    ) {
+        if new_phase {
+            self.rate_override.store(false, Ordering::SeqCst);
+            self.mixture_override.store(false, Ordering::SeqCst);
+            self.phase_idx.store(idx, Ordering::Relaxed);
+            self.think_time_us.store(think_time_us, Ordering::Relaxed);
+        }
+        if !self.rate_override.load(Ordering::SeqCst) {
+            *self.rate.write() = rate;
+            *self.arrival.write() = arrival;
+        }
+        if !self.mixture_override.load(Ordering::SeqCst) {
+            if let Some(w) = weights {
+                if let Ok(m) = Mixture::new(w.to_vec()) {
+                    *self.mixture.write() = Arc::new(m);
+                }
+            }
+        }
+    }
+
+    // -- API-side --
+
+    pub fn set_rate(&self, rate: Rate) {
+        self.rate_override.store(true, Ordering::SeqCst);
+        *self.rate.write() = rate;
+    }
+
+    pub fn set_arrival(&self, arrival: ArrivalDist) {
+        self.rate_override.store(true, Ordering::SeqCst);
+        *self.arrival.write() = arrival;
+    }
+
+    pub fn set_mixture(&self, mixture: Mixture) {
+        self.mixture_override.store(true, Ordering::SeqCst);
+        *self.mixture.write() = Arc::new(mixture);
+    }
+
+    pub fn set_think_time(&self, micros: Micros) {
+        self.think_time_us.store(micros, Ordering::Relaxed);
+    }
+
+    pub fn pause(&self) {
+        self.paused.store(true, Ordering::SeqCst);
+    }
+
+    pub fn resume(&self) {
+        self.paused.store(false, Ordering::SeqCst);
+    }
+
+    pub fn stop(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The public control handle for one running workload.
+#[derive(Clone)]
+pub struct Controller {
+    state: Arc<ControlState>,
+    queue: Arc<RequestQueue>,
+    stats: Arc<StatsCollector>,
+    db: Arc<Database>,
+    types: Arc<Vec<TransactionType>>,
+    workload_name: String,
+}
+
+impl Controller {
+    pub fn new(
+        state: Arc<ControlState>,
+        queue: Arc<RequestQueue>,
+        stats: Arc<StatsCollector>,
+        db: Arc<Database>,
+        types: Vec<TransactionType>,
+        workload_name: &str,
+    ) -> Controller {
+        Controller {
+            state,
+            queue,
+            stats,
+            db,
+            types: Arc::new(types),
+            workload_name: workload_name.to_string(),
+        }
+    }
+
+    pub fn workload_name(&self) -> &str {
+        &self.workload_name
+    }
+
+    pub fn transaction_types(&self) -> &[TransactionType] {
+        &self.types
+    }
+
+    pub fn state(&self) -> &Arc<ControlState> {
+        &self.state
+    }
+
+    pub fn stats(&self) -> &Arc<StatsCollector> {
+        &self.stats
+    }
+
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Throttle to a new target rate, effective immediately.
+    pub fn set_rate(&self, rate: Rate) {
+        self.state.set_rate(rate);
+        self.queue
+            .set_rate(rate.arrivals_per_second(self.state.unlimited_rate));
+    }
+
+    /// Replace the transaction mixture (validated against the benchmark).
+    pub fn set_mixture(&self, weights: Vec<f64>) -> Result<(), MixtureError> {
+        let m = Mixture::for_types(weights, &self.types)?;
+        self.state.set_mixture(m);
+        Ok(())
+    }
+
+    /// Apply one of the preset mixtures (Fig. 2d).
+    pub fn set_preset(&self, preset: MixturePreset) {
+        self.state.set_mixture(preset.build(&self.types));
+    }
+
+    /// Temporarily block all workers from executing requests (§4.1.2:
+    /// pausing to change the workload parameters).
+    pub fn pause(&self) {
+        self.state.pause();
+    }
+
+    pub fn resume(&self) {
+        self.state.resume();
+    }
+
+    pub fn is_paused(&self) -> bool {
+        self.state.is_paused()
+    }
+
+    /// Stop the run (graceful; workers finish in-flight transactions).
+    pub fn stop(&self) {
+        self.state.stop();
+        self.queue.close();
+    }
+
+    pub fn is_stopped(&self) -> bool {
+        self.state.is_stopped()
+    }
+
+    /// The game-over path (§4.1.1): halt the benchmark and reset the
+    /// database. Returns how many queued requests were discarded.
+    pub fn halt_and_reset(&self) -> usize {
+        self.stop();
+        let dropped = self.queue.drain();
+        self.db.truncate_all();
+        dropped
+    }
+
+    /// Instantaneous feedback: throughput and per-type latency (§2.2.4).
+    pub fn status(&self) -> StatusSnapshot {
+        self.stats.status(3)
+    }
+
+    /// Backlog of postponed requests.
+    pub fn backlog(&self) -> usize {
+        self.queue.backlog()
+    }
+
+    pub fn current_rate(&self) -> Rate {
+        self.state.rate()
+    }
+
+    pub fn current_mixture(&self) -> Arc<Mixture> {
+        self.state.mixture()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_storage::Personality;
+    use bp_util::clock::sim_clock;
+
+    fn controller() -> Controller {
+        let (_, clock) = sim_clock();
+        let types = vec![
+            TransactionType::new("r", 50.0, true),
+            TransactionType::new("w", 50.0, false),
+        ];
+        let mixture = Mixture::default_of(&types);
+        let state = ControlState::new(Rate::Limited(100.0), mixture, 10_000.0);
+        let queue = Arc::new(RequestQueue::new(clock.clone()));
+        let stats = Arc::new(StatsCollector::new(clock, &["r", "w"]));
+        let db = Database::new(Personality::test());
+        Controller::new(state, queue, stats, db, types, "test")
+    }
+
+    #[test]
+    fn rate_change_overrides_phase() {
+        let c = controller();
+        c.set_rate(Rate::Limited(500.0));
+        assert_eq!(c.current_rate(), Rate::Limited(500.0));
+        // A same-phase re-apply must NOT undo the API override...
+        c.state().apply_phase(0, Rate::Limited(100.0), ArrivalDist::Uniform, None, 0, false);
+        assert_eq!(c.current_rate(), Rate::Limited(500.0));
+        // ...but a new phase does.
+        c.state().apply_phase(1, Rate::Limited(100.0), ArrivalDist::Uniform, None, 0, true);
+        assert_eq!(c.current_rate(), Rate::Limited(100.0));
+    }
+
+    #[test]
+    fn mixture_change_validated() {
+        let c = controller();
+        assert!(c.set_mixture(vec![1.0]).is_err());
+        c.set_mixture(vec![0.0, 1.0]).unwrap();
+        assert_eq!(c.current_mixture().weights(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn presets() {
+        let c = controller();
+        c.set_preset(MixturePreset::ReadOnly);
+        assert_eq!(c.current_mixture().weights(), &[1.0, 0.0]);
+        c.set_preset(MixturePreset::SuperWrites);
+        assert_eq!(c.current_mixture().weights(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn pause_resume_stop() {
+        let c = controller();
+        assert!(!c.is_paused());
+        c.pause();
+        assert!(c.is_paused());
+        c.resume();
+        assert!(!c.is_paused());
+        c.stop();
+        assert!(c.is_stopped());
+    }
+
+    #[test]
+    fn halt_and_reset_drains_and_truncates() {
+        let c = controller();
+        c.database()
+            .create_table(
+                bp_storage::TableSchema::new(
+                    "t",
+                    vec![bp_storage::Column::new("id", bp_storage::DataType::Int)],
+                    &["id"],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let t = c.database().table("t").unwrap();
+        let mut s = c.database().session();
+        s.begin().unwrap();
+        s.insert(&t, vec![bp_storage::Value::Int(1)]).unwrap();
+        s.commit().unwrap();
+        c.halt_and_reset();
+        assert!(c.is_stopped());
+        assert_eq!(c.database().total_rows(), 0);
+    }
+
+    #[test]
+    fn phase_mixture_applies_when_not_overridden() {
+        let c = controller();
+        c.state()
+            .apply_phase(0, Rate::Limited(10.0), ArrivalDist::Exponential, Some(&[1.0, 3.0]), 500, true);
+        assert_eq!(c.current_mixture().weights(), &[1.0, 3.0]);
+        assert_eq!(c.state().arrival(), ArrivalDist::Exponential);
+        assert_eq!(c.state().think_time_us(), 500);
+        // API mixture override survives same-phase re-apply.
+        c.set_mixture(vec![5.0, 5.0]).unwrap();
+        c.state()
+            .apply_phase(0, Rate::Limited(10.0), ArrivalDist::Uniform, Some(&[1.0, 3.0]), 0, false);
+        assert_eq!(c.current_mixture().weights(), &[5.0, 5.0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! `bp-core`: the OLTP-Bench testbed core — the paper's primary
+//! contribution.
+//!
+//! Implements the client-side architecture of Fig. 1: the centralized
+//! Workload Manager with precise [`rate`] control over a central
+//! [`queue`], runtime [`mixture`] control, multi-phase scripts, worker
+//! terminals ([`executor`]), statistics collection ([`stats`]), result
+//! traces and the Trace Analyzer ([`trace`]), the runtime [`controller`]
+//! behind the REST API, multi-tenant testbeds ([`tenant`]), `config.xml`
+//! parsing ([`config`]), and a deterministic simulated path
+//! ([`model`] + [`des`]) for shape experiments and the game.
+
+pub mod config;
+pub mod controller;
+pub mod des;
+pub mod executor;
+pub mod mixture;
+pub mod model;
+pub mod queue;
+pub mod rate;
+pub mod stats;
+pub mod tenant;
+pub mod trace;
+pub mod workload;
+
+pub use config::WorkloadConfig;
+pub use controller::{ControlState, Controller};
+pub use des::{simulate_script, SimRun, SimSample};
+pub use executor::{start, RunConfig, RunHandle};
+pub use mixture::{Mixture, MixtureError, MixturePreset};
+pub use model::{CapacityModel, SimDbms, SimServer};
+pub use queue::{Request, RequestQueue};
+pub use rate::{ArrivalDist, Phase, PhaseScript, Rate};
+pub use stats::{RequestOutcome, Sample, StatsCollector, StatusSnapshot, TypeSummary};
+pub use tenant::{Tenant, Testbed};
+pub use trace::{Trace, TraceAnalysis, TraceAnalyzer, TraceRecord, TrackingReport};
+pub use workload::{BenchmarkClass, LoadSummary, TransactionType, TxnOutcome, Workload};

@@ -1,0 +1,291 @@
+//! Rate control (§2.2.1): target rates, arrival processes and phases.
+//!
+//! Each second the Workload Manager adds exactly the configured number of
+//! requests to the central queue, interleaved with uniform or exponential
+//! inter-arrival times. Unlimited (open-loop) execution enqueues at a large
+//! configurable constant; Disabled stops request generation entirely.
+
+use bp_util::clock::{Micros, MICROS_PER_SEC};
+use bp_util::rng::Rng;
+
+/// The target request rate of a phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Rate {
+    /// Open loop: workers are kept saturated (a large constant arrival rate).
+    Unlimited,
+    /// Throttled to this many transactions per second.
+    Limited(f64),
+    /// No requests are generated.
+    Disabled,
+}
+
+impl Rate {
+    /// The arrival rate used for queue generation, in requests/second.
+    /// Open-loop execution uses a large configurable constant (§2.2.1).
+    pub fn arrivals_per_second(&self, unlimited_rate: f64) -> f64 {
+        match self {
+            Rate::Unlimited => unlimited_rate,
+            Rate::Limited(tps) => tps.max(0.0),
+            Rate::Disabled => 0.0,
+        }
+    }
+
+    pub fn parse(text: &str) -> Option<Rate> {
+        let t = text.trim().to_ascii_lowercase();
+        match t.as_str() {
+            "unlimited" | "open" => Some(Rate::Unlimited),
+            "disabled" | "off" => Some(Rate::Disabled),
+            _ => t.parse::<f64>().ok().filter(|v| *v >= 0.0).map(Rate::Limited),
+        }
+    }
+}
+
+/// How arrivals are spread within each one-second window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArrivalDist {
+    /// Evenly spaced.
+    #[default]
+    Uniform,
+    /// Exponential (Poisson process) inter-arrival times.
+    Exponential,
+}
+
+impl ArrivalDist {
+    pub fn parse(text: &str) -> Option<ArrivalDist> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "uniform" | "regular" => Some(ArrivalDist::Uniform),
+            "exponential" | "poisson" => Some(ArrivalDist::Exponential),
+            _ => None,
+        }
+    }
+
+    /// Generate the arrival offsets (µs within the second) for `n` requests.
+    ///
+    /// Uniform: exact spacing. Exponential: exponential gaps scaled to fill
+    /// the second, preserving the exact per-second count (OLTP-Bench adds
+    /// "the exact number of requests configured" each second).
+    pub fn offsets(&self, n: usize, rng: &mut Rng) -> Vec<Micros> {
+        if n == 0 {
+            return Vec::new();
+        }
+        match self {
+            ArrivalDist::Uniform => {
+                let spacing = MICROS_PER_SEC as f64 / n as f64;
+                (0..n).map(|i| (i as f64 * spacing) as Micros).collect()
+            }
+            ArrivalDist::Exponential => {
+                // n exponential gaps, normalized so the n arrivals land
+                // within the second.
+                let mut gaps: Vec<f64> = (0..n).map(|_| rng.exponential(1.0)).collect();
+                let total: f64 = gaps.iter().sum::<f64>().max(f64::MIN_POSITIVE);
+                let mut acc = 0.0;
+                for g in &mut gaps {
+                    acc += *g;
+                    *g = acc / total;
+                }
+                gaps.iter()
+                    .map(|f| ((f * MICROS_PER_SEC as f64) as Micros).min(MICROS_PER_SEC - 1))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// One workload phase: target rate, mixture weights, duration (§2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    pub rate: Rate,
+    pub arrival: ArrivalDist,
+    /// Mixture weights for this phase; `None` keeps the previous mixture.
+    pub weights: Option<Vec<f64>>,
+    /// Duration in seconds.
+    pub duration_s: f64,
+    /// Optional worker think time after each transaction (µs).
+    pub think_time_us: Micros,
+}
+
+impl Phase {
+    pub fn new(rate: Rate, duration_s: f64) -> Phase {
+        Phase { rate, arrival: ArrivalDist::Uniform, weights: None, duration_s, think_time_us: 0 }
+    }
+
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Phase {
+        self.weights = Some(weights);
+        self
+    }
+
+    pub fn with_arrival(mut self, arrival: ArrivalDist) -> Phase {
+        self.arrival = arrival;
+        self
+    }
+
+    pub fn with_think_time(mut self, micros: Micros) -> Phase {
+        self.think_time_us = micros;
+        self
+    }
+
+    pub fn duration_us(&self) -> Micros {
+        (self.duration_s * MICROS_PER_SEC as f64) as Micros
+    }
+}
+
+/// A predefined multi-phase workload script.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhaseScript {
+    pub phases: Vec<Phase>,
+    /// Loop back to the first phase when the script ends.
+    pub repeat: bool,
+}
+
+impl PhaseScript {
+    pub fn new(phases: Vec<Phase>) -> PhaseScript {
+        PhaseScript { phases, repeat: false }
+    }
+
+    pub fn repeating(phases: Vec<Phase>) -> PhaseScript {
+        PhaseScript { phases, repeat: true }
+    }
+
+    /// A single open-ended phase.
+    pub fn constant(rate: Rate, duration_s: f64) -> PhaseScript {
+        PhaseScript::new(vec![Phase::new(rate, duration_s)])
+    }
+
+    /// Total scripted duration (one pass), in µs.
+    pub fn total_duration_us(&self) -> Micros {
+        self.phases.iter().map(Phase::duration_us).sum()
+    }
+
+    /// Which phase is active at time `t` since the run started.
+    /// Returns `None` after the script ends (unless repeating).
+    pub fn phase_at(&self, t: Micros) -> Option<(usize, &Phase)> {
+        if self.phases.is_empty() {
+            return None;
+        }
+        let total = self.total_duration_us();
+        if total == 0 {
+            return None;
+        }
+        let t = if self.repeat { t % total } else { t };
+        let mut acc = 0;
+        for (i, p) in self.phases.iter().enumerate() {
+            acc += p.duration_us();
+            if t < acc {
+                return Some((i, p));
+            }
+        }
+        None
+    }
+
+    /// The target rate series sampled per second over the script (used by
+    /// the trace analyzer to compute tracking error).
+    pub fn target_series(&self, seconds: usize, unlimited_rate: f64) -> Vec<f64> {
+        (0..seconds)
+            .map(|s| {
+                self.phase_at(s as Micros * MICROS_PER_SEC + MICROS_PER_SEC / 2)
+                    .map(|(_, p)| p.rate.arrivals_per_second(unlimited_rate))
+                    .unwrap_or(0.0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_parse() {
+        assert_eq!(Rate::parse("unlimited"), Some(Rate::Unlimited));
+        assert_eq!(Rate::parse("500"), Some(Rate::Limited(500.0)));
+        assert_eq!(Rate::parse(" 12.5 "), Some(Rate::Limited(12.5)));
+        assert_eq!(Rate::parse("disabled"), Some(Rate::Disabled));
+        assert_eq!(Rate::parse("-5"), None);
+        assert_eq!(Rate::parse("abc"), None);
+    }
+
+    #[test]
+    fn arrivals_per_second() {
+        assert_eq!(Rate::Limited(100.0).arrivals_per_second(10_000.0), 100.0);
+        assert_eq!(Rate::Unlimited.arrivals_per_second(10_000.0), 10_000.0);
+        assert_eq!(Rate::Disabled.arrivals_per_second(10_000.0), 0.0);
+    }
+
+    #[test]
+    fn uniform_offsets_evenly_spaced() {
+        let mut rng = Rng::new(1);
+        let offs = ArrivalDist::Uniform.offsets(4, &mut rng);
+        assert_eq!(offs, vec![0, 250_000, 500_000, 750_000]);
+    }
+
+    #[test]
+    fn exponential_offsets_sorted_within_second() {
+        let mut rng = Rng::new(2);
+        let offs = ArrivalDist::Exponential.offsets(100, &mut rng);
+        assert_eq!(offs.len(), 100);
+        assert!(offs.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*offs.last().unwrap() < MICROS_PER_SEC);
+    }
+
+    #[test]
+    fn exponential_offsets_are_irregular() {
+        let mut rng = Rng::new(3);
+        let offs = ArrivalDist::Exponential.offsets(50, &mut rng);
+        let gaps: Vec<i64> = offs.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let mean = gaps.iter().sum::<i64>() as f64 / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (*g as f64 - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        // Uniform spacing would have zero variance.
+        assert!(var.sqrt() > mean * 0.3, "cv {}", var.sqrt() / mean);
+    }
+
+    #[test]
+    fn zero_arrivals() {
+        let mut rng = Rng::new(4);
+        assert!(ArrivalDist::Uniform.offsets(0, &mut rng).is_empty());
+        assert!(ArrivalDist::Exponential.offsets(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn phase_schedule_lookup() {
+        let script = PhaseScript::new(vec![
+            Phase::new(Rate::Limited(100.0), 2.0),
+            Phase::new(Rate::Limited(300.0), 3.0),
+        ]);
+        assert_eq!(script.phase_at(0).unwrap().0, 0);
+        assert_eq!(script.phase_at(1_999_999).unwrap().0, 0);
+        assert_eq!(script.phase_at(2_000_000).unwrap().0, 1);
+        assert_eq!(script.phase_at(4_999_999).unwrap().0, 1);
+        assert!(script.phase_at(5_000_000).is_none());
+    }
+
+    #[test]
+    fn repeating_script_wraps() {
+        let script = PhaseScript::repeating(vec![
+            Phase::new(Rate::Limited(1.0), 1.0),
+            Phase::new(Rate::Limited(2.0), 1.0),
+        ]);
+        assert_eq!(script.phase_at(2_500_000).unwrap().0, 0);
+        assert_eq!(script.phase_at(3_500_000).unwrap().0, 1);
+    }
+
+    #[test]
+    fn target_series() {
+        let script = PhaseScript::new(vec![
+            Phase::new(Rate::Limited(100.0), 2.0),
+            Phase::new(Rate::Unlimited, 1.0),
+        ]);
+        let series = script.target_series(4, 9999.0);
+        assert_eq!(series, vec![100.0, 100.0, 9999.0, 0.0]);
+    }
+
+    #[test]
+    fn phase_builders() {
+        let p = Phase::new(Rate::Limited(50.0), 1.5)
+            .with_weights(vec![1.0, 2.0])
+            .with_arrival(ArrivalDist::Exponential)
+            .with_think_time(10_000);
+        assert_eq!(p.duration_us(), 1_500_000);
+        assert_eq!(p.weights.as_deref(), Some(&[1.0, 2.0][..]));
+        assert_eq!(p.think_time_us, 10_000);
+    }
+}

@@ -1,0 +1,316 @@
+//! Statistics collection: per-type latency histograms, per-second
+//! throughput series, queue delay, and the instantaneous feedback the
+//! control API exposes (§2.2.4).
+
+use parking_lot::Mutex;
+
+use bp_util::clock::{Micros, SharedClock, MICROS_PER_SEC};
+use bp_util::histogram::Histogram;
+use bp_util::timeseries::TimeSeries;
+
+/// How a dispatched request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    Committed,
+    /// Benchmark-logic abort (still a successfully processed request).
+    UserAborted,
+    /// Lock conflict / timeout; retries exhausted or disabled.
+    Failed,
+}
+
+#[derive(Debug)]
+struct PerType {
+    name: String,
+    latency: Histogram,
+    completions: TimeSeries,
+    committed: u64,
+    user_aborted: u64,
+    failed: u64,
+    retries: u64,
+}
+
+#[derive(Debug)]
+struct StatsInner {
+    per_type: Vec<PerType>,
+    /// All completions regardless of type.
+    all_completions: TimeSeries,
+    all_latency: Histogram,
+    queue_delay: Histogram,
+    requested: TimeSeries,
+}
+
+/// Thread-safe statistics collector shared by all workers of one workload.
+pub struct StatsCollector {
+    inner: Mutex<StatsInner>,
+    clock: SharedClock,
+    start: Micros,
+}
+
+/// One completed-request sample.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    pub txn_type: usize,
+    /// When the request was scheduled to arrive.
+    pub arrival: Micros,
+    /// When a worker started executing it.
+    pub start: Micros,
+    /// When it finished.
+    pub end: Micros,
+    pub outcome: RequestOutcome,
+    pub retries: u32,
+}
+
+/// A point-in-time view used by the control API and the game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusSnapshot {
+    /// Throughput over the last few complete seconds (tx/s).
+    pub throughput: f64,
+    /// Mean latency (µs) per transaction type over the whole run.
+    pub latency_by_type: Vec<(String, f64)>,
+    /// p95 latency across all types (µs).
+    pub p95_latency_us: u64,
+    pub committed: u64,
+    pub user_aborted: u64,
+    pub failed: u64,
+    pub retries: u64,
+    /// Seconds since the collector started.
+    pub elapsed_s: f64,
+}
+
+impl StatsCollector {
+    pub fn new(clock: SharedClock, type_names: &[&str]) -> StatsCollector {
+        let inner = StatsInner {
+            per_type: type_names
+                .iter()
+                .map(|n| PerType {
+                    name: (*n).to_string(),
+                    latency: Histogram::latency(),
+                    completions: TimeSeries::per_second(),
+                    committed: 0,
+                    user_aborted: 0,
+                    failed: 0,
+                    retries: 0,
+                })
+                .collect(),
+            all_completions: TimeSeries::per_second(),
+            all_latency: Histogram::latency(),
+            queue_delay: Histogram::latency(),
+            requested: TimeSeries::per_second(),
+        };
+        let start = clock.now();
+        StatsCollector { inner: Mutex::new(inner), clock, start }
+    }
+
+    /// Record a completed request.
+    pub fn record(&self, s: Sample) {
+        let mut inner = self.inner.lock();
+        let latency = s.end.saturating_sub(s.start);
+        let delay = s.start.saturating_sub(s.arrival);
+        inner.all_latency.record(latency);
+        inner.queue_delay.record(delay);
+        inner.all_completions.record(s.end, latency);
+        if let Some(pt) = inner.per_type.get_mut(s.txn_type) {
+            pt.latency.record(latency);
+            pt.completions.record(s.end, latency);
+            pt.retries += s.retries as u64;
+            match s.outcome {
+                RequestOutcome::Committed => pt.committed += 1,
+                RequestOutcome::UserAborted => pt.user_aborted += 1,
+                RequestOutcome::Failed => pt.failed += 1,
+            }
+        }
+    }
+
+    /// Record that `n` requests were generated at time `t` (target side).
+    pub fn record_requested(&self, t: Micros, n: usize) {
+        let mut inner = self.inner.lock();
+        for _ in 0..n {
+            inner.requested.tick(t);
+        }
+    }
+
+    /// Instantaneous status (sliding window of `window_s` complete seconds).
+    pub fn status(&self, window_s: usize) -> StatusSnapshot {
+        let inner = self.inner.lock();
+        let now = self.clock.now();
+        let throughput = inner.all_completions.recent_rate(now, window_s.max(1));
+        let latency_by_type = inner
+            .per_type
+            .iter()
+            .map(|pt| (pt.name.clone(), pt.latency.mean()))
+            .collect();
+        StatusSnapshot {
+            throughput,
+            latency_by_type,
+            p95_latency_us: inner.all_latency.p95(),
+            committed: inner.per_type.iter().map(|p| p.committed).sum(),
+            user_aborted: inner.per_type.iter().map(|p| p.user_aborted).sum(),
+            failed: inner.per_type.iter().map(|p| p.failed).sum(),
+            retries: inner.per_type.iter().map(|p| p.retries).sum(),
+            elapsed_s: (now - self.start) as f64 / MICROS_PER_SEC as f64,
+        }
+    }
+
+    /// Per-second delivered throughput series.
+    pub fn throughput_series(&self) -> Vec<f64> {
+        self.inner.lock().all_completions.rates()
+    }
+
+    /// Per-second requested (target) series.
+    pub fn requested_series(&self) -> Vec<f64> {
+        self.inner.lock().requested.rates()
+    }
+
+    /// Mean latency per second (µs).
+    pub fn latency_series(&self) -> Vec<f64> {
+        self.inner.lock().all_completions.means()
+    }
+
+    /// Per-type summary: (name, count, mean µs, p95 µs, committed, aborted).
+    pub fn per_type_summary(&self) -> Vec<TypeSummary> {
+        let inner = self.inner.lock();
+        inner
+            .per_type
+            .iter()
+            .map(|pt| TypeSummary {
+                name: pt.name.clone(),
+                count: pt.latency.count(),
+                mean_us: pt.latency.mean(),
+                p95_us: pt.latency.p95(),
+                committed: pt.committed,
+                user_aborted: pt.user_aborted,
+                failed: pt.failed,
+            })
+            .collect()
+    }
+
+    /// Queue-delay distribution snapshot (p50, p95, max in µs).
+    pub fn queue_delay(&self) -> (u64, u64, u64) {
+        let inner = self.inner.lock();
+        (inner.queue_delay.p50(), inner.queue_delay.p95(), inner.queue_delay.max())
+    }
+
+    pub fn total_completed(&self) -> u64 {
+        self.inner.lock().all_latency.count()
+    }
+}
+
+/// Per-transaction-type roll-up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeSummary {
+    pub name: String,
+    pub count: u64,
+    pub mean_us: f64,
+    pub p95_us: u64,
+    pub committed: u64,
+    pub user_aborted: u64,
+    pub failed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_util::clock::sim_clock;
+
+    fn sample(ty: usize, start: Micros, latency: Micros) -> Sample {
+        Sample {
+            txn_type: ty,
+            arrival: start.saturating_sub(50),
+            start,
+            end: start + latency,
+            outcome: RequestOutcome::Committed,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn record_and_status() {
+        let (sim, clock) = sim_clock();
+        let c = StatsCollector::new(clock, &["read", "write"]);
+        for i in 0..100u64 {
+            c.record(sample(0, i * 10_000, 500));
+            c.record(sample(1, i * 10_000, 1_500));
+        }
+        sim.advance_to(2 * MICROS_PER_SEC);
+        let st = c.status(1);
+        assert_eq!(st.committed, 200);
+        assert_eq!(st.latency_by_type[0].0, "read");
+        assert!((st.latency_by_type[0].1 - 500.0).abs() < 30.0);
+        assert!((st.latency_by_type[1].1 - 1500.0).abs() < 80.0);
+        // All 200 completions land in second 0 -> window of second 1 is 0.
+        assert_eq!(c.throughput_series()[0], 200.0);
+    }
+
+    #[test]
+    fn sliding_window_throughput() {
+        let (sim, clock) = sim_clock();
+        let c = StatsCollector::new(clock, &["t"]);
+        // 100 tx in second 0, 300 in second 1.
+        for i in 0..100u64 {
+            c.record(sample(0, i * 10_000, 100));
+        }
+        for i in 0..300u64 {
+            c.record(sample(0, MICROS_PER_SEC + i * 3_000, 100));
+        }
+        sim.advance_to(2 * MICROS_PER_SEC);
+        let st = c.status(2);
+        assert!((st.throughput - 200.0).abs() < 1.0, "{}", st.throughput);
+        let st1 = c.status(1);
+        assert!((st1.throughput - 300.0).abs() < 1.0, "{}", st1.throughput);
+    }
+
+    #[test]
+    fn outcome_counters() {
+        let (_, clock) = sim_clock();
+        let c = StatsCollector::new(clock, &["t"]);
+        let mut s = sample(0, 0, 100);
+        s.outcome = RequestOutcome::UserAborted;
+        c.record(s);
+        let mut s = sample(0, 0, 100);
+        s.outcome = RequestOutcome::Failed;
+        s.retries = 3;
+        c.record(s);
+        let st = c.status(1);
+        assert_eq!(st.user_aborted, 1);
+        assert_eq!(st.failed, 1);
+        assert_eq!(st.retries, 3);
+        assert_eq!(st.committed, 0);
+    }
+
+    #[test]
+    fn queue_delay_tracked() {
+        let (_, clock) = sim_clock();
+        let c = StatsCollector::new(clock, &["t"]);
+        c.record(Sample {
+            txn_type: 0,
+            arrival: 0,
+            start: 5_000,
+            end: 6_000,
+            outcome: RequestOutcome::Committed,
+            retries: 0,
+        });
+        let (p50, _, max) = c.queue_delay();
+        assert!(p50 >= 4_800 && max >= 4_800);
+    }
+
+    #[test]
+    fn per_type_summary() {
+        let (_, clock) = sim_clock();
+        let c = StatsCollector::new(clock, &["a", "b"]);
+        c.record(sample(0, 0, 1_000));
+        c.record(sample(0, 0, 3_000));
+        let sum = c.per_type_summary();
+        assert_eq!(sum[0].count, 2);
+        assert_eq!(sum[0].mean_us, 2_000.0);
+        assert_eq!(sum[1].count, 0);
+    }
+
+    #[test]
+    fn requested_series() {
+        let (_, clock) = sim_clock();
+        let c = StatsCollector::new(clock, &["t"]);
+        c.record_requested(0, 50);
+        c.record_requested(MICROS_PER_SEC, 70);
+        assert_eq!(c.requested_series(), vec![50.0, 70.0]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Result traces (`trace.txt` in Fig. 1) and the Trace Analyzer.
+//!
+//! Every completed request can be appended to a trace; the analyzer turns a
+//! trace back into per-second series, per-type summaries and a target-vs-
+//! delivered tracking report — the post-processing step of the testbed
+//! pipeline.
+
+use parking_lot::Mutex;
+
+use bp_util::clock::{Micros, MICROS_PER_SEC};
+use bp_util::timeseries::{mean_abs_error, Summary, TimeSeries};
+
+use crate::rate::PhaseScript;
+use crate::stats::RequestOutcome;
+
+/// One trace record (a line of trace.txt).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    pub start_us: Micros,
+    pub latency_us: Micros,
+    pub txn_type: usize,
+    pub outcome: RequestOutcome,
+}
+
+/// An in-memory trace with text import/export.
+#[derive(Debug, Default)]
+pub struct Trace {
+    records: Mutex<Vec<TraceRecord>>,
+}
+
+impl Trace {
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    pub fn append(&self, rec: TraceRecord) {
+        self.records.lock().push(rec);
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Serialize in the `trace.txt` line format:
+    /// `start_us txn_type latency_us outcome`.
+    pub fn to_text(&self) -> String {
+        let records = self.records.lock();
+        let mut out = String::with_capacity(records.len() * 24);
+        for r in records.iter() {
+            let o = match r.outcome {
+                RequestOutcome::Committed => "C",
+                RequestOutcome::UserAborted => "U",
+                RequestOutcome::Failed => "F",
+            };
+            out.push_str(&format!("{} {} {} {}\n", r.start_us, r.txn_type, r.latency_us, o));
+        }
+        out
+    }
+
+    /// Parse a `trace.txt` back into a trace.
+    pub fn from_text(text: &str) -> Result<Trace, String> {
+        let trace = Trace::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let parse_err = |m: &str| format!("line {}: {m}", lineno + 1);
+            let start_us = parts
+                .next()
+                .and_then(|p| p.parse().ok())
+                .ok_or_else(|| parse_err("bad start"))?;
+            let txn_type = parts
+                .next()
+                .and_then(|p| p.parse().ok())
+                .ok_or_else(|| parse_err("bad type"))?;
+            let latency_us = parts
+                .next()
+                .and_then(|p| p.parse().ok())
+                .ok_or_else(|| parse_err("bad latency"))?;
+            let outcome = match parts.next() {
+                Some("C") => RequestOutcome::Committed,
+                Some("U") => RequestOutcome::UserAborted,
+                Some("F") => RequestOutcome::Failed,
+                _ => return Err(parse_err("bad outcome")),
+            };
+            trace.append(TraceRecord { start_us, latency_us, txn_type, outcome });
+        }
+        Ok(trace)
+    }
+}
+
+/// Analysis results over a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// Delivered throughput per second.
+    pub throughput: Vec<f64>,
+    /// Mean latency per second (µs).
+    pub latency_mean_us: Vec<f64>,
+    /// Summary over the delivered throughput.
+    pub throughput_summary: Summary,
+    /// Count per transaction type.
+    pub per_type_counts: Vec<u64>,
+    pub committed: u64,
+    pub user_aborted: u64,
+    pub failed: u64,
+}
+
+/// Target-vs-delivered comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackingReport {
+    pub target: Vec<f64>,
+    pub delivered: Vec<f64>,
+    /// Mean absolute error between the two series (tx/s).
+    pub mean_abs_error: f64,
+    /// Mean signed error (delivered - target).
+    pub bias: f64,
+    /// Seconds where delivered exceeded target by more than `tolerance`.
+    pub overshoot_seconds: usize,
+}
+
+/// The Trace Analyzer of Fig. 1.
+pub struct TraceAnalyzer;
+
+impl TraceAnalyzer {
+    /// Per-second roll-up of a trace.
+    pub fn analyze(trace: &Trace, num_types: usize) -> TraceAnalysis {
+        let records = trace.records();
+        let mut completions = TimeSeries::per_second();
+        let mut per_type_counts = vec![0u64; num_types];
+        let mut committed = 0;
+        let mut user_aborted = 0;
+        let mut failed = 0;
+        for r in &records {
+            completions.record(r.start_us + r.latency_us, r.latency_us);
+            if let Some(c) = per_type_counts.get_mut(r.txn_type) {
+                *c += 1;
+            }
+            match r.outcome {
+                RequestOutcome::Committed => committed += 1,
+                RequestOutcome::UserAborted => user_aborted += 1,
+                RequestOutcome::Failed => failed += 1,
+            }
+        }
+        let throughput = completions.rates();
+        TraceAnalysis {
+            throughput_summary: Summary::of(&throughput),
+            latency_mean_us: completions.means(),
+            throughput,
+            per_type_counts,
+            committed,
+            user_aborted,
+            failed,
+        }
+    }
+
+    /// Compare a trace against a phase script's target schedule.
+    ///
+    /// `tolerance` is the relative overshoot allowed before a second counts
+    /// as exceeding the target (the never-exceed check).
+    pub fn tracking(
+        trace: &Trace,
+        script: &PhaseScript,
+        unlimited_rate: f64,
+        tolerance: f64,
+    ) -> TrackingReport {
+        let analysis = Self::analyze(trace, 1);
+        let seconds = script.total_duration_us().div_ceil(MICROS_PER_SEC) as usize;
+        let target = script.target_series(seconds, unlimited_rate);
+        let mut delivered = analysis.throughput;
+        delivered.resize(seconds, 0.0);
+        let delivered = delivered[..seconds].to_vec();
+        let mae = mean_abs_error(&target, &delivered);
+        let bias = delivered
+            .iter()
+            .zip(&target)
+            .map(|(d, t)| d - t)
+            .sum::<f64>()
+            / seconds.max(1) as f64;
+        let overshoot_seconds = delivered
+            .iter()
+            .zip(&target)
+            .filter(|(d, t)| **d > **t * (1.0 + tolerance) + 1.0)
+            .count();
+        TrackingReport { target, delivered, mean_abs_error: mae, bias, overshoot_seconds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::{Phase, Rate};
+
+    fn rec(start_us: Micros, ty: usize, latency: Micros) -> TraceRecord {
+        TraceRecord { start_us, latency_us: latency, txn_type: ty, outcome: RequestOutcome::Committed }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = Trace::new();
+        t.append(rec(100, 0, 500));
+        t.append(TraceRecord {
+            start_us: 200,
+            latency_us: 900,
+            txn_type: 2,
+            outcome: RequestOutcome::Failed,
+        });
+        let text = t.to_text();
+        let back = Trace::from_text(&text).unwrap();
+        assert_eq!(back.records(), t.records());
+    }
+
+    #[test]
+    fn from_text_skips_comments_and_rejects_garbage() {
+        let t = Trace::from_text("# header\n100 0 10 C\n\n200 1 20 U\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(Trace::from_text("not a line").is_err());
+        assert!(Trace::from_text("1 2 3 X").is_err());
+    }
+
+    #[test]
+    fn analyze_per_second() {
+        let t = Trace::new();
+        // 100 tx finishing in second 0, 50 in second 1.
+        for i in 0..100u64 {
+            t.append(rec(i * 9_000, 0, 100));
+        }
+        for i in 0..50u64 {
+            t.append(rec(MICROS_PER_SEC + i * 10_000, 1, 100));
+        }
+        let a = TraceAnalyzer::analyze(&t, 2);
+        assert_eq!(a.throughput[0], 100.0);
+        assert_eq!(a.throughput[1], 50.0);
+        assert_eq!(a.per_type_counts, vec![100, 50]);
+        assert_eq!(a.committed, 150);
+    }
+
+    #[test]
+    fn tracking_perfect_delivery() {
+        let script = PhaseScript::new(vec![Phase::new(Rate::Limited(100.0), 2.0)]);
+        let t = Trace::new();
+        for s in 0..2u64 {
+            for i in 0..100u64 {
+                t.append(rec(s * MICROS_PER_SEC + i * 10_000, 0, 100));
+            }
+        }
+        let r = TraceAnalyzer::tracking(&t, &script, 1e6, 0.05);
+        assert!(r.mean_abs_error < 1.0, "{}", r.mean_abs_error);
+        assert_eq!(r.overshoot_seconds, 0);
+    }
+
+    #[test]
+    fn tracking_detects_overshoot() {
+        let script = PhaseScript::new(vec![Phase::new(Rate::Limited(10.0), 1.0)]);
+        let t = Trace::new();
+        for i in 0..50u64 {
+            t.append(rec(i * 15_000, 0, 100));
+        }
+        let r = TraceAnalyzer::tracking(&t, &script, 1e6, 0.05);
+        assert_eq!(r.overshoot_seconds, 1);
+        assert!(r.bias > 30.0);
+    }
+
+    #[test]
+    fn tracking_underdelivery_has_negative_bias() {
+        let script = PhaseScript::new(vec![Phase::new(Rate::Limited(100.0), 1.0)]);
+        let t = Trace::new();
+        for i in 0..40u64 {
+            t.append(rec(i * 20_000, 0, 100));
+        }
+        let r = TraceAnalyzer::tracking(&t, &script, 1e6, 0.05);
+        assert!(r.bias < -50.0);
+        assert_eq!(r.overshoot_seconds, 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Challenges: the obstacle courses of §4.1.2.
+//!
+//! A challenge is a sequence of obstacles — pairs of vertical pipes whose
+//! opening represents the expected throughput range for a time window. Four
+//! generator shapes are provided (Steps, Sinusoidal, Peak, Tunnels) and new
+//! challenges can be loaded from a configuration file, exactly as the demo
+//! describes.
+
+use bp_util::clock::{Micros, MICROS_PER_SEC};
+use bp_util::xml::XmlNode;
+
+/// One obstacle: a throughput gap that must be hit during a time window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Obstacle {
+    /// Window start (µs from course start).
+    pub start_us: Micros,
+    /// Window end (µs from course start).
+    pub end_us: Micros,
+    /// Lower edge of the opening (tx/s).
+    pub gap_low: f64,
+    /// Upper edge of the opening (tx/s).
+    pub gap_high: f64,
+    /// Autopilot zone: user input is ignored while inside (§4.1.2 Tunnels).
+    pub autopilot: bool,
+}
+
+impl Obstacle {
+    pub fn contains(&self, tps: f64) -> bool {
+        tps >= self.gap_low && tps <= self.gap_high
+    }
+
+    pub fn center(&self) -> f64 {
+        (self.gap_low + self.gap_high) / 2.0
+    }
+}
+
+/// The four built-in challenge shapes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChallengeShape {
+    /// Increasing (or decreasing) throughput levels; finds the saturation
+    /// point ("at some point the DBMS will become saturated").
+    Steps { levels: usize, low: f64, high: f64, ascending: bool },
+    /// Recurring up/down pattern; tests graceful response without jitter.
+    Sinusoidal { cycles: usize, mid: f64, amplitude: f64 },
+    /// Steady state, a short burst, then back; tests sporadic load response.
+    Peak { base: f64, peak: f64 },
+    /// A long constant narrow range with autopilot; DBMSs with oscillating
+    /// throughput cannot pass it.
+    Tunnel { target: f64, half_width: f64 },
+}
+
+/// A full course: obstacles in time order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Course {
+    pub name: String,
+    pub obstacles: Vec<Obstacle>,
+    pub duration_us: Micros,
+}
+
+impl Course {
+    /// Generate a course from a shape over `duration_s` seconds, with a
+    /// relative gap width (`tolerance`, e.g. 0.25 = ±12.5% of the level).
+    pub fn generate(name: &str, shape: ChallengeShape, duration_s: f64, tolerance: f64) -> Course {
+        let duration_us = (duration_s * MICROS_PER_SEC as f64) as Micros;
+        let mut obstacles = Vec::new();
+        match shape {
+            ChallengeShape::Steps { levels, low, high, ascending } => {
+                let levels = levels.max(1);
+                let window = duration_us / levels as u64;
+                for i in 0..levels {
+                    let frac = i as f64 / (levels.max(2) - 1) as f64;
+                    let frac = if ascending { frac } else { 1.0 - frac };
+                    let level = low + frac * (high - low);
+                    let half = (level * tolerance / 2.0).max(1.0);
+                    obstacles.push(Obstacle {
+                        // Leave a lead-in margin of 30% per window so the
+                        // player can climb to the next level.
+                        start_us: i as u64 * window + window * 3 / 10,
+                        end_us: (i as u64 + 1) * window,
+                        gap_low: (level - half).max(0.0),
+                        gap_high: level + half,
+                        autopilot: false,
+                    });
+                }
+            }
+            ChallengeShape::Sinusoidal { cycles, mid, amplitude } => {
+                // One obstacle per quarter cycle, tracking the sine.
+                let segments = (cycles.max(1) * 8).max(4);
+                let window = duration_us / segments as u64;
+                // Segment 0 is an obstacle-free lead-in so the player can
+                // climb to the first level from a standing start.
+                for i in 1..segments {
+                    let phase = (i as f64 + 0.5) / segments as f64 * cycles as f64 * std::f64::consts::TAU;
+                    let level = mid + amplitude * phase.sin();
+                    let half = (level.abs() * tolerance / 2.0).max(amplitude * 0.25);
+                    obstacles.push(Obstacle {
+                        // 40% of each window is transition room: the sine
+                        // moves between levels faster than gravity alone, so
+                        // the player needs time to dive/climb.
+                        start_us: i as u64 * window + window * 2 / 5,
+                        end_us: (i as u64 + 1) * window,
+                        gap_low: (level - half).max(0.0),
+                        gap_high: level + half,
+                        autopilot: false,
+                    });
+                }
+            }
+            ChallengeShape::Peak { base, peak } => {
+                let half_base = (base * tolerance / 2.0).max(1.0);
+                let half_peak = (peak * tolerance / 2.0).max(1.0);
+                // Steady 40%, peak 20%, steady 40%.
+                let d = duration_us;
+                obstacles.push(Obstacle {
+                    start_us: d / 10,
+                    end_us: d * 4 / 10,
+                    gap_low: (base - half_base).max(0.0),
+                    gap_high: base + half_base,
+                    autopilot: false,
+                });
+                obstacles.push(Obstacle {
+                    start_us: d * 45 / 100,
+                    end_us: d * 6 / 10,
+                    gap_low: (peak - half_peak).max(0.0),
+                    gap_high: peak + half_peak,
+                    autopilot: false,
+                });
+                obstacles.push(Obstacle {
+                    start_us: d * 7 / 10,
+                    end_us: d,
+                    gap_low: (base - half_base).max(0.0),
+                    gap_high: base + half_base,
+                    autopilot: false,
+                });
+            }
+            ChallengeShape::Tunnel { target, half_width } => {
+                obstacles.push(Obstacle {
+                    start_us: duration_us / 10,
+                    end_us: duration_us,
+                    gap_low: (target - half_width).max(0.0),
+                    gap_high: target + half_width,
+                    autopilot: true,
+                });
+            }
+        }
+        Course { name: name.to_string(), obstacles, duration_us }
+    }
+
+    /// The obstacle active at time `t`, if any.
+    pub fn active_at(&self, t: Micros) -> Option<&Obstacle> {
+        self.obstacles.iter().find(|o| t >= o.start_us && t < o.end_us)
+    }
+
+    /// Is `t` inside an autopilot zone?
+    pub fn in_autopilot(&self, t: Micros) -> bool {
+        self.active_at(t).map(|o| o.autopilot).unwrap_or(false)
+    }
+
+    pub fn is_finished(&self, t: Micros) -> bool {
+        t >= self.duration_us
+    }
+
+    /// Load a course from an XML challenge file:
+    /// ```xml
+    /// <challenge name="custom">
+    ///   <obstacle start="2" end="5" low="300" high="400"/>
+    ///   <obstacle start="6" end="12" low="500" high="550" autopilot="true"/>
+    /// </challenge>
+    /// ```
+    pub fn from_xml(xml: &str) -> Result<Course, String> {
+        let root = XmlNode::parse(xml).map_err(|e| e.to_string())?;
+        if root.name != "challenge" {
+            return Err(format!("root must be <challenge>, got <{}>", root.name));
+        }
+        let name = root.attr("name").unwrap_or("custom").to_string();
+        let mut obstacles = Vec::new();
+        let mut max_end = 0;
+        for (i, node) in root.children_named("obstacle").enumerate() {
+            let get = |attr: &str| -> Result<f64, String> {
+                node.attr(attr)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("obstacle #{}: missing/invalid {attr}", i + 1))
+            };
+            let start = get("start")?;
+            let end = get("end")?;
+            let low = get("low")?;
+            let high = get("high")?;
+            if end <= start || high < low {
+                return Err(format!("obstacle #{}: inverted bounds", i + 1));
+            }
+            let autopilot = node.attr("autopilot").map(|v| v == "true").unwrap_or(false);
+            let end_us = (end * MICROS_PER_SEC as f64) as Micros;
+            obstacles.push(Obstacle {
+                start_us: (start * MICROS_PER_SEC as f64) as Micros,
+                end_us,
+                gap_low: low,
+                gap_high: high,
+                autopilot,
+            });
+            max_end = max_end.max(end_us);
+        }
+        Ok(Course { name, obstacles, duration_us: max_end })
+    }
+
+    /// The four demo challenges at a given difficulty scale (peak tps).
+    pub fn demo_set(scale_tps: f64) -> Vec<Course> {
+        vec![
+            Course::generate(
+                "steps",
+                ChallengeShape::Steps { levels: 5, low: scale_tps * 0.2, high: scale_tps, ascending: true },
+                50.0,
+                0.5,
+            ),
+            Course::generate(
+                "sinusoidal",
+                ChallengeShape::Sinusoidal { cycles: 3, mid: scale_tps * 0.5, amplitude: scale_tps * 0.3 },
+                60.0,
+                0.5,
+            ),
+            Course::generate(
+                "peak",
+                ChallengeShape::Peak { base: scale_tps * 0.3, peak: scale_tps * 0.9 },
+                40.0,
+                0.5,
+            ),
+            Course::generate(
+                "tunnel",
+                ChallengeShape::Tunnel { target: scale_tps * 0.6, half_width: scale_tps * 0.08 },
+                40.0,
+                0.5,
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_ascend() {
+        let c = Course::generate(
+            "s",
+            ChallengeShape::Steps { levels: 4, low: 100.0, high: 400.0, ascending: true },
+            40.0,
+            0.3,
+        );
+        assert_eq!(c.obstacles.len(), 4);
+        let centers: Vec<f64> = c.obstacles.iter().map(Obstacle::center).collect();
+        assert!(centers.windows(2).all(|w| w[0] < w[1]), "{centers:?}");
+        assert!((centers[0] - 100.0).abs() < 1.0);
+        assert!((centers[3] - 400.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn steps_descend() {
+        let c = Course::generate(
+            "s",
+            ChallengeShape::Steps { levels: 3, low: 100.0, high: 300.0, ascending: false },
+            30.0,
+            0.3,
+        );
+        let centers: Vec<f64> = c.obstacles.iter().map(Obstacle::center).collect();
+        assert!(centers.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn sinusoid_oscillates() {
+        let c = Course::generate(
+            "sin",
+            ChallengeShape::Sinusoidal { cycles: 2, mid: 500.0, amplitude: 200.0 },
+            60.0,
+            0.3,
+        );
+        let centers: Vec<f64> = c.obstacles.iter().map(Obstacle::center).collect();
+        let above = centers.iter().filter(|c| **c > 500.0).count();
+        let below = centers.iter().filter(|c| **c < 500.0).count();
+        assert!(above >= 4 && below >= 4, "above {above} below {below}");
+        // Bounded by mid ± amplitude (+gap half-width slack).
+        assert!(centers.iter().all(|c| *c >= 280.0 && *c <= 720.0), "{centers:?}");
+    }
+
+    #[test]
+    fn peak_has_burst_in_middle() {
+        let c = Course::generate("p", ChallengeShape::Peak { base: 200.0, peak: 800.0 }, 40.0, 0.3);
+        assert_eq!(c.obstacles.len(), 3);
+        assert!(c.obstacles[1].center() > c.obstacles[0].center() * 3.0);
+        assert!((c.obstacles[0].center() - c.obstacles[2].center()).abs() < 1.0);
+    }
+
+    #[test]
+    fn tunnel_is_autopilot_and_long() {
+        let c = Course::generate("t", ChallengeShape::Tunnel { target: 500.0, half_width: 50.0 }, 30.0, 0.3);
+        assert_eq!(c.obstacles.len(), 1);
+        let o = c.obstacles[0];
+        assert!(o.autopilot);
+        assert!(c.in_autopilot(o.start_us + 1));
+        assert!(!c.in_autopilot(0));
+        assert!(o.end_us - o.start_us > 20 * MICROS_PER_SEC);
+        assert!(o.contains(500.0) && !o.contains(560.0) && !o.contains(440.0));
+    }
+
+    #[test]
+    fn active_at_lookup() {
+        let c = Course::generate(
+            "s",
+            ChallengeShape::Steps { levels: 2, low: 100.0, high: 200.0, ascending: true },
+            20.0,
+            0.3,
+        );
+        assert!(c.active_at(0).is_none(), "lead-in has no obstacle");
+        let mid_first = (c.obstacles[0].start_us + c.obstacles[0].end_us) / 2;
+        assert_eq!(c.active_at(mid_first).unwrap().center(), c.obstacles[0].center());
+        assert!(c.is_finished(c.duration_us));
+        assert!(!c.is_finished(c.duration_us - 1));
+    }
+
+    #[test]
+    fn xml_course() {
+        let xml = r#"<challenge name="custom">
+            <obstacle start="2" end="5" low="300" high="400"/>
+            <obstacle start="6" end="12" low="500" high="550" autopilot="true"/>
+        </challenge>"#;
+        let c = Course::from_xml(xml).unwrap();
+        assert_eq!(c.name, "custom");
+        assert_eq!(c.obstacles.len(), 2);
+        assert_eq!(c.duration_us, 12 * MICROS_PER_SEC);
+        assert!(c.obstacles[1].autopilot);
+        assert!(c.active_at(3 * MICROS_PER_SEC).unwrap().contains(350.0));
+    }
+
+    #[test]
+    fn xml_course_errors() {
+        assert!(Course::from_xml("<nope/>").is_err());
+        assert!(Course::from_xml(r#"<challenge><obstacle start="5" end="2" low="1" high="2"/></challenge>"#).is_err());
+        assert!(Course::from_xml(r#"<challenge><obstacle start="1" end="2" low="9" high="2"/></challenge>"#).is_err());
+        assert!(Course::from_xml(r#"<challenge><obstacle start="1" end="2" low="1"/></challenge>"#).is_err());
+    }
+
+    #[test]
+    fn demo_set_has_four_shapes() {
+        let set = Course::demo_set(1000.0);
+        let names: Vec<&str> = set.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["steps", "sinusoidal", "peak", "tunnel"]);
+    }
+}

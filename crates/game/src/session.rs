@@ -1,0 +1,397 @@
+//! Game sessions: wiring the game loop to a backend testbed.
+//!
+//! The demo's architecture is: browser game → Web app server → OLTP-Bench
+//! control API → DBMS. Here the [`GameBackend`] trait abstracts the right
+//! side of that chain; two implementations are provided:
+//!
+//! * [`SimBackend`]: the deterministic capacity-model DBMS (fast, perfect
+//!   for tests and autopilot experiments);
+//! * [`ApiBackend`]: drives a *live* workload through [`bp_api::ApiServer`]
+//!   requests, exactly like the JavaScript game does over REST.
+//!
+//! [`TwoPlayerSession`] runs two characters against one shared simulated
+//! server, letting each player feel the other's load (§4.3).
+
+use std::sync::Arc;
+
+use bp_api::{ApiServer, Request};
+use bp_core::{CapacityModel, MixturePreset, SimDbms, SimServer, TransactionType};
+use bp_util::clock::Micros;
+use bp_util::json::Json;
+
+use crate::challenge::Course;
+use crate::game::{Game, GameEvent, Input};
+use crate::physics::PhysicsConfig;
+
+/// What the game needs from the testbed.
+pub trait GameBackend {
+    /// Push the requested rate; returns the measured throughput for the
+    /// elapsed interval.
+    fn exchange(&mut self, requested_tps: f64, dt_us: Micros) -> f64;
+
+    /// Pause / resume the benchmark (blocks the workers).
+    fn set_paused(&mut self, paused: bool);
+
+    /// Apply a preset mixture.
+    fn apply_preset(&mut self, preset: MixturePreset);
+
+    /// Game over: halt the benchmark and reset the database.
+    fn halt_and_reset(&mut self);
+}
+
+/// Deterministic backend over the analytic capacity model.
+pub struct SimBackend {
+    dbms: SimDbms,
+    types: Vec<TransactionType>,
+    mixture: bp_core::Mixture,
+    paused: bool,
+    pub resets: usize,
+}
+
+impl SimBackend {
+    pub fn new(model: CapacityModel, types: Vec<TransactionType>, seed: u64) -> SimBackend {
+        let mixture = bp_core::Mixture::default_of(&types);
+        SimBackend { dbms: SimDbms::new(model, seed), types, mixture, paused: false, resets: 0 }
+    }
+}
+
+impl GameBackend for SimBackend {
+    fn exchange(&mut self, requested_tps: f64, dt_us: Micros) -> f64 {
+        if self.paused {
+            return 0.0;
+        }
+        let dt_s = dt_us as f64 / 1_000_000.0;
+        self.dbms.tick(
+            requested_tps,
+            self.mixture.write_share(&self.types),
+            self.mixture.mean_cost(&self.types),
+            dt_s,
+        )
+    }
+
+    fn set_paused(&mut self, paused: bool) {
+        self.paused = paused;
+    }
+
+    fn apply_preset(&mut self, preset: MixturePreset) {
+        self.mixture = preset.build(&self.types);
+    }
+
+    fn halt_and_reset(&mut self) {
+        self.dbms.reset();
+        self.resets += 1;
+    }
+}
+
+/// Live backend: every game action becomes a control-API request, and the
+/// measured throughput comes from the API's status feedback — the same
+/// contract the browser game uses.
+pub struct ApiBackend {
+    api: Arc<ApiServer>,
+    workload_id: String,
+}
+
+impl ApiBackend {
+    pub fn new(api: Arc<ApiServer>, workload_id: &str) -> ApiBackend {
+        ApiBackend { api, workload_id: workload_id.to_string() }
+    }
+
+    fn post(&self, action: &str, body: Json) {
+        let path = format!("/workloads/{}/{}", self.workload_id, action);
+        let _ = self.api.handle(&Request::post(&path, body));
+    }
+}
+
+impl GameBackend for ApiBackend {
+    fn exchange(&mut self, requested_tps: f64, _dt_us: Micros) -> f64 {
+        self.post("rate", Json::obj().set("tps", requested_tps));
+        let path = format!("/workloads/{}", self.workload_id);
+        let resp = self.api.handle(&Request::get(&path));
+        resp.body
+            .get("status")
+            .and_then(|s| s.get("throughput"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    }
+
+    fn set_paused(&mut self, paused: bool) {
+        self.post(if paused { "pause" } else { "resume" }, Json::obj());
+    }
+
+    fn apply_preset(&mut self, preset: MixturePreset) {
+        let name = match preset {
+            MixturePreset::Default => "default",
+            MixturePreset::ReadOnly => "read_only",
+            MixturePreset::SuperWrites => "super_writes",
+        };
+        self.post("mixture", Json::obj().set("preset", name));
+    }
+
+    fn halt_and_reset(&mut self) {
+        self.post("reset", Json::obj());
+    }
+}
+
+/// A single-player session: game + backend, stepped tick by tick.
+pub struct GameSession<B: GameBackend> {
+    pub game: Game,
+    pub backend: B,
+}
+
+impl<B: GameBackend> GameSession<B> {
+    pub fn new(game: Game, backend: B) -> GameSession<B> {
+        GameSession { game, backend }
+    }
+
+    /// One game tick: exchange load with the backend, advance the game,
+    /// apply resulting events to the backend. Returns the events.
+    pub fn tick(&mut self, dt_us: Micros, input: Input) -> Vec<GameEvent> {
+        let measured = self.backend.exchange(self.game.requested_tps(), dt_us);
+        let events = self.game.tick(dt_us, measured, input);
+        for e in &events {
+            match e {
+                GameEvent::PauseBenchmark => self.backend.set_paused(true),
+                GameEvent::ResumeBenchmark => self.backend.set_paused(false),
+                GameEvent::ApplyPreset(p) => self.backend.apply_preset(*p),
+                GameEvent::HaltAndReset => self.backend.halt_and_reset(),
+                GameEvent::Victory => {}
+            }
+        }
+        events
+    }
+
+    /// Run with a scripted input policy until the game ends or `max_ticks`.
+    pub fn run_policy(
+        &mut self,
+        dt_us: Micros,
+        max_ticks: usize,
+        mut policy: impl FnMut(&Game) -> Input,
+    ) -> &Game {
+        for _ in 0..max_ticks {
+            if self.game.is_over() {
+                break;
+            }
+            let input = policy(&self.game);
+            self.tick(dt_us, input);
+        }
+        &self.game
+    }
+}
+
+/// Two players, one shared simulated DBMS instance: each player's load
+/// shrinks the capacity available to the other (multi-tenancy, §2.2.3/§4.3).
+pub struct TwoPlayerSession {
+    pub games: [Game; 2],
+    server: SimServer,
+    types: Vec<TransactionType>,
+    mixtures: [bp_core::Mixture; 2],
+}
+
+impl TwoPlayerSession {
+    pub fn new(
+        model: CapacityModel,
+        types: Vec<TransactionType>,
+        courses: [Course; 2],
+        physics: PhysicsConfig,
+        seed: u64,
+    ) -> TwoPlayerSession {
+        let mixture = bp_core::Mixture::default_of(&types);
+        TwoPlayerSession {
+            games: [
+                Game::new("p1", model.name, courses[0].clone(), physics),
+                Game::new("p2", model.name, courses[1].clone(), physics),
+            ],
+            server: SimServer::new(model, 2, seed),
+            types,
+            mixtures: [mixture.clone(), mixture],
+        }
+    }
+
+    /// Tick both players with their inputs.
+    pub fn tick(&mut self, dt_us: Micros, inputs: [Input; 2]) {
+        let dt_s = dt_us as f64 / 1_000_000.0;
+        let demands: Vec<(f64, f64, f64)> = (0..2)
+            .map(|i| {
+                (
+                    self.games[i].requested_tps(),
+                    self.mixtures[i].write_share(&self.types),
+                    self.mixtures[i].mean_cost(&self.types),
+                )
+            })
+            .collect();
+        let delivered = self.server.tick(&demands, dt_s);
+        for i in 0..2 {
+            let events = self.games[i].tick(dt_us, delivered[i], inputs[i]);
+            for e in events {
+                if let GameEvent::ApplyPreset(p) = e {
+                    self.mixtures[i] = p.build(&self.types);
+                }
+            }
+        }
+    }
+}
+
+/// Helper: the ideal requested rate to hit the next obstacle's center —
+/// the policy used by autopilot demos and the physics tests.
+pub fn chase_center_policy(game: &Game) -> Input {
+    let t = game.elapsed_us();
+    // Look a little ahead so we climb before the window opens.
+    let target = game
+        .course
+        .active_at(t)
+        .or_else(|| game.course.active_at(t + 2_000_000))
+        .map(|o| o.center());
+    match target {
+        Some(target) => {
+            let requested = game.character.requested_tps;
+            if requested < target - game.character.config().jump_tps * 0.6 {
+                Input::Jump
+            } else if requested > target + game.character.config().jump_tps * 0.6 {
+                Input::Dive
+            } else if requested < target {
+                // Counteract gravity with small hops.
+                Input::Jump
+            } else {
+                Input::None
+            }
+        }
+        None => Input::None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::challenge::ChallengeShape;
+
+    fn types() -> Vec<TransactionType> {
+        vec![
+            TransactionType::new("r", 50.0, true),
+            TransactionType::new("w", 50.0, false),
+        ]
+    }
+
+    fn quiet_model() -> CapacityModel {
+        CapacityModel { jitter: 0.0, ..CapacityModel::mysql_like() }
+    }
+
+    fn steps_course(max: f64) -> Course {
+        Course::generate(
+            "steps",
+            ChallengeShape::Steps { levels: 3, low: max * 0.2, high: max * 0.5, ascending: true },
+            30.0,
+            0.8,
+        )
+    }
+
+    #[test]
+    fn sim_session_with_chase_policy_wins_easy_course() {
+        let course = steps_course(1_000.0);
+        let game = Game::new("ycsb", "mysql", course, PhysicsConfig {
+            jump_tps: 60.0,
+            gravity_tps_per_s: 40.0,
+            max_tps: 1_000.0,
+        });
+        let backend = SimBackend::new(quiet_model(), types(), 7);
+        let mut session = GameSession::new(game, backend);
+        session.run_policy(100_000, 400, chase_center_policy);
+        assert_eq!(*session.game.screen(), crate::game::Screen::Won, "score {}", session.game.score());
+    }
+
+    #[test]
+    fn doing_nothing_crashes() {
+        let course = steps_course(1_000.0);
+        let game = Game::new("ycsb", "mysql", course, PhysicsConfig::default());
+        let backend = SimBackend::new(quiet_model(), types(), 7);
+        let mut session = GameSession::new(game, backend);
+        session.run_policy(100_000, 400, |_| Input::None);
+        assert!(matches!(session.game.screen(), crate::game::Screen::Crashed { .. }));
+        assert_eq!(session.backend.resets, 1, "crash must reset the database");
+    }
+
+    #[test]
+    fn derby_fails_tunnel_that_oracle_passes() {
+        // §4.3: "certain DBMSs cannot pass the tunnel tests, since they
+        // produce oscillating throughputs".
+        let tunnel = |name: &str| {
+            Course::generate(
+                "tunnel",
+                ChallengeShape::Tunnel { target: 300.0, half_width: 45.0 },
+                30.0,
+                0.3,
+            )
+            .obstacles
+            .clone()
+            .into_iter()
+            .fold(
+                Course { name: name.into(), obstacles: vec![], duration_us: 30_000_000 },
+                |mut c, o| {
+                    c.obstacles.push(o);
+                    c
+                },
+            )
+        };
+        let run = |model: CapacityModel| {
+            let game = Game::new("ycsb", model.name, tunnel(model.name), PhysicsConfig {
+                jump_tps: 60.0,
+                gravity_tps_per_s: 40.0,
+                max_tps: 1_000.0,
+            });
+            let backend = SimBackend::new(model, types(), 99);
+            let mut session = GameSession::new(game, backend);
+            session.run_policy(100_000, 400, chase_center_policy);
+            session.game.screen().clone()
+        };
+        let oracle = run(CapacityModel::oracle_like());
+        let derby = run(CapacityModel::derby_like());
+        assert_eq!(oracle, crate::game::Screen::Won, "oracle should pass the tunnel");
+        assert!(
+            matches!(derby, crate::game::Screen::Crashed { .. }),
+            "derby's oscillation should fail the tunnel: {derby:?}"
+        );
+    }
+
+    #[test]
+    fn two_players_interfere() {
+        let model = quiet_model();
+        let cap = model.capacity(0.5, 1.0);
+        // Both players hold a demand near the full capacity: neither can
+        // get it all once the other joins.
+        let course = Course { name: "open".into(), obstacles: vec![], duration_us: 60_000_000 };
+        let mut two = TwoPlayerSession::new(
+            model,
+            types(),
+            [course.clone(), course],
+            PhysicsConfig { jump_tps: 200.0, gravity_tps_per_s: 0.0, max_tps: 5_000.0 },
+            5,
+        );
+        two.games[0].character.set_requested(cap);
+        two.games[1].character.set_requested(0.0);
+        for _ in 0..100 {
+            two.tick(100_000, [Input::None, Input::None]);
+        }
+        let solo = two.games[0].character.measured_tps;
+        two.games[1].character.set_requested(cap);
+        for _ in 0..100 {
+            two.tick(100_000, [Input::None, Input::None]);
+        }
+        let contended = two.games[0].character.measured_tps;
+        assert!(
+            contended < solo * 0.7,
+            "player 2's load should slow player 1: solo {solo:.0} contended {contended:.0}"
+        );
+    }
+
+    #[test]
+    fn preset_event_reaches_backend() {
+        let course = Course { name: "open".into(), obstacles: vec![], duration_us: 60_000_000 };
+        let game = Game::new("ycsb", "mysql", course, PhysicsConfig::default());
+        let backend = SimBackend::new(quiet_model(), types(), 3);
+        let mut session = GameSession::new(game, backend);
+        session.tick(100_000, Input::Pause);
+        session.tick(100_000, Input::SelectPreset(MixturePreset::ReadOnly));
+        assert_eq!(session.backend.mixture.write_share(&types()), 0.0);
+        session.tick(100_000, Input::Resume);
+        assert!(!session.backend.paused);
+    }
+}

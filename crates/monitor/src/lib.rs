@@ -1,0 +1,343 @@
+//! `bp-monitor`: dstat-style server resource monitoring (Fig. 1, §2.1, §4.2).
+//!
+//! OLTP-Bench launches standard monitoring tools (dstat [7]) next to the
+//! DBMS and streams system metrics in real time. Our system under test is
+//! the embedded engine, so the monitor samples its internal counters at a
+//! fixed tick and converts the deltas into dstat-like rows: CPU busy share,
+//! IO ops/s, lock waits/s, WAL throughput, buffer hit rate. A saturation
+//! detector implements the §4.2 loop ("the user could lower the percentage
+//! of write-intensive transactions if the disk IO activity seems to
+//! saturate").
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use bp_storage::{Database, MetricsSnapshot};
+use bp_util::clock::{Micros, SharedClock, MICROS_PER_SEC};
+
+/// One monitoring sample (a dstat output row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceSample {
+    /// Sample time (µs since monitor start).
+    pub t_us: Micros,
+    /// Fraction of the interval the engine spent doing work, per worker-
+    /// equivalent (can exceed 1.0 with many workers).
+    pub cpu_busy: f64,
+    /// Simulated IO reads per second.
+    pub io_reads_per_s: f64,
+    /// Simulated IO writes per second.
+    pub io_writes_per_s: f64,
+    /// Lock waits per second.
+    pub lock_waits_per_s: f64,
+    /// Share of the interval spent waiting on locks (per worker-equivalent).
+    pub lock_wait_share: f64,
+    /// Deadlocks (wait-die kills) per second.
+    pub deadlocks_per_s: f64,
+    /// Commits per second.
+    pub commits_per_s: f64,
+    /// Aborts per second.
+    pub aborts_per_s: f64,
+    /// WAL bytes per second.
+    pub wal_bytes_per_s: f64,
+    /// Buffer pool hit ratio over the interval.
+    pub buf_hit_ratio: f64,
+    /// Active transactions at sample time.
+    pub active_txns: i64,
+}
+
+/// Which resource looks saturated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Saturation {
+    None,
+    Cpu,
+    Io,
+    Locks,
+}
+
+/// Thresholds for the saturation detector.
+#[derive(Debug, Clone, Copy)]
+pub struct SaturationThresholds {
+    pub cpu_busy: f64,
+    pub io_per_s: f64,
+    pub lock_wait_share: f64,
+}
+
+impl Default for SaturationThresholds {
+    fn default() -> Self {
+        SaturationThresholds { cpu_busy: 0.85, io_per_s: 5_000.0, lock_wait_share: 0.4 }
+    }
+}
+
+impl ResourceSample {
+    /// Classify the dominant saturated resource, if any.
+    pub fn saturation(&self, th: &SaturationThresholds) -> Saturation {
+        if self.lock_wait_share >= th.lock_wait_share {
+            Saturation::Locks
+        } else if self.io_reads_per_s + self.io_writes_per_s >= th.io_per_s {
+            Saturation::Io
+        } else if self.cpu_busy >= th.cpu_busy {
+            Saturation::Cpu
+        } else {
+            Saturation::None
+        }
+    }
+
+    /// Render as a dstat-like text row.
+    pub fn to_row(&self) -> String {
+        format!(
+            "{:>8.1}s cpu={:>5.1}% io_r={:>7.0}/s io_w={:>7.0}/s lkw={:>6.0}/s dlk={:>4.0}/s \
+             cmt={:>7.0}/s abt={:>5.0}/s wal={:>8.0}B/s hit={:>5.1}% act={}",
+            self.t_us as f64 / MICROS_PER_SEC as f64,
+            self.cpu_busy * 100.0,
+            self.io_reads_per_s,
+            self.io_writes_per_s,
+            self.lock_waits_per_s,
+            self.deadlocks_per_s,
+            self.commits_per_s,
+            self.aborts_per_s,
+            self.wal_bytes_per_s,
+            self.buf_hit_ratio * 100.0,
+            self.active_txns,
+        )
+    }
+}
+
+/// CSV header matching [`Monitor::to_csv`].
+pub const CSV_HEADER: &str =
+    "t_s,cpu_busy,io_reads_per_s,io_writes_per_s,lock_waits_per_s,lock_wait_share,deadlocks_per_s,commits_per_s,aborts_per_s,wal_bytes_per_s,buf_hit_ratio,active_txns";
+
+/// Samples the engine's counters at a fixed interval.
+pub struct Monitor {
+    db: Arc<Database>,
+    clock: SharedClock,
+    start: Micros,
+    last: Mutex<(Micros, MetricsSnapshot)>,
+    samples: Mutex<Vec<ResourceSample>>,
+}
+
+impl Monitor {
+    pub fn new(db: Arc<Database>, clock: SharedClock) -> Monitor {
+        let start = clock.now();
+        let snap = db.metrics().snapshot();
+        Monitor {
+            db,
+            clock,
+            start,
+            last: Mutex::new((start, snap)),
+            samples: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Take one sample covering the interval since the previous tick.
+    pub fn tick(&self) -> ResourceSample {
+        let now = self.clock.now();
+        let snap = self.db.metrics().snapshot();
+        let mut last = self.last.lock();
+        let (last_t, last_snap) = *last;
+        let dt_us = now.saturating_sub(last_t).max(1);
+        let dt_s = dt_us as f64 / MICROS_PER_SEC as f64;
+        let d = snap.delta(&last_snap);
+        *last = (now, snap);
+        drop(last);
+
+        let sample = ResourceSample {
+            t_us: now - self.start,
+            cpu_busy: d.busy_micros as f64 / dt_us as f64,
+            io_reads_per_s: d.io_reads as f64 / dt_s,
+            io_writes_per_s: d.io_writes as f64 / dt_s,
+            lock_waits_per_s: d.lock_waits as f64 / dt_s,
+            lock_wait_share: d.lock_wait_micros as f64 / dt_us as f64,
+            deadlocks_per_s: d.deadlocks as f64 / dt_s,
+            commits_per_s: d.commits as f64 / dt_s,
+            aborts_per_s: d.aborts as f64 / dt_s,
+            wal_bytes_per_s: d.wal_bytes as f64 / dt_s,
+            buf_hit_ratio: d.hit_ratio(),
+            active_txns: d.active_txns,
+        };
+        self.samples.lock().push(sample);
+        sample
+    }
+
+    /// All samples collected so far.
+    pub fn samples(&self) -> Vec<ResourceSample> {
+        self.samples.lock().clone()
+    }
+
+    /// Most recent sample.
+    pub fn latest(&self) -> Option<ResourceSample> {
+        self.samples.lock().last().copied()
+    }
+
+    /// Export all samples as CSV (with header).
+    pub fn to_csv(&self) -> String {
+        let samples = self.samples.lock();
+        let mut out = String::with_capacity(samples.len() * 96 + CSV_HEADER.len());
+        out.push_str(CSV_HEADER);
+        out.push('\n');
+        for s in samples.iter() {
+            out.push_str(&format!(
+                "{:.3},{:.4},{:.1},{:.1},{:.1},{:.4},{:.1},{:.1},{:.1},{:.1},{:.4},{}\n",
+                s.t_us as f64 / MICROS_PER_SEC as f64,
+                s.cpu_busy,
+                s.io_reads_per_s,
+                s.io_writes_per_s,
+                s.lock_waits_per_s,
+                s.lock_wait_share,
+                s.deadlocks_per_s,
+                s.commits_per_s,
+                s.aborts_per_s,
+                s.wal_bytes_per_s,
+                s.buf_hit_ratio,
+                s.active_txns,
+            ));
+        }
+        out
+    }
+
+    /// Spawn a background thread sampling every `interval_us` until the
+    /// returned guard is dropped.
+    pub fn spawn(self: &Arc<Self>, interval_us: Micros) -> MonitorGuard {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let me = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("bp-monitor".into())
+            .spawn(move || {
+                while !stop2.load(std::sync::atomic::Ordering::SeqCst) {
+                    me.clock.sleep(interval_us);
+                    me.tick();
+                }
+            })
+            .expect("spawn monitor");
+        MonitorGuard { stop, handle: Some(handle) }
+    }
+}
+
+/// Stops the background monitor thread on drop.
+pub struct MonitorGuard {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for MonitorGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_sql::Connection;
+    use bp_storage::Personality;
+    use bp_util::clock::wall_clock;
+
+    fn db_with_work() -> Arc<Database> {
+        let db = Database::new(Personality::test());
+        let mut c = Connection::open(&db);
+        c.execute_batch("CREATE TABLE t (id INT PRIMARY KEY, v INT);").unwrap();
+        for i in 0..100 {
+            c.execute("INSERT INTO t VALUES (?, 0)", &[bp_storage::Value::Int(i)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn tick_reports_rates() {
+        let db = db_with_work();
+        let clock = wall_clock();
+        let mon = Monitor::new(db.clone(), clock.clone());
+        let mut c = Connection::open(&db);
+        for i in 0..50 {
+            c.execute("UPDATE t SET v = v + 1 WHERE id = ?", &[bp_storage::Value::Int(i % 100)])
+                .unwrap();
+        }
+        clock.sleep(10_000);
+        let s = mon.tick();
+        assert!(s.commits_per_s > 0.0);
+        assert!(s.wal_bytes_per_s > 0.0);
+        assert_eq!(mon.samples().len(), 1);
+    }
+
+    #[test]
+    fn deltas_between_ticks() {
+        let db = db_with_work();
+        let clock = wall_clock();
+        let mon = Monitor::new(db.clone(), clock.clone());
+        clock.sleep(5_000);
+        let quiet = mon.tick();
+        assert_eq!(quiet.commits_per_s, 0.0, "no work since monitor start");
+        let mut c = Connection::open(&db);
+        c.execute("UPDATE t SET v = 1 WHERE id = 5", &[]).unwrap();
+        clock.sleep(5_000);
+        let busy = mon.tick();
+        assert!(busy.commits_per_s > 0.0);
+    }
+
+    #[test]
+    fn saturation_classification() {
+        let th = SaturationThresholds::default();
+        let mut s = ResourceSample {
+            t_us: 0,
+            cpu_busy: 0.1,
+            io_reads_per_s: 0.0,
+            io_writes_per_s: 0.0,
+            lock_waits_per_s: 0.0,
+            lock_wait_share: 0.0,
+            deadlocks_per_s: 0.0,
+            commits_per_s: 0.0,
+            aborts_per_s: 0.0,
+            wal_bytes_per_s: 0.0,
+            buf_hit_ratio: 1.0,
+            active_txns: 0,
+        };
+        assert_eq!(s.saturation(&th), Saturation::None);
+        s.cpu_busy = 0.9;
+        assert_eq!(s.saturation(&th), Saturation::Cpu);
+        s.io_writes_per_s = 6_000.0;
+        assert_eq!(s.saturation(&th), Saturation::Io);
+        s.lock_wait_share = 0.5;
+        assert_eq!(s.saturation(&th), Saturation::Locks);
+    }
+
+    #[test]
+    fn csv_export() {
+        let db = db_with_work();
+        let clock = wall_clock();
+        let mon = Monitor::new(db, clock.clone());
+        clock.sleep(2_000);
+        mon.tick();
+        mon.tick();
+        let csv = mon.to_csv();
+        assert!(csv.starts_with("t_s,"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn background_monitor_collects() {
+        let db = db_with_work();
+        let clock = wall_clock();
+        let mon = Arc::new(Monitor::new(db, clock));
+        {
+            let _guard = mon.spawn(5_000);
+            std::thread::sleep(std::time::Duration::from_millis(60));
+        }
+        assert!(mon.samples().len() >= 3, "{} samples", mon.samples().len());
+        assert!(mon.latest().is_some());
+    }
+
+    #[test]
+    fn row_rendering() {
+        let db = db_with_work();
+        let clock = wall_clock();
+        let mon = Monitor::new(db, clock.clone());
+        clock.sleep(2_000);
+        let row = mon.tick().to_row();
+        assert!(row.contains("cpu="));
+        assert!(row.contains("wal="));
+    }
+}

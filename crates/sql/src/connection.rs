@@ -1,0 +1,275 @@
+//! JDBC-style connections and prepared statements.
+//!
+//! Workers in the testbed each hold one [`Connection`] to the target
+//! database, prepare the benchmark's parameterized statements once and then
+//! execute them inside explicit transactions — the same structure as
+//! OLTP-Bench's transaction control code over JDBC.
+
+use std::sync::Arc;
+
+use bp_storage::{Database, Session, Value};
+
+use crate::ast::{statement_param_count, Statement};
+use crate::error::{Result, SqlError};
+use crate::exec::{execute, ResultSet, StatementResult};
+use crate::parser::parse;
+
+/// A parsed, reusable statement.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    stmt: Statement,
+    params: usize,
+    sql: String,
+}
+
+impl Prepared {
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    pub fn param_count(&self) -> usize {
+        self.params
+    }
+
+    pub fn statement(&self) -> &Statement {
+        &self.stmt
+    }
+}
+
+/// A session plus SQL front end; the JDBC-connection analogue.
+pub struct Connection {
+    session: Session,
+}
+
+impl Connection {
+    pub fn open(db: &Arc<Database>) -> Connection {
+        Connection { session: db.session() }
+    }
+
+    pub fn database(&self) -> &Arc<Database> {
+        self.session.database()
+    }
+
+    /// Direct access to the underlying session (stored-procedure style
+    /// workloads use this for hot paths).
+    pub fn session(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    pub fn in_transaction(&self) -> bool {
+        self.session.in_txn()
+    }
+
+    pub fn begin(&mut self) -> Result<()> {
+        self.session.begin().map_err(Into::into)
+    }
+
+    pub fn commit(&mut self) -> Result<()> {
+        self.session.commit().map_err(Into::into)
+    }
+
+    pub fn rollback(&mut self) -> Result<()> {
+        self.session.rollback().map_err(Into::into)
+    }
+
+    /// Parse a statement for repeated execution.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        let stmt = parse(sql)?;
+        let params = statement_param_count(&stmt);
+        Ok(Prepared { stmt, params, sql: sql.to_string() })
+    }
+
+    fn check_params(p: &Prepared, params: &[Value]) -> Result<()> {
+        if params.len() != p.params {
+            return Err(SqlError::ParamCount { expected: p.params, got: params.len() });
+        }
+        Ok(())
+    }
+
+    /// Execute a prepared statement. Runs in the current transaction, or in
+    /// an autocommit transaction when none is open.
+    pub fn execute_prepared(&mut self, p: &Prepared, params: &[Value]) -> Result<StatementResult> {
+        Self::check_params(p, params)?;
+        let needs_auto = !self.session.in_txn()
+            && !matches!(
+                p.stmt,
+                Statement::Begin
+                    | Statement::Commit
+                    | Statement::Rollback
+                    | Statement::CreateTable(_)
+                    | Statement::CreateIndex(_)
+                    | Statement::DropTable { .. }
+            );
+        if needs_auto {
+            self.session.begin()?;
+            match execute(&mut self.session, &p.stmt, params) {
+                Ok(r) => {
+                    self.session.commit()?;
+                    Ok(r)
+                }
+                Err(e) => {
+                    if self.session.in_txn() {
+                        let _ = self.session.rollback();
+                    }
+                    Err(e)
+                }
+            }
+        } else {
+            execute(&mut self.session, &p.stmt, params)
+        }
+    }
+
+    /// One-shot execute (parse + run).
+    pub fn execute(&mut self, sql: &str, params: &[Value]) -> Result<StatementResult> {
+        let p = self.prepare(sql)?;
+        self.execute_prepared(&p, params)
+    }
+
+    /// One-shot query returning rows.
+    pub fn query(&mut self, sql: &str, params: &[Value]) -> Result<ResultSet> {
+        match self.execute(sql, params)? {
+            StatementResult::Rows(rs) => Ok(rs),
+            other => Err(SqlError::Eval(format!("statement did not return rows: {other:?}"))),
+        }
+    }
+
+    /// Query via a prepared statement.
+    pub fn query_prepared(&mut self, p: &Prepared, params: &[Value]) -> Result<ResultSet> {
+        match self.execute_prepared(p, params)? {
+            StatementResult::Rows(rs) => Ok(rs),
+            other => Err(SqlError::Eval(format!("statement did not return rows: {other:?}"))),
+        }
+    }
+
+    /// Run several semicolon-separated statements (DDL scripts).
+    pub fn execute_batch(&mut self, script: &str) -> Result<()> {
+        for piece in split_statements(script) {
+            self.execute(&piece, &[])?;
+        }
+        Ok(())
+    }
+}
+
+/// Split a script into statements on semicolons, respecting string literals.
+pub fn split_statements(script: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut in_str = false;
+    for c in script.chars() {
+        match c {
+            '\'' => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            ';' if !in_str => {
+                if !current.trim().is_empty() {
+                    out.push(current.trim().to_string());
+                }
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current.trim().to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_storage::Personality;
+
+    fn conn() -> Connection {
+        let db = Database::new(Personality::test());
+        let mut c = Connection::open(&db);
+        c.execute_batch(
+            "CREATE TABLE users (id INT PRIMARY KEY, name VARCHAR(32), age INT);
+             CREATE INDEX users_age ON users (age);",
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn autocommit_insert_and_query() {
+        let mut c = conn();
+        c.execute("INSERT INTO users VALUES (1, 'alice', 30)", &[]).unwrap();
+        c.execute("INSERT INTO users (id, name, age) VALUES (?, ?, ?)",
+            &[Value::Int(2), Value::Str("bob".into()), Value::Int(25)])
+            .unwrap();
+        let rs = c.query("SELECT name FROM users WHERE id = ?", &[Value::Int(2)]).unwrap();
+        assert_eq!(rs.get_str(0, "name"), Some("bob"));
+        assert!(!c.in_transaction());
+    }
+
+    #[test]
+    fn explicit_transaction_commit() {
+        let mut c = conn();
+        c.begin().unwrap();
+        c.execute("INSERT INTO users VALUES (1, 'x', 1)", &[]).unwrap();
+        assert!(c.in_transaction());
+        c.commit().unwrap();
+        assert_eq!(c.query("SELECT COUNT(*) AS n FROM users", &[]).unwrap().get_int(0, "n"), Some(1));
+    }
+
+    #[test]
+    fn explicit_transaction_rollback() {
+        let mut c = conn();
+        c.begin().unwrap();
+        c.execute("INSERT INTO users VALUES (1, 'x', 1)", &[]).unwrap();
+        c.rollback().unwrap();
+        assert_eq!(c.query("SELECT COUNT(*) AS n FROM users", &[]).unwrap().get_int(0, "n"), Some(0));
+    }
+
+    #[test]
+    fn sql_txn_control_statements() {
+        let mut c = conn();
+        c.execute("BEGIN", &[]).unwrap();
+        c.execute("INSERT INTO users VALUES (1, 'x', 1)", &[]).unwrap();
+        c.execute("COMMIT", &[]).unwrap();
+        assert_eq!(c.query("SELECT COUNT(*) AS n FROM users", &[]).unwrap().get_int(0, "n"), Some(1));
+    }
+
+    #[test]
+    fn prepared_reuse() {
+        let mut c = conn();
+        let ins = c.prepare("INSERT INTO users VALUES (?, ?, ?)").unwrap();
+        assert_eq!(ins.param_count(), 3);
+        for i in 0..10 {
+            c.execute_prepared(&ins, &[Value::Int(i), Value::Str(format!("u{i}")), Value::Int(20 + i)])
+                .unwrap();
+        }
+        let q = c.prepare("SELECT COUNT(*) AS n FROM users WHERE age >= ?").unwrap();
+        let rs = c.query_prepared(&q, &[Value::Int(25)]).unwrap();
+        assert_eq!(rs.get_int(0, "n"), Some(5));
+    }
+
+    #[test]
+    fn param_count_mismatch() {
+        let mut c = conn();
+        let err = c
+            .execute("INSERT INTO users VALUES (?, ?, ?)", &[Value::Int(1)])
+            .unwrap_err();
+        assert!(matches!(err, SqlError::ParamCount { expected: 3, got: 1 }));
+    }
+
+    #[test]
+    fn autocommit_rolls_back_on_error() {
+        let mut c = conn();
+        c.execute("INSERT INTO users VALUES (1, 'a', 1)", &[]).unwrap();
+        // Duplicate key in autocommit: statement fails, no txn left open.
+        let err = c.execute("INSERT INTO users VALUES (1, 'b', 2)", &[]).unwrap_err();
+        assert!(matches!(err, SqlError::Storage(_)));
+        assert!(!c.in_transaction());
+        assert_eq!(c.query("SELECT COUNT(*) AS n FROM users", &[]).unwrap().get_int(0, "n"), Some(1));
+    }
+
+    #[test]
+    fn batch_split_respects_strings() {
+        let parts = split_statements("INSERT INTO t VALUES ('a;b'); SELECT 1 ;");
+        assert_eq!(parts.len(), 2);
+        assert!(parts[0].contains("a;b"));
+    }
+}

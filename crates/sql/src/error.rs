@@ -1,0 +1,53 @@
+//! SQL-layer errors.
+
+use std::fmt;
+
+use bp_storage::StorageError;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Syntax error.
+    Parse(String),
+    /// Statement is valid SQL but outside the supported subset.
+    Unsupported(String),
+    /// Error from the storage engine (lock conflicts, constraints, ...).
+    Storage(StorageError),
+    /// Wrong number of bound parameters.
+    ParamCount { expected: usize, got: usize },
+    /// Runtime expression-evaluation error.
+    Eval(String),
+    /// Unknown column/table reference at bind time.
+    Binding(String),
+}
+
+impl SqlError {
+    /// True when the enclosing transaction was aborted but may be retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SqlError::Storage(e) if e.is_retryable())
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "syntax error: {m}"),
+            SqlError::Unsupported(m) => write!(f, "unsupported SQL: {m}"),
+            SqlError::Storage(e) => write!(f, "storage error: {e}"),
+            SqlError::ParamCount { expected, got } => {
+                write!(f, "expected {expected} parameters, got {got}")
+            }
+            SqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+            SqlError::Binding(m) => write!(f, "unknown reference: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<StorageError> for SqlError {
+    fn from(e: StorageError) -> SqlError {
+        SqlError::Storage(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, SqlError>;

@@ -1,0 +1,1313 @@
+//! Statement execution: a lightweight planner plus a row-at-a-time executor
+//! over the storage engine.
+//!
+//! Access-path selection mirrors what a simple OLTP engine does: full
+//! primary-key equality → point lookup; equality prefix over the PK or a
+//! secondary index → prefix/range scan; otherwise a full table scan. The
+//! residual predicate is always re-applied to fetched rows, so plans are
+//! purely an optimization.
+
+use std::collections::HashMap;
+use std::ops::Bound;
+use std::sync::Arc;
+
+use bp_storage::{Column, RowId, Row, Session, Table, TableSchema, Value};
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::expr::{eval, eval_filter, EvalScope};
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementResult {
+    Rows(ResultSet),
+    Affected(u64),
+    Ddl,
+    TxnControl,
+}
+
+impl StatementResult {
+    pub fn rows(self) -> ResultSet {
+        match self {
+            StatementResult::Rows(rs) => rs,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    pub fn affected(&self) -> u64 {
+        match self {
+            StatementResult::Affected(n) => *n,
+            StatementResult::Rows(rs) => rs.rows.len() as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// A materialized query result.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Value at (row, column-name).
+    pub fn get(&self, row: usize, col: &str) -> Option<&Value> {
+        let c = self.col_index(col)?;
+        self.rows.get(row)?.get(c)
+    }
+
+    pub fn get_int(&self, row: usize, col: &str) -> Option<i64> {
+        self.get(row, col)?.as_int()
+    }
+
+    pub fn get_f64(&self, row: usize, col: &str) -> Option<f64> {
+        self.get(row, col)?.as_float()
+    }
+
+    pub fn get_str(&self, row: usize, col: &str) -> Option<&str> {
+        self.get(row, col)?.as_str()
+    }
+}
+
+/// Execute a parsed statement on a session with bound parameters.
+///
+/// DML/queries require an active transaction; `autocommit` wrapping is the
+/// connection layer's job.
+pub fn execute(session: &mut Session, stmt: &Statement, params: &[Value]) -> Result<StatementResult> {
+    match stmt {
+        Statement::CreateTable(ct) => {
+            let schema = build_schema(ct)?;
+            session.database().create_table(schema)?;
+            Ok(StatementResult::Ddl)
+        }
+        Statement::CreateIndex(ci) => {
+            let cols: Vec<&str> = ci.columns.iter().map(String::as_str).collect();
+            session
+                .database()
+                .create_index(&ci.table, &ci.name, &cols, ci.unique)?;
+            Ok(StatementResult::Ddl)
+        }
+        Statement::DropTable { name, if_exists } => {
+            match session.database().drop_table(name) {
+                Ok(()) => Ok(StatementResult::Ddl),
+                Err(bp_storage::StorageError::NoSuchTable(_)) if *if_exists => Ok(StatementResult::Ddl),
+                Err(e) => Err(e.into()),
+            }
+        }
+        Statement::Insert(ins) => exec_insert(session, ins, params),
+        Statement::Select(sel) => Ok(StatementResult::Rows(exec_select(session, sel, params)?)),
+        Statement::Update(u) => exec_update(session, u, params),
+        Statement::Delete(d) => exec_delete(session, d, params),
+        Statement::Begin => {
+            session.begin()?;
+            Ok(StatementResult::TxnControl)
+        }
+        Statement::Commit => {
+            session.commit()?;
+            Ok(StatementResult::TxnControl)
+        }
+        Statement::Rollback => {
+            session.rollback()?;
+            Ok(StatementResult::TxnControl)
+        }
+    }
+}
+
+fn build_schema(ct: &CreateTable) -> Result<TableSchema> {
+    let mut columns = Vec::with_capacity(ct.columns.len());
+    let mut pk: Vec<String> = ct.primary_key.clone();
+    for c in &ct.columns {
+        if c.primary_key {
+            pk.push(c.name.clone());
+        }
+        let not_null = c.not_null || c.primary_key || ct.primary_key.iter().any(|p| p.eq_ignore_ascii_case(&c.name));
+        columns.push(Column { name: c.name.clone(), ty: c.ty, nullable: !not_null });
+    }
+    let pk_refs: Vec<&str> = pk.iter().map(String::as_str).collect();
+    TableSchema::new(&ct.name, columns, &pk_refs).map_err(Into::into)
+}
+
+fn exec_insert(session: &mut Session, ins: &Insert, params: &[Value]) -> Result<StatementResult> {
+    let table = session.database().table(&ins.table)?;
+    let schema = &table.schema;
+    // Map provided column order to schema positions.
+    let positions: Vec<usize> = if ins.columns.is_empty() {
+        (0..schema.arity()).collect()
+    } else {
+        ins.columns
+            .iter()
+            .map(|c| schema.column_index(c).map_err(SqlError::from))
+            .collect::<Result<_>>()?
+    };
+    let scope = EvalScope::empty(params);
+    let mut count = 0u64;
+    for value_row in &ins.rows {
+        if value_row.len() != positions.len() {
+            return Err(SqlError::Eval(format!(
+                "INSERT has {} values for {} columns",
+                value_row.len(),
+                positions.len()
+            )));
+        }
+        let mut row = vec![Value::Null; schema.arity()];
+        for (expr, &pos) in value_row.iter().zip(&positions) {
+            row[pos] = eval(expr, &scope)?;
+        }
+        session.insert(&table, row)?;
+        count += 1;
+    }
+    Ok(StatementResult::Affected(count))
+}
+
+// ---- Access-path planning ----
+
+/// A single-binding predicate analysis: equality and range constraints on
+/// columns of one table, extracted from the WHERE conjunction.
+struct PredicateInfo {
+    /// column position -> constant value (equality)
+    eq: HashMap<usize, Value>,
+    /// column position -> (lower bound, upper bound)
+    ranges: HashMap<usize, (Bound<Value>, Bound<Value>)>,
+}
+
+fn analyze_predicates(
+    where_clause: Option<&Expr>,
+    binding: &str,
+    schema: &TableSchema,
+    params: &[Value],
+) -> Result<PredicateInfo> {
+    let mut info = PredicateInfo { eq: HashMap::new(), ranges: HashMap::new() };
+    let Some(w) = where_clause else { return Ok(info) };
+    let scope = EvalScope::empty(params);
+    for conjunct in w.conjuncts() {
+        let Expr::Binary { op, left, right } = conjunct else { continue };
+        if !op.is_comparison() {
+            continue;
+        }
+        // col OP const  or  const OP col
+        let (col, value, op) = match (column_of(left, binding, schema), column_of(right, binding, schema)) {
+            (Some(c), None) if is_const(right) => (c, eval(right, &scope)?, *op),
+            (None, Some(c)) if is_const(left) => (c, eval(left, &scope)?, flip(*op)),
+            _ => continue,
+        };
+        if value.is_null() {
+            continue;
+        }
+        match op {
+            BinOp::Eq => {
+                info.eq.insert(col, value);
+            }
+            BinOp::Lt => {
+                set_upper(&mut info, col, Bound::Excluded(value));
+            }
+            BinOp::LtEq => {
+                set_upper(&mut info, col, Bound::Included(value));
+            }
+            BinOp::Gt => {
+                set_lower(&mut info, col, Bound::Excluded(value));
+            }
+            BinOp::GtEq => {
+                set_lower(&mut info, col, Bound::Included(value));
+            }
+            _ => {}
+        }
+    }
+    Ok(info)
+}
+
+fn set_lower(info: &mut PredicateInfo, col: usize, b: Bound<Value>) {
+    let entry = info.ranges.entry(col).or_insert((Bound::Unbounded, Bound::Unbounded));
+    entry.0 = b;
+}
+
+fn set_upper(info: &mut PredicateInfo, col: usize, b: Bound<Value>) {
+    let entry = info.ranges.entry(col).or_insert((Bound::Unbounded, Bound::Unbounded));
+    entry.1 = b;
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other,
+    }
+}
+
+/// If `e` is a column of this binding, return its position.
+fn column_of(e: &Expr, binding: &str, schema: &TableSchema) -> Option<usize> {
+    match e {
+        Expr::Column { table, name } => {
+            if let Some(t) = table {
+                if !t.eq_ignore_ascii_case(binding) {
+                    return None;
+                }
+            }
+            schema.column_index(name).ok()
+        }
+        _ => None,
+    }
+}
+
+/// Constant in the planning sense: literals and parameters only.
+fn is_const(e: &Expr) -> bool {
+    match e {
+        Expr::Lit(_) | Expr::Param(_) => true,
+        Expr::Neg(inner) => is_const(inner),
+        _ => false,
+    }
+}
+
+/// Fetch candidate `(rowid, row)` pairs for one table using the best access
+/// path, honoring `for_update` locking.
+fn fetch_candidates(
+    session: &mut Session,
+    table: &Arc<Table>,
+    info: &PredicateInfo,
+    for_update: bool,
+) -> Result<Vec<(RowId, Row)>> {
+    let schema = &table.schema;
+    const NO_LIMIT: usize = usize::MAX;
+
+    // 1. Full PK equality -> point lookup.
+    if schema.has_primary_key() && schema.primary_key.iter().all(|c| info.eq.contains_key(c)) {
+        let key: Vec<Value> = schema.primary_key.iter().map(|c| info.eq[c].clone()).collect();
+        return Ok(session.read_pk(table, &key, for_update)?.into_iter().collect());
+    }
+
+    // 2. Longest equality prefix over PK or a secondary index.
+    let mut best: Option<(AccessPath, usize)> = None;
+    if schema.has_primary_key() {
+        let plen = eq_prefix_len(&schema.primary_key, &info.eq);
+        if plen > 0 {
+            best = Some((AccessPath::PkPrefix(plen), plen));
+        }
+    }
+    for def in table.index_defs() {
+        let plen = eq_prefix_len(&def.key_columns, &info.eq);
+        if plen > 0 && best.as_ref().is_none_or(|(_, b)| plen > *b) {
+            best = Some((AccessPath::IndexPrefix(def.name.clone(), def.key_columns.clone(), plen), plen));
+        }
+    }
+
+    let rowids: Vec<RowId> = match best {
+        Some((AccessPath::PkPrefix(plen), _)) => {
+            let prefix: Vec<Value> = schema.primary_key[..plen]
+                .iter()
+                .map(|c| info.eq[c].clone())
+                .collect();
+            table.pk_prefix(&prefix, NO_LIMIT)
+        }
+        Some((AccessPath::IndexPrefix(name, cols, plen), _)) => {
+            let prefix: Vec<Value> = cols[..plen].iter().map(|c| info.eq[c].clone()).collect();
+            table.index_prefix(&name, &prefix, NO_LIMIT)?
+        }
+        None => {
+            // 3. Range on the first PK or index column.
+            let mut range_ids: Option<Vec<RowId>> = None;
+            if schema.has_primary_key() {
+                if let Some((lo, hi)) = info.ranges.get(&schema.primary_key[0]) {
+                    let lo_k = bound_key(lo);
+                    let hi_k = bound_key(hi);
+                    range_ids = Some(table.pk_range(as_ref_bound(&lo_k), as_ref_bound(&hi_k), NO_LIMIT));
+                }
+            }
+            if range_ids.is_none() {
+                for def in table.index_defs() {
+                    if let Some((lo, hi)) = info.ranges.get(&def.key_columns[0]) {
+                        let lo_k = bound_key(lo);
+                        let hi_k = bound_key(hi);
+                        range_ids = Some(table.index_range(
+                            &def.name,
+                            as_ref_bound(&lo_k),
+                            as_ref_bound(&hi_k),
+                            NO_LIMIT,
+                        )?);
+                        break;
+                    }
+                }
+            }
+            match range_ids {
+                Some(ids) => ids,
+                None => {
+                    // 4. Full scan.
+                    let rows = session.scan(table)?;
+                    if for_update {
+                        // Re-lock each row exclusively.
+                        let mut out = Vec::with_capacity(rows.len());
+                        for (rid, _) in rows {
+                            if let Some(row) = session.get_row(table, rid, true)? {
+                                out.push((rid, row));
+                            }
+                        }
+                        return Ok(out);
+                    }
+                    return Ok(rows);
+                }
+            }
+        }
+    };
+
+    let mut out = Vec::with_capacity(rowids.len());
+    for rid in rowids {
+        if let Some(row) = session.get_row(table, rid, for_update)? {
+            out.push((rid, row));
+        }
+    }
+    Ok(out)
+}
+
+enum AccessPath {
+    PkPrefix(usize),
+    IndexPrefix(String, Vec<usize>, usize),
+}
+
+fn eq_prefix_len(key_cols: &[usize], eq: &HashMap<usize, Value>) -> usize {
+    key_cols.iter().take_while(|c| eq.contains_key(c)).count()
+}
+
+fn bound_key(b: &Bound<Value>) -> Bound<Vec<Value>> {
+    match b {
+        Bound::Included(v) => Bound::Included(vec![v.clone()]),
+        Bound::Excluded(v) => Bound::Excluded(vec![v.clone()]),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+fn as_ref_bound(b: &Bound<Vec<Value>>) -> Bound<&[Value]> {
+    match b {
+        Bound::Included(v) => Bound::Included(v.as_slice()),
+        Bound::Excluded(v) => Bound::Excluded(v.as_slice()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+// ---- SELECT ----
+
+struct BoundTable {
+    binding: String,
+    table: Arc<Table>,
+}
+
+fn exec_select(session: &mut Session, sel: &Select, params: &[Value]) -> Result<ResultSet> {
+    let Some(from) = &sel.from else {
+        // SELECT without FROM: evaluate items once against an empty scope.
+        let scope = EvalScope::empty(params);
+        let mut columns = Vec::new();
+        let mut row = Vec::new();
+        for (i, item) in sel.items.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => return Err(SqlError::Unsupported("* without FROM".into())),
+                SelectItem::Expr { expr, alias } => {
+                    columns.push(alias.clone().unwrap_or_else(|| format!("col{}", i + 1)));
+                    row.push(eval(expr, &scope)?);
+                }
+            }
+        }
+        return Ok(ResultSet { columns, rows: vec![row] });
+    };
+
+    // Bind tables.
+    let mut bound: Vec<BoundTable> = Vec::new();
+    let t0 = session.database().table(&from.name)?;
+    bound.push(BoundTable { binding: from.binding().to_ascii_lowercase(), table: t0 });
+    for j in &sel.joins {
+        let t = session.database().table(&j.table.name)?;
+        bound.push(BoundTable { binding: j.table.binding().to_ascii_lowercase(), table: t });
+    }
+
+    // Fetch the driving table with its single-table predicates.
+    let info0 = analyze_predicates(
+        sel.where_clause.as_ref(),
+        &bound[0].binding,
+        &bound[0].table.schema,
+        params,
+    )?;
+    let first = fetch_candidates(session, &bound[0].table, &info0, sel.for_update && bound.len() == 1)?;
+
+    // Working set: one combined row-vector per result tuple.
+    let mut tuples: Vec<Vec<Row>> = first.into_iter().map(|(_, r)| vec![r]).collect();
+
+    // Join remaining tables with hash joins over the ON + WHERE equi-conds.
+    for (jidx, join) in sel.joins.iter().enumerate() {
+        let right = &bound[jidx + 1];
+        let left_bindings = &bound[..jidx + 1];
+        let equi = find_equi_conditions(join, sel.where_clause.as_ref(), left_bindings, right);
+
+        // Fetch right side (single-table preds considered).
+        let mut on_and_where = vec![&join.on];
+        if let Some(w) = &sel.where_clause {
+            on_and_where.push(w);
+        }
+        let info_r = analyze_predicates(Some(&join.on), &right.binding, &right.table.schema, params)
+            .and_then(|mut i| {
+                let extra = analyze_predicates(
+                    sel.where_clause.as_ref(),
+                    &right.binding,
+                    &right.table.schema,
+                    params,
+                )?;
+                i.eq.extend(extra.eq);
+                i.ranges.extend(extra.ranges);
+                Ok(i)
+            })?;
+        let right_rows = fetch_candidates(session, &right.table, &info_r, false)?;
+
+        if equi.is_empty() {
+            // Cartesian: only sensible for small inputs (comma joins).
+            let mut next = Vec::new();
+            for t in &tuples {
+                for (_, rr) in &right_rows {
+                    let mut combined = t.clone();
+                    combined.push(rr.clone());
+                    next.push(combined);
+                }
+            }
+            tuples = next;
+        } else {
+            // Build hash table on the right side.
+            let mut table_map: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+            for (_, rr) in &right_rows {
+                let key: Vec<Value> = equi.iter().map(|(_, _, rc)| rr[*rc].clone()).collect();
+                table_map.entry(key).or_default().push(rr);
+            }
+            let mut next = Vec::new();
+            for t in &tuples {
+                let key: Vec<Value> = equi
+                    .iter()
+                    .map(|(bi, lc, _)| t[*bi][*lc].clone())
+                    .collect();
+                if let Some(matches) = table_map.get(&key) {
+                    for rr in matches {
+                        let mut combined = t.clone();
+                        combined.push((*rr).clone());
+                        next.push(combined);
+                    }
+                }
+            }
+            tuples = next;
+        }
+    }
+
+    // Apply full WHERE + (non-equi parts of) ON.
+    let bindings: Vec<(String, &TableSchema)> = bound
+        .iter()
+        .map(|b| (b.binding.clone(), &b.table.schema))
+        .collect();
+    let mut filtered: Vec<Vec<Row>> = Vec::with_capacity(tuples.len());
+    for t in tuples {
+        let rows: Vec<&Row> = t.iter().collect();
+        let scope = EvalScope::multi(bindings.clone(), rows, params);
+        let mut keep = true;
+        for join in &sel.joins {
+            if !eval_filter(&join.on, &scope)? {
+                keep = false;
+                break;
+            }
+        }
+        if keep {
+            if let Some(w) = &sel.where_clause {
+                keep = eval_filter(w, &scope)?;
+            }
+        }
+        if keep {
+            filtered.push(t);
+        }
+    }
+
+    // Aggregation?
+    let has_agg = sel
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.has_aggregate()))
+        || !sel.group_by.is_empty();
+
+    let (columns, mut rows) = if has_agg {
+        aggregate(sel, &bindings, &filtered, params)?
+    } else {
+        project(sel, &bound, &bindings, &filtered, params)?
+    };
+
+    // ORDER BY: prefer output columns (aliases), else evaluate per tuple.
+    if !sel.order_by.is_empty() {
+        sort_rows(sel, &columns, &mut rows, &bindings, &filtered, has_agg, params)?;
+    }
+
+    // LIMIT.
+    if let Some(limit_expr) = &sel.limit {
+        let scope = EvalScope::empty(params);
+        let n = eval(limit_expr, &scope)?
+            .as_int()
+            .ok_or_else(|| SqlError::Eval("LIMIT must be an integer".into()))?;
+        rows.truncate(n.max(0) as usize);
+    }
+
+    Ok(ResultSet { columns, rows })
+}
+
+/// Equi-join conditions `(left_binding_index, left_col, right_col)` between
+/// the already-joined bindings and the incoming right table.
+fn find_equi_conditions(
+    join: &Join,
+    where_clause: Option<&Expr>,
+    left_bindings: &[BoundTable],
+    right: &BoundTable,
+) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    let mut sources: Vec<&Expr> = join.on.conjuncts();
+    if let Some(w) = where_clause {
+        sources.extend(w.conjuncts());
+    }
+    for e in sources {
+        let Expr::Binary { op: BinOp::Eq, left, right: r } = e else { continue };
+        for (a, b) in [(left, r), (r, left)] {
+            let Some(rc) = column_of(a, &right.binding, &right.table.schema) else { continue };
+            // Qualified reference required to bind to the right table when
+            // ambiguity is possible; column_of handles unqualified too, so
+            // check the other side binds to some left table.
+            for (bi, lb) in left_bindings.iter().enumerate() {
+                if let Some(lc) = column_of(b, &lb.binding, &lb.table.schema) {
+                    // Avoid self-binding when both sides resolve to right.
+                    if let Expr::Column { table: Some(t), .. } = &**b {
+                        if t.eq_ignore_ascii_case(&right.binding) {
+                            continue;
+                        }
+                    }
+                    out.push((bi, lc, rc));
+                    break;
+                }
+            }
+            break;
+        }
+    }
+    out
+}
+
+fn project(
+    sel: &Select,
+    bound: &[BoundTable],
+    bindings: &[(String, &TableSchema)],
+    tuples: &[Vec<Row>],
+    params: &[Value],
+) -> Result<(Vec<String>, Vec<Row>)> {
+    // Column headers.
+    let mut columns = Vec::new();
+    for (i, item) in sel.items.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                for b in bound {
+                    for c in &b.table.schema.columns {
+                        columns.push(c.name.clone());
+                    }
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| match expr {
+                    Expr::Column { name, .. } => name.clone(),
+                    _ => format!("col{}", i + 1),
+                });
+                columns.push(name);
+            }
+        }
+    }
+    let mut rows = Vec::with_capacity(tuples.len());
+    for t in tuples {
+        let trows: Vec<&Row> = t.iter().collect();
+        let scope = EvalScope::multi(bindings.to_vec(), trows, params);
+        let mut out = Vec::with_capacity(columns.len());
+        for item in &sel.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for r in t {
+                        out.extend(r.iter().cloned());
+                    }
+                }
+                SelectItem::Expr { expr, .. } => out.push(eval(expr, &scope)?),
+            }
+        }
+        rows.push(out);
+    }
+    Ok((columns, rows))
+}
+
+// ---- Aggregation ----
+
+#[derive(Debug, Clone)]
+struct Accumulator {
+    count: u64,
+    sum: f64,
+    sum_i: i64,
+    int_only: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+    distinct: Option<std::collections::BTreeSet<Value>>,
+}
+
+impl Accumulator {
+    fn new(distinct: bool) -> Accumulator {
+        Accumulator {
+            count: 0,
+            sum: 0.0,
+            sum_i: 0,
+            int_only: true,
+            min: None,
+            max: None,
+            distinct: if distinct { Some(Default::default()) } else { None },
+        }
+    }
+
+    fn add(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        if let Some(set) = &mut self.distinct {
+            if !set.insert(v.clone()) {
+                return;
+            }
+        }
+        self.count += 1;
+        match v {
+            Value::Int(i) => {
+                self.sum += *i as f64;
+                self.sum_i = self.sum_i.wrapping_add(*i);
+            }
+            Value::Float(f) => {
+                self.sum += f;
+                self.int_only = false;
+            }
+            _ => self.int_only = false,
+        }
+        if self.min.as_ref().is_none_or(|m| v < m) {
+            self.min = Some(v.clone());
+        }
+        if self.max.as_ref().is_none_or(|m| v > m) {
+            self.max = Some(v.clone());
+        }
+    }
+
+    fn result(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.int_only {
+                    Value::Int(self.sum_i)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Collect all aggregate sub-expressions of an expression.
+fn collect_aggs<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match e {
+        Expr::Agg { .. } => out.push(e),
+        Expr::Binary { left, right, .. } => {
+            collect_aggs(left, out);
+            collect_aggs(right, out);
+        }
+        Expr::Neg(x) | Expr::Not(x) => collect_aggs(x, out),
+        Expr::IsNull { expr, .. } => collect_aggs(expr, out),
+        Expr::InList { expr, list, .. } => {
+            collect_aggs(expr, out);
+            for x in list {
+                collect_aggs(x, out);
+            }
+        }
+        Expr::Between { expr, low, high, .. } => {
+            collect_aggs(expr, out);
+            collect_aggs(low, out);
+            collect_aggs(high, out);
+        }
+        Expr::Func { args, .. } => {
+            for x in args {
+                collect_aggs(x, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Substitute computed aggregate values into an expression, then evaluate.
+fn eval_with_aggs(
+    e: &Expr,
+    agg_values: &HashMap<String, Value>,
+    group_scope: &EvalScope<'_>,
+) -> Result<Value> {
+    match e {
+        Expr::Agg { .. } => {
+            let key = format!("{e:?}");
+            agg_values
+                .get(&key)
+                .cloned()
+                .ok_or_else(|| SqlError::Eval("aggregate not computed".into()))
+        }
+        Expr::Binary { op, left, right } => {
+            // Rebuild as literals and reuse scalar eval for operator logic.
+            let l = eval_with_aggs(left, agg_values, group_scope)?;
+            let r = eval_with_aggs(right, agg_values, group_scope)?;
+            let rebuilt = Expr::Binary {
+                op: *op,
+                left: Box::new(Expr::Lit(l)),
+                right: Box::new(Expr::Lit(r)),
+            };
+            eval(&rebuilt, group_scope)
+        }
+        Expr::Neg(x) => {
+            let v = eval_with_aggs(x, agg_values, group_scope)?;
+            eval(&Expr::Neg(Box::new(Expr::Lit(v))), group_scope)
+        }
+        Expr::Func { name, args } => {
+            let vals = args
+                .iter()
+                .map(|a| eval_with_aggs(a, agg_values, group_scope).map(Expr::Lit))
+                .collect::<Result<Vec<_>>>()?;
+            eval(&Expr::Func { name: name.clone(), args: vals }, group_scope)
+        }
+        other => eval(other, group_scope),
+    }
+}
+
+fn aggregate(
+    sel: &Select,
+    bindings: &[(String, &TableSchema)],
+    tuples: &[Vec<Row>],
+    params: &[Value],
+) -> Result<(Vec<String>, Vec<Row>)> {
+    // Gather all aggregate expressions used anywhere in items/order-by.
+    let mut agg_exprs: Vec<&Expr> = Vec::new();
+    for item in &sel.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_aggs(expr, &mut agg_exprs);
+        }
+    }
+    for o in &sel.order_by {
+        collect_aggs(&o.expr, &mut agg_exprs);
+    }
+    // Deduplicate by structure.
+    let mut seen = std::collections::HashSet::new();
+    agg_exprs.retain(|e| seen.insert(format!("{e:?}")));
+
+    // Group tuples.
+    type GroupKey = Vec<Value>;
+    let mut groups: Vec<(GroupKey, Vec<Accumulator>, Vec<Row>)> = Vec::new();
+    let mut group_index: HashMap<GroupKey, usize> = HashMap::new();
+
+    for t in tuples {
+        let trows: Vec<&Row> = t.iter().collect();
+        let scope = EvalScope::multi(bindings.to_vec(), trows, params);
+        let key: GroupKey = sel
+            .group_by
+            .iter()
+            .map(|g| eval(g, &scope))
+            .collect::<Result<_>>()?;
+        let gi = *group_index.entry(key.clone()).or_insert_with(|| {
+            groups.push((
+                key.clone(),
+                agg_exprs
+                    .iter()
+                    .map(|e| match e {
+                        Expr::Agg { distinct, .. } => Accumulator::new(*distinct),
+                        _ => Accumulator::new(false),
+                    })
+                    .collect(),
+                t.clone(),
+            ));
+            groups.len() - 1
+        });
+        for (ai, aexpr) in agg_exprs.iter().enumerate() {
+            let Expr::Agg { arg, .. } = aexpr else { continue };
+            let v = match arg {
+                None => Value::Int(1), // COUNT(*)
+                Some(a) => eval(a, &scope)?,
+            };
+            groups[gi].1[ai].add(&v);
+        }
+    }
+
+    // Global aggregate over an empty input still yields one row.
+    if groups.is_empty() && sel.group_by.is_empty() {
+        groups.push((
+            Vec::new(),
+            agg_exprs
+                .iter()
+                .map(|e| match e {
+                    Expr::Agg { distinct, .. } => Accumulator::new(*distinct),
+                    _ => Accumulator::new(false),
+                })
+                .collect(),
+            Vec::new(),
+        ));
+    }
+
+    // Headers.
+    let mut columns = Vec::new();
+    for (i, item) in sel.items.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                return Err(SqlError::Unsupported("* with GROUP BY".into()));
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| match expr {
+                    Expr::Column { name, .. } => name.clone(),
+                    _ => format!("col{}", i + 1),
+                });
+                columns.push(name);
+            }
+        }
+    }
+
+    // Emit one row per group.
+    let empty_rows: Vec<Row> = bindings.iter().map(|(_, s)| vec![Value::Null; s.arity()]).collect();
+    let mut rows = Vec::with_capacity(groups.len());
+    for (_, accs, representative) in &groups {
+        let rep: &Vec<Row> = if representative.is_empty() { &empty_rows } else { representative };
+        let trows: Vec<&Row> = rep.iter().collect();
+        let scope = EvalScope::multi(bindings.to_vec(), trows, params);
+        let mut agg_values = HashMap::new();
+        for (ai, aexpr) in agg_exprs.iter().enumerate() {
+            let Expr::Agg { func, .. } = aexpr else { continue };
+            agg_values.insert(format!("{aexpr:?}"), accs[ai].result(*func));
+        }
+        let mut out = Vec::with_capacity(sel.items.len());
+        for item in &sel.items {
+            let SelectItem::Expr { expr, .. } = item else { unreachable!() };
+            out.push(eval_with_aggs(expr, &agg_values, &scope)?);
+        }
+        rows.push(out);
+    }
+    Ok((columns, rows))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sort_rows(
+    sel: &Select,
+    columns: &[String],
+    rows: &mut [Row],
+    bindings: &[(String, &TableSchema)],
+    tuples: &[Vec<Row>],
+    has_agg: bool,
+    params: &[Value],
+) -> Result<()> {
+    // Build sort keys per output row.
+    let mut keys: Vec<Vec<(Value, bool)>> = Vec::with_capacity(rows.len());
+    for (ri, row) in rows.iter().enumerate() {
+        let mut key = Vec::with_capacity(sel.order_by.len());
+        for ob in &sel.order_by {
+            // 1. Output column by name/alias (qualification is dropped for
+            //    the lookup: in aggregate queries the output is the only
+            //    scope the sort can see).
+            let v = if let Expr::Column { name, .. } = &ob.expr {
+                columns
+                    .iter()
+                    .position(|c| c.eq_ignore_ascii_case(name))
+                    .map(|ci| row[ci].clone())
+            } else {
+                None
+            };
+            let v = match v {
+                Some(v) => v,
+                None if !has_agg && ri < tuples.len() => {
+                    let trows: Vec<&Row> = tuples[ri].iter().collect();
+                    let scope = EvalScope::multi(bindings.to_vec(), trows, params);
+                    eval(&ob.expr, &scope)?
+                }
+                None => {
+                    return Err(SqlError::Unsupported(
+                        "ORDER BY must reference output columns in aggregate queries".into(),
+                    ))
+                }
+            };
+            key.push((v, ob.desc));
+        }
+        keys.push(key);
+    }
+    // Sort rows by keys (stable).
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by(|&a, &b| {
+        for ((va, desc), (vb, _)) in keys[a].iter().zip(&keys[b]) {
+            let ord = va.cmp(vb);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let sorted: Vec<Row> = order.iter().map(|&i| rows[i].clone()).collect();
+    rows.clone_from_slice(&sorted);
+    Ok(())
+}
+
+// ---- UPDATE / DELETE ----
+
+fn exec_update(session: &mut Session, u: &Update, params: &[Value]) -> Result<StatementResult> {
+    let table = session.database().table(&u.table)?;
+    let info = analyze_predicates(u.where_clause.as_ref(), &u.table, &table.schema, params)?;
+    let candidates = fetch_candidates(session, &table, &info, true)?;
+    let set_positions: Vec<(usize, &Expr)> = u
+        .sets
+        .iter()
+        .map(|(c, e)| table.schema.column_index(c).map(|i| (i, e)).map_err(SqlError::from))
+        .collect::<Result<_>>()?;
+    let binding = u.table.to_ascii_lowercase();
+    let mut count = 0u64;
+    for (rid, row) in candidates {
+        let scope = EvalScope::single(&binding, &table.schema, &row, params);
+        if let Some(w) = &u.where_clause {
+            if !eval_filter(w, &scope)? {
+                continue;
+            }
+        }
+        let mut new_row = row.clone();
+        for (pos, expr) in &set_positions {
+            new_row[*pos] = eval(expr, &scope)?;
+        }
+        session.update(&table, rid, new_row)?;
+        count += 1;
+    }
+    Ok(StatementResult::Affected(count))
+}
+
+fn exec_delete(session: &mut Session, d: &Delete, params: &[Value]) -> Result<StatementResult> {
+    let table = session.database().table(&d.table)?;
+    let info = analyze_predicates(d.where_clause.as_ref(), &d.table, &table.schema, params)?;
+    let candidates = fetch_candidates(session, &table, &info, true)?;
+    let binding = d.table.to_ascii_lowercase();
+    let mut count = 0u64;
+    for (rid, row) in candidates {
+        let scope = EvalScope::single(&binding, &table.schema, &row, params);
+        if let Some(w) = &d.where_clause {
+            if !eval_filter(w, &scope)? {
+                continue;
+            }
+        }
+        session.delete(&table, rid)?;
+        count += 1;
+    }
+    Ok(StatementResult::Affected(count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connection::Connection;
+    use bp_storage::{Database, Personality};
+
+    fn conn() -> Connection {
+        let db = Database::new(Personality::test());
+        let mut c = Connection::open(&db);
+        c.execute_batch(
+            "CREATE TABLE item (i_id INT PRIMARY KEY, i_name VARCHAR(24), i_price FLOAT, i_cat INT);
+             CREATE INDEX item_cat ON item (i_cat);
+             CREATE TABLE sale (s_id INT PRIMARY KEY, s_item INT, s_qty INT);
+             CREATE INDEX sale_item ON sale (s_item);",
+        )
+        .unwrap();
+        for i in 0..50i64 {
+            c.execute(
+                "INSERT INTO item VALUES (?, ?, ?, ?)",
+                &[
+                    Value::Int(i),
+                    Value::Str(format!("item{i}")),
+                    Value::Float(i as f64 * 1.5),
+                    Value::Int(i % 5),
+                ],
+            )
+            .unwrap();
+        }
+        for s in 0..100i64 {
+            c.execute(
+                "INSERT INTO sale VALUES (?, ?, ?)",
+                &[Value::Int(s), Value::Int(s % 50), Value::Int(1 + s % 3)],
+            )
+            .unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn point_lookup_by_pk() {
+        let mut c = conn();
+        let rs = c.query("SELECT i_name FROM item WHERE i_id = 7", &[]).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.get_str(0, "i_name"), Some("item7"));
+    }
+
+    #[test]
+    fn secondary_index_lookup() {
+        let mut c = conn();
+        let rs = c.query("SELECT i_id FROM item WHERE i_cat = 2", &[]).unwrap();
+        assert_eq!(rs.len(), 10);
+    }
+
+    #[test]
+    fn range_scan_on_pk() {
+        let mut c = conn();
+        let rs = c
+            .query("SELECT i_id FROM item WHERE i_id >= 10 AND i_id < 20", &[])
+            .unwrap();
+        assert_eq!(rs.len(), 10);
+    }
+
+    #[test]
+    fn full_scan_with_residual_filter() {
+        let mut c = conn();
+        let rs = c
+            .query("SELECT i_id FROM item WHERE i_name LIKE 'item1%'", &[])
+            .unwrap();
+        // item1, item10..19
+        assert_eq!(rs.len(), 11);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let mut c = conn();
+        let rs = c
+            .query("SELECT i_id FROM item ORDER BY i_id DESC LIMIT 3", &[])
+            .unwrap();
+        let ids: Vec<i64> = (0..3).map(|r| rs.get_int(r, "i_id").unwrap()).collect();
+        assert_eq!(ids, vec![49, 48, 47]);
+    }
+
+    #[test]
+    fn order_by_two_keys() {
+        let mut c = conn();
+        let rs = c
+            .query("SELECT i_cat, i_id FROM item ORDER BY i_cat, i_id DESC LIMIT 2", &[])
+            .unwrap();
+        assert_eq!(rs.get_int(0, "i_cat"), Some(0));
+        assert_eq!(rs.get_int(0, "i_id"), Some(45));
+        assert_eq!(rs.get_int(1, "i_id"), Some(40));
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let mut c = conn();
+        let rs = c
+            .query(
+                "SELECT COUNT(*) AS n, SUM(i_cat) AS s, AVG(i_price) AS a, MIN(i_id) AS lo, MAX(i_id) AS hi FROM item",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.get_int(0, "n"), Some(50));
+        assert_eq!(rs.get_int(0, "s"), Some(100)); // 10 * (0+1+2+3+4)
+        assert_eq!(rs.get_int(0, "lo"), Some(0));
+        assert_eq!(rs.get_int(0, "hi"), Some(49));
+        let avg = rs.get_f64(0, "a").unwrap();
+        assert!((avg - 36.75).abs() < 1e-9, "{avg}");
+    }
+
+    #[test]
+    fn aggregate_on_empty_input_yields_row() {
+        let mut c = conn();
+        let rs = c
+            .query("SELECT COUNT(*) AS n, SUM(i_id) AS s FROM item WHERE i_id > 1000", &[])
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.get_int(0, "n"), Some(0));
+        assert_eq!(rs.get(0, "s"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn group_by_with_order() {
+        let mut c = conn();
+        let rs = c
+            .query(
+                "SELECT i_cat, COUNT(*) AS n FROM item GROUP BY i_cat ORDER BY i_cat",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 5);
+        for r in 0..5 {
+            assert_eq!(rs.get_int(r, "i_cat"), Some(r as i64));
+            assert_eq!(rs.get_int(r, "n"), Some(10));
+        }
+    }
+
+    #[test]
+    fn aggregate_arithmetic() {
+        let mut c = conn();
+        let rs = c
+            .query("SELECT SUM(s_qty) / COUNT(*) AS avg_qty FROM sale", &[])
+            .unwrap();
+        assert_eq!(rs.get_int(0, "avg_qty"), Some(1)); // (1+2+3)*33ish / 100 -> int div
+    }
+
+    #[test]
+    fn count_distinct() {
+        let mut c = conn();
+        let rs = c.query("SELECT COUNT(DISTINCT i_cat) AS n FROM item", &[]).unwrap();
+        assert_eq!(rs.get_int(0, "n"), Some(5));
+    }
+
+    #[test]
+    fn join_with_index() {
+        let mut c = conn();
+        let rs = c
+            .query(
+                "SELECT s.s_id, i.i_name FROM sale s JOIN item i ON s.s_item = i.i_id WHERE i.i_cat = 1 ORDER BY s.s_id",
+                &[],
+            )
+            .unwrap();
+        // 10 items in cat 1, each sold twice.
+        assert_eq!(rs.len(), 20);
+        assert!(rs.get_str(0, "i_name").unwrap().starts_with("item"));
+    }
+
+    #[test]
+    fn join_aggregate() {
+        let mut c = conn();
+        let rs = c
+            .query(
+                "SELECT i.i_cat, SUM(s.s_qty) AS total FROM sale s JOIN item i ON s.s_item = i.i_id GROUP BY i.i_cat ORDER BY i_cat",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 5);
+        let grand: i64 = (0..5).map(|r| rs.get_int(r, "total").unwrap()).sum();
+        let check = c.query("SELECT SUM(s_qty) AS t FROM sale", &[]).unwrap();
+        assert_eq!(grand, check.get_int(0, "t").unwrap());
+    }
+
+    #[test]
+    fn comma_join_with_where() {
+        let mut c = conn();
+        let rs = c
+            .query(
+                "SELECT COUNT(*) AS n FROM sale s, item i WHERE s.s_item = i.i_id AND i.i_cat = 0",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.get_int(0, "n"), Some(20));
+    }
+
+    #[test]
+    fn update_with_expression() {
+        let mut c = conn();
+        let n = c
+            .execute("UPDATE item SET i_price = i_price * 2 WHERE i_cat = 0", &[])
+            .unwrap()
+            .affected();
+        assert_eq!(n, 10);
+        let rs = c.query("SELECT i_price FROM item WHERE i_id = 5", &[]).unwrap();
+        assert_eq!(rs.get_f64(0, "i_price"), Some(15.0));
+    }
+
+    #[test]
+    fn update_by_pk_single_row() {
+        let mut c = conn();
+        let n = c
+            .execute("UPDATE item SET i_name = ? WHERE i_id = ?", &[Value::Str("renamed".into()), Value::Int(3)])
+            .unwrap()
+            .affected();
+        assert_eq!(n, 1);
+        assert_eq!(
+            c.query("SELECT i_name FROM item WHERE i_id = 3", &[]).unwrap().get_str(0, "i_name"),
+            Some("renamed")
+        );
+    }
+
+    #[test]
+    fn delete_rows() {
+        let mut c = conn();
+        let n = c.execute("DELETE FROM sale WHERE s_qty = 3", &[]).unwrap().affected();
+        assert!(n > 0);
+        let rs = c.query("SELECT COUNT(*) AS n FROM sale", &[]).unwrap();
+        assert_eq!(rs.get_int(0, "n"), Some(100 - n as i64));
+    }
+
+    #[test]
+    fn select_without_from() {
+        let mut c = conn();
+        let rs = c.query("SELECT 1 + 1 AS two, 'x' AS s", &[]).unwrap();
+        assert_eq!(rs.get_int(0, "two"), Some(2));
+        assert_eq!(rs.get_str(0, "s"), Some("x"));
+    }
+
+    #[test]
+    fn wildcard_projection() {
+        let mut c = conn();
+        let rs = c.query("SELECT * FROM item WHERE i_id = 1", &[]).unwrap();
+        assert_eq!(rs.columns, vec!["i_id", "i_name", "i_price", "i_cat"]);
+        assert_eq!(rs.rows[0].len(), 4);
+    }
+
+    #[test]
+    fn in_list_filter() {
+        let mut c = conn();
+        let rs = c
+            .query("SELECT i_id FROM item WHERE i_id IN (1, 2, 99)", &[])
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn composite_index_prefix_used() {
+        let db = Database::new(Personality::test());
+        let mut c = Connection::open(&db);
+        c.execute_batch(
+            "CREATE TABLE ol (o INT, n INT, qty INT, PRIMARY KEY (o, n));",
+        )
+        .unwrap();
+        for o in 0..10i64 {
+            for n in 0..5i64 {
+                c.execute("INSERT INTO ol VALUES (?, ?, ?)", &[Value::Int(o), Value::Int(n), Value::Int(o * n)])
+                    .unwrap();
+            }
+        }
+        let rs = c.query("SELECT COUNT(*) AS c FROM ol WHERE o = 3", &[]).unwrap();
+        assert_eq!(rs.get_int(0, "c"), Some(5));
+        let rs = c.query("SELECT qty FROM ol WHERE o = 3 AND n = 4", &[]).unwrap();
+        assert_eq!(rs.get_int(0, "qty"), Some(12));
+    }
+
+    #[test]
+    fn for_update_locks_rows() {
+        let db = Database::new(Personality::test());
+        let mut c = Connection::open(&db);
+        c.execute_batch("CREATE TABLE t (id INT PRIMARY KEY, v INT);").unwrap();
+        c.execute("INSERT INTO t VALUES (1, 0)", &[]).unwrap();
+        c.begin().unwrap();
+        c.query("SELECT * FROM t WHERE id = 1 FOR UPDATE", &[]).unwrap();
+        // A younger writer must fail (wait-die).
+        let mut c2 = Connection::open(&db);
+        c2.begin().unwrap();
+        let err = c2.execute("UPDATE t SET v = 9 WHERE id = 1", &[]).unwrap_err();
+        assert!(err.is_retryable());
+        c.commit().unwrap();
+    }
+
+    #[test]
+    fn update_where_no_match() {
+        let mut c = conn();
+        let n = c.execute("UPDATE item SET i_cat = 9 WHERE i_id = 12345", &[]).unwrap().affected();
+        assert_eq!(n, 0);
+    }
+}

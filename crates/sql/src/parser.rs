@@ -1,0 +1,892 @@
+//! Recursive-descent parser for the supported SQL subset.
+
+use bp_storage::{DataType, Value};
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::token::{lex, Token};
+
+/// Parse one SQL statement (a trailing semicolon is allowed).
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0, params: 0 };
+    let stmt = p.statement()?;
+    p.eat_semi();
+    if p.pos != p.tokens.len() {
+        return Err(SqlError::Parse(format!("unexpected tokens after statement: {:?}", p.peek())));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    params: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<()> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!("expected {tok:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_semi(&mut self) {
+        while self.eat(&Token::Semicolon) {}
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.kw("create") {
+            if self.kw("table") {
+                return self.create_table();
+            }
+            let unique = self.kw("unique");
+            if self.kw("index") {
+                return self.create_index(unique);
+            }
+            return Err(SqlError::Parse("expected TABLE or [UNIQUE] INDEX after CREATE".into()));
+        }
+        if self.kw("drop") {
+            self.expect_kw("table")?;
+            let if_exists = if self.kw("if") {
+                self.expect_kw("exists")?;
+                true
+            } else {
+                false
+            };
+            let name = self.ident()?;
+            return Ok(Statement::DropTable { name, if_exists });
+        }
+        if self.kw("insert") {
+            return self.insert();
+        }
+        if self.kw("select") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.kw("update") {
+            return self.update();
+        }
+        if self.kw("delete") {
+            return self.delete();
+        }
+        if self.kw("begin") || self.kw("start") {
+            // allow BEGIN [TRANSACTION|WORK] / START TRANSACTION
+            let _ = self.kw("transaction") || self.kw("work");
+            return Ok(Statement::Begin);
+        }
+        if self.kw("commit") {
+            let _ = self.kw("work");
+            return Ok(Statement::Commit);
+        }
+        if self.kw("rollback") {
+            let _ = self.kw("work");
+            return Ok(Statement::Rollback);
+        }
+        Err(SqlError::Parse(format!("unrecognized statement start: {:?}", self.peek())))
+    }
+
+    // ---- DDL ----
+
+    fn data_type(&mut self) -> Result<(DataType, String)> {
+        let base = self.ident()?;
+        let mut text = base.to_uppercase();
+        // Optional (n[,m]) suffix.
+        if self.eat(&Token::LParen) {
+            let mut args = Vec::new();
+            loop {
+                match self.bump() {
+                    Some(Token::Number(n)) => args.push(n),
+                    other => return Err(SqlError::Parse(format!("expected length, found {other:?}"))),
+                }
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            text = format!("{text}({})", args.join(","));
+        }
+        // Multi-word types: DOUBLE PRECISION.
+        if base.eq_ignore_ascii_case("double") && self.kw("precision") {
+            text = "DOUBLE PRECISION".to_string();
+        }
+        let ty = match base.to_ascii_lowercase().as_str() {
+            "int" | "integer" | "bigint" | "smallint" | "tinyint" | "serial" | "bigserial"
+            | "timestamp" | "number" => DataType::Int,
+            "float" | "double" | "real" | "decimal" | "numeric" | "binary_double" => DataType::Float,
+            "varchar" | "char" | "text" | "string" | "clob" | "varchar2" => DataType::Str,
+            "bool" | "boolean" => DataType::Bool,
+            "blob" | "bytea" | "varbinary" | "binary" => DataType::Bytes,
+            other => return Err(SqlError::Unsupported(format!("data type {other}"))),
+        };
+        Ok((ty, text))
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        let mut table_pk = Vec::new();
+        loop {
+            if self.kw("primary") {
+                self.expect_kw("key")?;
+                self.expect(&Token::LParen)?;
+                loop {
+                    table_pk.push(self.ident()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            } else if self.kw("foreign") {
+                // FOREIGN KEY (c) REFERENCES t (c): parsed and ignored (the
+                // engine does not enforce FKs, like many benchmark setups).
+                self.expect_kw("key")?;
+                self.skip_parens()?;
+                self.expect_kw("references")?;
+                let _ = self.ident()?;
+                if self.peek() == Some(&Token::LParen) {
+                    self.skip_parens()?;
+                }
+            } else if self.kw("unique") {
+                // UNIQUE (cols): ignored at table level (indexes cover it).
+                self.skip_parens()?;
+            } else {
+                let col_name = self.ident()?;
+                let (ty, type_text) = self.data_type()?;
+                let mut not_null = false;
+                let mut primary_key = false;
+                loop {
+                    if self.kw("not") {
+                        self.expect_kw("null")?;
+                        not_null = true;
+                    } else if self.kw("null") {
+                        // explicit NULL
+                    } else if self.kw("primary") {
+                        self.expect_kw("key")?;
+                        primary_key = true;
+                    } else if self.kw("default") {
+                        // consume one literal/expr token group
+                        let _ = self.primary_expr()?;
+                    } else if self.kw("auto_increment") || self.kw("autoincrement") {
+                        // accepted, not enforced
+                    } else {
+                        break;
+                    }
+                }
+                columns.push(ColumnDef { name: col_name, ty, type_text, not_null, primary_key });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Statement::CreateTable(CreateTable { name, columns, primary_key: table_pk }))
+    }
+
+    fn skip_parens(&mut self) -> Result<()> {
+        self.expect(&Token::LParen)?;
+        let mut depth = 1;
+        while depth > 0 {
+            match self.bump() {
+                Some(Token::LParen) => depth += 1,
+                Some(Token::RParen) => depth -= 1,
+                Some(_) => {}
+                None => return Err(SqlError::Parse("unbalanced parentheses".into())),
+            }
+        }
+        Ok(())
+    }
+
+    fn create_index(&mut self, unique: bool) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_kw("on")?;
+        let table = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.ident()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Statement::CreateIndex(CreateIndex { name, table, columns, unique }))
+    }
+
+    // ---- DML ----
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.eat(&Token::LParen) {
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert(Insert { table, columns, rows }))
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident()?;
+        let has_alias = self.kw("as")
+            || matches!(self.peek(), Some(Token::Ident(s)) if !is_clause_keyword(s));
+        let alias = if has_alias { Some(self.ident()?) } else { None };
+        Ok(TableRef { name, alias })
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        let _ = self.kw("all");
+        // SELECT list
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&Token::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let has_alias = self.kw("as")
+                    || matches!(self.peek(), Some(Token::Ident(s)) if !is_clause_keyword(s));
+                let alias = if has_alias { Some(self.ident()?) } else { None };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+
+        let mut from = None;
+        let mut joins = Vec::new();
+        if self.kw("from") {
+            from = Some(self.table_ref()?);
+            loop {
+                let inner = self.kw("inner");
+                if self.kw("join") {
+                    let table = self.table_ref()?;
+                    self.expect_kw("on")?;
+                    let on = self.expr()?;
+                    joins.push(Join { table, on });
+                } else if inner {
+                    return Err(SqlError::Parse("expected JOIN after INNER".into()));
+                } else if self.eat(&Token::Comma) {
+                    // Comma join: treated as cross join with WHERE doing the
+                    // equi-join; represent as a JOIN with ON TRUE.
+                    let table = self.table_ref()?;
+                    joins.push(Join { table, on: Expr::Lit(Value::Bool(true)) });
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let where_clause = if self.kw("where") { Some(self.expr()?) } else { None };
+
+        let mut group_by = Vec::new();
+        if self.kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.kw("desc") {
+                    true
+                } else {
+                    let _ = self.kw("asc");
+                    false
+                };
+                order_by.push(OrderBy { expr, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let mut limit = None;
+        if self.kw("limit") {
+            limit = Some(self.expr()?);
+        } else if self.kw("fetch") {
+            // FETCH FIRST n ROWS ONLY (Derby / Oracle / standard)
+            if !(self.kw("first") || self.kw("next")) {
+                return Err(SqlError::Parse("expected FIRST or NEXT after FETCH".into()));
+            }
+            limit = Some(self.expr()?);
+            if !(self.kw("rows") || self.kw("row")) {
+                return Err(SqlError::Parse("expected ROWS in FETCH clause".into()));
+            }
+            self.expect_kw("only")?;
+        }
+
+        let mut for_update = false;
+        if self.kw("for") {
+            self.expect_kw("update")?;
+            for_update = true;
+        }
+
+        Ok(Select { items, from, joins, where_clause, group_by, order_by, limit, for_update })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("set")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&Token::Eq)?;
+            let value = self.expr()?;
+            sets.push((col, value));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.kw("where") { Some(self.expr()?) } else { None };
+        Ok(Statement::Update(Update { table, sets, where_clause }))
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let where_clause = if self.kw("where") { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete(Delete { table, where_clause }))
+    }
+
+    // ---- Expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::bin(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.kw("and") {
+            let right = self.not_expr()?;
+            left = Expr::bin(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.kw("not") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+
+        // IS [NOT] NULL
+        if self.kw("is") {
+            let negated = self.kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        // [NOT] IN / BETWEEN / LIKE
+        let negated = self.kw("not");
+        if self.kw("in") {
+            self.expect(&Token::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.kw("between") {
+            let low = self.additive()?;
+            self.expect_kw("and")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.kw("like") {
+            let pattern = self.additive()?;
+            let like = Expr::bin(BinOp::Like, left, pattern);
+            return Ok(if negated { Expr::Not(Box::new(like)) } else { like });
+        }
+        if negated {
+            return Err(SqlError::Parse("expected IN, BETWEEN or LIKE after NOT".into()));
+        }
+
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::NotEq) => Some(BinOp::NotEq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::LtEq) => Some(BinOp::LtEq),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::GtEq) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::bin(op, left, right));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                Some(Token::Concat) => BinOp::Concat,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat(&Token::Plus) {
+            return self.unary();
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Some(Token::Number(n)) => {
+                if n.contains('.') || n.contains('e') || n.contains('E') {
+                    n.parse::<f64>()
+                        .map(|f| Expr::Lit(Value::Float(f)))
+                        .map_err(|_| SqlError::Parse(format!("bad number {n}")))
+                } else {
+                    n.parse::<i64>()
+                        .map(|i| Expr::Lit(Value::Int(i)))
+                        .map_err(|_| SqlError::Parse(format!("bad number {n}")))
+                }
+            }
+            Some(Token::Str(s)) => Ok(Expr::Lit(Value::Str(s))),
+            Some(Token::Param) => {
+                let idx = self.params;
+                self.params += 1;
+                Ok(Expr::Param(idx))
+            }
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if is_reserved(&name) {
+                    return Err(SqlError::Parse(format!(
+                        "keyword {name} cannot start an expression"
+                    )));
+                }
+                // NULL / TRUE / FALSE literals
+                if name.eq_ignore_ascii_case("null") {
+                    return Ok(Expr::Lit(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(Expr::Lit(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(Expr::Lit(Value::Bool(false)));
+                }
+                // Function call?
+                if self.peek() == Some(&Token::LParen) {
+                    return self.call(name);
+                }
+                // Qualified column?
+                if self.eat(&Token::Dot) {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column { table: Some(name), name: col });
+                }
+                Ok(Expr::Column { table: None, name })
+            }
+            other => Err(SqlError::Parse(format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+
+    fn call(&mut self, name: String) -> Result<Expr> {
+        self.expect(&Token::LParen)?;
+        let lower = name.to_ascii_lowercase();
+        let agg = match lower.as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        };
+        if let Some(func) = agg {
+            if self.eat(&Token::Star) {
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::Agg { func, arg: None, distinct: false });
+            }
+            let distinct = self.kw("distinct");
+            let arg = self.expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Agg { func, arg: Some(Box::new(arg)), distinct });
+        }
+        // Scalar function.
+        let mut args = Vec::new();
+        if !self.eat(&Token::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        Ok(Expr::Func { name: lower, args })
+    }
+}
+
+/// Keywords that may never appear as a bare column reference.
+fn is_reserved(s: &str) -> bool {
+    const KW: [&str; 14] = [
+        "select", "from", "where", "group", "order", "limit", "insert", "update",
+        "delete", "join", "on", "set", "values", "having",
+    ];
+    KW.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+/// Keywords that may follow a table name / select item and therefore must
+/// not be mistaken for an alias.
+fn is_clause_keyword(s: &str) -> bool {
+    const KW: [&str; 18] = [
+        "where", "group", "order", "limit", "fetch", "for", "join", "inner", "on",
+        "set", "values", "from", "and", "or", "as", "left", "right", "having",
+    ];
+    KW.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_table() {
+        let stmt = parse(
+            "CREATE TABLE warehouse (
+                w_id INT NOT NULL,
+                w_name VARCHAR(10),
+                w_tax FLOAT,
+                w_ytd DECIMAL(12,2),
+                PRIMARY KEY (w_id)
+            )",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable(ct) => {
+                assert_eq!(ct.name, "warehouse");
+                assert_eq!(ct.columns.len(), 4);
+                assert_eq!(ct.primary_key, vec!["w_id"]);
+                assert!(ct.columns[0].not_null);
+                assert_eq!(ct.columns[3].ty, DataType::Float);
+                assert_eq!(ct.columns[1].type_text, "VARCHAR(10)");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_inline_pk_and_fk() {
+        let stmt = parse(
+            "CREATE TABLE t (id INT PRIMARY KEY, r INT, FOREIGN KEY (r) REFERENCES other (id))",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable(ct) => {
+                assert!(ct.columns[0].primary_key);
+                assert_eq!(ct.columns.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_create_index() {
+        let stmt = parse("CREATE UNIQUE INDEX idx_c ON customer (c_w_id, c_last)").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CreateIndex(CreateIndex {
+                name: "idx_c".into(),
+                table: "customer".into(),
+                columns: vec!["c_w_id".into(), "c_last".into()],
+                unique: true,
+            })
+        );
+    }
+
+    #[test]
+    fn parse_insert_multi_row() {
+        let stmt = parse("INSERT INTO t (a, b) VALUES (1, ?), (2, 'x')").unwrap();
+        match stmt {
+            Statement::Insert(ins) => {
+                assert_eq!(ins.rows.len(), 2);
+                assert_eq!(ins.rows[0][1], Expr::Param(0));
+                assert_eq!(ins.rows[1][1], Expr::Lit(Value::Str("x".into())));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_select_full() {
+        let stmt = parse(
+            "SELECT c_id, COUNT(*) AS n FROM customer WHERE c_w_id = ? AND c_last LIKE 'BAR%' \
+             GROUP BY c_id ORDER BY n DESC, c_id LIMIT 10",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.items.len(), 2);
+                assert_eq!(s.group_by.len(), 1);
+                assert_eq!(s.order_by.len(), 2);
+                assert!(s.order_by[0].desc);
+                assert!(!s.order_by[1].desc);
+                assert_eq!(s.limit, Some(Expr::Lit(Value::Int(10))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_fetch_first_syntax() {
+        let stmt = parse("SELECT a FROM t ORDER BY a FETCH FIRST 5 ROWS ONLY").unwrap();
+        match stmt {
+            Statement::Select(s) => assert_eq!(s.limit, Some(Expr::Lit(Value::Int(5)))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_for_update() {
+        let stmt = parse("SELECT * FROM t WHERE id = ? FOR UPDATE").unwrap();
+        match stmt {
+            Statement::Select(s) => assert!(s.for_update),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_join() {
+        let stmt = parse(
+            "SELECT o.o_id, c.c_last FROM orders o JOIN customer c ON o.o_c_id = c.c_id WHERE o.o_w_id = 1",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.from.as_ref().unwrap().binding(), "o");
+                assert_eq!(s.joins.len(), 1);
+                assert_eq!(s.joins[0].table.binding(), "c");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_update_delete() {
+        let stmt = parse("UPDATE t SET a = a + 1, b = ? WHERE id = ?").unwrap();
+        match stmt {
+            Statement::Update(u) => {
+                assert_eq!(u.sets.len(), 2);
+                assert_eq!(statement_param_count(&Statement::Update(u)), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        let stmt = parse("DELETE FROM t WHERE a BETWEEN 1 AND 10").unwrap();
+        assert!(matches!(stmt, Statement::Delete(_)));
+    }
+
+    #[test]
+    fn parse_txn_control() {
+        assert_eq!(parse("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse("START TRANSACTION").unwrap(), Statement::Begin);
+        assert_eq!(parse("COMMIT;").unwrap(), Statement::Commit);
+        assert_eq!(parse("ROLLBACK WORK").unwrap(), Statement::Rollback);
+    }
+
+    #[test]
+    fn parse_in_between_isnull() {
+        let stmt = parse(
+            "SELECT * FROM t WHERE a IN (1, 2, 3) AND b NOT BETWEEN 1 AND 5 AND c IS NOT NULL",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                let conj = s.where_clause.as_ref().unwrap().conjuncts().len();
+                assert_eq!(conj, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_param_ordering() {
+        let stmt = parse("SELECT * FROM t WHERE a = ? AND b = ? AND c = ?").unwrap();
+        assert_eq!(statement_param_count(&stmt), 3);
+    }
+
+    #[test]
+    fn parse_arith_precedence() {
+        let stmt = parse("SELECT 1 + 2 * 3").unwrap();
+        match stmt {
+            Statement::Select(s) => match &s.items[0] {
+                SelectItem::Expr { expr, .. } => {
+                    // Should be 1 + (2*3)
+                    match expr {
+                        Expr::Binary { op: BinOp::Add, right, .. } => {
+                            assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+                        }
+                        other => panic!("{other:?}"),
+                    }
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_aggregates() {
+        let stmt = parse("SELECT COUNT(*), SUM(x), AVG(DISTINCT y) FROM t").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.items.len(), 3);
+                match &s.items[2] {
+                    SelectItem::Expr { expr: Expr::Agg { distinct, .. }, .. } => assert!(distinct),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reject_garbage() {
+        assert!(parse("SELEKT * FROM t").is_err());
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("INSERT INTO t").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t extra garbage something").is_err());
+    }
+
+    #[test]
+    fn drop_table() {
+        assert_eq!(
+            parse("DROP TABLE IF EXISTS t").unwrap(),
+            Statement::DropTable { name: "t".into(), if_exists: true }
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! SQL lexer.
+
+use crate::error::{Result, SqlError};
+
+/// A lexical token. Keywords are returned as `Ident` and matched
+/// case-insensitively by the parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare or quoted identifier (quoted identifiers preserve case).
+    Ident(String),
+    /// Numeric literal (integer or decimal), kept as text.
+    Number(String),
+    /// String literal with escapes already processed.
+    Str(String),
+    /// A `?` parameter placeholder.
+    Param,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    /// String concatenation `||`.
+    Concat,
+    Semicolon,
+}
+
+impl Token {
+    /// True if the token is this keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut j = i + 2;
+                loop {
+                    if j + 1 >= bytes.len() {
+                        return Err(SqlError::Parse("unterminated block comment".into()));
+                    }
+                    if bytes[j] == b'*' && bytes[j + 1] == b'/' {
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j + 2;
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b'.' if !bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit()) => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            b'%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            b'?' => {
+                out.push(Token::Param);
+                i += 1;
+            }
+            b';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            b'|' if bytes.get(i + 1) == Some(&b'|') => {
+                out.push(Token::Concat);
+                i += 2;
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::NotEq);
+                i += 2;
+            }
+            b'<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        out.push(Token::LtEq);
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        out.push(Token::NotEq);
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // String literal; '' escapes a quote.
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= bytes.len() {
+                        return Err(SqlError::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[j] == b'\'' {
+                        if bytes.get(j + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            j += 2;
+                        } else {
+                            j += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[j] as char);
+                        j += 1;
+                    }
+                }
+                out.push(Token::Str(s));
+                i = j;
+            }
+            b'"' | b'`' => {
+                // Quoted identifier (double quotes or MySQL backticks).
+                let quote = c;
+                let mut j = i + 1;
+                let start = j;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(SqlError::Parse("unterminated quoted identifier".into()));
+                }
+                let name = std::str::from_utf8(&bytes[start..j])
+                    .map_err(|_| SqlError::Parse("invalid utf-8 in identifier".into()))?;
+                out.push(Token::Ident(name.to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || (c == b'.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                // exponent
+                if i < bytes.len() && matches!(bytes[i], b'e' | b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && matches!(bytes[j], b'+' | b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).unwrap();
+                out.push(Token::Number(text.to_string()));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).unwrap();
+                out.push(Token::Ident(text.to_string()));
+            }
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "unexpected character '{}' at byte {i}",
+                    other as char
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select() {
+        let toks = lex("SELECT a, b FROM t WHERE a = ? AND b >= 10.5").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.contains(&Token::Param));
+        assert!(toks.contains(&Token::GtEq));
+        assert!(toks.contains(&Token::Number("10.5".into())));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = lex("\"MyCol\" `other`").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("MyCol".into()), Token::Ident("other".into())]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("SELECT 1 -- trailing\n + /* mid */ 2").unwrap();
+        assert_eq!(toks.len(), 4); // SELECT 1 + 2
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("a <> b != c <= d >= e || f").unwrap();
+        assert_eq!(
+            toks.iter().filter(|t| **t == Token::NotEq).count(),
+            2
+        );
+        assert!(toks.contains(&Token::Concat));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a @ b").is_err());
+        assert!(lex("/* open").is_err());
+    }
+
+    #[test]
+    fn qualified_name_and_decimal() {
+        let toks = lex("t.c 1.5 .5").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("t".into()),
+                Token::Dot,
+                Token::Ident("c".into()),
+                Token::Number("1.5".into()),
+                Token::Number(".5".into()),
+            ]
+        );
+    }
+}

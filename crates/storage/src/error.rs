@@ -1,0 +1,83 @@
+//! Error types for the embedded storage engine.
+
+use std::fmt;
+
+/// Errors surfaced by the storage engine.
+///
+/// `Deadlock` and `LockTimeout` are *retryable*: the transaction has been
+/// rolled back and the caller (benchmark control code) may re-submit it,
+/// mirroring how OLTP-Bench counts and retries aborted transactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Wait-die policy killed this (younger) transaction to avoid deadlock.
+    Deadlock { waiting_for: u64 },
+    /// Lock wait exceeded the engine's timeout.
+    LockTimeout,
+    /// Unique constraint violation.
+    DuplicateKey { table: String, key: String },
+    /// Referenced table does not exist.
+    NoSuchTable(String),
+    /// Referenced index does not exist.
+    NoSuchIndex(String),
+    /// Referenced column does not exist.
+    NoSuchColumn(String),
+    /// Row not found (by rowid — indicates caller bug or concurrent delete).
+    RowGone,
+    /// Value does not match column type / nullability.
+    TypeMismatch { column: String, expected: String, got: String },
+    /// Wrong number of values for the table's schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// Operation requires an active transaction.
+    NoActiveTransaction,
+    /// A transaction is already active on this session.
+    TransactionActive,
+    /// Table already exists.
+    TableExists(String),
+    /// Index already exists.
+    IndexExists(String),
+    /// Schema definition invalid.
+    InvalidSchema(String),
+    /// Engine was shut down / reset while the operation was in flight.
+    Shutdown,
+}
+
+impl StorageError {
+    /// True when the failed transaction may simply be retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, StorageError::Deadlock { .. } | StorageError::LockTimeout)
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Deadlock { waiting_for } => {
+                write!(f, "deadlock avoided (wait-die): aborted while waiting for txn {waiting_for}")
+            }
+            StorageError::LockTimeout => write!(f, "lock wait timeout"),
+            StorageError::DuplicateKey { table, key } => {
+                write!(f, "duplicate key {key} in table {table}")
+            }
+            StorageError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            StorageError::NoSuchIndex(i) => write!(f, "no such index: {i}"),
+            StorageError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            StorageError::RowGone => write!(f, "row no longer exists"),
+            StorageError::TypeMismatch { column, expected, got } => {
+                write!(f, "type mismatch for column {column}: expected {expected}, got {got}")
+            }
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: expected {expected} values, got {got}")
+            }
+            StorageError::NoActiveTransaction => write!(f, "no active transaction"),
+            StorageError::TransactionActive => write!(f, "transaction already active"),
+            StorageError::TableExists(t) => write!(f, "table already exists: {t}"),
+            StorageError::IndexExists(i) => write!(f, "index already exists: {i}"),
+            StorageError::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
+            StorageError::Shutdown => write!(f, "engine shut down"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,237 @@
+//! Server-side counters sampled by the resource monitor (`bp-monitor`).
+//!
+//! These play the role of the host metrics that OLTP-Bench gathers with
+//! dstat [7]: CPU work, IO operations, lock activity, WAL traffic. All
+//! counters are lock-free atomics so the data path stays cheap.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Monotonic counters describing the work the engine has performed.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    user_aborts: AtomicU64,
+    rows_read: AtomicU64,
+    rows_written: AtomicU64,
+    lock_waits: AtomicU64,
+    lock_wait_micros: AtomicU64,
+    deadlocks: AtomicU64,
+    lock_timeouts: AtomicU64,
+    io_reads: AtomicU64,
+    io_writes: AtomicU64,
+    buf_hits: AtomicU64,
+    buf_misses: AtomicU64,
+    wal_bytes: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    /// Simulated CPU-busy time in µs (sum of service costs applied).
+    busy_micros: AtomicU64,
+    active_txns: AtomicI64,
+}
+
+/// A point-in-time copy of all counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub commits: u64,
+    pub aborts: u64,
+    pub user_aborts: u64,
+    pub rows_read: u64,
+    pub rows_written: u64,
+    pub lock_waits: u64,
+    pub lock_wait_micros: u64,
+    pub deadlocks: u64,
+    pub lock_timeouts: u64,
+    pub io_reads: u64,
+    pub io_writes: u64,
+    pub buf_hits: u64,
+    pub buf_misses: u64,
+    pub wal_bytes: u64,
+    pub wal_fsyncs: u64,
+    pub busy_micros: u64,
+    pub active_txns: i64,
+}
+
+impl MetricsSnapshot {
+    /// Per-field difference (`self` - `earlier`), used for rate windows.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            commits: self.commits - earlier.commits,
+            aborts: self.aborts - earlier.aborts,
+            user_aborts: self.user_aborts - earlier.user_aborts,
+            rows_read: self.rows_read - earlier.rows_read,
+            rows_written: self.rows_written - earlier.rows_written,
+            lock_waits: self.lock_waits - earlier.lock_waits,
+            lock_wait_micros: self.lock_wait_micros - earlier.lock_wait_micros,
+            deadlocks: self.deadlocks - earlier.deadlocks,
+            lock_timeouts: self.lock_timeouts - earlier.lock_timeouts,
+            io_reads: self.io_reads - earlier.io_reads,
+            io_writes: self.io_writes - earlier.io_writes,
+            buf_hits: self.buf_hits - earlier.buf_hits,
+            buf_misses: self.buf_misses - earlier.buf_misses,
+            wal_bytes: self.wal_bytes - earlier.wal_bytes,
+            wal_fsyncs: self.wal_fsyncs - earlier.wal_fsyncs,
+            busy_micros: self.busy_micros - earlier.busy_micros,
+            active_txns: self.active_txns,
+        }
+    }
+
+    /// Buffer-pool hit ratio in `[0, 1]`; 1.0 when no accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.buf_hits + self.buf_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.buf_hits as f64 / total as f64
+        }
+    }
+}
+
+impl ServerMetrics {
+    pub fn new() -> ServerMetrics {
+        ServerMetrics::default()
+    }
+
+    #[inline]
+    pub fn inc_commits(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn inc_aborts(&self) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn inc_user_aborts(&self) {
+        self.user_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn add_rows_read(&self, n: u64) {
+        self.rows_read.fetch_add(n, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn add_rows_written(&self, n: u64) {
+        self.rows_written.fetch_add(n, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn record_lock_wait(&self, waited: Duration) {
+        self.lock_waits.fetch_add(1, Ordering::Relaxed);
+        self.lock_wait_micros
+            .fetch_add(waited.as_micros() as u64, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn inc_deadlocks(&self) {
+        self.deadlocks.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn inc_lock_timeouts(&self) {
+        self.lock_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn add_io_reads(&self, n: u64) {
+        self.io_reads.fetch_add(n, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn add_io_writes(&self, n: u64) {
+        self.io_writes.fetch_add(n, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn inc_buf_hits(&self) {
+        self.buf_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn inc_buf_misses(&self) {
+        self.buf_misses.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn add_wal_bytes(&self, n: u64) {
+        self.wal_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn inc_wal_fsyncs(&self) {
+        self.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn add_busy_micros(&self, n: u64) {
+        self.busy_micros.fetch_add(n, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn txn_started(&self) {
+        self.active_txns.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn txn_ended(&self) {
+        self.active_txns.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            user_aborts: self.user_aborts.load(Ordering::Relaxed),
+            rows_read: self.rows_read.load(Ordering::Relaxed),
+            rows_written: self.rows_written.load(Ordering::Relaxed),
+            lock_waits: self.lock_waits.load(Ordering::Relaxed),
+            lock_wait_micros: self.lock_wait_micros.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            lock_timeouts: self.lock_timeouts.load(Ordering::Relaxed),
+            io_reads: self.io_reads.load(Ordering::Relaxed),
+            io_writes: self.io_writes.load(Ordering::Relaxed),
+            buf_hits: self.buf_hits.load(Ordering::Relaxed),
+            buf_misses: self.buf_misses.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            busy_micros: self.busy_micros.load(Ordering::Relaxed),
+            active_txns: self.active_txns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServerMetrics::new();
+        m.inc_commits();
+        m.inc_commits();
+        m.add_rows_read(10);
+        m.record_lock_wait(Duration::from_micros(1500));
+        let s = m.snapshot();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.rows_read, 10);
+        assert_eq!(s.lock_waits, 1);
+        assert_eq!(s.lock_wait_micros, 1500);
+    }
+
+    #[test]
+    fn delta() {
+        let m = ServerMetrics::new();
+        m.inc_commits();
+        let a = m.snapshot();
+        m.inc_commits();
+        m.inc_commits();
+        let b = m.snapshot();
+        assert_eq!(b.delta(&a).commits, 2);
+    }
+
+    #[test]
+    fn active_txn_gauge() {
+        let m = ServerMetrics::new();
+        m.txn_started();
+        m.txn_started();
+        m.txn_ended();
+        assert_eq!(m.snapshot().active_txns, 1);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let m = ServerMetrics::new();
+        assert_eq!(m.snapshot().hit_ratio(), 1.0);
+        m.inc_buf_hits();
+        m.inc_buf_hits();
+        m.inc_buf_misses();
+        let r = m.snapshot().hit_ratio();
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Simulated write-ahead log with group commit.
+//!
+//! Commits append their redo bytes and pay an fsync cost. When group commit
+//! is enabled, commits landing within the personality's group window share
+//! one fsync: the first commit in a window pays full price, followers pay
+//! nothing extra. This is the main lever separating the "fast" and "slow"
+//! personalities under write-heavy mixtures.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::metrics::ServerMetrics;
+
+#[derive(Debug)]
+pub struct Wal {
+    epoch: Instant,
+    /// Time (µs since epoch) of the last fsync.
+    last_fsync_us: AtomicU64,
+    next_lsn: AtomicU64,
+    group_window_us: u64,
+    us_per_kb: f64,
+    fsync_us: f64,
+}
+
+impl Wal {
+    pub fn new(group_window_us: u64, us_per_kb: f64, fsync_us: f64) -> Wal {
+        Wal {
+            epoch: Instant::now(),
+            last_fsync_us: AtomicU64::new(u64::MAX), // force first fsync
+            next_lsn: AtomicU64::new(1),
+            group_window_us,
+            us_per_kb,
+            fsync_us,
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Record a transaction commit writing `bytes` of redo.
+    ///
+    /// Returns `(lsn, cost_us)` — the service cost the committer must pay
+    /// (log write + possibly an fsync).
+    pub fn commit(&self, bytes: u64, metrics: &ServerMetrics) -> (u64, f64) {
+        let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
+        metrics.add_wal_bytes(bytes);
+        let mut cost = self.us_per_kb * bytes as f64 / 1024.0;
+
+        let now = self.now_us();
+        let last = self.last_fsync_us.load(Ordering::Relaxed);
+        let need_fsync = if self.group_window_us == 0 {
+            true
+        } else {
+            last == u64::MAX || now.saturating_sub(last) >= self.group_window_us
+        };
+        if need_fsync {
+            // Only one committer in the window should pay; use CAS so racers
+            // that lose ride along for free.
+            if self
+                .last_fsync_us
+                .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                cost += self.fsync_us;
+                metrics.inc_wal_fsyncs();
+                metrics.add_io_writes(1);
+            }
+        }
+        (lsn, cost)
+    }
+
+    pub fn current_lsn(&self) -> u64 {
+        self.next_lsn.load(Ordering::Relaxed)
+    }
+
+    /// Reset after a database reset.
+    pub fn reset(&self) {
+        self.last_fsync_us.store(u64::MAX, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsn_monotonic() {
+        let m = ServerMetrics::new();
+        let wal = Wal::new(0, 5.0, 100.0);
+        let (a, _) = wal.commit(100, &m);
+        let (b, _) = wal.commit(100, &m);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn no_group_commit_every_commit_fsyncs() {
+        let m = ServerMetrics::new();
+        let wal = Wal::new(0, 0.0, 100.0);
+        for _ in 0..5 {
+            let (_, cost) = wal.commit(0, &m);
+            assert_eq!(cost, 100.0);
+        }
+        assert_eq!(m.snapshot().wal_fsyncs, 5);
+    }
+
+    #[test]
+    fn group_commit_amortizes_fsync() {
+        let m = ServerMetrics::new();
+        // Huge window: only the first commit should fsync.
+        let wal = Wal::new(60_000_000, 0.0, 100.0);
+        let (_, first) = wal.commit(0, &m);
+        assert_eq!(first, 100.0);
+        for _ in 0..10 {
+            let (_, cost) = wal.commit(0, &m);
+            assert_eq!(cost, 0.0);
+        }
+        assert_eq!(m.snapshot().wal_fsyncs, 1);
+    }
+
+    #[test]
+    fn bytes_cost_scales() {
+        let m = ServerMetrics::new();
+        let wal = Wal::new(60_000_000, 10.0, 0.0);
+        let (_, c1) = wal.commit(1024, &m);
+        let (_, c2) = wal.commit(4096, &m);
+        assert!((c1 - 10.0).abs() < 1e-9);
+        assert!((c2 - 40.0).abs() < 1e-9);
+        assert_eq!(m.snapshot().wal_bytes, 5120);
+    }
+
+    #[test]
+    fn reset_forces_fsync_again() {
+        let m = ServerMetrics::new();
+        let wal = Wal::new(60_000_000, 0.0, 50.0);
+        let (_, c) = wal.commit(0, &m);
+        assert_eq!(c, 50.0);
+        wal.reset();
+        let (_, c) = wal.commit(0, &m);
+        assert_eq!(c, 50.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Clock abstraction: wall-clock time for the threaded executor, virtual
+//! time for the deterministic discrete-event executor.
+//!
+//! All timestamps in the testbed are microseconds (`u64`) since an arbitrary
+//! epoch (process start for the wall clock, zero for simulated clocks).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Microseconds since the clock's epoch.
+pub type Micros = u64;
+
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+pub const MICROS_PER_MILLI: u64 = 1_000;
+
+/// A source of time. Implementations must be cheap and thread-safe.
+pub trait Clock: Send + Sync {
+    /// Current time in microseconds since the clock's epoch.
+    fn now(&self) -> Micros;
+
+    /// Block the calling thread for the given duration.
+    ///
+    /// For simulated clocks this advances virtual time instead of blocking.
+    fn sleep(&self, micros: Micros);
+
+    /// Sleep until an absolute deadline; no-op if it already passed.
+    fn sleep_until(&self, deadline: Micros) {
+        let now = self.now();
+        if deadline > now {
+            self.sleep(deadline - now);
+        }
+    }
+}
+
+/// Real time, anchored at construction.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> Self {
+        WallClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Micros {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn sleep(&self, micros: Micros) {
+        std::thread::sleep(Duration::from_micros(micros));
+    }
+}
+
+/// A virtual clock advanced explicitly by a simulator.
+///
+/// `sleep` advances the clock immediately: the discrete-event executor is
+/// single-threaded, so "sleeping" is simply time passing. Shared via `Arc` so
+/// every component observes the same virtual time.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now: AtomicU64,
+}
+
+impl SimClock {
+    pub fn new() -> Arc<Self> {
+        Arc::new(SimClock { now: AtomicU64::new(0) })
+    }
+
+    pub fn starting_at(t: Micros) -> Arc<Self> {
+        Arc::new(SimClock { now: AtomicU64::new(t) })
+    }
+
+    /// Advance to an absolute time. Time never moves backwards.
+    pub fn advance_to(&self, t: Micros) {
+        self.now.fetch_max(t, Ordering::SeqCst);
+    }
+
+    /// Advance by a delta.
+    pub fn advance(&self, delta: Micros) {
+        self.now.fetch_add(delta, Ordering::SeqCst);
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Micros {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn sleep(&self, micros: Micros) {
+        self.advance(micros);
+    }
+}
+
+/// Shared handle to any clock.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// Convenience constructors.
+pub fn wall_clock() -> SharedClock {
+    Arc::new(WallClock::new())
+}
+
+pub fn sim_clock() -> (Arc<SimClock>, SharedClock) {
+    let c = SimClock::new();
+    (c.clone(), c as SharedClock)
+}
+
+/// Format a microsecond duration as a human-readable string.
+pub fn fmt_micros(us: Micros) -> String {
+    if us >= MICROS_PER_SEC {
+        format!("{:.2}s", us as f64 / MICROS_PER_SEC as f64)
+    } else if us >= MICROS_PER_MILLI {
+        format!("{:.2}ms", us as f64 / MICROS_PER_MILLI as f64)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_monotonic() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn wall_clock_sleep() {
+        let c = WallClock::new();
+        let a = c.now();
+        c.sleep(2_000);
+        assert!(c.now() - a >= 2_000);
+    }
+
+    #[test]
+    fn sim_clock_advances() {
+        let (sim, clock) = sim_clock();
+        assert_eq!(clock.now(), 0);
+        sim.advance(500);
+        assert_eq!(clock.now(), 500);
+        clock.sleep(1_000);
+        assert_eq!(clock.now(), 1_500);
+        sim.advance_to(1_000); // backwards move ignored
+        assert_eq!(clock.now(), 1_500);
+        sim.advance_to(2_000);
+        assert_eq!(clock.now(), 2_000);
+    }
+
+    #[test]
+    fn sleep_until_past_deadline_is_noop() {
+        let (sim, clock) = sim_clock();
+        sim.advance_to(100);
+        clock.sleep_until(50);
+        assert_eq!(clock.now(), 100);
+        clock.sleep_until(250);
+        assert_eq!(clock.now(), 250);
+    }
+
+    #[test]
+    fn fmt() {
+        assert_eq!(fmt_micros(500), "500µs");
+        assert_eq!(fmt_micros(1_500), "1.50ms");
+        assert_eq!(fmt_micros(2_500_000), "2.50s");
+    }
+}

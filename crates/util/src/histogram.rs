@@ -1,0 +1,308 @@
+//! Log-linear latency histogram (HdrHistogram-style).
+//!
+//! The statistics collector records one latency sample per executed
+//! transaction; the control API reports averages and percentiles per
+//! transaction type (§2.2.4). An exact list of samples would be unbounded,
+//! so we bucket values with bounded relative error: each power-of-two range
+//! is split into `1 << sub_bucket_bits` linear sub-buckets, giving a worst
+//! case relative error of `2^-sub_bucket_bits`.
+
+/// A histogram of non-negative integer values (e.g. latencies in µs).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    sub_bucket_bits: u32,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with the given precision (sub-bucket bits).
+    /// 5 bits ≈ 3% worst-case relative error, plenty for latency reporting.
+    pub fn new(sub_bucket_bits: u32) -> Self {
+        assert!((1..=12).contains(&sub_bucket_bits));
+        Histogram {
+            sub_bucket_bits,
+            counts: Vec::new(),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Default precision for latency recording.
+    pub fn latency() -> Self {
+        Histogram::new(5)
+    }
+
+    #[inline]
+    fn bucket_index(&self, value: u64) -> usize {
+        let sb = self.sub_bucket_bits;
+        if value < (1 << sb) {
+            return value as usize;
+        }
+        // Position of the highest set bit beyond the linear region.
+        let exp = 63 - value.leading_zeros(); // >= sb
+        let shift = exp - sb;
+        let sub = (value >> shift) as usize & ((1usize << sb) - 1);
+        // Each exponent range above the linear region contributes 2^sb slots.
+        ((shift as usize + 1) << sb) + sub
+    }
+
+    /// Lower bound of the values mapped to bucket `idx`.
+    fn bucket_low(&self, idx: usize) -> u64 {
+        let sb = self.sub_bucket_bits as usize;
+        if idx < (1 << sb) {
+            return idx as u64;
+        }
+        let shift = (idx >> sb) - 1;
+        let sub = idx & ((1 << sb) - 1);
+        (((1 << sb) | sub) as u64) << shift
+    }
+
+    /// Representative (midpoint) value for bucket `idx`.
+    fn bucket_mid(&self, idx: usize) -> u64 {
+        let low = self.bucket_low(idx);
+        let high = self.bucket_low(idx + 1);
+        low + (high - low) / 2
+    }
+
+    /// Record a single value.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = self.bucket_index(value);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+        self.total += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.total == 0 { 0 } else { self.min }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at the given percentile (0..=100). Returns 0 when empty.
+    pub fn percentile(&self, pct: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let pct = pct.clamp(0.0, 100.0);
+        let target = ((pct / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                // Clamp the bucket representative into the observed range so
+                // p100 == recorded max for single-value histograms.
+                return self.bucket_mid(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Merge another histogram into this one. Precisions must match.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.sub_bucket_bits, other.sub_bucket_bits);
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Reset all recorded data, keeping precision.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Iterate `(bucket_low, count)` over non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (self.bucket_low(i), *c))
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let h = Histogram::latency();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = Histogram::latency();
+        h.record(1234);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 1234);
+        assert_eq!(h.max(), 1234);
+        assert_eq!(h.p50(), 1234);
+        assert_eq!(h.percentile(100.0), 1234);
+    }
+
+    #[test]
+    fn small_values_exact() {
+        let mut h = Histogram::new(5);
+        for v in 0..32 {
+            h.record(v);
+        }
+        // Linear region is exact.
+        assert_eq!(h.percentile(100.0 / 32.0), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.count(), 32);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut h = Histogram::new(5);
+        for exp in 0..40u32 {
+            let v = 1u64 << exp;
+            h.clear();
+            h.record(v);
+            let p = h.p50();
+            let err = (p as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 32.0 + 1e-9, "v={v} p={p} err={err}");
+        }
+    }
+
+    #[test]
+    fn percentile_ordering() {
+        let mut h = Histogram::latency();
+        for i in 1..=10_000u64 {
+            h.record(i);
+        }
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.percentile(100.0));
+        // p50 of 1..=10000 should be near 5000 (3% precision).
+        let p50 = h.p50() as f64;
+        assert!((p50 - 5000.0).abs() < 5000.0 * 0.05, "p50 {p50}");
+    }
+
+    #[test]
+    fn mean_exact() {
+        let mut h = Histogram::latency();
+        h.record(100);
+        h.record(200);
+        h.record(300);
+        assert_eq!(h.mean(), 200.0);
+    }
+
+    #[test]
+    fn merge_equals_combined() {
+        let mut a = Histogram::latency();
+        let mut b = Histogram::latency();
+        let mut both = Histogram::latency();
+        for i in 0..1000u64 {
+            if i % 2 == 0 {
+                a.record(i * 3);
+            } else {
+                b.record(i * 3);
+            }
+            both.record(i * 3);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.mean(), both.mean());
+        assert_eq!(a.p95(), both.p95());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+    }
+
+    #[test]
+    fn record_n() {
+        let mut h = Histogram::latency();
+        h.record_n(500, 10);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.mean(), 500.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::latency();
+        h.record(42);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn iter_counts_sum_to_total() {
+        let mut h = Histogram::latency();
+        for i in 0..5000u64 {
+            h.record(i * 7 % 100_000);
+        }
+        let sum: u64 = h.iter().map(|(_, c)| c).sum();
+        assert_eq!(sum, h.count());
+    }
+}

@@ -1,0 +1,31 @@
+//! `bp-util`: shared substrate for the BenchPress / OLTP-Bench reproduction.
+//!
+//! This crate contains the dependency-free building blocks the rest of the
+//! workspace is made of:
+//!
+//! - [`rng`]: deterministic PRNG plus the workload distributions
+//!   (uniform, zipfian, scrambled-zipfian, exponential, normal, TPC-C NURand,
+//!   weighted discrete mixtures);
+//! - [`histogram`]: HDR-style log-linear latency histograms;
+//! - [`timeseries`]: per-second throughput/latency windows and summary
+//!   statistics;
+//! - [`clock`]: the wall/virtual clock abstraction that lets the same
+//!   workload-control logic run in real time or in deterministic simulation;
+//! - [`json`]: the JSON value model used by the control API;
+//! - [`xml`]: the `config.xml` parser for OLTP-Bench style workload files;
+//! - [`text`]: synthetic text generators for benchmark data loaders.
+
+pub mod clock;
+pub mod histogram;
+pub mod json;
+pub mod rng;
+pub mod text;
+pub mod timeseries;
+pub mod xml;
+
+pub use clock::{Clock, Micros, SharedClock, SimClock, WallClock, MICROS_PER_SEC};
+pub use histogram::Histogram;
+pub use json::Json;
+pub use rng::{Discrete, NuRand, Rng, ScrambledZipf, Zipf};
+pub use timeseries::{Summary, TimeSeries};
+pub use xml::XmlNode;

@@ -1,0 +1,243 @@
+//! Per-interval aggregation of timestamped samples.
+//!
+//! The statistics collector bins completed requests into fixed-width windows
+//! (one second by default) to produce the throughput and latency series that
+//! the monitoring view and the game's status updates consume.
+
+use crate::clock::{Micros, MICROS_PER_SEC};
+
+/// One aggregated window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window {
+    /// Window start, in µs since epoch.
+    pub start: Micros,
+    /// Number of samples in the window.
+    pub count: u64,
+    /// Sum of sample values (e.g. latencies, µs).
+    pub sum: u128,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl Window {
+    fn empty(start: Micros) -> Window {
+        Window { start, count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A series of fixed-width windows, extended on demand.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    width: Micros,
+    origin: Micros,
+    windows: Vec<Window>,
+}
+
+impl TimeSeries {
+    pub fn new(width: Micros) -> TimeSeries {
+        assert!(width > 0);
+        TimeSeries { width, origin: 0, windows: Vec::new() }
+    }
+
+    /// Per-second series (the default used for throughput plots).
+    pub fn per_second() -> TimeSeries {
+        TimeSeries::new(MICROS_PER_SEC)
+    }
+
+    pub fn width(&self) -> Micros {
+        self.width
+    }
+
+    /// Record a sample with value `value` at time `t`.
+    pub fn record(&mut self, t: Micros, value: u64) {
+        let idx = ((t.saturating_sub(self.origin)) / self.width) as usize;
+        if idx >= self.windows.len() {
+            let mut start = self.origin + self.windows.len() as u64 * self.width;
+            while self.windows.len() <= idx {
+                self.windows.push(Window::empty(start));
+                start += self.width;
+            }
+        }
+        let w = &mut self.windows[idx];
+        w.count += 1;
+        w.sum += value as u128;
+        w.min = w.min.min(value);
+        w.max = w.max.max(value);
+    }
+
+    /// Count-only sample (throughput accounting).
+    pub fn tick(&mut self, t: Micros) {
+        self.record(t, 0);
+    }
+
+    pub fn windows(&self) -> &[Window] {
+        &self.windows
+    }
+
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.windows.iter().map(|w| w.count).sum()
+    }
+
+    /// Rate (samples per second) for each window.
+    pub fn rates(&self) -> Vec<f64> {
+        let per_window_to_per_sec = MICROS_PER_SEC as f64 / self.width as f64;
+        self.windows.iter().map(|w| w.count as f64 * per_window_to_per_sec).collect()
+    }
+
+    /// Mean value per window (0.0 where empty).
+    pub fn means(&self) -> Vec<f64> {
+        self.windows.iter().map(|w| w.mean()).collect()
+    }
+
+    /// Sum of counts in the last `n` complete windows before `now`.
+    pub fn recent_rate(&self, now: Micros, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let current = ((now.saturating_sub(self.origin)) / self.width) as usize;
+        let end = current.min(self.windows.len());
+        let start = end.saturating_sub(n);
+        let count: u64 = self.windows[start..end].iter().map(|w| w.count).sum();
+        let span = (end - start).max(1) as f64 * self.width as f64 / MICROS_PER_SEC as f64;
+        count as f64 / span
+    }
+}
+
+/// Summary statistics over a slice of f64 values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Summary { n, mean, std_dev: var.sqrt(), min, max }
+    }
+
+    /// Coefficient of variation (jitter measure used by the tunnel test).
+    pub fn cv(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// Mean absolute error between two equal-length series, used to quantify
+/// how closely the delivered throughput tracks the requested schedule.
+pub fn mean_abs_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_per_second() {
+        let mut ts = TimeSeries::per_second();
+        for i in 0..2_000u64 {
+            ts.tick(i * 1_000); // 1 event per ms for 2 seconds
+        }
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.windows()[0].count, 1_000);
+        assert_eq!(ts.windows()[1].count, 1_000);
+        assert_eq!(ts.rates(), vec![1_000.0, 1_000.0]);
+    }
+
+    #[test]
+    fn gaps_are_zero_windows() {
+        let mut ts = TimeSeries::per_second();
+        ts.tick(100);
+        ts.tick(3 * MICROS_PER_SEC + 5);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.windows()[1].count, 0);
+        assert_eq!(ts.windows()[2].count, 0);
+        assert_eq!(ts.total(), 2);
+    }
+
+    #[test]
+    fn window_stats() {
+        let mut ts = TimeSeries::per_second();
+        ts.record(10, 100);
+        ts.record(20, 300);
+        let w = ts.windows()[0];
+        assert_eq!(w.count, 2);
+        assert_eq!(w.mean(), 200.0);
+        assert_eq!(w.min, 100);
+        assert_eq!(w.max, 300);
+    }
+
+    #[test]
+    fn recent_rate_window() {
+        let mut ts = TimeSeries::per_second();
+        // 100/s in seconds 0..5
+        for s in 0..5u64 {
+            for i in 0..100u64 {
+                ts.tick(s * MICROS_PER_SEC + i * 10_000);
+            }
+        }
+        let now = 5 * MICROS_PER_SEC;
+        assert!((ts.recent_rate(now, 3) - 100.0).abs() < 1e-9);
+        // Partial current window excluded.
+        ts.tick(now + 1);
+        assert!((ts.recent_rate(now + 2, 3) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_stats() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.cv() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn mae() {
+        assert_eq!(mean_abs_error(&[1.0, 2.0], &[2.0, 0.0]), 1.5);
+        assert_eq!(mean_abs_error(&[], &[]), 0.0);
+    }
+}

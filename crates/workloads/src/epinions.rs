@@ -1,0 +1,318 @@
+//! Epinions: the consumer-review social network (Table 1, Web-Oriented).
+//!
+//! Users, items, reviews and a trust graph, with the original nine
+//! transaction types (five reads over the review/trust join structure,
+//! four updates).
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use bp_core::{BenchmarkClass, LoadSummary, TransactionType, TxnOutcome, Workload};
+use bp_sql::{Connection, Result as SqlResult, StatementCatalog};
+use bp_util::rng::Rng;
+
+use crate::helpers::{p_i, p_s, run_txn};
+
+const BASE_USERS: i64 = 200;
+const BASE_ITEMS: i64 = 200;
+const REVIEWS_PER_ITEM: i64 = 5;
+const TRUST_PER_USER: i64 = 10;
+
+pub struct Epinions {
+    users: AtomicI64,
+    items: AtomicI64,
+}
+
+impl Default for Epinions {
+    fn default() -> Self {
+        Epinions::new()
+    }
+}
+
+impl Epinions {
+    pub fn new() -> Epinions {
+        Epinions { users: AtomicI64::new(BASE_USERS), items: AtomicI64::new(BASE_ITEMS) }
+    }
+
+    fn user(&self, rng: &mut Rng) -> i64 {
+        rng.int_range(0, self.users.load(Ordering::Relaxed).max(1) - 1)
+    }
+
+    fn item(&self, rng: &mut Rng) -> i64 {
+        rng.int_range(0, self.items.load(Ordering::Relaxed).max(1) - 1)
+    }
+}
+
+pub fn catalog() -> StatementCatalog {
+    let mut cat = StatementCatalog::new();
+    cat.define(
+        "create_useracct",
+        "CREATE TABLE ep_user (u_id INT PRIMARY KEY, name VARCHAR(32) NOT NULL)",
+    );
+    cat.define(
+        "create_item",
+        "CREATE TABLE ep_item (i_id INT PRIMARY KEY, title VARCHAR(64) NOT NULL)",
+    );
+    cat.define(
+        "create_review",
+        "CREATE TABLE review (a_id INT PRIMARY KEY, u_id INT NOT NULL, i_id INT NOT NULL, \
+         rating INT NOT NULL, comment VARCHAR(256))",
+    );
+    cat.define("create_review_item_idx", "CREATE INDEX idx_review_item ON review (i_id)");
+    cat.define("create_review_user_idx", "CREATE INDEX idx_review_user ON review (u_id)");
+    cat.define(
+        "create_trust",
+        "CREATE TABLE trust (source_u_id INT NOT NULL, target_u_id INT NOT NULL, trust INT NOT NULL, \
+         PRIMARY KEY (source_u_id, target_u_id))",
+    );
+    cat.define("get_review_by_item", "SELECT * FROM review WHERE i_id = ? ORDER BY rating DESC LIMIT 10");
+    cat.define("get_reviews_by_user", "SELECT * FROM review WHERE u_id = ? LIMIT 10");
+    cat.define(
+        "get_avg_rating_trusted",
+        "SELECT AVG(r.rating) AS avg_r FROM review r JOIN trust t ON r.u_id = t.target_u_id \
+         WHERE r.i_id = ? AND t.source_u_id = ?",
+    );
+    cat.define("get_item_avg_rating", "SELECT AVG(rating) AS avg_r FROM review WHERE i_id = ?");
+    cat.define("update_user_name", "UPDATE ep_user SET name = ? WHERE u_id = ?");
+    cat.define("update_item_title", "UPDATE ep_item SET title = ? WHERE i_id = ?");
+    cat.define(
+        "update_review_rating",
+        "UPDATE review SET rating = ? WHERE i_id = ? AND u_id = ?",
+    );
+    cat.define(
+        "update_trust",
+        "UPDATE trust SET trust = ? WHERE source_u_id = ? AND target_u_id = ?",
+    );
+    cat
+}
+
+impl Workload for Epinions {
+    fn name(&self) -> &'static str {
+        "epinions"
+    }
+
+    fn class(&self) -> BenchmarkClass {
+        BenchmarkClass::WebOriented
+    }
+
+    fn domain(&self) -> &'static str {
+        "Social Networking"
+    }
+
+    fn transaction_types(&self) -> Vec<TransactionType> {
+        vec![
+            TransactionType::new("GetReviewItemById", 20.0, true),
+            TransactionType::new("GetReviewsByUser", 15.0, true),
+            TransactionType::new("GetAverageRatingByTrustedUser", 10.0, true).with_cost(2.0),
+            TransactionType::new("GetItemAverageRating", 15.0, true),
+            TransactionType::new("GetItemReviewsByTrustedUser", 10.0, true).with_cost(2.0),
+            TransactionType::new("UpdateUserName", 7.5, false),
+            TransactionType::new("UpdateItemTitle", 7.5, false),
+            TransactionType::new("UpdateReviewRating", 7.5, false),
+            TransactionType::new("UpdateTrustRating", 7.5, false),
+        ]
+    }
+
+    fn create_schema(&self, conn: &mut Connection) -> SqlResult<()> {
+        let cat = catalog();
+        for stmt in [
+            "create_useracct",
+            "create_item",
+            "create_review",
+            "create_review_item_idx",
+            "create_review_user_idx",
+            "create_trust",
+        ] {
+            conn.execute(&cat.resolve(stmt, bp_sql::Dialect::MySql).unwrap(), &[])?;
+        }
+        Ok(())
+    }
+
+    fn load(&self, conn: &mut Connection, scale: f64, rng: &mut Rng) -> SqlResult<LoadSummary> {
+        let users = ((BASE_USERS as f64 * scale) as i64).max(10);
+        let items = ((BASE_ITEMS as f64 * scale) as i64).max(10);
+        let mut rows = 0u64;
+        for u in 0..users {
+            conn.execute(
+                "INSERT INTO ep_user VALUES (?, ?)",
+                &[p_i(u), p_s(bp_util::text::full_name(rng))],
+            )?;
+            rows += 1;
+        }
+        for i in 0..items {
+            conn.execute(
+                "INSERT INTO ep_item VALUES (?, ?)",
+                &[p_i(i), p_s(rng.astring(10, 40))],
+            )?;
+            rows += 1;
+        }
+        let mut a_id = 0;
+        for i in 0..items {
+            for _ in 0..rng.int_range(1, REVIEWS_PER_ITEM) {
+                conn.execute(
+                    "INSERT INTO review VALUES (?, ?, ?, ?, ?)",
+                    &[
+                        p_i(a_id),
+                        p_i(rng.int_range(0, users - 1)),
+                        p_i(i),
+                        p_i(rng.int_range(0, 5)),
+                        p_s(bp_util::text::words(rng, 8)),
+                    ],
+                )?;
+                a_id += 1;
+                rows += 1;
+            }
+        }
+        for u in 0..users {
+            let mut targets = std::collections::HashSet::new();
+            for _ in 0..rng.int_range(1, TRUST_PER_USER) {
+                let t = rng.int_range(0, users - 1);
+                if t != u && targets.insert(t) {
+                    conn.execute(
+                        "INSERT INTO trust VALUES (?, ?, ?)",
+                        &[p_i(u), p_i(t), p_i(rng.int_range(0, 1))],
+                    )?;
+                    rows += 1;
+                }
+            }
+        }
+        self.users.store(users, Ordering::Relaxed);
+        self.items.store(items, Ordering::Relaxed);
+        Ok(LoadSummary { tables: 4, rows })
+    }
+
+    fn execute(&self, txn_idx: usize, conn: &mut Connection, rng: &mut Rng) -> SqlResult<TxnOutcome> {
+        let u = self.user(rng);
+        let i = self.item(rng);
+        match txn_idx {
+            0 => run_txn(conn, |c| {
+                c.query("SELECT * FROM review WHERE i_id = ? ORDER BY rating DESC LIMIT 10", &[p_i(i)])?;
+                Ok(TxnOutcome::Committed)
+            }),
+            1 => run_txn(conn, |c| {
+                c.query("SELECT * FROM review WHERE u_id = ? LIMIT 10", &[p_i(u)])?;
+                Ok(TxnOutcome::Committed)
+            }),
+            2 => run_txn(conn, |c| {
+                c.query(
+                    "SELECT AVG(r.rating) AS avg_r FROM review r JOIN trust t ON r.u_id = t.target_u_id \
+                     WHERE r.i_id = ? AND t.source_u_id = ?",
+                    &[p_i(i), p_i(u)],
+                )?;
+                Ok(TxnOutcome::Committed)
+            }),
+            3 => run_txn(conn, |c| {
+                c.query("SELECT AVG(rating) AS avg_r FROM review WHERE i_id = ?", &[p_i(i)])?;
+                Ok(TxnOutcome::Committed)
+            }),
+            4 => run_txn(conn, |c| {
+                c.query(
+                    "SELECT r.rating, r.comment FROM review r JOIN trust t ON r.u_id = t.target_u_id \
+                     WHERE r.i_id = ? AND t.source_u_id = ? LIMIT 10",
+                    &[p_i(i), p_i(u)],
+                )?;
+                Ok(TxnOutcome::Committed)
+            }),
+            5 => {
+                let name = bp_util::text::full_name(rng);
+                run_txn(conn, |c| {
+                    c.execute("UPDATE ep_user SET name = ? WHERE u_id = ?", &[p_s(name.clone()), p_i(u)])?;
+                    Ok(TxnOutcome::Committed)
+                })
+            }
+            6 => {
+                let title = rng.astring(10, 40);
+                run_txn(conn, |c| {
+                    c.execute("UPDATE ep_item SET title = ? WHERE i_id = ?", &[p_s(title.clone()), p_i(i)])?;
+                    Ok(TxnOutcome::Committed)
+                })
+            }
+            7 => {
+                let rating = rng.int_range(0, 5);
+                run_txn(conn, |c| {
+                    let n = c
+                        .execute(
+                            "UPDATE review SET rating = ? WHERE i_id = ? AND u_id = ?",
+                            &[p_i(rating), p_i(i), p_i(u)],
+                        )?
+                        .affected();
+                    Ok(if n == 0 { TxnOutcome::UserAborted } else { TxnOutcome::Committed })
+                })
+            }
+            8 => {
+                let target = self.user(rng);
+                let trust = rng.int_range(0, 1);
+                run_txn(conn, |c| {
+                    let n = c
+                        .execute(
+                            "UPDATE trust SET trust = ? WHERE source_u_id = ? AND target_u_id = ?",
+                            &[p_i(trust), p_i(u), p_i(target)],
+                        )?
+                        .affected();
+                    Ok(if n == 0 { TxnOutcome::UserAborted } else { TxnOutcome::Committed })
+                })
+            }
+            other => panic!("epinions has no transaction {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_storage::{Database, Personality};
+
+    fn setup() -> (Epinions, Connection) {
+        let db = Database::new(Personality::test());
+        let w = Epinions::new();
+        let mut conn = Connection::open(&db);
+        w.setup(&mut conn, 0.3, &mut Rng::new(1)).unwrap();
+        (w, conn)
+    }
+
+    #[test]
+    fn all_transactions_run() {
+        let (w, mut conn) = setup();
+        let mut rng = Rng::new(2);
+        for idx in 0..9 {
+            for _ in 0..10 {
+                w.execute(idx, &mut conn, &mut rng).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn trusted_rating_join_returns_subset() {
+        let (_, mut conn) = setup();
+        // The trusted average is computed over a subset of all reviews.
+        let all = conn
+            .query("SELECT COUNT(*) AS n FROM review WHERE i_id = 0", &[])
+            .unwrap()
+            .get_int(0, "n")
+            .unwrap();
+        let trusted = conn
+            .query(
+                "SELECT COUNT(*) AS n FROM review r JOIN trust t ON r.u_id = t.target_u_id \
+                 WHERE r.i_id = 0 AND t.source_u_id = 0",
+                &[],
+            )
+            .unwrap()
+            .get_int(0, "n")
+            .unwrap();
+        assert!(trusted <= all * TRUST_PER_USER);
+    }
+
+    #[test]
+    fn weights_sum_to_100() {
+        assert!((Epinions::new().default_weights().iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn catalog_resolves_in_all_dialects() {
+        let cat = catalog();
+        for name in cat.names() {
+            for d in bp_sql::Dialect::all() {
+                bp_sql::parse(&cat.resolve(name, d).unwrap()).unwrap();
+            }
+        }
+    }
+}

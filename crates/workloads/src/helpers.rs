@@ -1,0 +1,75 @@
+//! Shared helpers for benchmark transaction control code.
+
+use bp_sql::{Connection, Result as SqlResult};
+use bp_storage::Value;
+
+/// Run `body` in an explicit transaction: commit on success, roll back on
+/// error. The standard wrapper for every benchmark transaction.
+pub fn run_txn<T>(
+    conn: &mut Connection,
+    body: impl FnOnce(&mut Connection) -> SqlResult<T>,
+) -> SqlResult<T> {
+    conn.begin()?;
+    match body(conn) {
+        Ok(v) => {
+            // The body may have rolled back itself (benchmark-level aborts
+            // like TPC-C's invalid-item NewOrder).
+            if conn.in_transaction() {
+                conn.commit()?;
+            }
+            Ok(v)
+        }
+        Err(e) => {
+            if conn.in_transaction() {
+                let _ = conn.rollback();
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Integer parameter shorthand.
+pub fn p_i(v: i64) -> Value {
+    Value::Int(v)
+}
+
+/// Float parameter shorthand.
+pub fn p_f(v: f64) -> Value {
+    Value::Float(v)
+}
+
+/// String parameter shorthand.
+pub fn p_s(v: impl Into<String>) -> Value {
+    Value::Str(v.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_sql::SqlError;
+    use bp_storage::{Database, Personality};
+
+    #[test]
+    fn run_txn_commits() {
+        let db = Database::new(Personality::test());
+        let mut c = Connection::open(&db);
+        c.execute_batch("CREATE TABLE t (id INT PRIMARY KEY);").unwrap();
+        run_txn(&mut c, |c| c.execute("INSERT INTO t VALUES (1)", &[])).unwrap();
+        assert!(!c.in_transaction());
+        assert_eq!(c.query("SELECT COUNT(*) AS n FROM t", &[]).unwrap().get_int(0, "n"), Some(1));
+    }
+
+    #[test]
+    fn run_txn_rolls_back_on_error() {
+        let db = Database::new(Personality::test());
+        let mut c = Connection::open(&db);
+        c.execute_batch("CREATE TABLE t (id INT PRIMARY KEY);").unwrap();
+        let r: SqlResult<()> = run_txn(&mut c, |c| {
+            c.execute("INSERT INTO t VALUES (1)", &[])?;
+            Err(SqlError::Eval("boom".into()))
+        });
+        assert!(r.is_err());
+        assert!(!c.in_transaction());
+        assert_eq!(c.query("SELECT COUNT(*) AS n FROM t", &[]).unwrap().get_int(0, "n"), Some(0));
+    }
+}

@@ -1,0 +1,256 @@
+//! YCSB: the Yahoo! Cloud Serving Benchmark ("Scalable Key-value Store",
+//! Table 1, Feature Testing).
+//!
+//! One `usertable` with a key and 10 value fields; operations Read, Update,
+//! Insert, Scan, ReadModifyWrite and Delete over a zipfian key
+//! distribution.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use bp_core::{BenchmarkClass, LoadSummary, TransactionType, TxnOutcome, Workload};
+use bp_sql::{Connection, Result as SqlResult, StatementCatalog};
+use bp_util::rng::{Rng, Zipf};
+
+use crate::helpers::{p_i, p_s, run_txn};
+
+const FIELDS: usize = 10;
+const BASE_RECORDS: i64 = 1_000;
+const ZIPF_THETA: f64 = 0.9;
+
+pub struct Ycsb {
+    records: AtomicI64,
+    zipf: Zipf,
+}
+
+impl Default for Ycsb {
+    fn default() -> Self {
+        Ycsb::new()
+    }
+}
+
+impl Ycsb {
+    pub fn new() -> Ycsb {
+        Ycsb { records: AtomicI64::new(0), zipf: Zipf::new(BASE_RECORDS as u64, ZIPF_THETA) }
+    }
+
+    fn key(&self, rng: &mut Rng) -> i64 {
+        let n = self.records.load(Ordering::Relaxed).max(1) as u64;
+        // Zipf over the loaded domain, clamped in case of deletes.
+        (self.zipf.sample(rng) % n) as i64
+    }
+}
+
+/// The statement catalog (canonical SQL; dialect-translated per target).
+pub fn catalog() -> StatementCatalog {
+    let mut cat = StatementCatalog::new();
+    cat.define(
+        "create_usertable",
+        "CREATE TABLE usertable (ycsb_key INT PRIMARY KEY, \
+         field0 VARCHAR(100), field1 VARCHAR(100), field2 VARCHAR(100), field3 VARCHAR(100), \
+         field4 VARCHAR(100), field5 VARCHAR(100), field6 VARCHAR(100), field7 VARCHAR(100), \
+         field8 VARCHAR(100), field9 VARCHAR(100))",
+    );
+    cat.define("read", "SELECT * FROM usertable WHERE ycsb_key = ?");
+    cat.define("update", "UPDATE usertable SET field0 = ? WHERE ycsb_key = ?");
+    cat.define(
+        "insert",
+        "INSERT INTO usertable VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+    );
+    cat.define(
+        "scan",
+        "SELECT * FROM usertable WHERE ycsb_key >= ? AND ycsb_key < ? LIMIT 100",
+    );
+    cat.define("delete", "DELETE FROM usertable WHERE ycsb_key = ?");
+    cat
+}
+
+fn field(rng: &mut Rng) -> bp_storage::Value {
+    p_s(rng.astring(32, 100))
+}
+
+impl Workload for Ycsb {
+    fn name(&self) -> &'static str {
+        "ycsb"
+    }
+
+    fn class(&self) -> BenchmarkClass {
+        BenchmarkClass::FeatureTesting
+    }
+
+    fn domain(&self) -> &'static str {
+        "Scalable Key-value Store"
+    }
+
+    fn transaction_types(&self) -> Vec<TransactionType> {
+        vec![
+            TransactionType::new("Read", 50.0, true),
+            TransactionType::new("Update", 35.0, false),
+            TransactionType::new("Insert", 5.0, false),
+            TransactionType::new("Scan", 5.0, true).with_cost(3.0),
+            TransactionType::new("ReadModifyWrite", 4.0, false).with_cost(1.5),
+            TransactionType::new("Delete", 1.0, false),
+        ]
+    }
+
+    fn create_schema(&self, conn: &mut Connection) -> SqlResult<()> {
+        let cat = catalog();
+        conn.execute(&cat.resolve("create_usertable", bp_sql::Dialect::MySql).unwrap(), &[])?;
+        Ok(())
+    }
+
+    fn load(&self, conn: &mut Connection, scale: f64, rng: &mut Rng) -> SqlResult<LoadSummary> {
+        let n = ((BASE_RECORDS as f64 * scale) as i64).max(10);
+        for key in 0..n {
+            let mut params = Vec::with_capacity(FIELDS + 1);
+            params.push(p_i(key));
+            for _ in 0..FIELDS {
+                params.push(field(rng));
+            }
+            conn.execute(
+                "INSERT INTO usertable VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                &params,
+            )?;
+        }
+        self.records.store(n, Ordering::Relaxed);
+        Ok(LoadSummary { tables: 1, rows: n as u64 })
+    }
+
+    fn execute(&self, txn_idx: usize, conn: &mut Connection, rng: &mut Rng) -> SqlResult<TxnOutcome> {
+        let key = self.key(rng);
+        match txn_idx {
+            0 => run_txn(conn, |c| {
+                c.query("SELECT * FROM usertable WHERE ycsb_key = ?", &[p_i(key)])?;
+                Ok(TxnOutcome::Committed)
+            }),
+            1 => {
+                let v = field(rng);
+                run_txn(conn, |c| {
+                    c.execute(
+                        "UPDATE usertable SET field0 = ? WHERE ycsb_key = ?",
+                        &[v, p_i(key)],
+                    )?;
+                    Ok(TxnOutcome::Committed)
+                })
+            }
+            2 => {
+                let new_key = self.records.fetch_add(1, Ordering::Relaxed);
+                let mut params = Vec::with_capacity(FIELDS + 1);
+                params.push(p_i(new_key));
+                for _ in 0..FIELDS {
+                    params.push(field(rng));
+                }
+                run_txn(conn, |c| {
+                    c.execute(
+                        "INSERT INTO usertable VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        &params,
+                    )?;
+                    Ok(TxnOutcome::Committed)
+                })
+            }
+            3 => {
+                let span = rng.int_range(10, 100);
+                run_txn(conn, |c| {
+                    c.query(
+                        "SELECT * FROM usertable WHERE ycsb_key >= ? AND ycsb_key < ? LIMIT 100",
+                        &[p_i(key), p_i(key + span)],
+                    )?;
+                    Ok(TxnOutcome::Committed)
+                })
+            }
+            4 => {
+                let v = field(rng);
+                run_txn(conn, |c| {
+                    c.query(
+                        "SELECT * FROM usertable WHERE ycsb_key = ? FOR UPDATE",
+                        &[p_i(key)],
+                    )?;
+                    c.execute(
+                        "UPDATE usertable SET field1 = ? WHERE ycsb_key = ?",
+                        &[v, p_i(key)],
+                    )?;
+                    Ok(TxnOutcome::Committed)
+                })
+            }
+            5 => run_txn(conn, |c| {
+                c.execute("DELETE FROM usertable WHERE ycsb_key = ?", &[p_i(key)])?;
+                Ok(TxnOutcome::Committed)
+            }),
+            other => panic!("ycsb has no transaction {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_storage::{Database, Personality};
+
+    fn setup() -> (Ycsb, Connection) {
+        let db = Database::new(Personality::test());
+        let w = Ycsb::new();
+        let mut conn = Connection::open(&db);
+        w.create_schema(&mut conn).unwrap();
+        w.load(&mut conn, 0.1, &mut Rng::new(1)).unwrap();
+        (w, conn)
+    }
+
+    #[test]
+    fn load_scales() {
+        let (_, mut conn) = setup();
+        let n = conn
+            .query("SELECT COUNT(*) AS n FROM usertable", &[])
+            .unwrap()
+            .get_int(0, "n")
+            .unwrap();
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn every_transaction_type_runs() {
+        let (w, mut conn) = setup();
+        let mut rng = Rng::new(2);
+        for idx in 0..w.transaction_types().len() {
+            for _ in 0..5 {
+                w.execute(idx, &mut conn, &mut rng).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn insert_grows_table() {
+        let (w, mut conn) = setup();
+        let mut rng = Rng::new(3);
+        let before = conn.query("SELECT COUNT(*) AS n FROM usertable", &[]).unwrap().get_int(0, "n").unwrap();
+        for _ in 0..10 {
+            w.execute(2, &mut conn, &mut rng).unwrap();
+        }
+        let after = conn.query("SELECT COUNT(*) AS n FROM usertable", &[]).unwrap().get_int(0, "n").unwrap();
+        assert_eq!(after, before + 10);
+    }
+
+    #[test]
+    fn weights_sum_to_100() {
+        let w = Ycsb::new();
+        let sum: f64 = w.default_weights().iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_keys_skewed() {
+        let (w, _) = setup();
+        let mut rng = Rng::new(4);
+        let head = (0..10_000).filter(|_| w.key(&mut rng) < 10).count();
+        assert!(head > 1_000, "zipf head share too small: {head}");
+    }
+
+    #[test]
+    fn catalog_resolves_in_all_dialects() {
+        let cat = catalog();
+        for name in cat.names() {
+            for d in bp_sql::Dialect::all() {
+                let sql = cat.resolve(name, d).unwrap();
+                bp_sql::parse(&sql).unwrap_or_else(|e| panic!("{name}/{d:?}: {e}"));
+            }
+        }
+    }
+}

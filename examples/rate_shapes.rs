@@ -1,0 +1,71 @@
+//! The §4.1.2 execution shapes on the deterministic simulator: steps,
+//! sinusoid, peak and tunnel, printed as target-vs-delivered sparklines for
+//! each DBMS stage.
+//!
+//! ```sh
+//! cargo run --release --example rate_shapes
+//! ```
+
+use benchpress::core::{simulate_script, CapacityModel, Phase, PhaseScript, Rate, SimDbms};
+use benchpress::workloads::by_name;
+
+fn sparkline(values: &[f64], max: f64) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|v| {
+            let idx = ((v / max).clamp(0.0, 1.0) * 7.0).round() as usize;
+            BARS[idx]
+        })
+        .collect()
+}
+
+fn shape_script(shape: &str, cap: f64, seconds: f64) -> PhaseScript {
+    match shape {
+        "steps" => PhaseScript::new(
+            (1..=5)
+                .map(|i| Phase::new(Rate::Limited(cap * 0.25 * i as f64), seconds / 5.0))
+                .collect(),
+        ),
+        "sinusoid" => PhaseScript::new(
+            (0..24)
+                .map(|i| {
+                    let level =
+                        cap * (0.5 + 0.35 * (i as f64 / 24.0 * std::f64::consts::TAU * 2.0).sin());
+                    Phase::new(Rate::Limited(level), seconds / 24.0)
+                })
+                .collect(),
+        ),
+        "peak" => PhaseScript::new(vec![
+            Phase::new(Rate::Limited(cap * 0.3), seconds * 0.4),
+            Phase::new(Rate::Limited(cap * 0.95), seconds * 0.2),
+            Phase::new(Rate::Limited(cap * 0.3), seconds * 0.4),
+        ]),
+        "tunnel" => PhaseScript::constant(Rate::Limited(cap * 0.6), seconds),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let types = by_name("ycsb").unwrap().transaction_types();
+    for shape in ["steps", "sinusoid", "peak", "tunnel"] {
+        println!("== {shape} ==");
+        for model in CapacityModel::all() {
+            let cap = model.capacity(0.4, 1.0);
+            let script = shape_script(shape, cap, 60.0);
+            let mut dbms = SimDbms::new(model.clone(), 42);
+            let run = simulate_script(&mut dbms, &script, &types, 1e5, 0.25);
+            let max = cap * 1.2;
+            // Downsample to ~60 chars.
+            let step = (run.samples.len() / 60).max(1);
+            let target: Vec<f64> = run.requested().iter().step_by(step).cloned().collect();
+            let delivered: Vec<f64> = run.delivered().iter().step_by(step).cloned().collect();
+            if model.name == "mysql" {
+                println!("  target    {}", sparkline(&target, max));
+            }
+            println!("  {:<9} {}", model.name, sparkline(&delivered, max));
+        }
+        println!();
+    }
+    println!("(each stage is normalized to its own capacity; jitter is what sinks derby)");
+}

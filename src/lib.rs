@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the whole BenchPress workspace.
+pub use bp_api as api;
+pub use bp_core as core;
+pub use bp_game as game;
+pub use bp_monitor as monitor;
+pub use bp_sql as sql;
+pub use bp_storage as storage;
+pub use bp_util as util;
+pub use bp_workloads as workloads;

@@ -1,0 +1,115 @@
+//! E2 (Fig. 1): the full testbed pipeline, end to end.
+//!
+//! XML config → workload manager + workers → SQL connections → embedded
+//! engine, with server-side monitoring alongside, producing a trace that
+//! the Trace Analyzer rolls up — every box of the architecture figure.
+
+use std::sync::Arc;
+
+use benchpress::core::{RunConfig, TraceAnalyzer, WorkloadConfig};
+use benchpress::monitor::Monitor;
+use benchpress::sql::Connection;
+use benchpress::storage::{Database, Personality};
+use benchpress::util::clock::wall_clock;
+use benchpress::util::rng::Rng;
+use benchpress::workloads::by_name;
+
+const CONFIG_XML: &str = r#"<?xml version="1.0"?>
+<parameters>
+    <dbtype>test</dbtype>
+    <benchmark>smallbank</benchmark>
+    <scalefactor>0.3</scalefactor>
+    <terminals>4</terminals>
+    <works>
+        <work>
+            <time>1.5</time>
+            <rate>150</rate>
+        </work>
+        <work>
+            <time>1.5</time>
+            <rate>300</rate>
+            <arrival>exponential</arrival>
+        </work>
+    </works>
+</parameters>"#;
+
+#[test]
+fn full_pipeline_from_config_xml() {
+    // 1. Parse the workload configuration file.
+    let cfg = WorkloadConfig::parse(CONFIG_XML).expect("config parses");
+    assert_eq!(cfg.benchmark, "smallbank");
+
+    // 2. Bring up the DBMS with the configured personality.
+    let personality = Personality::by_name(&cfg.dbtype).expect("personality");
+    let db = Database::new(personality);
+
+    // 3. Load the benchmark's schema and data.
+    let workload = by_name(&cfg.benchmark).expect("benchmark");
+    let mut conn = Connection::open(&db);
+    let summary = workload
+        .setup(&mut conn, cfg.scale_factor, &mut Rng::new(1))
+        .expect("load");
+    assert!(summary.rows > 0);
+
+    // 4. Start monitoring (dstat-style) alongside.
+    let clock = wall_clock();
+    let monitor = Arc::new(Monitor::new(db.clone(), clock.clone()));
+    let monitor_guard = monitor.spawn(200_000);
+
+    // 5. Run the phase script with the threaded executor.
+    let run_cfg: RunConfig = cfg.run_config(99);
+    let script = run_cfg.script.clone();
+    let handle = benchpress::core::start(db, workload, clock, run_cfg);
+    let trace = handle.trace.clone().expect("trace collection enabled");
+    let controller = handle.join();
+    drop(monitor_guard);
+
+    // 6. Analyze the trace: both phases visible, rate tracked, no overshoot.
+    let analysis = TraceAnalyzer::analyze(&trace, 6);
+    assert!(analysis.committed > 300, "committed {}", analysis.committed);
+    let tracking = TraceAnalyzer::tracking(&trace, &script, 50_000.0, 0.10);
+    assert_eq!(tracking.overshoot_seconds, 0, "never-exceed violated");
+    // Phase 2 is twice the rate of phase 1.
+    let p1 = tracking.delivered[0];
+    let p2 = tracking.delivered[2];
+    assert!(p2 > p1 * 1.5, "phase change not visible: {p1} -> {p2}");
+
+    // 7. Monitoring saw the run.
+    let samples = monitor.samples();
+    assert!(samples.len() >= 5, "{} samples", samples.len());
+    assert!(samples.iter().any(|s| s.commits_per_s > 50.0));
+    let csv = monitor.to_csv();
+    assert!(csv.lines().count() > 5);
+
+    // 8. Per-type stats flowed into the collector too.
+    let per_type = controller.stats().per_type_summary();
+    assert_eq!(per_type.len(), 6, "smallbank has six transaction types");
+    assert!(per_type.iter().map(|t| t.count).sum::<u64>() > 300);
+
+    // 9. The trace round-trips through the text format (trace.txt).
+    let text = trace.to_text();
+    let reloaded = benchpress::core::Trace::from_text(&text).expect("reload");
+    assert_eq!(reloaded.len(), trace.len());
+}
+
+#[test]
+fn tpcc_runs_under_throttle_on_real_engine() {
+    let db = Database::new(Personality::test());
+    let workload = by_name("tpcc").unwrap();
+    let mut conn = Connection::open(&db);
+    workload.setup(&mut conn, 1.0, &mut Rng::new(5)).unwrap();
+    let cfg = RunConfig {
+        terminals: 4,
+        script: benchpress::core::PhaseScript::constant(benchpress::core::Rate::Limited(120.0), 2.0),
+        ..Default::default()
+    };
+    let handle = benchpress::core::start(db, workload, wall_clock(), cfg);
+    let controller = handle.join();
+    let done = controller.stats().total_completed();
+    assert!((180..=260).contains(&(done as i64)), "completed {done}");
+    // The standard mix: NewOrder ~45%, Payment ~43%.
+    let per_type = controller.stats().per_type_summary();
+    let total: u64 = per_type.iter().map(|t| t.count).sum();
+    let new_order_share = per_type[0].count as f64 / total as f64;
+    assert!((0.3..=0.6).contains(&new_order_share), "NewOrder share {new_order_share}");
+}

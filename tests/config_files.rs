@@ -1,0 +1,32 @@
+//! The shipped sample configuration files stay loadable.
+
+use benchpress::core::WorkloadConfig;
+use benchpress::game::Course;
+use benchpress::storage::Personality;
+use benchpress::workloads::by_name;
+
+#[test]
+fn shipped_workload_configs_parse_and_resolve() {
+    for file in ["configs/tpcc_mysql.xml", "configs/voter_readonly_burst.xml"] {
+        let xml = std::fs::read_to_string(file).unwrap();
+        let cfg = WorkloadConfig::parse(&xml).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert!(
+            Personality::by_name(&cfg.dbtype).is_some(),
+            "{file}: unknown dbtype {}",
+            cfg.dbtype
+        );
+        assert!(by_name(&cfg.benchmark).is_some(), "{file}: unknown benchmark {}", cfg.benchmark);
+        assert!(!cfg.script.phases.is_empty());
+        assert!(cfg.script.total_duration_us() > 0);
+    }
+}
+
+#[test]
+fn shipped_challenge_parses() {
+    let xml = std::fs::read_to_string("configs/challenge_custom.xml").unwrap();
+    let course = Course::from_xml(&xml).unwrap();
+    assert_eq!(course.name, "climb-and-hold");
+    assert_eq!(course.obstacles.len(), 4);
+    assert!(course.obstacles[2].autopilot);
+    assert_eq!(course.duration_us, 70_000_000);
+}

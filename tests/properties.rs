@@ -1,0 +1,168 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+
+use benchpress::core::{ArrivalDist, Mixture, RequestQueue};
+use benchpress::sql::{parse, Dialect};
+use benchpress::storage::Value;
+use benchpress::util::clock::{sim_clock, MICROS_PER_SEC};
+use benchpress::util::histogram::Histogram;
+use benchpress::util::json::Json;
+use benchpress::util::rng::{Discrete, Rng};
+
+proptest! {
+    /// The arrival generator emits exactly n offsets within the second,
+    /// sorted, for both distributions.
+    #[test]
+    fn arrival_offsets_exact_and_sorted(n in 0usize..2_000, seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        for dist in [ArrivalDist::Uniform, ArrivalDist::Exponential] {
+            let offs = dist.offsets(n, &mut rng);
+            prop_assert_eq!(offs.len(), n);
+            prop_assert!(offs.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(offs.iter().all(|o| *o < MICROS_PER_SEC));
+        }
+    }
+
+    /// Never-exceed: however the backlog looks, a gated queue dispatches at
+    /// most `rate + 1` requests in any whole simulated second.
+    #[test]
+    fn queue_never_exceeds_rate(
+        rate in 50u64..2_000,
+        backlog in 1usize..3_000,
+        seed in any::<u64>(),
+    ) {
+        let (sim, clock) = sim_clock();
+        let q = RequestQueue::new(clock);
+        q.set_rate(rate as f64);
+        let mut rng = Rng::new(seed);
+        // Arbitrary past arrivals.
+        q.push_arrivals((0..backlog).map(|_| rng.bounded(MICROS_PER_SEC)));
+        sim.advance_to(2 * MICROS_PER_SEC);
+        // Count dispatches over exactly one simulated second.
+        let mut dispatched = 0u64;
+        for _ in 0..1_000 {
+            while q.try_pull().is_some() {
+                dispatched += 1;
+            }
+            sim.advance(1_000);
+        }
+        prop_assert!(
+            dispatched <= rate + 2,
+            "dispatched {} in 1s at rate {}", dispatched, rate
+        );
+    }
+
+    /// Histogram percentiles stay within the recorded min/max and are
+    /// monotone in the percentile.
+    #[test]
+    fn histogram_percentile_bounds(values in prop::collection::vec(0u64..10_000_000, 1..400)) {
+        let mut h = Histogram::latency();
+        for v in &values {
+            h.record(*v);
+        }
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        let mut last = 0;
+        for pct in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            let p = h.percentile(pct);
+            prop_assert!(p >= min && p <= max, "p{pct} = {p} outside [{min}, {max}]");
+            prop_assert!(p >= last);
+            last = p;
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// Mixture probabilities always sum to 1 and zero weights are never
+    /// sampled.
+    #[test]
+    fn mixture_probabilities(weights in prop::collection::vec(0.0f64..100.0, 1..12), seed in any::<u64>()) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let m = match Mixture::new(weights.clone()) {
+            Ok(m) => m,
+            Err(_) => return Ok(()),
+        };
+        let total: f64 = (0..m.len()).map(|i| m.probability(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let mut rng = Rng::new(seed);
+        for _ in 0..200 {
+            let idx = m.sample(&mut rng);
+            prop_assert!(weights[idx] > 0.0, "sampled zero-weight index {idx}");
+        }
+    }
+
+    /// Discrete sampling respects the support.
+    #[test]
+    fn discrete_sampler_in_support(weights in prop::collection::vec(0.01f64..10.0, 1..20), seed in any::<u64>()) {
+        let d = Discrete::new(&weights);
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(d.sample(&mut rng) < weights.len());
+        }
+    }
+
+    /// JSON round-trips arbitrary (string, number, bool) objects.
+    #[test]
+    fn json_roundtrip(
+        pairs in prop::collection::vec(("[a-z]{1,8}", -1e9f64..1e9), 0..10),
+        flag in any::<bool>(),
+        text in "[ -~]{0,40}",
+    ) {
+        let mut obj = Json::obj().set("flag", flag).set("text", text.as_str());
+        for (k, v) in &pairs {
+            obj = obj.set(k, *v);
+        }
+        let s = obj.to_string();
+        let back = Json::parse(&s).unwrap();
+        prop_assert_eq!(back, obj);
+    }
+
+    /// Every SQL statement our dialect layer renders from a parsed
+    /// statement re-parses (idempotent rendering).
+    #[test]
+    fn dialect_render_reparse_roundtrip(
+        table in "[a-z][a-z0-9_]{0,10}",
+        col in "[a-z][a-z0-9_]{0,10}",
+        v in -1_000_000i64..1_000_000,
+        limit in 1i64..100,
+    ) {
+        let sql = format!(
+            "SELECT {col} FROM {table} WHERE {col} >= {v} ORDER BY {col} DESC LIMIT {limit}"
+        );
+        let stmt = match parse(&sql) {
+            Ok(s) => s,
+            Err(_) => return Ok(()), // e.g. col collided with a keyword
+        };
+        for d in Dialect::all() {
+            let rendered = d.render(&stmt);
+            let reparsed = parse(&rendered);
+            prop_assert!(reparsed.is_ok(), "{:?}: {} -> {:?}", d, rendered, reparsed.err());
+            let rerendered = d.render(&reparsed.unwrap());
+            prop_assert_eq!(&rendered, &rerendered, "{:?} rendering not idempotent", d);
+        }
+    }
+
+    /// Storage Value ordering is a total order consistent with equality.
+    #[test]
+    fn value_ordering_total(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        if a.cmp(&b) == Ordering::Less {
+            prop_assert_eq!(b.cmp(&a), Ordering::Greater);
+        }
+        // Transitivity (on a sorted triple).
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9]{0,12}".prop_map(Value::Str),
+    ]
+}
