@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use bp_util::sync::RwLock;
 
 use bp_core::{Controller, MixturePreset, Rate, StatusSnapshot};
 use bp_util::json::Json;

@@ -1,10 +1,11 @@
 //! Bench E6/E7/E8: the game experiments on deterministic simulation —
 //! full autopilot courses per DBMS model, two-player interference, and the
-//! physics hot loop.
+//! physics hot loop. Plain `fn main()` harness (hermetic build — no
+//! criterion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use bp_bench::timing::{group, Bencher};
 use bp_core::{CapacityModel, TransactionType};
 use bp_game::{
     chase_center_policy, Course, Game, GameSession, Input, PhysicsConfig, SimBackend,
@@ -22,61 +23,53 @@ fn physics() -> PhysicsConfig {
     PhysicsConfig { jump_tps: 60.0, gravity_tps_per_s: 40.0, max_tps: 1_500.0 }
 }
 
-fn bench_autopilot_courses(c: &mut Criterion) {
-    let mut group = c.benchmark_group("autopilot_course");
-    group.sample_size(20);
+fn bench_autopilot_courses(b: &mut Bencher) {
+    group("autopilot_course");
     for model in [CapacityModel::mysql_like(), CapacityModel::derby_like()] {
         for course in Course::demo_set(1_000.0) {
             let id = format!("{}/{}", model.name, course.name);
-            group.bench_with_input(BenchmarkId::from_parameter(id), &course, |b, course| {
-                b.iter(|| {
-                    let game = Game::new("ycsb", model.name, course.clone(), physics());
-                    let backend = SimBackend::new(model.clone(), types(), 42);
-                    let mut s = GameSession::new(game, backend);
-                    s.run_policy(100_000, 700, chase_center_policy);
-                    black_box(s.game.score())
-                });
+            let model = model.clone();
+            b.bench(&id, move || {
+                let game = Game::new("ycsb", model.name, course.clone(), physics());
+                let backend = SimBackend::new(model.clone(), types(), 42);
+                let mut s = GameSession::new(game, backend);
+                s.run_policy(100_000, 700, chase_center_policy);
+                black_box(s.game.score())
             });
         }
     }
-    group.finish();
 }
 
-fn bench_two_player(c: &mut Criterion) {
-    c.bench_function("two_player_60s_sim", |b| {
-        let course = Course { name: "open".into(), obstacles: vec![], duration_us: 60_000_000 };
-        b.iter(|| {
-            let mut two = TwoPlayerSession::new(
-                CapacityModel::mysql_like(),
-                types(),
-                [course.clone(), course.clone()],
-                physics(),
-                7,
-            );
-            two.games[0].character.set_requested(800.0);
-            two.games[1].character.set_requested(800.0);
-            for _ in 0..600 {
-                two.tick(100_000, [Input::None, Input::None]);
-            }
-            black_box(two.games[0].character.measured_tps)
-        });
+fn bench_two_player(b: &mut Bencher) {
+    group("two_player");
+    let course = Course { name: "open".into(), obstacles: vec![], duration_us: 60_000_000 };
+    b.bench("two_player_60s_sim", || {
+        let mut two = TwoPlayerSession::new(
+            CapacityModel::mysql_like(),
+            types(),
+            [course.clone(), course.clone()],
+            physics(),
+            7,
+        );
+        two.games[0].character.set_requested(800.0);
+        two.games[1].character.set_requested(800.0);
+        for _ in 0..600 {
+            two.tick(100_000, [Input::None, Input::None]);
+        }
+        black_box(two.games[0].character.measured_tps)
     });
 }
 
-fn bench_game_tick(c: &mut Criterion) {
+fn bench_game_tick(b: &mut Bencher) {
+    group("game_tick");
     let course = Course::demo_set(1_000.0).remove(0);
-    c.bench_function("game_tick", |b| {
-        let mut game = Game::new("ycsb", "mysql", course.clone(), physics());
-        b.iter(|| black_box(game.tick(1, 300.0, Input::None)));
-    });
+    let mut game = Game::new("ycsb", "mysql", course, physics());
+    b.bench("game_tick", || black_box(game.tick(1, 300.0, Input::None)));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .sample_size(20);
-    targets = bench_autopilot_courses, bench_two_player, bench_game_tick
+fn main() {
+    let mut b = Bencher::new();
+    bench_autopilot_courses(&mut b);
+    bench_two_player(&mut b);
+    bench_game_tick(&mut b);
 }
-criterion_main!(benches);

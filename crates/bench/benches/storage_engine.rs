@@ -1,9 +1,10 @@
 //! Storage-substrate microbenchmarks: the primitive operations whose costs
-//! determine every workload's throughput envelope.
+//! determine every workload's throughput envelope. Plain `fn main()`
+//! harness (hermetic build — no criterion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use bp_bench::timing::{group, Bencher};
 use bp_sql::Connection;
 use bp_storage::{Column, DataType, Database, Personality, TableSchema, Value};
 
@@ -34,118 +35,102 @@ fn test_db(rows: i64) -> std::sync::Arc<Database> {
     db
 }
 
-fn bench_point_ops(c: &mut Criterion) {
+fn bench_point_ops(b: &mut Bencher) {
+    group("storage_point_ops");
     let db = test_db(10_000);
     let t = db.table("t").unwrap();
 
-    c.bench_function("storage_point_read", |b| {
-        let mut s = db.session();
-        let mut i = 0i64;
-        b.iter(|| {
-            i = (i + 7) % 10_000;
-            s.begin().unwrap();
-            let r = s.read_pk(&t, &[Value::Int(i)], false).unwrap();
-            s.commit().unwrap();
-            black_box(r)
-        });
+    let mut s = db.session();
+    let mut i = 0i64;
+    b.bench("storage_point_read", || {
+        i = (i + 7) % 10_000;
+        s.begin().unwrap();
+        let r = s.read_pk(&t, &[Value::Int(i)], false).unwrap();
+        s.commit().unwrap();
+        black_box(r)
     });
 
-    c.bench_function("storage_update_txn", |b| {
-        let mut s = db.session();
-        let mut i = 0i64;
-        b.iter(|| {
-            i = (i + 13) % 10_000;
-            s.begin().unwrap();
-            let (rid, mut row) = s.read_pk(&t, &[Value::Int(i)], true).unwrap().unwrap();
-            row[1] = Value::Int(i % 50);
-            s.update(&t, rid, row).unwrap();
-            s.commit().unwrap();
-        });
+    let mut s = db.session();
+    let mut i = 0i64;
+    b.bench("storage_update_txn", || {
+        i = (i + 13) % 10_000;
+        s.begin().unwrap();
+        let (rid, mut row) = s.read_pk(&t, &[Value::Int(i)], true).unwrap().unwrap();
+        row[1] = Value::Int(i % 50);
+        s.update(&t, rid, row).unwrap();
+        s.commit().unwrap();
     });
 
-    c.bench_function("storage_insert_delete_txn", |b| {
-        let mut s = db.session();
-        let mut i = 1_000_000i64;
-        b.iter(|| {
-            i += 1;
-            s.begin().unwrap();
-            let rid = s
-                .insert(&t, vec![Value::Int(i), Value::Int(0), Value::Str("y".into())])
-                .unwrap();
-            s.delete(&t, rid).unwrap();
-            s.commit().unwrap();
-        });
-    });
-}
-
-fn bench_index_scans(c: &mut Criterion) {
-    let db = test_db(10_000);
-    let t = db.table("t").unwrap();
-    let mut group = c.benchmark_group("storage_index_lookup");
-    group.bench_function("secondary_eq_100rows", |b| {
-        let mut s = db.session();
-        b.iter(|| {
-            s.begin().unwrap();
-            let rows = s.read_index(&t, "t_grp", &[Value::Int(42)]).unwrap();
-            s.commit().unwrap();
-            black_box(rows.len())
-        });
-    });
-    group.finish();
-}
-
-fn bench_sql_layer(c: &mut Criterion) {
-    let db = test_db(10_000);
-    let mut group = c.benchmark_group("sql");
-    group.bench_function("parse_select", |b| {
-        b.iter(|| {
-            black_box(
-                bp_sql::parse(
-                    "SELECT id, data FROM t WHERE grp = ? AND id > 100 ORDER BY id DESC LIMIT 10",
-                )
-                .unwrap(),
-            )
-        });
-    });
-    group.bench_function("prepared_point_select", |b| {
-        let mut conn = Connection::open(&db);
-        let stmt = conn.prepare("SELECT data FROM t WHERE id = ?").unwrap();
-        let mut i = 0i64;
-        b.iter(|| {
-            i = (i + 3) % 10_000;
-            black_box(conn.query_prepared(&stmt, &[Value::Int(i)]).unwrap())
-        });
-    });
-    group.bench_function("aggregate_group_by", |b| {
-        let mut conn = Connection::open(&db);
-        let stmt = conn
-            .prepare("SELECT grp, COUNT(*) AS n, AVG(id) AS a FROM t GROUP BY grp")
+    let mut s = db.session();
+    let mut i = 1_000_000i64;
+    b.bench("storage_insert_delete_txn", || {
+        i += 1;
+        s.begin().unwrap();
+        let rid = s
+            .insert(&t, vec![Value::Int(i), Value::Int(0), Value::Str("y".into())])
             .unwrap();
-        b.iter(|| black_box(conn.query_prepared(&stmt, &[]).unwrap()));
+        s.delete(&t, rid).unwrap();
+        s.commit().unwrap();
     });
-    group.finish();
 }
 
-fn bench_dialect_rendering(c: &mut Criterion) {
+fn bench_index_scans(b: &mut Bencher) {
+    group("storage_index_lookup");
+    let db = test_db(10_000);
+    let t = db.table("t").unwrap();
+    let mut s = db.session();
+    b.bench("secondary_eq_100rows", || {
+        s.begin().unwrap();
+        let rows = s.read_index(&t, "t_grp", &[Value::Int(42)]).unwrap();
+        s.commit().unwrap();
+        black_box(rows.len())
+    });
+}
+
+fn bench_sql_layer(b: &mut Bencher) {
+    group("sql");
+    let db = test_db(10_000);
+    b.bench("parse_select", || {
+        black_box(
+            bp_sql::parse(
+                "SELECT id, data FROM t WHERE grp = ? AND id > 100 ORDER BY id DESC LIMIT 10",
+            )
+            .unwrap(),
+        )
+    });
+
+    let mut conn = Connection::open(&db);
+    let stmt = conn.prepare("SELECT data FROM t WHERE id = ?").unwrap();
+    let mut i = 0i64;
+    b.bench("prepared_point_select", || {
+        i = (i + 3) % 10_000;
+        black_box(conn.query_prepared(&stmt, &[Value::Int(i)]).unwrap())
+    });
+
+    let mut conn = Connection::open(&db);
+    let stmt = conn
+        .prepare("SELECT grp, COUNT(*) AS n, AVG(id) AS a FROM t GROUP BY grp")
+        .unwrap();
+    b.bench("aggregate_group_by", || {
+        black_box(conn.query_prepared(&stmt, &[]).unwrap())
+    });
+}
+
+fn bench_dialect_rendering(b: &mut Bencher) {
+    group("dialect_render");
     let stmt = bp_sql::parse(
         "SELECT a, b AS x FROM t WHERE a = ? AND b > 3 ORDER BY x DESC LIMIT 5",
     )
     .unwrap();
-    let mut group = c.benchmark_group("dialect_render");
     for d in bp_sql::Dialect::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(d.name()), &d, |b, d| {
-            b.iter(|| black_box(d.render(&stmt)));
-        });
+        b.bench(d.name(), || black_box(d.render(&stmt)));
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .sample_size(20);
-    targets = bench_point_ops, bench_index_scans, bench_sql_layer, bench_dialect_rendering
+fn main() {
+    let mut b = Bencher::new();
+    bench_point_ops(&mut b);
+    bench_index_scans(&mut b);
+    bench_sql_layer(&mut b);
+    bench_dialect_rendering(&mut b);
 }
-criterion_main!(benches);

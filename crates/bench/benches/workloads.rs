@@ -1,19 +1,19 @@
 //! Bench E1 (Table 1): per-benchmark transaction cost on the embedded
 //! engine — one sampled default-mixture transaction per iteration — plus
-//! loader throughput.
+//! loader throughput. Plain `fn main()` harness (hermetic build — no
+//! criterion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use bp_bench::timing::{group, Bencher};
 use bp_core::Mixture;
 use bp_sql::Connection;
 use bp_storage::{Database, Personality};
 use bp_util::rng::Rng;
 use bp_workloads::{all_workloads, by_name};
 
-fn bench_default_mixture_txn(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload_txn");
-    group.sample_size(30);
+fn bench_default_mixture_txn(b: &mut Bencher) {
+    group("workload_txn");
     for w in all_workloads() {
         let db = Database::new(Personality::test());
         let mut conn = Connection::open(&db);
@@ -21,56 +21,45 @@ fn bench_default_mixture_txn(c: &mut Criterion) {
         w.setup(&mut conn, 0.2, &mut rng).unwrap();
         let types = w.transaction_types();
         let mixture = Mixture::default_of(&types);
-        group.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, w| {
-            b.iter(|| {
-                let idx = mixture.sample(&mut rng);
-                // Retry wait-die aborts like a worker would.
-                loop {
-                    match w.execute(idx, &mut conn, &mut rng) {
-                        Ok(o) => break black_box(o),
-                        Err(e) if e.is_retryable() => continue,
-                        Err(e) => panic!("{}: {e}", w.name()),
-                    }
+        b.bench(w.name(), move || {
+            let idx = mixture.sample(&mut rng);
+            // Retry wait-die aborts like a worker would.
+            loop {
+                match w.execute(idx, &mut conn, &mut rng) {
+                    Ok(o) => break black_box(o),
+                    Err(e) if e.is_retryable() => continue,
+                    Err(e) => panic!("{}: {e}", w.name()),
                 }
-            });
+            }
         });
     }
-    group.finish();
 }
 
-fn bench_loaders(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload_load");
-    group.sample_size(10);
+fn bench_loaders(b: &mut Bencher) {
+    group("workload_load");
     for name in ["voter", "ycsb", "tpcc"] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
-            b.iter(|| {
-                let db = Database::new(Personality::test());
-                let w = by_name(name).unwrap();
-                let mut conn = Connection::open(&db);
-                let summary = w.setup(&mut conn, 0.2, &mut Rng::new(2)).unwrap();
-                black_box(summary.rows)
-            });
+        b.bench(name, || {
+            let db = Database::new(Personality::test());
+            let w = by_name(name).unwrap();
+            let mut conn = Connection::open(&db);
+            let summary = w.setup(&mut conn, 0.2, &mut Rng::new(2)).unwrap();
+            black_box(summary.rows)
         });
     }
-    group.finish();
 }
 
-fn bench_mixture_sampling(c: &mut Criterion) {
+fn bench_mixture_sampling(b: &mut Bencher) {
+    group("mixture");
     let w = by_name("tpcc").unwrap();
     let types = w.transaction_types();
     let mixture = Mixture::default_of(&types);
     let mut rng = Rng::new(3);
-    c.bench_function("mixture_sample", |b| {
-        b.iter(|| black_box(mixture.sample(&mut rng)));
-    });
+    b.bench("mixture_sample", || black_box(mixture.sample(&mut rng)));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .sample_size(20);
-    targets = bench_default_mixture_txn, bench_loaders, bench_mixture_sampling
+fn main() {
+    let mut b = Bencher::new();
+    bench_default_mixture_txn(&mut b);
+    bench_loaders(&mut b);
+    bench_mixture_sampling(&mut b);
 }
-criterion_main!(benches);

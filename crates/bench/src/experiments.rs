@@ -411,7 +411,7 @@ pub fn run_dialects() -> Vec<DialectReport> {
     out
 }
 
-/// Shape-tracking on the DES path (fast version of E6 used by criterion):
+/// Shape-tracking on the DES path (fast version of E6 used by the benches):
 /// returns (target series, delivered series) for a named shape and model.
 pub fn simulate_shape(model_name: &str, shape: &str, seconds: f64) -> (Vec<f64>, Vec<f64>) {
     let model = CapacityModel::by_name(model_name).expect("model");

@@ -8,5 +8,7 @@
 //! corresponds to; the `harness` binary drives them from the command line.
 
 pub mod experiments;
+pub mod timing;
 
 pub use experiments::*;
+pub use timing::{group, BenchResult, Bencher};

@@ -1,0 +1,138 @@
+//! Minimal timing harness for the `benches/*.rs` targets.
+//!
+//! The workspace builds hermetically (no registry), so the benches are
+//! plain `fn main()` binaries (`harness = false`) built on this module
+//! instead of criterion. Each benchmark is warmed up, then run in batches
+//! until a wall-clock budget is spent; we report iterations/second and
+//! ns/iteration from the fastest batch (least scheduler noise), plus the
+//! mean across batches.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub iters: u64,
+    /// Nanoseconds per iteration, fastest batch.
+    pub best_ns: f64,
+    /// Nanoseconds per iteration, mean over batches.
+    pub mean_ns: f64,
+}
+
+impl BenchResult {
+    /// Iterations per second implied by the fastest batch.
+    pub fn per_sec(&self) -> f64 {
+        if self.best_ns <= 0.0 {
+            0.0
+        } else {
+            1e9 / self.best_ns
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Collects and prints benchmark results.
+pub struct Bencher {
+    /// Wall-clock measurement budget per benchmark.
+    pub budget: Duration,
+    /// Warm-up budget per benchmark.
+    pub warmup: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Bencher {
+    pub fn new() -> Bencher {
+        Bencher {
+            budget: Duration::from_millis(800),
+            warmup: Duration::from_millis(150),
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f`, which performs ONE iteration of the workload per call.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &BenchResult {
+        // Warm-up: also sizes the batch so each batch is ~10ms of work.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warmup.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch = ((10e6 / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        let mut total_iters = 0u64;
+        let mut best_ns = f64::INFINITY;
+        let mut total_ns = 0.0;
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            let ns = elapsed / batch as f64;
+            best_ns = best_ns.min(ns);
+            total_ns += elapsed;
+            total_iters += batch;
+        }
+        let result = BenchResult {
+            name: name.to_string(),
+            iters: total_iters,
+            best_ns,
+            mean_ns: total_ns / total_iters.max(1) as f64,
+        };
+        println!(
+            "{:<44} {:>12}/iter (best) {:>12}/iter (mean) {:>14.0} iters/s",
+            result.name,
+            fmt_ns(result.best_ns),
+            fmt_ns(result.mean_ns),
+            result.per_sec(),
+        );
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+impl Default for Bencher {
+    fn default() -> Bencher {
+        Bencher::new()
+    }
+}
+
+/// Print the standard group header the bench binaries use.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut b = Bencher::new();
+        b.budget = Duration::from_millis(20);
+        b.warmup = Duration::from_millis(5);
+        let r = b.bench("noop_add", || std::hint::black_box(1u64) + 1);
+        assert!(r.iters > 0);
+        assert!(r.best_ns >= 0.0 && r.best_ns <= r.mean_ns * 1.0001);
+        assert_eq!(b.results().len(), 1);
+    }
+}

@@ -7,7 +7,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use bp_util::sync::RwLock;
 
 use bp_storage::Database;
 use bp_util::clock::Micros;

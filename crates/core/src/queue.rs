@@ -15,7 +15,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::{Condvar, Mutex};
+use bp_util::sync::{Condvar, Mutex};
 
 use bp_util::clock::{Micros, SharedClock};
 

@@ -1,11 +1,20 @@
 //! Statistics collection: per-type latency histograms, per-second
 //! throughput series, queue delay, and the instantaneous feedback the
 //! control API exposes (§2.2.4).
+//!
+//! The completion path is the hottest client-side code in the testbed —
+//! every finished transaction calls [`StatsCollector::record`] — so the
+//! collector is sharded: each worker thread records into its own
+//! cache-line-padded shard guarded by a lock no other recorder touches.
+//! Readers (the controller feedback loop, the monitor, the control API)
+//! merge the shards on demand; reads are orders of magnitude rarer than
+//! writes, so the merge cost sits on the cold path where it belongs.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bp_util::clock::{Micros, SharedClock, MICROS_PER_SEC};
 use bp_util::histogram::Histogram;
+use bp_util::sync::{CachePadded, Mutex};
 use bp_util::timeseries::TimeSeries;
 
 /// How a dispatched request ended.
@@ -18,9 +27,8 @@ pub enum RequestOutcome {
     Failed,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PerType {
-    name: String,
     latency: Histogram,
     completions: TimeSeries,
     committed: u64,
@@ -29,8 +37,31 @@ struct PerType {
     retries: u64,
 }
 
+impl PerType {
+    fn new() -> PerType {
+        PerType {
+            latency: Histogram::latency(),
+            completions: TimeSeries::per_second(),
+            committed: 0,
+            user_aborted: 0,
+            failed: 0,
+            retries: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &PerType) {
+        self.latency.merge(&other.latency);
+        self.completions.merge(&other.completions);
+        self.committed += other.committed;
+        self.user_aborted += other.user_aborted;
+        self.failed += other.failed;
+        self.retries += other.retries;
+    }
+}
+
+/// One worker's private slice of the statistics.
 #[derive(Debug)]
-struct StatsInner {
+struct Shard {
     per_type: Vec<PerType>,
     /// All completions regardless of type.
     all_completions: TimeSeries,
@@ -39,9 +70,49 @@ struct StatsInner {
     requested: TimeSeries,
 }
 
+impl Shard {
+    fn new(num_types: usize) -> Shard {
+        Shard {
+            per_type: (0..num_types).map(|_| PerType::new()).collect(),
+            all_completions: TimeSeries::per_second(),
+            all_latency: Histogram::latency(),
+            queue_delay: Histogram::latency(),
+            requested: TimeSeries::per_second(),
+        }
+    }
+
+    fn merge(&mut self, other: &Shard) {
+        for (pt, o) in self.per_type.iter_mut().zip(&other.per_type) {
+            pt.merge(o);
+        }
+        self.all_completions.merge(&other.all_completions);
+        self.all_latency.merge(&other.all_latency);
+        self.queue_delay.merge(&other.queue_delay);
+        self.requested.merge(&other.requested);
+    }
+}
+
+/// Default shard count; power of two so the thread-slot modulo is cheap.
+/// With typical worker counts (≤ a few dozen) collisions are rare, and a
+/// collision only means two workers share one (still uncontended-by-others)
+/// lock — never a correctness issue.
+const DEFAULT_SHARDS: usize = 16;
+
+/// Monotonic slot handed to each thread on first contact with any collector.
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Thread-safe statistics collector shared by all workers of one workload.
+///
+/// Writes go to a per-thread shard; no lock in [`StatsCollector::record`]
+/// is shared across recording workers (up to shard-count collisions).
+/// Readers merge all shards on demand.
 pub struct StatsCollector {
-    inner: Mutex<StatsInner>,
+    shards: Vec<CachePadded<Mutex<Shard>>>,
+    type_names: Vec<String>,
     clock: SharedClock,
     start: Micros,
 }
@@ -79,37 +150,59 @@ pub struct StatusSnapshot {
 
 impl StatsCollector {
     pub fn new(clock: SharedClock, type_names: &[&str]) -> StatsCollector {
-        let inner = StatsInner {
-            per_type: type_names
-                .iter()
-                .map(|n| PerType {
-                    name: (*n).to_string(),
-                    latency: Histogram::latency(),
-                    completions: TimeSeries::per_second(),
-                    committed: 0,
-                    user_aborted: 0,
-                    failed: 0,
-                    retries: 0,
-                })
-                .collect(),
-            all_completions: TimeSeries::per_second(),
-            all_latency: Histogram::latency(),
-            queue_delay: Histogram::latency(),
-            requested: TimeSeries::per_second(),
-        };
-        let start = clock.now();
-        StatsCollector { inner: Mutex::new(inner), clock, start }
+        StatsCollector::with_shards(clock, type_names, DEFAULT_SHARDS)
     }
 
-    /// Record a completed request.
+    /// Collector with an explicit shard count (1 = the old single-lock
+    /// layout; used by the shard-equivalence regression tests).
+    pub fn with_shards(
+        clock: SharedClock,
+        type_names: &[&str],
+        shards: usize,
+    ) -> StatsCollector {
+        let shards = shards.max(1);
+        let num_types = type_names.len();
+        StatsCollector {
+            shards: (0..shards)
+                .map(|_| CachePadded::new(Mutex::new(Shard::new(num_types))))
+                .collect(),
+            type_names: type_names.iter().map(|n| (*n).to_string()).collect(),
+            start: clock.now(),
+            clock,
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The calling thread's shard. Thread slots are handed out once per
+    /// thread process-wide, so a worker always lands on the same shard of a
+    /// given collector.
+    #[inline]
+    fn my_shard(&self) -> &Mutex<Shard> {
+        let slot = THREAD_SLOT.with(|s| *s);
+        &self.shards[slot % self.shards.len()]
+    }
+
+    /// Fold every shard into one merged view (cold path).
+    fn merged(&self) -> Shard {
+        let mut acc = Shard::new(self.type_names.len());
+        for shard in &self.shards {
+            acc.merge(&shard.lock());
+        }
+        acc
+    }
+
+    /// Record a completed request. Touches only the calling worker's shard.
     pub fn record(&self, s: Sample) {
-        let mut inner = self.inner.lock();
         let latency = s.end.saturating_sub(s.start);
         let delay = s.start.saturating_sub(s.arrival);
-        inner.all_latency.record(latency);
-        inner.queue_delay.record(delay);
-        inner.all_completions.record(s.end, latency);
-        if let Some(pt) = inner.per_type.get_mut(s.txn_type) {
+        let mut shard = self.my_shard().lock();
+        shard.all_latency.record(latency);
+        shard.queue_delay.record(delay);
+        shard.all_completions.record(s.end, latency);
+        if let Some(pt) = shard.per_type.get_mut(s.txn_type) {
             pt.latency.record(latency);
             pt.completions.record(s.end, latency);
             pt.retries += s.retries as u64;
@@ -123,57 +216,58 @@ impl StatsCollector {
 
     /// Record that `n` requests were generated at time `t` (target side).
     pub fn record_requested(&self, t: Micros, n: usize) {
-        let mut inner = self.inner.lock();
+        let mut shard = self.my_shard().lock();
         for _ in 0..n {
-            inner.requested.tick(t);
+            shard.requested.tick(t);
         }
     }
 
     /// Instantaneous status (sliding window of `window_s` complete seconds).
     pub fn status(&self, window_s: usize) -> StatusSnapshot {
-        let inner = self.inner.lock();
+        let merged = self.merged();
         let now = self.clock.now();
-        let throughput = inner.all_completions.recent_rate(now, window_s.max(1));
-        let latency_by_type = inner
-            .per_type
+        let throughput = merged.all_completions.recent_rate(now, window_s.max(1));
+        let latency_by_type = self
+            .type_names
             .iter()
-            .map(|pt| (pt.name.clone(), pt.latency.mean()))
+            .zip(&merged.per_type)
+            .map(|(name, pt)| (name.clone(), pt.latency.mean()))
             .collect();
         StatusSnapshot {
             throughput,
             latency_by_type,
-            p95_latency_us: inner.all_latency.p95(),
-            committed: inner.per_type.iter().map(|p| p.committed).sum(),
-            user_aborted: inner.per_type.iter().map(|p| p.user_aborted).sum(),
-            failed: inner.per_type.iter().map(|p| p.failed).sum(),
-            retries: inner.per_type.iter().map(|p| p.retries).sum(),
+            p95_latency_us: merged.all_latency.p95(),
+            committed: merged.per_type.iter().map(|p| p.committed).sum(),
+            user_aborted: merged.per_type.iter().map(|p| p.user_aborted).sum(),
+            failed: merged.per_type.iter().map(|p| p.failed).sum(),
+            retries: merged.per_type.iter().map(|p| p.retries).sum(),
             elapsed_s: (now - self.start) as f64 / MICROS_PER_SEC as f64,
         }
     }
 
     /// Per-second delivered throughput series.
     pub fn throughput_series(&self) -> Vec<f64> {
-        self.inner.lock().all_completions.rates()
+        self.merged().all_completions.rates()
     }
 
     /// Per-second requested (target) series.
     pub fn requested_series(&self) -> Vec<f64> {
-        self.inner.lock().requested.rates()
+        self.merged().requested.rates()
     }
 
     /// Mean latency per second (µs).
     pub fn latency_series(&self) -> Vec<f64> {
-        self.inner.lock().all_completions.means()
+        self.merged().all_completions.means()
     }
 
     /// Per-type summary: (name, count, mean µs, p95 µs, committed, aborted).
     pub fn per_type_summary(&self) -> Vec<TypeSummary> {
-        let inner = self.inner.lock();
-        inner
-            .per_type
+        let merged = self.merged();
+        self.type_names
             .iter()
-            .map(|pt| TypeSummary {
-                name: pt.name.clone(),
+            .zip(&merged.per_type)
+            .map(|(name, pt)| TypeSummary {
+                name: name.clone(),
                 count: pt.latency.count(),
                 mean_us: pt.latency.mean(),
                 p95_us: pt.latency.p95(),
@@ -186,12 +280,12 @@ impl StatsCollector {
 
     /// Queue-delay distribution snapshot (p50, p95, max in µs).
     pub fn queue_delay(&self) -> (u64, u64, u64) {
-        let inner = self.inner.lock();
-        (inner.queue_delay.p50(), inner.queue_delay.p95(), inner.queue_delay.max())
+        let merged = self.merged();
+        (merged.queue_delay.p50(), merged.queue_delay.p95(), merged.queue_delay.max())
     }
 
     pub fn total_completed(&self) -> u64 {
-        self.inner.lock().all_latency.count()
+        self.shards.iter().map(|s| s.lock().all_latency.count()).sum()
     }
 }
 
@@ -312,5 +406,41 @@ mod tests {
         c.record_requested(0, 50);
         c.record_requested(MICROS_PER_SEC, 70);
         assert_eq!(c.requested_series(), vec![50.0, 70.0]);
+    }
+
+    #[test]
+    fn multithreaded_records_all_merge() {
+        let (sim, clock) = sim_clock();
+        let c = std::sync::Arc::new(StatsCollector::new(clock, &["a", "b"]));
+        let threads = 8u64;
+        let per_thread = 500u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        c.record(sample((t % 2) as usize, i * 1_000, 200 + t * 10));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        sim.advance_to(MICROS_PER_SEC);
+        assert_eq!(c.total_completed(), threads * per_thread);
+        let st = c.status(1);
+        assert_eq!(st.committed, threads * per_thread);
+        let sum = c.per_type_summary();
+        assert_eq!(sum[0].count + sum[1].count, threads * per_thread);
+    }
+
+    #[test]
+    fn single_shard_collector_still_works() {
+        let (_, clock) = sim_clock();
+        let c = StatsCollector::with_shards(clock, &["t"], 1);
+        assert_eq!(c.shard_count(), 1);
+        c.record(sample(0, 0, 100));
+        assert_eq!(c.total_completed(), 1);
     }
 }

@@ -5,7 +5,7 @@
 //! delivered tracking report — the post-processing step of the testbed
 //! pipeline.
 
-use parking_lot::Mutex;
+use bp_util::sync::Mutex;
 
 use bp_util::clock::{Micros, MICROS_PER_SEC};
 use bp_util::timeseries::{mean_abs_error, Summary, TimeSeries};

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use bp_util::sync::Mutex;
 
 use bp_storage::{Database, MetricsSnapshot};
 use bp_util::clock::{Micros, SharedClock, MICROS_PER_SEC};

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use bp_util::sync::Mutex;
 
 use crate::metrics::ServerMetrics;
 

@@ -13,7 +13,7 @@ use std::ops::Bound;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use bp_util::sync::RwLock;
 
 use bp_util::rng::Rng;
 

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use bp_util::sync::{Condvar, Mutex};
 
 use crate::error::{Result, StorageError};
 use crate::metrics::ServerMetrics;

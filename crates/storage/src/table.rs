@@ -1,7 +1,7 @@
 //! Heap tables with a clustered primary-key index and secondary B-tree
 //! indexes.
 //!
-//! The physical structures are latched with a `parking_lot::RwLock`;
+//! The physical structures are latched with a `bp_util::sync::RwLock`;
 //! *logical* isolation (row/table locks) is enforced above this layer by the
 //! engine, so methods here assume the caller already holds the appropriate
 //! logical locks.
@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
-use parking_lot::RwLock;
+use bp_util::sync::RwLock;
 
 use crate::error::{Result, StorageError};
 use crate::schema::{IndexDef, TableSchema};

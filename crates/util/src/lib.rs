@@ -11,6 +11,9 @@
 //!   statistics;
 //! - [`clock`]: the wall/virtual clock abstraction that lets the same
 //!   workload-control logic run in real time or in deterministic simulation;
+//! - [`sync`]: std-only `Mutex`/`RwLock`/`Condvar` wrappers with a
+//!   `parking_lot`-style call-site API (guards returned directly, poison
+//!   ignored) so the workspace builds with zero external dependencies;
 //! - [`json`]: the JSON value model used by the control API;
 //! - [`xml`]: the `config.xml` parser for OLTP-Bench style workload files;
 //! - [`text`]: synthetic text generators for benchmark data loaders.
@@ -19,6 +22,7 @@ pub mod clock;
 pub mod histogram;
 pub mod json;
 pub mod rng;
+pub mod sync;
 pub mod text;
 pub mod timeseries;
 pub mod xml;

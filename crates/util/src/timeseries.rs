@@ -106,6 +106,26 @@ impl TimeSeries {
         self.windows.iter().map(|w| w.mean()).collect()
     }
 
+    /// Merge another series of the same width into this one, window by
+    /// window. Used to combine per-worker statistics shards into one view.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(self.width, other.width, "cannot merge series of different widths");
+        assert_eq!(self.origin, other.origin, "cannot merge series of different origins");
+        if other.windows.len() > self.windows.len() {
+            let mut start = self.origin + self.windows.len() as u64 * self.width;
+            while self.windows.len() < other.windows.len() {
+                self.windows.push(Window::empty(start));
+                start += self.width;
+            }
+        }
+        for (w, o) in self.windows.iter_mut().zip(&other.windows) {
+            w.count += o.count;
+            w.sum += o.sum;
+            w.min = w.min.min(o.min);
+            w.max = w.max.max(o.max);
+        }
+    }
+
     /// Sum of counts in the last `n` complete windows before `now`.
     pub fn recent_rate(&self, now: Micros, n: usize) -> f64 {
         if n == 0 {
@@ -216,6 +236,28 @@ mod tests {
         // Partial current window excluded.
         ts.tick(now + 1);
         assert!((ts.recent_rate(now + 2, 3) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_windows() {
+        let mut a = TimeSeries::per_second();
+        a.record(10, 100);
+        a.record(MICROS_PER_SEC + 10, 200);
+        let mut b = TimeSeries::per_second();
+        b.record(20, 300);
+        b.record(2 * MICROS_PER_SEC + 20, 400);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.windows()[0].count, 2);
+        assert_eq!(a.windows()[0].min, 100);
+        assert_eq!(a.windows()[0].max, 300);
+        assert_eq!(a.windows()[1].count, 1);
+        assert_eq!(a.windows()[2].count, 1);
+        assert_eq!(a.total(), 4);
+        // Merging an empty series is a no-op.
+        let before = a.windows().to_vec();
+        a.merge(&TimeSeries::per_second());
+        assert_eq!(a.windows(), &before[..]);
     }
 
     #[test]

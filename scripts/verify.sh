@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the hermetic (std-only, offline) workspace.
+#
+#   scripts/verify.sh          # build + tests, offline
+#
+# The workspace has zero external dependencies, so --offline must always
+# succeed; if it does not, a registry dependency has crept back in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "== cargo test -q --offline --workspace =="
+cargo test -q --offline --workspace
+
+if command -v cargo-clippy >/dev/null 2>&1 || cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy --all-targets -- -D warnings =="
+    cargo clippy --offline --all-targets -- -D warnings
+else
+    echo "== clippy not installed; skipping lint step =="
+fi
+
+echo "verify: OK"

@@ -1,7 +1,6 @@
 //! Serializability invariants under real multi-threaded chaos: the
 //! substrate guarantees the workload-control experiments rest on.
 
-use std::sync::Arc;
 
 use benchpress::sql::Connection;
 use benchpress::storage::{Database, Personality, Value};

@@ -1,6 +1,7 @@
-//! Property-based tests over the core invariants.
-
-use proptest::prelude::*;
+//! Property-based tests over the core invariants, written as deterministic
+//! randomized loops over `bp_util::rng` with a fixed seed (the workspace is
+//! hermetic — no `proptest`). Each property runs ≥ 256 generated cases
+//! unless noted; failures print enough state to replay the case.
 
 use benchpress::core::{ArrivalDist, Mixture, RequestQueue};
 use benchpress::sql::{parse, Dialect};
@@ -10,32 +11,60 @@ use benchpress::util::histogram::Histogram;
 use benchpress::util::json::Json;
 use benchpress::util::rng::{Discrete, Rng};
 
-proptest! {
-    /// The arrival generator emits exactly n offsets within the second,
-    /// sorted, for both distributions.
-    #[test]
-    fn arrival_offsets_exact_and_sorted(n in 0usize..2_000, seed in any::<u64>()) {
-        let mut rng = Rng::new(seed);
-        for dist in [ArrivalDist::Uniform, ArrivalDist::Exponential] {
-            let offs = dist.offsets(n, &mut rng);
-            prop_assert_eq!(offs.len(), n);
-            prop_assert!(offs.windows(2).all(|w| w[0] <= w[1]));
-            prop_assert!(offs.iter().all(|o| *o < MICROS_PER_SEC));
-        }
-    }
+const CASES: usize = 256;
 
-    /// Never-exceed: however the backlog looks, a gated queue dispatches at
-    /// most `rate + 1` requests in any whole simulated second.
-    #[test]
-    fn queue_never_exceeds_rate(
-        rate in 50u64..2_000,
-        backlog in 1usize..3_000,
-        seed in any::<u64>(),
-    ) {
+/// Run `f` once per case with an independent, reproducible sub-rng.
+fn for_each_case(f: impl Fn(&mut Rng)) {
+    let mut root = Rng::new(0xB19C_95E5);
+    for case in 0..CASES {
+        let mut rng = root.fork(case as u64);
+        f(&mut rng);
+    }
+}
+
+/// Random lowercase identifier matching `[a-z][a-z0-9_]{0,max_tail}`.
+fn ident(rng: &mut Rng, max_tail: usize) -> String {
+    const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    let mut s = String::new();
+    s.push(HEAD[rng.index(HEAD.len())] as char);
+    for _ in 0..rng.index(max_tail + 1) {
+        s.push(TAIL[rng.index(TAIL.len())] as char);
+    }
+    s
+}
+
+/// The arrival generator emits exactly n offsets within the second,
+/// sorted, for both distributions.
+#[test]
+fn arrival_offsets_exact_and_sorted() {
+    for_each_case(|rng| {
+        let n = rng.index(2_000);
+        let seed = rng.next_u64();
+        let mut gen_rng = Rng::new(seed);
+        for dist in [ArrivalDist::Uniform, ArrivalDist::Exponential] {
+            let offs = dist.offsets(n, &mut gen_rng);
+            assert_eq!(offs.len(), n, "seed {seed}");
+            assert!(offs.windows(2).all(|w| w[0] <= w[1]), "seed {seed}: unsorted");
+            assert!(offs.iter().all(|o| *o < MICROS_PER_SEC), "seed {seed}: out of second");
+        }
+    });
+}
+
+/// Never-exceed: however the backlog looks, a gated queue dispatches at
+/// most `rate + 2` requests in any whole simulated second.
+#[test]
+fn queue_never_exceeds_rate() {
+    // Fewer cases than the default: each case simulates a full second in
+    // 1ms steps, so 64 cases already dominate this suite's runtime.
+    let mut root = Rng::new(0xB19C_95E5);
+    for case in 0..64u64 {
+        let mut rng = root.fork(case);
+        let rate = 50 + rng.bounded(1_950);
+        let backlog = 1 + rng.index(3_000);
         let (sim, clock) = sim_clock();
         let q = RequestQueue::new(clock);
         q.set_rate(rate as f64);
-        let mut rng = Rng::new(seed);
         // Arbitrary past arrivals.
         q.push_arrivals((0..backlog).map(|_| rng.bounded(MICROS_PER_SEC)));
         sim.advance_to(2 * MICROS_PER_SEC);
@@ -47,16 +76,20 @@ proptest! {
             }
             sim.advance(1_000);
         }
-        prop_assert!(
+        assert!(
             dispatched <= rate + 2,
-            "dispatched {} in 1s at rate {}", dispatched, rate
+            "case {case}: dispatched {dispatched} in 1s at rate {rate}"
         );
     }
+}
 
-    /// Histogram percentiles stay within the recorded min/max and are
-    /// monotone in the percentile.
-    #[test]
-    fn histogram_percentile_bounds(values in prop::collection::vec(0u64..10_000_000, 1..400)) {
+/// Histogram percentiles stay within the recorded min/max and are
+/// monotone in the percentile.
+#[test]
+fn histogram_percentile_bounds() {
+    for_each_case(|rng| {
+        let n = 1 + rng.index(400);
+        let values: Vec<u64> = (0..n).map(|_| rng.bounded(10_000_000)).collect();
         let mut h = Histogram::latency();
         for v in &values {
             h.record(*v);
@@ -66,103 +99,125 @@ proptest! {
         let mut last = 0;
         for pct in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
             let p = h.percentile(pct);
-            prop_assert!(p >= min && p <= max, "p{pct} = {p} outside [{min}, {max}]");
-            prop_assert!(p >= last);
+            assert!(p >= min && p <= max, "p{pct} = {p} outside [{min}, {max}]");
+            assert!(p >= last, "p{pct} = {p} not monotone (prev {last})");
             last = p;
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
-    }
+        assert_eq!(h.count(), values.len() as u64);
+    });
+}
 
-    /// Mixture probabilities always sum to 1 and zero weights are never
-    /// sampled.
-    #[test]
-    fn mixture_probabilities(weights in prop::collection::vec(0.0f64..100.0, 1..12), seed in any::<u64>()) {
-        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+/// Mixture probabilities always sum to 1 and zero weights are never
+/// sampled.
+#[test]
+fn mixture_probabilities() {
+    for_each_case(|rng| {
+        let n = 1 + rng.index(11);
+        // Mix zero and positive weights; ensure at least one positive.
+        let mut weights: Vec<f64> = (0..n)
+            .map(|_| if rng.bool_with(0.2) { 0.0 } else { rng.f64_range(0.001, 100.0) })
+            .collect();
+        if weights.iter().sum::<f64>() <= 0.0 {
+            weights[0] = 1.0;
+        }
         let m = match Mixture::new(weights.clone()) {
             Ok(m) => m,
-            Err(_) => return Ok(()),
+            Err(_) => return,
         };
         let total: f64 = (0..m.len()).map(|i| m.probability(i)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        let mut rng = Rng::new(seed);
+        assert!((total - 1.0).abs() < 1e-9, "probabilities sum to {total}");
         for _ in 0..200 {
-            let idx = m.sample(&mut rng);
-            prop_assert!(weights[idx] > 0.0, "sampled zero-weight index {idx}");
+            let idx = m.sample(rng);
+            assert!(weights[idx] > 0.0, "sampled zero-weight index {idx}");
         }
-    }
+    });
+}
 
-    /// Discrete sampling respects the support.
-    #[test]
-    fn discrete_sampler_in_support(weights in prop::collection::vec(0.01f64..10.0, 1..20), seed in any::<u64>()) {
+/// Discrete sampling respects the support.
+#[test]
+fn discrete_sampler_in_support() {
+    for_each_case(|rng| {
+        let n = 1 + rng.index(19);
+        let weights: Vec<f64> = (0..n).map(|_| rng.f64_range(0.01, 10.0)).collect();
         let d = Discrete::new(&weights);
-        let mut rng = Rng::new(seed);
         for _ in 0..100 {
-            prop_assert!(d.sample(&mut rng) < weights.len());
+            assert!(d.sample(rng) < weights.len());
         }
-    }
+    });
+}
 
-    /// JSON round-trips arbitrary (string, number, bool) objects.
-    #[test]
-    fn json_roundtrip(
-        pairs in prop::collection::vec(("[a-z]{1,8}", -1e9f64..1e9), 0..10),
-        flag in any::<bool>(),
-        text in "[ -~]{0,40}",
-    ) {
+/// JSON round-trips arbitrary (string, number, bool) objects.
+#[test]
+fn json_roundtrip() {
+    for_each_case(|rng| {
+        let flag = rng.bool_with(0.5);
+        // Arbitrary printable ASCII text, including quotes and backslashes.
+        let text: String = (0..rng.index(41))
+            .map(|_| (b' ' + rng.bounded(95) as u8) as char)
+            .collect();
         let mut obj = Json::obj().set("flag", flag).set("text", text.as_str());
-        for (k, v) in &pairs {
-            obj = obj.set(k, *v);
+        for _ in 0..rng.index(10) {
+            let key = ident(rng, 7);
+            let v = rng.f64_range(-1e9, 1e9);
+            obj = obj.set(&key, v);
         }
         let s = obj.to_string();
-        let back = Json::parse(&s).unwrap();
-        prop_assert_eq!(back, obj);
-    }
+        let back = Json::parse(&s).expect("rendered JSON must parse");
+        assert_eq!(back, obj, "round-trip mismatch for {s}");
+    });
+}
 
-    /// Every SQL statement our dialect layer renders from a parsed
-    /// statement re-parses (idempotent rendering).
-    #[test]
-    fn dialect_render_reparse_roundtrip(
-        table in "[a-z][a-z0-9_]{0,10}",
-        col in "[a-z][a-z0-9_]{0,10}",
-        v in -1_000_000i64..1_000_000,
-        limit in 1i64..100,
-    ) {
+/// Every SQL statement our dialect layer renders from a parsed
+/// statement re-parses, and rendering is idempotent.
+#[test]
+fn dialect_render_reparse_roundtrip() {
+    for_each_case(|rng| {
+        let table = ident(rng, 10);
+        let col = ident(rng, 10);
+        let v = rng.int_range(-1_000_000, 1_000_000);
+        let limit = rng.int_range(1, 100);
         let sql = format!(
             "SELECT {col} FROM {table} WHERE {col} >= {v} ORDER BY {col} DESC LIMIT {limit}"
         );
         let stmt = match parse(&sql) {
             Ok(s) => s,
-            Err(_) => return Ok(()), // e.g. col collided with a keyword
+            Err(_) => return, // e.g. identifier collided with a keyword
         };
         for d in Dialect::all() {
             let rendered = d.render(&stmt);
             let reparsed = parse(&rendered);
-            prop_assert!(reparsed.is_ok(), "{:?}: {} -> {:?}", d, rendered, reparsed.err());
+            assert!(reparsed.is_ok(), "{d:?}: {rendered} -> {:?}", reparsed.err());
             let rerendered = d.render(&reparsed.unwrap());
-            prop_assert_eq!(&rendered, &rerendered, "{:?} rendering not idempotent", d);
+            assert_eq!(rendered, rerendered, "{d:?} rendering not idempotent");
         }
-    }
+    });
+}
 
-    /// Storage Value ordering is a total order consistent with equality.
-    #[test]
-    fn value_ordering_total(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+fn random_value(rng: &mut Rng) -> Value {
+    match rng.index(5) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.bool_with(0.5)),
+        2 => Value::Int(rng.next_u64() as i64),
+        3 => Value::Float(rng.f64_range(-1e12, 1e12)),
+        _ => Value::Str(rng.astring(0, 12)),
+    }
+}
+
+/// Storage Value ordering is a total order consistent with equality.
+#[test]
+fn value_ordering_total() {
+    for_each_case(|rng| {
         use std::cmp::Ordering;
+        let a = random_value(rng);
+        let b = random_value(rng);
+        let c = random_value(rng);
         // Antisymmetry.
         if a.cmp(&b) == Ordering::Less {
-            prop_assert_eq!(b.cmp(&a), Ordering::Greater);
+            assert_eq!(b.cmp(&a), Ordering::Greater, "{a:?} vs {b:?}");
         }
         // Transitivity (on a sorted triple).
         let mut v = [a, b, c];
         v.sort();
-        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
-    }
-}
-
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        (-1e12f64..1e12).prop_map(Value::Float),
-        "[a-zA-Z0-9]{0,12}".prop_map(Value::Str),
-    ]
+        assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2], "{v:?}");
+    });
 }

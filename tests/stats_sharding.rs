@@ -1,0 +1,163 @@
+//! Regression: the sharded `StatsCollector` must be observably equivalent
+//! to the old single-mutex layout. N threads record M samples each into a
+//! default (multi-shard) collector; the same sample set recorded into a
+//! single-shard collector must produce identical committed/aborted/failed
+//! counts, identical histogram counts, and p50/p99 within one histogram
+//! bucket (the log-linear histogram is 5-bit, ≈3% relative error, and the
+//! merge is exact bucket-wise addition — so in practice they are equal).
+
+use std::sync::Arc;
+
+use benchpress::core::{RequestOutcome, Sample, StatsCollector};
+use benchpress::util::clock::{sim_clock, MICROS_PER_SEC};
+use benchpress::util::rng::Rng;
+
+const THREADS: u64 = 8;
+const SAMPLES_PER_THREAD: u64 = 2_000;
+
+/// Deterministic sample stream for one thread.
+fn thread_samples(t: u64) -> Vec<Sample> {
+    let mut rng = Rng::new(0x5A75 + t);
+    (0..SAMPLES_PER_THREAD)
+        .map(|_| {
+            let arrival = rng.bounded(3 * MICROS_PER_SEC);
+            let start = arrival + rng.bounded(2_000);
+            let latency = 100 + rng.bounded(50_000);
+            let outcome = match rng.bounded(10) {
+                0 => RequestOutcome::Failed,
+                1 | 2 => RequestOutcome::UserAborted,
+                _ => RequestOutcome::Committed,
+            };
+            Sample {
+                txn_type: (rng.bounded(3)) as usize,
+                arrival,
+                start,
+                end: start + latency,
+                outcome,
+                retries: rng.bounded(4) as u32,
+            }
+        })
+        .collect()
+}
+
+/// Relative gap allowed between percentiles of the two runs: one 5-bit
+/// log-linear bucket (2^-5 ≈ 3.2% relative width).
+fn within_one_bucket(a: u64, b: u64) -> bool {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    // Bucket width at value `hi` is at most hi / 32 + 1.
+    hi - lo <= hi / 32 + 1
+}
+
+#[test]
+fn sharded_stats_match_single_shard_totals() {
+    let types = ["alpha", "beta", "gamma"];
+
+    // Sharded run: THREADS real threads, each recording its own stream.
+    let (_, clock) = sim_clock();
+    let sharded = Arc::new(StatsCollector::new(clock, &types));
+    assert!(sharded.shard_count() > 1, "default collector must be sharded");
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let c = sharded.clone();
+            std::thread::spawn(move || {
+                for s in thread_samples(t) {
+                    c.record(s);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Reference run: the same sample multiset into a single-shard
+    // collector (the old `Mutex<StatsInner>` layout).
+    let (_, clock) = sim_clock();
+    let single = StatsCollector::with_shards(clock, &types, 1);
+    for t in 0..THREADS {
+        for s in thread_samples(t) {
+            single.record(s);
+        }
+    }
+
+    let total = THREADS * SAMPLES_PER_THREAD;
+    assert_eq!(sharded.total_completed(), total);
+    assert_eq!(single.total_completed(), total);
+
+    // Exact equality on all counters.
+    let st_sharded = sharded.status(1);
+    let st_single = single.status(1);
+    assert_eq!(st_sharded.committed, st_single.committed);
+    assert_eq!(st_sharded.user_aborted, st_single.user_aborted);
+    assert_eq!(st_sharded.failed, st_single.failed);
+    assert_eq!(st_sharded.retries, st_single.retries);
+    assert_eq!(
+        st_sharded.committed + st_sharded.user_aborted + st_sharded.failed,
+        total
+    );
+
+    // Per-type summaries: identical counts and outcome tallies, equal
+    // means (merge is exact bucket-wise addition), p95 within one bucket.
+    let sum_sharded = sharded.per_type_summary();
+    let sum_single = single.per_type_summary();
+    assert_eq!(sum_sharded.len(), sum_single.len());
+    for (a, b) in sum_sharded.iter().zip(&sum_single) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.count, b.count, "type {}", a.name);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.user_aborted, b.user_aborted);
+        assert_eq!(a.failed, b.failed);
+        assert!((a.mean_us - b.mean_us).abs() < 1e-9, "{} vs {}", a.mean_us, b.mean_us);
+        assert!(within_one_bucket(a.p95_us, b.p95_us), "{} vs {}", a.p95_us, b.p95_us);
+    }
+
+    // Queue delay percentiles within one bucket of each other.
+    let (p50_a, p95_a, max_a) = sharded.queue_delay();
+    let (p50_b, p95_b, max_b) = single.queue_delay();
+    assert!(within_one_bucket(p50_a, p50_b), "p50 {p50_a} vs {p50_b}");
+    assert!(within_one_bucket(p95_a, p95_b), "p95 {p95_a} vs {p95_b}");
+    assert_eq!(max_a, max_b, "max is tracked exactly");
+
+    // Throughput series identical second by second (windowed counts are
+    // integers; merge adds them exactly).
+    assert_eq!(sharded.throughput_series(), single.throughput_series());
+    // Mean-latency series identical: each window's (sum, count) pair is
+    // merged exactly.
+    let lat_a = sharded.latency_series();
+    let lat_b = single.latency_series();
+    assert_eq!(lat_a.len(), lat_b.len());
+    for (a, b) in lat_a.iter().zip(&lat_b) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+/// `record_requested` merges across shards the same way.
+#[test]
+fn sharded_requested_series_matches_single_shard() {
+    let (_, clock) = sim_clock();
+    let sharded = Arc::new(StatsCollector::new(clock, &["t"]));
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let c = sharded.clone();
+            std::thread::spawn(move || {
+                for s in 0..3u64 {
+                    c.record_requested(s * MICROS_PER_SEC, (10 * (t + 1)) as usize);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let (_, clock) = sim_clock();
+    let single = StatsCollector::with_shards(clock, &["t"], 1);
+    for t in 0..4u64 {
+        for s in 0..3u64 {
+            single.record_requested(s * MICROS_PER_SEC, (10 * (t + 1)) as usize);
+        }
+    }
+    assert_eq!(sharded.requested_series(), single.requested_series());
+    // 10+20+30+40 = 100 per second.
+    assert_eq!(sharded.requested_series(), vec![100.0, 100.0, 100.0]);
+}
