@@ -73,7 +73,7 @@ fn handle_connection(stream: TcpStream, server: &ApiServer) -> std::io::Result<(
     let mut parts = line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m.to_string(), p.to_string()),
-        _ => return write_response(stream, 400, &Json::obj().set("error", "bad request line")),
+        _ => return write_json(stream, 400, &Json::obj().set("error", "bad request line")),
     };
 
     // Headers.
@@ -99,7 +99,7 @@ fn handle_connection(stream: TcpStream, server: &ApiServer) -> std::io::Result<(
         match std::str::from_utf8(&buf).ok().and_then(|s| Json::parse(s).ok()) {
             Some(j) => Some(j),
             None => {
-                return write_response(stream, 400, &Json::obj().set("error", "invalid JSON body"))
+                return write_json(stream, 400, &Json::obj().set("error", "invalid JSON body"))
             }
         }
     } else {
@@ -107,14 +107,25 @@ fn handle_connection(stream: TcpStream, server: &ApiServer) -> std::io::Result<(
     };
 
     let Some(method) = Method::parse(&method) else {
-        return write_response(stream, 405, &Json::obj().set("error", "unsupported method"));
+        return write_json(stream, 405, &Json::obj().set("error", "unsupported method"));
     };
     let response = server.handle(&Request { method, path, body });
-    write_response(stream, response.status, &response.body)
+    match &response.raw {
+        Some((content_type, text)) => write_response(stream, response.status, content_type, text),
+        None => write_json(stream, response.status, &response.body),
+    }
 }
 
-fn write_response(mut stream: TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
-    let text = body.to_string();
+fn write_json(stream: TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", &body.to_string())
+}
+
+fn write_response(
+    mut stream: TcpStream,
+    status: u16,
+    content_type: &str,
+    text: &str,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -126,7 +137,7 @@ fn write_response(mut stream: TcpStream, status: u16, body: &Json) -> std::io::R
     };
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
         text.len(),
         text
     )?;
@@ -135,6 +146,19 @@ fn write_response(mut stream: TcpStream, status: u16, body: &Json) -> std::io::R
 
 /// A tiny blocking HTTP client for tests and examples.
 pub fn http_request(addr: SocketAddr, method: &str, path: &str, body: Option<&Json>) -> std::io::Result<(u16, Json)> {
+    let (status, text) = http_request_text(addr, method, path, body)?;
+    let json = Json::parse(&text).unwrap_or(Json::Null);
+    Ok((status, json))
+}
+
+/// Like [`http_request`] but returns the raw response body — what text
+/// endpoints (`/metrics`, `/trace/spans`) need.
+pub fn http_request_text(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
     let body_text = body.map(|b| b.to_string()).unwrap_or_default();
     write!(
@@ -151,12 +175,11 @@ pub fn http_request(addr: SocketAddr, method: &str, path: &str, body: Option<&Js
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
-    let json = response
-        .split("\r\n\r\n")
-        .nth(1)
-        .and_then(|b| Json::parse(b).ok())
-        .unwrap_or(Json::Null);
-    Ok((status, json))
+    let text = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, text))
 }
 
 #[cfg(test)]
@@ -207,6 +230,26 @@ mod tests {
         assert_eq!(status, 404);
         let (status, _) = http_request(guard.addr(), "PATCH", "/workloads", None).unwrap();
         assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn http_metrics_plaintext() {
+        let (_, clock) = sim_clock();
+        let types = vec![TransactionType::new("T", 100.0, true)];
+        let mixture = Mixture::default_of(&types);
+        let state = ControlState::new(Rate::Limited(50.0), mixture, 1e4);
+        let queue = Arc::new(RequestQueue::new(clock.clone()));
+        let stats = Arc::new(StatsCollector::new(clock, &["T"]));
+        let db = Database::new(Personality::test());
+        let c = Controller::new(state, queue, stats, db, types, "w");
+        let reg = Arc::new(bp_obs::MetricsRegistry::new());
+        let s = Arc::new(ApiServer::new().with_registry(reg));
+        s.register("w", c);
+
+        let guard = s.serve_http("127.0.0.1:0").unwrap();
+        let (status, text) = http_request_text(guard.addr(), "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(text.contains("# TYPE bp_server_commits_total counter"), "{text}");
     }
 
     #[test]

@@ -14,4 +14,6 @@
 pub mod http;
 pub mod router;
 
+pub use http::{http_request, http_request_text};
 pub use router::{ApiServer, Launcher, Method, Request, Response};
+pub use router::{JSONL_CONTENT_TYPE, PROMETHEUS_CONTENT_TYPE};

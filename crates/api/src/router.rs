@@ -6,7 +6,14 @@ use std::sync::Arc;
 use bp_util::sync::RwLock;
 
 use bp_core::{Controller, MixturePreset, Rate, StatusSnapshot};
+use bp_obs::MetricsRegistry;
 use bp_util::json::Json;
+
+/// Prometheus text exposition content type.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// JSON-lines content type used by `/trace/spans`.
+pub const JSONL_CONTENT_TYPE: &str = "application/x-ndjson";
 
 /// HTTP-style method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,20 +52,29 @@ impl Request {
     }
 }
 
-/// An API response.
+/// An API response. Most endpoints return JSON (`body`); text-exposition
+/// endpoints (`/metrics`, `/trace/spans`) set `raw` instead, which the HTTP
+/// transport serves verbatim under its content type.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     pub status: u16,
     pub body: Json,
+    /// `(content_type, payload)` for non-JSON responses.
+    pub raw: Option<(String, String)>,
 }
 
 impl Response {
     pub fn ok(body: Json) -> Response {
-        Response { status: 200, body }
+        Response { status: 200, body, raw: None }
     }
 
     pub fn error(status: u16, message: &str) -> Response {
-        Response { status, body: Json::obj().set("error", message) }
+        Response { status, body: Json::obj().set("error", message), raw: None }
+    }
+
+    /// A 200 response carrying a raw text payload.
+    pub fn text(content_type: &str, payload: String) -> Response {
+        Response { status: 200, body: Json::Null, raw: Some((content_type.to_string(), payload)) }
     }
 
     pub fn is_ok(&self) -> bool {
@@ -83,6 +99,7 @@ pub struct ApiServer {
     workloads: RwLock<HashMap<String, Controller>>,
     launcher: Option<Arc<dyn Launcher>>,
     metrics: Option<Arc<dyn Fn() -> Json + Send + Sync>>,
+    registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for ApiServer {
@@ -111,6 +128,16 @@ fn status_json(st: &StatusSnapshot) -> Json {
         .set("elapsed_s", st.elapsed_s)
 }
 
+/// Look up a `key=value` pair in a raw query string (no percent-decoding —
+/// the API's parameters are all simple tokens).
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
 fn rate_json(rate: Rate) -> Json {
     match rate {
         Rate::Unlimited => Json::Str("unlimited".into()),
@@ -121,7 +148,12 @@ fn rate_json(rate: Rate) -> Json {
 
 impl ApiServer {
     pub fn new() -> ApiServer {
-        ApiServer { workloads: RwLock::new(HashMap::new()), launcher: None, metrics: None }
+        ApiServer {
+            workloads: RwLock::new(HashMap::new()),
+            launcher: None,
+            metrics: None,
+            registry: None,
+        }
     }
 
     pub fn with_launcher(mut self, launcher: Arc<dyn Launcher>) -> ApiServer {
@@ -130,13 +162,33 @@ impl ApiServer {
     }
 
     /// Provide a metrics callback for GET /metrics (e.g. from bp-monitor).
+    /// Superseded by [`ApiServer::with_registry`], which serves Prometheus
+    /// text instead of ad-hoc JSON; the callback remains as a fallback when
+    /// no registry is configured.
     pub fn with_metrics(mut self, f: Arc<dyn Fn() -> Json + Send + Sync>) -> ApiServer {
         self.metrics = Some(f);
         self
     }
 
+    /// Attach a unified metrics registry. GET /metrics then renders the
+    /// Prometheus text exposition, and every controller registered with
+    /// [`ApiServer::register`] has its stats / server counters / span
+    /// recorder wired into it automatically.
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> ApiServer {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.registry.as_ref()
+    }
+
     /// Register a running workload under an id.
     pub fn register(&self, id: &str, controller: Controller) {
+        if let Some(reg) = &self.registry {
+            controller.register_metrics(reg);
+        }
         self.workloads.write().insert(id.to_string(), controller);
     }
 
@@ -152,7 +204,11 @@ impl ApiServer {
 
     /// Route and handle a request.
     pub fn handle(&self, req: &Request) -> Response {
-        let path = req.path.trim_matches('/');
+        let (path, query) = match req.path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (req.path.as_str(), ""),
+        };
+        let path = path.trim_matches('/');
         let parts: Vec<&str> = if path.is_empty() { Vec::new() } else { path.split('/').collect() };
         match (req.method, parts.as_slice()) {
             (Method::Get, ["status"]) | (Method::Get, []) => self.all_status(),
@@ -166,14 +222,93 @@ impl ApiServer {
                 )),
                 None => Response::error(501, "no launcher configured"),
             },
-            (Method::Get, ["metrics"]) => match &self.metrics {
-                Some(f) => Response::ok(f()),
-                None => Response::error(501, "no metrics provider configured"),
-            },
+            (Method::Get, ["metrics"]) => self.metrics_response(),
+            (Method::Get, ["trace", "spans"]) => self.trace_spans(query),
+            (Method::Get, ["trace", "summary"]) => self.trace_summary(),
             (Method::Get, ["workloads", id]) => self.workload_status(id),
             (Method::Post, ["workloads", id, action]) => self.workload_action(id, action, req),
             _ => Response::error(404, &format!("no route for {}", req.path)),
         }
+    }
+
+    /// GET /metrics — Prometheus text when a registry is attached, the
+    /// legacy JSON callback otherwise.
+    fn metrics_response(&self) -> Response {
+        if let Some(reg) = &self.registry {
+            return Response::text(PROMETHEUS_CONTENT_TYPE, reg.render_prometheus());
+        }
+        match &self.metrics {
+            Some(f) => Response::ok(f()),
+            None => Response::error(501, "no metrics provider configured"),
+        }
+    }
+
+    /// GET /trace/spans?last=N — the most recent N spans across every
+    /// workload's flight recorder, oldest first, one JSON object per line.
+    fn trace_spans(&self, query: &str) -> Response {
+        let last = query_param(query, "last")
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(100);
+        let mut spans: Vec<(String, bp_obs::Span)> = Vec::new();
+        {
+            let map = self.workloads.read();
+            for (id, c) in map.iter() {
+                if let Some(rec) = c.spans() {
+                    spans.extend(rec.recent(last).into_iter().map(|s| (id.clone(), s)));
+                }
+            }
+        }
+        spans.sort_by_key(|(_, s)| (s.end_us, s.seq));
+        if spans.len() > last {
+            let cut = spans.len() - last;
+            spans.drain(..cut);
+        }
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        for (id, s) in &spans {
+            let _ = writeln!(out, "{}", s.to_json().set("workload", id.as_str()));
+        }
+        Response::text(JSONL_CONTENT_TYPE, out)
+    }
+
+    /// GET /trace/summary — per-workload per-stage latency summaries plus
+    /// the one-line rendering used by run logs.
+    fn trace_summary(&self) -> Response {
+        let map = self.workloads.read();
+        let mut ids: Vec<&String> = map.keys().collect();
+        ids.sort();
+        let items: Vec<Json> = ids
+            .into_iter()
+            .filter_map(|id| {
+                let c = &map[id];
+                let rec = c.spans()?;
+                let stages = rec.stage_summaries();
+                let stages_json = Json::Arr(
+                    stages
+                        .iter()
+                        .map(|st| {
+                            Json::obj()
+                                .set("stage", st.stage.name())
+                                .set("count", st.count)
+                                .set("p50_us", st.p50_us)
+                                .set("p95_us", st.p95_us)
+                                .set("p99_us", st.p99_us)
+                                .set("mean_us", st.mean_us)
+                        })
+                        .collect(),
+                );
+                Some(
+                    Json::obj()
+                        .set("id", id.as_str())
+                        .set("mode", rec.mode().name())
+                        .set("spans", rec.recorded())
+                        .set("overwritten", rec.overwritten())
+                        .set("line", rec.summary_line())
+                        .set("stages", stages_json),
+                )
+            })
+            .collect();
+        Response::ok(Json::obj().set("workloads", Json::Arr(items)))
     }
 
     fn all_status(&self) -> Response {
@@ -491,5 +626,89 @@ mod tests {
         let r = s.handle(&Request::get("/metrics"));
         assert!(r.is_ok());
         assert_eq!(r.body.get("cpu_busy").unwrap().as_f64(), Some(0.42));
+    }
+
+    use bp_obs::{MetricsRegistry, ObsConfig, Span, SpanOutcome, SpanRecorder};
+
+    fn controller_with_spans() -> Controller {
+        let rec = Arc::new(SpanRecorder::new(ObsConfig::default()));
+        for seq in 0..3u64 {
+            rec.record(Span {
+                seq,
+                submitted_us: seq * 100,
+                dequeued_us: seq * 100 + 50,
+                end_us: seq * 100 + 250,
+                lock_wait_us: 20,
+                commit_us: 30,
+                tenant: 0,
+                phase: 0,
+                txn_type: (seq % 2) as u16,
+                retries: 0,
+                outcome: SpanOutcome::Committed,
+            });
+        }
+        controller().with_spans(rec)
+    }
+
+    #[test]
+    fn metrics_prometheus_with_registry() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let s = ApiServer::new().with_registry(reg.clone());
+        s.register("demo", controller_with_spans());
+        assert_eq!(reg.source_count(), 3, "stats + server + spans");
+        let r = s.handle(&Request::get("/metrics"));
+        assert!(r.is_ok());
+        let (ctype, text) = r.raw.expect("raw payload");
+        assert!(ctype.starts_with("text/plain"));
+        assert!(text.contains("bp_server_commits_total"), "{text}");
+        assert!(text.contains("bp_stage_latency_us_bucket"), "{text}");
+        assert!(text.contains("bp_client_committed_total"), "{text}");
+    }
+
+    #[test]
+    fn trace_spans_jsonl() {
+        let s = ApiServer::new();
+        s.register("demo", controller_with_spans());
+        let r = s.handle(&Request::get("/trace/spans"));
+        let (ctype, text) = r.raw.expect("raw payload");
+        assert_eq!(ctype, JSONL_CONTENT_TYPE);
+        assert_eq!(text.lines().count(), 3);
+        for line in text.lines() {
+            let j = Json::parse(line).expect("valid JSON line");
+            assert_eq!(j.get("workload").unwrap().as_str(), Some("demo"));
+            assert!(j.get("queue_us").is_some());
+        }
+        // ?last=N keeps only the newest N, oldest first.
+        let r = s.handle(&Request::get("/trace/spans?last=1"));
+        let (_, text) = r.raw.unwrap();
+        assert_eq!(text.lines().count(), 1);
+        let j = Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(j.get("seq").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn trace_summary_reports_stages() {
+        let s = ApiServer::new();
+        s.register("demo", controller_with_spans());
+        let r = s.handle(&Request::get("/trace/summary"));
+        assert!(r.is_ok());
+        let items = r.body.get("workloads").unwrap().as_arr().unwrap();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].get("spans").unwrap().as_u64(), Some(3));
+        let line = items[0].get("line").unwrap().as_str().unwrap().to_string();
+        assert!(line.contains("spans=3"), "{line}");
+        let stages = items[0].get("stages").unwrap().as_arr().unwrap();
+        assert_eq!(stages.len(), 4);
+        assert!(stages.iter().any(|st| st.get("stage").unwrap().as_str() == Some("queue")));
+    }
+
+    #[test]
+    fn trace_endpoints_without_recorder_are_empty() {
+        let s = ApiServer::new();
+        s.register("demo", controller()); // no span recorder attached
+        let r = s.handle(&Request::get("/trace/spans?last=5"));
+        assert_eq!(r.raw.unwrap().1, "");
+        let r = s.handle(&Request::get("/trace/summary"));
+        assert!(r.body.get("workloads").unwrap().as_arr().unwrap().is_empty());
     }
 }

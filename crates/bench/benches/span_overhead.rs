@@ -1,0 +1,93 @@
+//! Span flight-recorder overhead (ISSUE 2 acceptance): recording one span
+//! in full mode must cost < 100ns single-threaded, and the `should_record`
+//! gate in off mode must be near-free — span recording is compiled in but
+//! paid for per-run only when enabled. Plain `fn main()` harness (hermetic
+//! build — no criterion).
+//!
+//! `BENCH_SMOKE=1` shrinks the measurement budget for CI smoke runs; the
+//! bounds are asserted in both modes.
+
+use std::hint::black_box;
+
+use bp_bench::timing::{group, Bencher};
+use bp_obs::{ObsConfig, Span, SpanMode, SpanOutcome, SpanRecorder};
+
+fn span(seq: u64) -> Span {
+    Span {
+        seq,
+        submitted_us: seq * 10,
+        dequeued_us: seq * 10 + 3,
+        end_us: seq * 10 + 250,
+        lock_wait_us: 20,
+        commit_us: 30,
+        tenant: 0,
+        phase: (seq / 1_000) as u16,
+        txn_type: (seq % 4) as u16,
+        retries: 0,
+        outcome: SpanOutcome::Committed,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let mut b = Bencher::new();
+    if smoke {
+        b.budget = std::time::Duration::from_millis(60);
+        b.warmup = std::time::Duration::from_millis(15);
+    }
+
+    group("span_overhead");
+
+    // Full mode: the complete hot path — gate check, 4 histogram records,
+    // ring write. This is what every request pays when spans = full.
+    let rec = SpanRecorder::new(ObsConfig { mode: SpanMode::Full, ..ObsConfig::default() });
+    let mut seq = 0u64;
+    let full_ns = {
+        let r = b.bench("record_full", || {
+            seq += 1;
+            if rec.should_record(seq) {
+                rec.record(black_box(span(seq)));
+            }
+        });
+        r.best_ns
+    };
+
+    // Off mode: the per-request residue when spans are disabled — one
+    // relaxed atomic load in `should_record`.
+    let rec_off = SpanRecorder::new(ObsConfig { mode: SpanMode::Off, ..ObsConfig::default() });
+    let mut seq_off = 0u64;
+    let off_ns = {
+        let r = b.bench("should_record_off", || {
+            seq_off += 1;
+            black_box(rec_off.should_record(seq_off))
+        });
+        r.best_ns
+    };
+
+    // Sampled mode at 10%: the gate hashes the sequence number; ~10% of
+    // iterations also pay the record.
+    let rec_s = SpanRecorder::new(ObsConfig {
+        mode: SpanMode::Sampled,
+        sample_ratio: 0.1,
+        ..ObsConfig::default()
+    });
+    let mut seq_s = 0u64;
+    b.bench("record_sampled_10pct", || {
+        seq_s += 1;
+        if rec_s.should_record(seq_s) {
+            rec_s.record(black_box(span(seq_s)));
+        }
+    });
+
+    assert!(
+        full_ns < 100.0,
+        "full-mode span recording too slow: {full_ns:.1} ns/span (budget 100 ns)"
+    );
+    assert!(
+        off_ns < 10.0,
+        "off-mode gate should be a relaxed load: {off_ns:.1} ns (budget 10 ns)"
+    );
+    println!(
+        "OK: full {full_ns:.1} ns/span (< 100 ns), off-mode gate {off_ns:.1} ns (< 10 ns)"
+    );
+}

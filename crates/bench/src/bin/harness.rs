@@ -1,6 +1,6 @@
 //! The experiment harness CLI: regenerates every table/figure artifact.
 //!
-//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|queue|all]`
+//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|obs|queue|all]`
 
 use bp_bench::*;
 
@@ -109,6 +109,19 @@ fn main() {
         }
         println!();
     }
+    if run_all || arg == "obs" {
+        ran = true;
+        println!("=== E11: observability — span flight recorder + unified metrics registry ===");
+        let r = run_observability(2.0);
+        println!("completed: {}  spans recorded: {}", r.completed, r.spans_recorded);
+        for (phase, line) in &r.phase_lines {
+            println!("phase {phase}: {line}");
+        }
+        println!(
+            "/metrics exposition: {} families, {} bytes\n",
+            r.metric_families, r.exposition_bytes
+        );
+    }
     if run_all || arg == "queue" {
         ran = true;
         println!("=== Ablation: centralized queue dispatch gate (never-exceed, §2.2.1) ===");
@@ -120,7 +133,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects queue all"
+            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects obs queue all"
         );
         std::process::exit(2);
     }

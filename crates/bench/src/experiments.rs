@@ -447,6 +447,56 @@ pub fn simulate_shape(model_name: &str, shape: &str, seconds: f64) -> (Vec<f64>,
 /// Ablation: centralized-queue gating on/off — how much the delivered rate
 /// overshoots the target while draining a backlog (why the central queue
 /// gates dispatches, §2.2.1).
+/// E11 — observability (flight recorder + unified registry): run a
+/// two-phase workload with span recording in full mode and report the
+/// per-phase stage-latency lines plus the Prometheus exposition the
+/// `/metrics` endpoint would serve.
+pub struct ObservabilityReport {
+    pub completed: u64,
+    pub spans_recorded: u64,
+    /// `(phase index, one-line p50/p95/p99 per stage)` per script phase.
+    pub phase_lines: Vec<(u16, String)>,
+    /// Distinct metric families in the exposition.
+    pub metric_families: usize,
+    pub exposition_bytes: usize,
+}
+
+pub fn run_observability(seconds: f64) -> ObservabilityReport {
+    use bp_obs::{format_stage_line, MetricsRegistry};
+
+    let db = Database::new(Personality::test());
+    let w = by_name("voter").unwrap();
+    let mut conn = Connection::open(&db);
+    w.setup(&mut conn, 0.5, &mut Rng::new(7)).unwrap();
+    let script = PhaseScript::new(vec![
+        Phase::new(Rate::Limited(400.0), seconds / 2.0),
+        Phase::new(Rate::Limited(800.0), seconds / 2.0),
+    ]);
+    let cfg = RunConfig { terminals: 4, script, ..Default::default() };
+    let handle = bp_core::start(db, w, wall_clock(), cfg);
+
+    let registry = MetricsRegistry::new();
+    handle.controller.register_metrics(&registry);
+    let spans = handle.spans.clone();
+    let controller = handle.join();
+
+    let text = registry.render_prometheus();
+    let metric_families = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
+    let phase_lines = spans
+        .phase_summaries()
+        .into_iter()
+        .map(|(phase, stages)| (phase, format_stage_line(stages[0].count, &stages)))
+        .collect();
+    let st = controller.status();
+    ObservabilityReport {
+        completed: st.committed + st.user_aborted + st.failed,
+        spans_recorded: spans.recorded(),
+        phase_lines,
+        metric_families,
+        exposition_bytes: text.len(),
+    }
+}
+
 pub struct QueueAblationReport {
     pub gated_overshoot_seconds: usize,
     pub ungated_burst_tps: f64,
@@ -500,6 +550,20 @@ mod tests {
         let text = report.render();
         assert!(text.contains("tpcc"));
         assert!(text.contains("Feature Testing"));
+    }
+
+    #[test]
+    fn observability_report_covers_phases() {
+        let r = run_observability(1.0);
+        assert!(r.completed > 0);
+        assert_eq!(r.spans_recorded, r.completed, "full mode records every request");
+        assert!(!r.phase_lines.is_empty());
+        for (_, line) in &r.phase_lines {
+            assert!(line.contains("queue p50/p95/p99="), "{line}");
+            assert!(line.contains("commit p50/p95/p99="), "{line}");
+        }
+        assert!(r.metric_families >= 10, "only {} families", r.metric_families);
+        assert!(r.exposition_bytes > 0);
     }
 
     #[test]

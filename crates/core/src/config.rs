@@ -18,6 +18,7 @@
 //! </parameters>
 //! ```
 
+use bp_obs::{ObsConfig, SpanMode};
 use bp_util::xml::XmlNode;
 
 use crate::executor::RunConfig;
@@ -33,6 +34,8 @@ pub struct WorkloadConfig {
     pub scale_factor: f64,
     pub terminals: usize,
     pub script: PhaseScript,
+    /// Span recording configuration (`<observability>`; defaults to full).
+    pub obs: ObsConfig,
 }
 
 /// Configuration errors with context.
@@ -102,7 +105,32 @@ impl WorkloadConfig {
         if phases.is_empty() {
             return Err(ConfigError("<works> has no <work> phases".into()));
         }
-        Ok(WorkloadConfig { dbtype, benchmark, scale_factor, terminals, script: PhaseScript::new(phases) })
+
+        let mut obs = ObsConfig::default();
+        if let Some(node) = root.child("observability") {
+            if let Some(mode) = node.child_text("spans") {
+                obs.mode = SpanMode::parse(mode)
+                    .ok_or_else(|| ConfigError(format!("invalid <spans> '{mode}'")))?;
+            }
+            if let Some(ratio) = node.child_parse::<f64>("samplerate") {
+                if !(0.0..=1.0).contains(&ratio) {
+                    return Err(ConfigError(format!("<samplerate> {ratio} outside [0, 1]")));
+                }
+                obs.sample_ratio = ratio;
+            }
+            if let Some(cap) = node.child_parse::<usize>("ringcapacity") {
+                obs.ring_capacity = cap;
+            }
+        }
+
+        Ok(WorkloadConfig {
+            dbtype,
+            benchmark,
+            scale_factor,
+            terminals,
+            script: PhaseScript::new(phases),
+            obs,
+        })
     }
 
     /// Build a [`RunConfig`] from this configuration.
@@ -111,6 +139,7 @@ impl WorkloadConfig {
             terminals: self.terminals,
             script: self.script.clone(),
             seed,
+            obs: self.obs,
             ..Default::default()
         }
     }
@@ -150,6 +179,13 @@ impl WorkloadConfig {
             works.children.push(work);
         }
         root.children.push(works);
+        if self.obs != ObsConfig::default() {
+            let mut obs = XmlNode::new("observability");
+            obs.children.push(add("spans", self.obs.mode.name().into()));
+            obs.children.push(add("samplerate", format!("{}", self.obs.sample_ratio)));
+            obs.children.push(add("ringcapacity", format!("{}", self.obs.ring_capacity)));
+            root.children.push(obs);
+        }
         root.to_xml()
     }
 }
@@ -234,5 +270,48 @@ mod tests {
         assert_eq!(rc.terminals, 8);
         assert_eq!(rc.seed, 7);
         assert_eq!(rc.script.phases.len(), 2);
+        assert_eq!(rc.obs, ObsConfig::default());
+    }
+
+    #[test]
+    fn parse_observability_block() {
+        let xml = SAMPLE.replace(
+            "</parameters>",
+            "<observability><spans>sampled</spans><samplerate>0.25</samplerate>\
+             <ringcapacity>1024</ringcapacity></observability></parameters>",
+        );
+        let cfg = WorkloadConfig::parse(&xml).unwrap();
+        assert_eq!(cfg.obs.mode, SpanMode::Sampled);
+        assert_eq!(cfg.obs.sample_ratio, 0.25);
+        assert_eq!(cfg.obs.ring_capacity, 1024);
+        // Carried into the run config verbatim.
+        assert_eq!(cfg.run_config(1).obs, cfg.obs);
+        // Survives the XML round trip.
+        let back = WorkloadConfig::parse(&cfg.to_xml()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn observability_defaults_and_validation() {
+        let cfg = WorkloadConfig::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.obs, ObsConfig::default());
+
+        let off = SAMPLE.replace(
+            "</parameters>",
+            "<observability><spans>off</spans></observability></parameters>",
+        );
+        assert_eq!(WorkloadConfig::parse(&off).unwrap().obs.mode, SpanMode::Off);
+
+        let bad_mode = SAMPLE.replace(
+            "</parameters>",
+            "<observability><spans>loud</spans></observability></parameters>",
+        );
+        assert!(WorkloadConfig::parse(&bad_mode).is_err());
+
+        let bad_ratio = SAMPLE.replace(
+            "</parameters>",
+            "<observability><samplerate>1.5</samplerate></observability></parameters>",
+        );
+        assert!(WorkloadConfig::parse(&bad_ratio).is_err());
     }
 }

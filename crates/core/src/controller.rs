@@ -153,6 +153,7 @@ pub struct Controller {
     db: Arc<Database>,
     types: Arc<Vec<TransactionType>>,
     workload_name: String,
+    spans: Option<Arc<bp_obs::SpanRecorder>>,
 }
 
 impl Controller {
@@ -171,6 +172,35 @@ impl Controller {
             db,
             types: Arc::new(types),
             workload_name: workload_name.to_string(),
+            spans: None,
+        }
+    }
+
+    /// Attach the run's span recorder (builder-style; the executor does
+    /// this so API surfaces can expose `/trace`).
+    pub fn with_spans(mut self, spans: Arc<bp_obs::SpanRecorder>) -> Controller {
+        self.spans = Some(spans);
+        self
+    }
+
+    /// The run's span recorder, if lifecycle tracing is wired up.
+    pub fn spans(&self) -> Option<&Arc<bp_obs::SpanRecorder>> {
+        self.spans.as_ref()
+    }
+
+    /// Register this workload's metrics silos with a unified registry:
+    /// client-side statistics, the storage engine's server counters, and
+    /// (when present) the span recorder's stage histograms. Duplicate
+    /// registration (e.g. two controllers sharing one database) is a no-op
+    /// per source.
+    pub fn register_metrics(&self, registry: &bp_obs::MetricsRegistry) {
+        registry.register(
+            &format!("stats:{}", self.workload_name),
+            self.stats.clone(),
+        );
+        registry.register("server", self.db.metrics().clone());
+        if let Some(spans) = &self.spans {
+            registry.register(&format!("spans:{}", self.workload_name), spans.clone());
         }
     }
 
@@ -348,6 +378,22 @@ mod tests {
         c.halt_and_reset();
         assert!(c.is_stopped());
         assert_eq!(c.database().total_rows(), 0);
+    }
+
+    #[test]
+    fn register_metrics_wires_all_silos() {
+        let reg = bp_obs::MetricsRegistry::new();
+        let c = controller()
+            .with_spans(Arc::new(bp_obs::SpanRecorder::new(bp_obs::ObsConfig::default())));
+        assert!(c.spans().is_some());
+        c.register_metrics(&reg);
+        assert_eq!(reg.source_count(), 3, "stats + server + spans");
+        // Re-registering the same controller must not double-count.
+        c.register_metrics(&reg);
+        assert_eq!(reg.source_count(), 3);
+        let text = reg.render_prometheus();
+        assert!(text.contains("bp_server_commits_total"));
+        assert!(text.contains("bp_stage_latency_us_bucket"));
     }
 
     #[test]

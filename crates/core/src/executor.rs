@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use bp_obs::{ObsConfig, Span, SpanOutcome, SpanRecorder};
 use bp_sql::Connection;
 use bp_storage::Database;
 use bp_util::clock::{SharedClock, MICROS_PER_SEC};
@@ -41,6 +42,10 @@ pub struct RunConfig {
     /// Arrival rate used for `Rate::Unlimited` (the "large configurable
     /// constant" of §2.2.1).
     pub unlimited_rate: f64,
+    /// Request-lifecycle span recording (`observability.spans`).
+    pub obs: ObsConfig,
+    /// Tenant id stamped on spans (multi-tenant testbeds set this per run).
+    pub tenant: u16,
 }
 
 impl Default for RunConfig {
@@ -52,6 +57,8 @@ impl Default for RunConfig {
             collect_trace: true,
             max_retries: 3,
             unlimited_rate: 50_000.0,
+            obs: ObsConfig::default(),
+            tenant: 0,
         }
     }
 }
@@ -60,6 +67,9 @@ impl Default for RunConfig {
 pub struct RunHandle {
     pub controller: Controller,
     pub trace: Option<Arc<Trace>>,
+    /// The run's lifecycle flight recorder (also reachable via
+    /// `controller.spans()`).
+    pub spans: Arc<SpanRecorder>,
     threads: Vec<JoinHandle<()>>,
     active_workers: Arc<AtomicUsize>,
 }
@@ -107,6 +117,7 @@ pub fn start(
     queue.set_rate(initial_rate.arrivals_per_second(cfg.unlimited_rate));
     let stats = Arc::new(StatsCollector::new(clock.clone(), &type_names));
     let trace = if cfg.collect_trace { Some(Arc::new(Trace::new())) } else { None };
+    let spans = Arc::new(SpanRecorder::new(cfg.obs));
 
     let controller = Controller::new(
         state.clone(),
@@ -115,7 +126,8 @@ pub fn start(
         db.clone(),
         types,
         workload.name(),
-    );
+    )
+    .with_spans(spans.clone());
 
     let active_workers = Arc::new(AtomicUsize::new(cfg.terminals));
     let mut threads = Vec::with_capacity(cfg.terminals + 1);
@@ -146,21 +158,35 @@ pub fn start(
         let stats = stats.clone();
         let clock = clock.clone();
         let trace = trace.clone();
+        let spans = spans.clone();
         let active = active_workers.clone();
         let max_retries = cfg.max_retries;
+        let tenant = cfg.tenant;
         let seed = cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1));
         threads.push(
             std::thread::Builder::new()
                 .name(format!("bp-worker-{w}"))
                 .spawn(move || {
-                    worker_loop(db, workload, state, queue, stats, clock, trace, max_retries, seed);
+                    worker_loop(WorkerCtx {
+                        db,
+                        workload,
+                        state,
+                        queue,
+                        stats,
+                        clock,
+                        trace,
+                        spans,
+                        max_retries,
+                        tenant,
+                        seed,
+                    });
                     active.fetch_sub(1, Ordering::Relaxed);
                 })
                 .expect("spawn worker"),
         );
     }
 
-    RunHandle { controller, trace, threads, active_workers }
+    RunHandle { controller, trace, spans, threads, active_workers }
 }
 
 /// The Workload Manager: one iteration per second.
@@ -235,9 +261,9 @@ fn manager_loop(
     }
 }
 
-/// One client worker ("terminal").
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
+/// Everything one client worker needs; bundled so the span recorder and
+/// tenant id ride along without a 12-argument function.
+struct WorkerCtx {
     db: Arc<Database>,
     workload: Arc<dyn Workload>,
     state: Arc<ControlState>,
@@ -245,9 +271,16 @@ fn worker_loop(
     stats: Arc<StatsCollector>,
     clock: SharedClock,
     trace: Option<Arc<Trace>>,
+    spans: Arc<SpanRecorder>,
     max_retries: u32,
+    tenant: u16,
     seed: u64,
-) {
+}
+
+/// One client worker ("terminal").
+fn worker_loop(ctx: WorkerCtx) {
+    let WorkerCtx { db, workload, state, queue, stats, clock, trace, spans, max_retries, tenant, seed } =
+        ctx;
     let mut conn = Connection::open(&db);
     let mut rng = Rng::new(seed);
 
@@ -271,6 +304,11 @@ fn worker_loop(
         let mixture = state.mixture();
         let txn_idx = mixture.sample(&mut rng);
         let start = clock.now();
+        // One mode check per request; the storage layer's stage accumulator
+        // is always drained (here, pre-execution) so lock-wait/commit time
+        // from an unrecorded request can't leak into a recorded one.
+        let record_span = spans.should_record(req.seq);
+        bp_obs::take_stage_acc();
 
         let mut retries = 0u32;
         let outcome = loop {
@@ -296,6 +334,26 @@ fn worker_loop(
         let end = clock.now();
 
         stats.record(Sample { txn_type: txn_idx, arrival: req.arrival, start, end, outcome, retries });
+        if record_span {
+            let (lock_wait_us, commit_us) = bp_obs::take_stage_acc();
+            spans.record(Span {
+                seq: req.seq,
+                submitted_us: req.arrival,
+                dequeued_us: start,
+                end_us: end,
+                lock_wait_us,
+                commit_us,
+                tenant,
+                phase: state.phase_idx().min(u16::MAX as usize) as u16,
+                txn_type: txn_idx.min(u16::MAX as usize) as u16,
+                retries: retries.min(u16::MAX as u32) as u16,
+                outcome: match outcome {
+                    RequestOutcome::Committed => SpanOutcome::Committed,
+                    RequestOutcome::UserAborted => SpanOutcome::UserAborted,
+                    RequestOutcome::Failed => SpanOutcome::Failed,
+                },
+            });
+        }
         if let Some(t) = &trace {
             t.append(TraceRecord {
                 start_us: start,
@@ -502,6 +560,69 @@ mod tests {
         let trace = handle.trace.clone().unwrap();
         handle.join();
         assert!(trace.len() > 50, "trace has {} records", trace.len());
+    }
+
+    #[test]
+    fn spans_full_mode_matches_stats_counts() {
+        let (db, w) = setup();
+        let clock = wall_clock();
+        let cfg = RunConfig {
+            terminals: 2,
+            script: PhaseScript::new(vec![Phase::new(Rate::Limited(300.0), 1.0)]),
+            ..Default::default()
+        };
+        let handle = start(db, w, clock, cfg);
+        let spans = handle.spans.clone();
+        let controller = handle.join();
+        let completed = controller.stats().total_completed();
+        assert_eq!(spans.recorded(), completed, "full mode records every request");
+        let sums = spans.stage_summaries();
+        assert_eq!(sums[0].count, completed);
+        // Spans carry the workload's txn types and real timestamps.
+        let recent = spans.recent(10);
+        assert!(!recent.is_empty());
+        assert!(recent.iter().all(|s| s.txn_type < 2 && s.end_us >= s.dequeued_us));
+    }
+
+    #[test]
+    fn span_modes_agree_on_aggregates() {
+        let (db, w) = setup();
+        let clock = wall_clock();
+        let script = PhaseScript::new(vec![Phase::new(Rate::Limited(400.0), 1.0)]);
+
+        // Off: stats still complete, zero spans.
+        let cfg = RunConfig {
+            terminals: 2,
+            script: script.clone(),
+            obs: bp_obs::ObsConfig { mode: bp_obs::SpanMode::Off, ..Default::default() },
+            ..Default::default()
+        };
+        let handle = start(db.clone(), w.clone(), clock.clone(), cfg);
+        let spans = handle.spans.clone();
+        let completed_off = handle.join().stats().total_completed();
+        assert!(completed_off > 100, "off-mode run completed {completed_off}");
+        assert_eq!(spans.recorded(), 0, "off mode records nothing");
+
+        // Sampled: recorded/completed within tolerance of the ratio.
+        let cfg = RunConfig {
+            terminals: 2,
+            script,
+            obs: bp_obs::ObsConfig {
+                mode: bp_obs::SpanMode::Sampled,
+                sample_ratio: 0.5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let handle = start(db, w, clock, cfg);
+        let spans = handle.spans.clone();
+        let completed = handle.join().stats().total_completed();
+        let observed = spans.recorded() as f64 / completed as f64;
+        assert!(
+            (0.3..=0.7).contains(&observed),
+            "sampled ratio {observed} too far from 0.5 ({} of {completed})",
+            spans.recorded()
+        );
     }
 
     #[test]

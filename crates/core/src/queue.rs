@@ -45,6 +45,11 @@ pub struct RequestQueue {
     spacing_us: AtomicU64,
     seq: AtomicU64,
     dispatched: AtomicU64,
+    /// Cumulative scheduled-arrival → dispatch wait across all dispatches
+    /// (µs). With `dispatched` this gives the mean queue wait without
+    /// merging any histogram — the cheap signal the metrics registry and
+    /// saturation checks read.
+    queue_wait_us: AtomicU64,
 }
 
 impl RequestQueue {
@@ -56,6 +61,7 @@ impl RequestQueue {
             spacing_us: AtomicU64::new(0),
             seq: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
+            queue_wait_us: AtomicU64::new(0),
         }
     }
 
@@ -89,6 +95,21 @@ impl RequestQueue {
     /// Total requests ever dispatched.
     pub fn dispatched(&self) -> u64 {
         self.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative arrival→dispatch wait over all dispatches (µs).
+    pub fn total_queue_wait_us(&self) -> u64 {
+        self.queue_wait_us.load(Ordering::Relaxed)
+    }
+
+    /// Mean arrival→dispatch wait (µs); 0 before the first dispatch.
+    pub fn mean_queue_wait_us(&self) -> f64 {
+        let n = self.dispatched();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_queue_wait_us() as f64 / n as f64
+        }
     }
 
     /// Remove all pending requests (rate drop / phase reset), returning how
@@ -132,6 +153,8 @@ impl RequestQueue {
                     // target rate.
                     st.next_dispatch = gate.max(now.saturating_sub(spacing)) + spacing;
                     self.dispatched.fetch_add(1, Ordering::Relaxed);
+                    self.queue_wait_us
+                        .fetch_add(now.saturating_sub(req.arrival), Ordering::Relaxed);
                     return Some(req);
                 }
                 // Wait until the gate opens (or something changes).
@@ -162,6 +185,8 @@ impl RequestQueue {
         let spacing = self.spacing_us.load(Ordering::Relaxed);
         st.next_dispatch = gate.max(now.saturating_sub(spacing)) + spacing;
         self.dispatched.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait_us
+            .fetch_add(now.saturating_sub(head.arrival), Ordering::Relaxed);
         Some(head)
     }
 }
@@ -251,6 +276,19 @@ mod tests {
         let elapsed = clock.now() - now;
         assert!(elapsed >= 18_000, "dispatched too early: {elapsed}µs");
         assert_eq!(got.arrival, now + 20_000);
+    }
+
+    #[test]
+    fn queue_wait_accumulates() {
+        let (sim, clock) = sim_clock();
+        let q = RequestQueue::new(clock);
+        q.push_arrivals([100, 200]);
+        assert_eq!(q.total_queue_wait_us(), 0);
+        sim.advance_to(500);
+        q.try_pull().unwrap(); // waited 400
+        q.try_pull().unwrap(); // waited 300
+        assert_eq!(q.total_queue_wait_us(), 700);
+        assert!((q.mean_queue_wait_us() - 350.0).abs() < 1e-9);
     }
 
     #[test]

@@ -10,11 +10,9 @@
 //! merge the shards on demand; reads are orders of magnitude rarer than
 //! writes, so the merge cost sits on the cold path where it belongs.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use bp_util::clock::{Micros, SharedClock, MICROS_PER_SEC};
 use bp_util::histogram::Histogram;
-use bp_util::sync::{CachePadded, Mutex};
+use bp_util::sync::{thread_slot, CachePadded, Mutex};
 use bp_util::timeseries::TimeSeries;
 
 /// How a dispatched request ended.
@@ -98,13 +96,6 @@ impl Shard {
 /// lock — never a correctness issue.
 const DEFAULT_SHARDS: usize = 16;
 
-/// Monotonic slot handed to each thread on first contact with any collector.
-static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
-
-thread_local! {
-    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
-}
-
 /// Thread-safe statistics collector shared by all workers of one workload.
 ///
 /// Writes go to a per-thread shard; no lock in [`StatsCollector::record`]
@@ -181,8 +172,7 @@ impl StatsCollector {
     /// given collector.
     #[inline]
     fn my_shard(&self) -> &Mutex<Shard> {
-        let slot = THREAD_SLOT.with(|s| *s);
-        &self.shards[slot % self.shards.len()]
+        &self.shards[thread_slot() % self.shards.len()]
     }
 
     /// Fold every shard into one merged view (cold path).
@@ -286,6 +276,58 @@ impl StatsCollector {
 
     pub fn total_completed(&self) -> u64 {
         self.shards.iter().map(|s| s.lock().all_latency.count()).sum()
+    }
+}
+
+impl bp_obs::MetricsSource for StatsCollector {
+    fn collect(&self, buf: &mut bp_obs::MetricsBuf) {
+        let merged = self.merged();
+        for (name, pt) in self.type_names.iter().zip(&merged.per_type) {
+            let labels: [(&str, &str); 1] = [("type", name)];
+            buf.counter(
+                "bp_client_committed_total",
+                "Requests committed, by transaction type",
+                &labels,
+                pt.committed as f64,
+            );
+            buf.counter(
+                "bp_client_user_aborted_total",
+                "Requests ending in a benchmark-logic abort, by transaction type",
+                &labels,
+                pt.user_aborted as f64,
+            );
+            buf.counter(
+                "bp_client_failed_total",
+                "Requests failed after exhausting retries, by transaction type",
+                &labels,
+                pt.failed as f64,
+            );
+            buf.counter(
+                "bp_client_retries_total",
+                "Retries of retryable aborts, by transaction type",
+                &labels,
+                pt.retries as f64,
+            );
+            buf.histogram(
+                "bp_client_latency_us",
+                "Client-observed execution latency in microseconds",
+                &labels,
+                &pt.latency,
+            );
+        }
+        buf.histogram(
+            "bp_client_queue_delay_us",
+            "Scheduled arrival to dispatch delay in microseconds",
+            &[],
+            &merged.queue_delay,
+        );
+        let now = self.clock.now();
+        buf.gauge(
+            "bp_client_throughput_tps",
+            "Delivered throughput over the last 3 complete seconds",
+            &[],
+            merged.all_completions.recent_rate(now, 3),
+        );
     }
 }
 

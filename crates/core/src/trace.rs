@@ -52,6 +52,7 @@ impl Trace {
     /// Serialize in the `trace.txt` line format:
     /// `start_us txn_type latency_us outcome`.
     pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
         let records = self.records.lock();
         let mut out = String::with_capacity(records.len() * 24);
         for r in records.iter() {
@@ -60,7 +61,9 @@ impl Trace {
                 RequestOutcome::UserAborted => "U",
                 RequestOutcome::Failed => "F",
             };
-            out.push_str(&format!("{} {} {} {}\n", r.start_us, r.txn_type, r.latency_us, o));
+            // Writing into `out` directly avoids a String allocation per
+            // record (writes to a String are infallible).
+            let _ = writeln!(out, "{} {} {} {}", r.start_us, r.txn_type, r.latency_us, o);
         }
         out
     }
@@ -110,6 +113,11 @@ pub struct TraceAnalysis {
     pub throughput_summary: Summary,
     /// Count per transaction type.
     pub per_type_counts: Vec<u64>,
+    /// Records whose `txn_type >= num_types` (e.g. a trace analyzed against
+    /// the wrong workload). They still count toward outcomes/throughput but
+    /// fit no `per_type_counts` slot; reporting them keeps mixture-tracking
+    /// reports from silently under-counting.
+    pub unknown_type: u64,
     pub committed: u64,
     pub user_aborted: u64,
     pub failed: u64,
@@ -137,13 +145,15 @@ impl TraceAnalyzer {
         let records = trace.records();
         let mut completions = TimeSeries::per_second();
         let mut per_type_counts = vec![0u64; num_types];
+        let mut unknown_type = 0u64;
         let mut committed = 0;
         let mut user_aborted = 0;
         let mut failed = 0;
         for r in &records {
             completions.record(r.start_us + r.latency_us, r.latency_us);
-            if let Some(c) = per_type_counts.get_mut(r.txn_type) {
-                *c += 1;
+            match per_type_counts.get_mut(r.txn_type) {
+                Some(c) => *c += 1,
+                None => unknown_type += 1,
             }
             match r.outcome {
                 RequestOutcome::Committed => committed += 1,
@@ -157,6 +167,7 @@ impl TraceAnalyzer {
             latency_mean_us: completions.means(),
             throughput,
             per_type_counts,
+            unknown_type,
             committed,
             user_aborted,
             failed,
@@ -241,7 +252,21 @@ mod tests {
         assert_eq!(a.throughput[0], 100.0);
         assert_eq!(a.throughput[1], 50.0);
         assert_eq!(a.per_type_counts, vec![100, 50]);
+        assert_eq!(a.unknown_type, 0);
         assert_eq!(a.committed, 150);
+    }
+
+    #[test]
+    fn analyze_counts_out_of_range_types() {
+        let t = Trace::new();
+        t.append(rec(0, 0, 100));
+        t.append(rec(1_000, 5, 100)); // type beyond num_types
+        t.append(rec(2_000, 9, 100));
+        let a = TraceAnalyzer::analyze(&t, 2);
+        assert_eq!(a.per_type_counts, vec![1, 0]);
+        assert_eq!(a.unknown_type, 2, "overflow records must be reported");
+        // They still count toward outcome totals.
+        assert_eq!(a.committed, 3);
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub trait GameBackend {
 
     /// Game over: halt the benchmark and reset the database.
     fn halt_and_reset(&mut self);
+
+    /// One-line per-stage latency summary from the testbed's span flight
+    /// recorder, if the backend has one. The analytic sim backend does not.
+    fn span_summary(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Deterministic backend over the analytic capacity model.
@@ -130,17 +136,32 @@ impl GameBackend for ApiBackend {
     fn halt_and_reset(&mut self) {
         self.post("reset", Json::obj());
     }
+
+    fn span_summary(&self) -> Option<String> {
+        let resp = self.api.handle(&Request::get("/trace/summary"));
+        resp.body
+            .get("workloads")?
+            .as_arr()?
+            .iter()
+            .find(|w| w.get("id").and_then(Json::as_str) == Some(self.workload_id.as_str()))?
+            .get("line")?
+            .as_str()
+            .map(str::to_string)
+    }
 }
 
 /// A single-player session: game + backend, stepped tick by tick.
 pub struct GameSession<B: GameBackend> {
     pub game: Game,
     pub backend: B,
+    /// One summary line per finished run (crash or victory), pulled from
+    /// the backend's span recorder when it has one.
+    pub span_log: Vec<String>,
 }
 
 impl<B: GameBackend> GameSession<B> {
     pub fn new(game: Game, backend: B) -> GameSession<B> {
-        GameSession { game, backend }
+        GameSession { game, backend, span_log: Vec::new() }
     }
 
     /// One game tick: exchange load with the backend, advance the game,
@@ -153,11 +174,22 @@ impl<B: GameBackend> GameSession<B> {
                 GameEvent::PauseBenchmark => self.backend.set_paused(true),
                 GameEvent::ResumeBenchmark => self.backend.set_paused(false),
                 GameEvent::ApplyPreset(p) => self.backend.apply_preset(*p),
-                GameEvent::HaltAndReset => self.backend.halt_and_reset(),
-                GameEvent::Victory => {}
+                GameEvent::HaltAndReset => {
+                    // Snapshot the run's stage latencies before the reset
+                    // wipes the benchmark state.
+                    self.log_span_summary("game-over");
+                    self.backend.halt_and_reset();
+                }
+                GameEvent::Victory => self.log_span_summary("victory"),
             }
         }
         events
+    }
+
+    fn log_span_summary(&mut self, event: &str) {
+        if let Some(line) = self.backend.span_summary() {
+            self.span_log.push(format!("{event} {line}"));
+        }
     }
 
     /// Run with a scripted input policy until the game ends or `max_ticks`.
@@ -380,6 +412,73 @@ mod tests {
             contended < solo * 0.7,
             "player 2's load should slow player 1: solo {solo:.0} contended {contended:.0}"
         );
+    }
+
+    #[test]
+    fn crash_logs_span_summary() {
+        // A backend with a span recorder gets its per-stage summary logged
+        // when the run ends.
+        struct Summarizing(SimBackend);
+        impl GameBackend for Summarizing {
+            fn exchange(&mut self, tps: f64, dt_us: Micros) -> f64 {
+                self.0.exchange(tps, dt_us)
+            }
+            fn set_paused(&mut self, p: bool) {
+                self.0.set_paused(p)
+            }
+            fn apply_preset(&mut self, p: MixturePreset) {
+                self.0.apply_preset(p)
+            }
+            fn halt_and_reset(&mut self) {
+                self.0.halt_and_reset()
+            }
+            fn span_summary(&self) -> Option<String> {
+                Some("spans=42 queue p50/p95/p99=1/2/3µs".into())
+            }
+        }
+        let course = steps_course(1_000.0);
+        let game = Game::new("ycsb", "mysql", course, PhysicsConfig::default());
+        let backend = Summarizing(SimBackend::new(quiet_model(), types(), 7));
+        let mut session = GameSession::new(game, backend);
+        session.run_policy(100_000, 400, |_| Input::None);
+        assert_eq!(session.backend.0.resets, 1);
+        assert_eq!(session.span_log.len(), 1);
+        assert!(session.span_log[0].starts_with("game-over spans=42"), "{:?}", session.span_log);
+    }
+
+    #[test]
+    fn api_backend_span_summary_via_trace_endpoint() {
+        use bp_core::{ControlState, Controller, Rate, RequestQueue, StatsCollector};
+        use bp_obs::{ObsConfig, Span, SpanOutcome, SpanRecorder};
+        use bp_util::clock::sim_clock;
+
+        let (_, clock) = sim_clock();
+        let ts = vec![TransactionType::new("T", 100.0, true)];
+        let mixture = bp_core::Mixture::default_of(&ts);
+        let state = ControlState::new(Rate::Limited(50.0), mixture, 1e4);
+        let queue = Arc::new(RequestQueue::new(clock.clone()));
+        let stats = Arc::new(StatsCollector::new(clock, &["T"]));
+        let db = bp_storage::Database::new(bp_storage::Personality::test());
+        let rec = Arc::new(SpanRecorder::new(ObsConfig::default()));
+        rec.record(Span {
+            seq: 0,
+            submitted_us: 0,
+            dequeued_us: 10,
+            end_us: 100,
+            lock_wait_us: 5,
+            commit_us: 5,
+            tenant: 0,
+            phase: 0,
+            txn_type: 0,
+            retries: 0,
+            outcome: SpanOutcome::Committed,
+        });
+        let c = Controller::new(state, queue, stats, db, ts, "w").with_spans(rec);
+        let api = Arc::new(ApiServer::new());
+        api.register("w", c);
+        let backend = ApiBackend::new(api, "w");
+        let line = backend.span_summary().expect("summary line");
+        assert!(line.contains("spans=1"), "{line}");
     }
 
     #[test]

@@ -70,6 +70,43 @@ impl Default for SaturationThresholds {
 }
 
 impl ResourceSample {
+    /// Build a sample from a counter delta over an interval. Tolerates
+    /// degenerate inputs — a zero-length interval is clamped to 1µs and a
+    /// raced (saturated-to-zero) delta yields all-zero rates — so every
+    /// field is always finite.
+    pub fn from_delta(t_us: Micros, dt_us: Micros, d: &MetricsSnapshot) -> ResourceSample {
+        let dt_us = dt_us.max(1);
+        let dt_s = dt_us as f64 / MICROS_PER_SEC as f64;
+        ResourceSample {
+            t_us,
+            cpu_busy: d.busy_micros as f64 / dt_us as f64,
+            io_reads_per_s: d.io_reads as f64 / dt_s,
+            io_writes_per_s: d.io_writes as f64 / dt_s,
+            lock_waits_per_s: d.lock_waits as f64 / dt_s,
+            lock_wait_share: d.lock_wait_micros as f64 / dt_us as f64,
+            deadlocks_per_s: d.deadlocks as f64 / dt_s,
+            commits_per_s: d.commits as f64 / dt_s,
+            aborts_per_s: d.aborts as f64 / dt_s,
+            wal_bytes_per_s: d.wal_bytes as f64 / dt_s,
+            buf_hit_ratio: d.hit_ratio(),
+            active_txns: d.active_txns,
+        }
+    }
+
+    /// True when every field is a finite number (no NaN/Inf).
+    pub fn is_finite(&self) -> bool {
+        self.cpu_busy.is_finite()
+            && self.io_reads_per_s.is_finite()
+            && self.io_writes_per_s.is_finite()
+            && self.lock_waits_per_s.is_finite()
+            && self.lock_wait_share.is_finite()
+            && self.deadlocks_per_s.is_finite()
+            && self.commits_per_s.is_finite()
+            && self.aborts_per_s.is_finite()
+            && self.wal_bytes_per_s.is_finite()
+            && self.buf_hit_ratio.is_finite()
+    }
+
     /// Classify the dominant saturated resource, if any.
     pub fn saturation(&self, th: &SaturationThresholds) -> Saturation {
         if self.lock_wait_share >= th.lock_wait_share {
@@ -135,26 +172,12 @@ impl Monitor {
         let snap = self.db.metrics().snapshot();
         let mut last = self.last.lock();
         let (last_t, last_snap) = *last;
-        let dt_us = now.saturating_sub(last_t).max(1);
-        let dt_s = dt_us as f64 / MICROS_PER_SEC as f64;
+        let dt_us = now.saturating_sub(last_t);
         let d = snap.delta(&last_snap);
         *last = (now, snap);
         drop(last);
 
-        let sample = ResourceSample {
-            t_us: now - self.start,
-            cpu_busy: d.busy_micros as f64 / dt_us as f64,
-            io_reads_per_s: d.io_reads as f64 / dt_s,
-            io_writes_per_s: d.io_writes as f64 / dt_s,
-            lock_waits_per_s: d.lock_waits as f64 / dt_s,
-            lock_wait_share: d.lock_wait_micros as f64 / dt_us as f64,
-            deadlocks_per_s: d.deadlocks as f64 / dt_s,
-            commits_per_s: d.commits as f64 / dt_s,
-            aborts_per_s: d.aborts as f64 / dt_s,
-            wal_bytes_per_s: d.wal_bytes as f64 / dt_s,
-            buf_hit_ratio: d.hit_ratio(),
-            active_txns: d.active_txns,
-        };
+        let sample = ResourceSample::from_delta(now - self.start, dt_us, &d);
         self.samples.lock().push(sample);
         sample
     }
@@ -211,6 +234,30 @@ impl Monitor {
             })
             .expect("spawn monitor");
         MonitorGuard { stop, handle: Some(handle) }
+    }
+}
+
+impl bp_obs::MetricsSource for Monitor {
+    /// Expose the latest dstat-style sample as gauges. Rates are window
+    /// rates over the last tick interval, not lifetime averages; when no
+    /// tick has fired yet nothing is emitted.
+    fn collect(&self, buf: &mut bp_obs::MetricsBuf) {
+        let Some(s) = self.latest() else { return };
+        let rows: [(&str, &str, f64); 10] = [
+            ("bp_monitor_cpu_busy", "Busy share of the last interval per worker-equivalent", s.cpu_busy),
+            ("bp_monitor_io_reads_per_s", "Simulated IO reads per second", s.io_reads_per_s),
+            ("bp_monitor_io_writes_per_s", "Simulated IO writes per second", s.io_writes_per_s),
+            ("bp_monitor_lock_waits_per_s", "Lock waits per second", s.lock_waits_per_s),
+            ("bp_monitor_lock_wait_share", "Share of the interval spent waiting on locks", s.lock_wait_share),
+            ("bp_monitor_deadlocks_per_s", "Wait-die kills per second", s.deadlocks_per_s),
+            ("bp_monitor_commits_per_s", "Commits per second", s.commits_per_s),
+            ("bp_monitor_wal_bytes_per_s", "WAL bytes per second", s.wal_bytes_per_s),
+            ("bp_monitor_buf_hit_ratio", "Buffer pool hit ratio over the interval", s.buf_hit_ratio),
+            ("bp_monitor_active_txns", "Active transactions at sample time", s.active_txns as f64),
+        ];
+        for (name, help, v) in rows {
+            buf.gauge(name, help, &[], v);
+        }
     }
 }
 
@@ -328,6 +375,70 @@ mod tests {
         }
         assert!(mon.samples().len() >= 3, "{} samples", mon.samples().len());
         assert!(mon.latest().is_some());
+    }
+
+    #[test]
+    fn first_sample_is_finite() {
+        // First tick right after construction: tiny (possibly zero) interval
+        // and zero delta must not produce NaN/Inf anywhere.
+        let db = db_with_work();
+        let (_sim, clock) = bp_util::clock::sim_clock();
+        let mon = Monitor::new(db, clock);
+        let s = mon.tick(); // sim clock has not advanced: dt == 0
+        assert!(s.is_finite(), "non-finite field in {s:?}");
+        assert_eq!(s.saturation(&SaturationThresholds::default()), Saturation::None);
+    }
+
+    #[test]
+    fn zero_length_interval_is_finite() {
+        let db = db_with_work();
+        let (sim, clock) = bp_util::clock::sim_clock();
+        let mon = Monitor::new(db.clone(), clock);
+        sim.advance(5_000);
+        mon.tick();
+        // Second tick at the exact same sim instant: dt_us == 0.
+        let mut c = Connection::open(&db);
+        c.execute("UPDATE t SET v = 2 WHERE id = 1", &[]).unwrap();
+        let s = mon.tick();
+        assert!(s.is_finite(), "non-finite field in {s:?}");
+        // The work done between ticks is still attributed, just over the
+        // clamped 1µs window.
+        assert!(s.commits_per_s > 0.0);
+    }
+
+    #[test]
+    fn backwards_counters_saturate_to_zero_rates() {
+        // Two snapshots taken concurrently with the data path can observe
+        // individual counters going backwards relative to each other. The
+        // saturating delta reads such a window as 0, and the sample built
+        // from it must stay finite with no negative rates.
+        let newer = MetricsSnapshot { commits: 10, io_reads: 5, ..Default::default() };
+        let older = MetricsSnapshot { commits: 12, io_reads: 9, wal_bytes: 100, ..Default::default() };
+        let d = newer.delta(&older);
+        let s = ResourceSample::from_delta(1_000, 0, &d);
+        assert!(s.is_finite(), "non-finite field in {s:?}");
+        assert_eq!(s.commits_per_s, 0.0);
+        assert_eq!(s.io_reads_per_s, 0.0);
+        assert_eq!(s.wal_bytes_per_s, 0.0);
+        assert_eq!(s.saturation(&SaturationThresholds::default()), Saturation::None);
+    }
+
+    #[test]
+    fn metrics_source_exposes_latest_sample() {
+        use bp_obs::{MetricsBuf, MetricsSource};
+        let db = db_with_work();
+        let clock = wall_clock();
+        let mon = Monitor::new(db, clock.clone());
+        let mut buf = MetricsBuf::new();
+        mon.collect(&mut buf);
+        assert!(buf.into_samples().is_empty(), "no tick yet, nothing to expose");
+        clock.sleep(2_000);
+        mon.tick();
+        let mut buf = MetricsBuf::new();
+        mon.collect(&mut buf);
+        let samples = buf.into_samples();
+        assert_eq!(samples.len(), 10);
+        assert!(samples.iter().any(|s| s.name == "bp_monitor_cpu_busy"));
     }
 
     #[test]

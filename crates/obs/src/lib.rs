@@ -1,0 +1,30 @@
+//! Observability substrate: per-request lifecycle spans and a unified
+//! metrics registry (§2.1, §4.2 of the paper describe the visibility loop
+//! this crate closes).
+//!
+//! Two pieces:
+//!
+//! * [`SpanRecorder`] — a "flight recorder" for request lifecycles. Each
+//!   worker thread writes fixed-size [`Span`] values into a per-thread
+//!   sharded ring buffer that is fully preallocated at startup: the hot
+//!   path never allocates, never contends with other recording workers,
+//!   and old spans are silently overwritten once a ring fills. Recording
+//!   can be disabled (`off`), probabilistically sampled (`sampled`), or
+//!   exhaustive (`full`) per run via [`ObsConfig`].
+//! * [`MetricsRegistry`] — one snapshot API over every metrics silo in the
+//!   system (client-side statistics, storage-engine counters, resource
+//!   monitor samples, span stage histograms). Sources implement
+//!   [`MetricsSource`]; the registry renders the union in Prometheus text
+//!   exposition format for `GET /metrics`.
+//!
+//! This crate depends only on `bp-util` so every other layer (core,
+//! storage, monitor, api) can depend on it without cycles.
+
+pub mod registry;
+pub mod span;
+
+pub use registry::{MetricValue, MetricsBuf, MetricsRegistry, MetricsSource, Sample};
+pub use span::{
+    add_commit_us, add_lock_wait_us, format_stage_line, take_stage_acc, ObsConfig, Span,
+    SpanMode, SpanOutcome, SpanRecorder, Stage, StageSummary,
+};

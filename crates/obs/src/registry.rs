@@ -1,0 +1,410 @@
+//! The unified metrics registry.
+//!
+//! Every metrics silo in the system — the client-side `StatsCollector`,
+//! the storage engine's `ServerMetrics`, the resource `Monitor`, the span
+//! recorder — implements [`MetricsSource`] and contributes flat samples to
+//! a [`MetricsBuf`]. The registry holds the sources and renders their
+//! union as one snapshot, either structurally ([`MetricsRegistry::snapshot`])
+//! or as Prometheus text exposition format for `GET /metrics`
+//! ([`MetricsRegistry::render_prometheus`]).
+//!
+//! Collection is pull-based and cold-path: sources are only walked when a
+//! scrape happens, so registering a source adds zero overhead to the
+//! request hot path.
+
+use std::sync::Arc;
+
+use bp_util::histogram::Histogram;
+use bp_util::sync::Mutex;
+
+/// Upper bounds (µs) for rendered latency histogram buckets. Chosen to
+/// bracket everything from in-memory point reads to multi-second stalls.
+pub const LATENCY_BOUNDS_US: [u64; 12] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+];
+
+/// One metric's value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(f64),
+    Gauge(f64),
+    /// Cumulative buckets `(le, count)`; the final entry is `(+Inf, count)`.
+    Histogram {
+        buckets: Vec<(f64, u64)>,
+        sum: f64,
+        count: u64,
+    },
+}
+
+impl MetricValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram { .. } => "histogram",
+        }
+    }
+}
+
+/// One named sample contributed by a source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub help: &'static str,
+    pub value: MetricValue,
+}
+
+/// Collection buffer handed to [`MetricsSource::collect`].
+#[derive(Debug, Default)]
+pub struct MetricsBuf {
+    samples: Vec<Sample>,
+}
+
+/// Replace characters Prometheus forbids in metric/label names.
+fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+impl MetricsBuf {
+    pub fn new() -> MetricsBuf {
+        MetricsBuf::default()
+    }
+
+    fn push(&mut self, name: &str, help: &'static str, labels: &[(&str, &str)], value: MetricValue) {
+        self.samples.push(Sample {
+            name: sanitize_name(name),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (sanitize_name(k), (*v).to_string()))
+                .collect(),
+            help,
+            value,
+        });
+    }
+
+    /// A monotonically increasing total.
+    pub fn counter(&mut self, name: &str, help: &'static str, labels: &[(&str, &str)], v: f64) {
+        self.push(name, help, labels, MetricValue::Counter(v));
+    }
+
+    /// A point-in-time value that can go up or down.
+    pub fn gauge(&mut self, name: &str, help: &'static str, labels: &[(&str, &str)], v: f64) {
+        self.push(name, help, labels, MetricValue::Gauge(v));
+    }
+
+    /// Render a [`Histogram`] into cumulative Prometheus buckets using the
+    /// standard latency bounds.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        h: &Histogram,
+    ) {
+        self.histogram_with_bounds(name, help, labels, h, &LATENCY_BOUNDS_US);
+    }
+
+    /// Render a [`Histogram`] with explicit bucket upper bounds (µs).
+    pub fn histogram_with_bounds(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        h: &Histogram,
+        bounds: &[u64],
+    ) {
+        // Project the log-linear histogram onto the fixed bounds: each
+        // internal bucket's count lands in the first bound that covers its
+        // lower edge (≤3% representative error, same as the histogram).
+        let mut per_bound = vec![0u64; bounds.len()];
+        let mut overflow = 0u64;
+        for (low, count) in h.iter() {
+            match bounds.iter().position(|&b| low <= b) {
+                Some(i) => per_bound[i] += count,
+                None => overflow += count,
+            }
+        }
+        let mut buckets = Vec::with_capacity(bounds.len() + 1);
+        let mut cum = 0u64;
+        for (b, c) in bounds.iter().zip(&per_bound) {
+            cum += c;
+            buckets.push((*b as f64, cum));
+        }
+        buckets.push((f64::INFINITY, cum + overflow));
+        self.push(
+            name,
+            help,
+            labels,
+            MetricValue::Histogram {
+                buckets,
+                sum: h.mean() * h.count() as f64,
+                count: h.count(),
+            },
+        );
+    }
+
+    pub fn into_samples(self) -> Vec<Sample> {
+        self.samples
+    }
+}
+
+/// Anything that can contribute metrics to a scrape.
+pub trait MetricsSource: Send + Sync {
+    fn collect(&self, buf: &mut MetricsBuf);
+}
+
+/// The registry: a list of sources, snapshotted on demand.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    sources: Mutex<Vec<(String, Arc<dyn MetricsSource>)>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Register a source under a diagnostic name. Registering the same
+    /// `Arc` twice is a no-op (controllers sharing one database would
+    /// otherwise double-count its `ServerMetrics`).
+    pub fn register(&self, name: &str, source: Arc<dyn MetricsSource>) {
+        let mut sources = self.sources.lock();
+        let new_ptr = Arc::as_ptr(&source) as *const ();
+        if sources.iter().any(|(_, s)| Arc::as_ptr(s) as *const () == new_ptr) {
+            return;
+        }
+        sources.push((name.to_string(), source));
+    }
+
+    pub fn source_count(&self) -> usize {
+        self.sources.lock().len()
+    }
+
+    pub fn source_names(&self) -> Vec<String> {
+        self.sources.lock().iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Collect every source into one flat, name-sorted sample list.
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let sources: Vec<Arc<dyn MetricsSource>> =
+            self.sources.lock().iter().map(|(_, s)| s.clone()).collect();
+        let mut buf = MetricsBuf::new();
+        for s in &sources {
+            s.collect(&mut buf);
+        }
+        let mut samples = buf.into_samples();
+        samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        samples
+    }
+
+    /// Render the current snapshot in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let samples = self.snapshot();
+        let mut out = String::with_capacity(4096 + samples.len() * 64);
+        let mut last_family = "";
+        for s in &samples {
+            if s.name != last_family {
+                out.push_str("# HELP ");
+                out.push_str(&s.name);
+                out.push(' ');
+                out.push_str(s.help);
+                out.push('\n');
+                out.push_str("# TYPE ");
+                out.push_str(&s.name);
+                out.push(' ');
+                out.push_str(s.value.type_name());
+                out.push('\n');
+                last_family = &s.name;
+            }
+            render_sample(&mut out, s);
+        }
+        out
+    }
+}
+
+fn render_sample(out: &mut String, s: &Sample) {
+    match &s.value {
+        MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+            out.push_str(&s.name);
+            render_labels(out, &s.labels, None);
+            out.push(' ');
+            render_value(out, *v);
+            out.push('\n');
+        }
+        MetricValue::Histogram { buckets, sum, count } => {
+            for (le, c) in buckets {
+                out.push_str(&s.name);
+                out.push_str("_bucket");
+                render_labels(out, &s.labels, Some(*le));
+                out.push(' ');
+                out.push_str(&c.to_string());
+                out.push('\n');
+            }
+            out.push_str(&s.name);
+            out.push_str("_sum");
+            render_labels(out, &s.labels, None);
+            out.push(' ');
+            render_value(out, *sum);
+            out.push('\n');
+            out.push_str(&s.name);
+            out.push_str("_count");
+            render_labels(out, &s.labels, None);
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+    }
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], le: Option<f64>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        if le.is_infinite() {
+            out.push_str("+Inf");
+        } else {
+            render_value(out, le);
+        }
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Prometheus floats: integral values print without a trailing `.0`.
+fn render_value(out: &mut String, v: f64) {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakeSource;
+
+    impl MetricsSource for FakeSource {
+        fn collect(&self, buf: &mut MetricsBuf) {
+            buf.counter("fake_total", "a counter", &[("kind", "x")], 3.0);
+            buf.counter("fake_total", "a counter", &[("kind", "y")], 4.0);
+            buf.gauge("fake_gauge", "a gauge", &[], 1.5);
+            let mut h = Histogram::latency();
+            h.record(120);
+            h.record(700);
+            h.record(2_000_000);
+            buf.histogram("fake_latency_us", "a histogram", &[], &h);
+        }
+    }
+
+    #[test]
+    fn render_groups_families_once() {
+        let reg = MetricsRegistry::new();
+        reg.register("fake", Arc::new(FakeSource));
+        let text = reg.render_prometheus();
+        assert_eq!(text.matches("# HELP fake_total ").count(), 1);
+        assert_eq!(text.matches("# TYPE fake_total counter").count(), 1);
+        assert!(text.contains("fake_total{kind=\"x\"} 3\n"));
+        assert!(text.contains("fake_total{kind=\"y\"} 4\n"));
+        assert!(text.contains("fake_gauge 1.5\n"));
+        assert!(text.contains("# TYPE fake_latency_us histogram"));
+        assert!(text.contains("fake_latency_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("fake_latency_us_count 3\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_cumulative_and_complete() {
+        let mut h = Histogram::latency();
+        for v in [50u64, 400, 800, 30_000, 2_000_000] {
+            h.record(v);
+        }
+        let mut buf = MetricsBuf::new();
+        buf.histogram("lat", "h", &[], &h);
+        let s = &buf.into_samples()[0];
+        let MetricValue::Histogram { buckets, count, .. } = &s.value else {
+            panic!("not a histogram");
+        };
+        assert_eq!(*count, 5);
+        // Cumulative counts never decrease and end at the total.
+        let mut prev = 0;
+        for (_, c) in buckets {
+            assert!(*c >= prev);
+            prev = *c;
+        }
+        let (last_le, last_c) = buckets.last().unwrap();
+        assert!(last_le.is_infinite());
+        assert_eq!(*last_c, 5, "out-of-range value lands in +Inf");
+    }
+
+    #[test]
+    fn register_dedupes_same_arc() {
+        let reg = MetricsRegistry::new();
+        let src: Arc<dyn MetricsSource> = Arc::new(FakeSource);
+        reg.register("a", src.clone());
+        reg.register("b", src.clone());
+        assert_eq!(reg.source_count(), 1);
+        reg.register("c", Arc::new(FakeSource));
+        assert_eq!(reg.source_count(), 2);
+    }
+
+    #[test]
+    fn sanitizes_names_and_escapes_labels() {
+        let mut buf = MetricsBuf::new();
+        buf.counter("9bad-name.total", "c", &[("work load", "a\"b\\c\nd")], 1.0);
+        let s = &buf.into_samples()[0];
+        assert_eq!(s.name, "_9bad_name_total");
+        assert_eq!(s.labels[0].0, "work_load");
+        let reg = MetricsRegistry::new();
+        struct One;
+        impl MetricsSource for One {
+            fn collect(&self, buf: &mut MetricsBuf) {
+                buf.counter("m_total", "c", &[("l", "a\"b")], 1.0);
+            }
+        }
+        reg.register("one", Arc::new(One));
+        assert!(reg.render_prometheus().contains("m_total{l=\"a\\\"b\"} 1\n"));
+    }
+
+    #[test]
+    fn snapshot_sorted_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.register("fake", Arc::new(FakeSource));
+        let names: Vec<String> = reg.snapshot().into_iter().map(|s| s.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

@@ -1,0 +1,700 @@
+//! The request-lifecycle flight recorder.
+//!
+//! Every request the testbed dispatches passes through the same stages:
+//! submitted (scheduled arrival) → dequeued (queue wait ends, execution
+//! starts) → lock waits inside the storage engine → commit/abort. A
+//! [`Span`] captures that lifecycle as explicit timestamps and stage
+//! durations, small enough (one cache line) to copy by value.
+//!
+//! [`SpanRecorder`] stores spans in per-thread sharded, fixed-capacity
+//! ring buffers. Everything is preallocated when the recorder is built:
+//! the hot path takes one uncontended lock, writes 64 bytes into a ring
+//! slot, and bumps four stage histograms — no allocation, no shared
+//! atomics beyond the mode check. When a ring fills, the oldest spans are
+//! overwritten (flight-recorder semantics); aggregate stage histograms
+//! keep counting regardless, so percentiles cover the whole run even when
+//! the raw rings only hold the tail.
+//!
+//! Lock-wait and commit durations are produced deep inside `bp-storage`,
+//! which knows nothing about requests. Rather than thread a context
+//! through every call signature, the storage layer deposits stage time
+//! into a thread-local accumulator ([`add_lock_wait_us`] /
+//! [`add_commit_us`]); the worker loop drains it per request with
+//! [`take_stage_acc`]. Workers execute one request at a time on one
+//! thread, so the accumulator needs no synchronization at all.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use bp_util::histogram::Histogram;
+use bp_util::json::Json;
+use bp_util::sync::{thread_slot, CachePadded, Mutex};
+
+use crate::registry::{MetricsBuf, MetricsSource};
+
+/// Lifecycle stages a request passes through; indexes into per-stage
+/// histogram arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Stage {
+    /// Scheduled arrival → dispatched to a worker.
+    Queue = 0,
+    /// Time blocked waiting for row locks inside the storage engine.
+    Lock = 1,
+    /// Execution time excluding lock waits and commit.
+    Exec = 2,
+    /// Commit processing (WAL write + fsync cost model).
+    Commit = 3,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 4] = [Stage::Queue, Stage::Lock, Stage::Exec, Stage::Commit];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Queue => "queue",
+            Stage::Lock => "lock",
+            Stage::Exec => "exec",
+            Stage::Commit => "commit",
+        }
+    }
+}
+
+/// How the request ended. Mirrors `bp-core`'s `RequestOutcome` without
+/// depending on it (the dependency points the other way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SpanOutcome {
+    Committed = 0,
+    UserAborted = 1,
+    Failed = 2,
+}
+
+impl SpanOutcome {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanOutcome::Committed => "committed",
+            SpanOutcome::UserAborted => "user_aborted",
+            SpanOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// One request's recorded lifecycle. `Copy` and exactly one cache line so
+/// ring writes are a plain memcpy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Queue sequence number of the request.
+    pub seq: u64,
+    /// Scheduled arrival time (µs since run start).
+    pub submitted_us: u64,
+    /// When a worker pulled it off the queue and began executing.
+    pub dequeued_us: u64,
+    /// When execution (including retries and commit) finished.
+    pub end_us: u64,
+    /// Total time blocked on locks inside the storage engine.
+    pub lock_wait_us: u64,
+    /// Commit processing time.
+    pub commit_us: u64,
+    /// Tenant that issued the request (0 for single-tenant runs).
+    pub tenant: u16,
+    /// Phase of the script active when the request executed.
+    pub phase: u16,
+    /// Transaction type index within the workload.
+    pub txn_type: u16,
+    /// Retries before the final outcome.
+    pub retries: u16,
+    pub outcome: SpanOutcome,
+}
+
+impl Span {
+    /// Queue wait: scheduled arrival → dispatch.
+    pub fn queue_wait_us(&self) -> u64 {
+        self.dequeued_us.saturating_sub(self.submitted_us)
+    }
+
+    /// Execution time excluding lock waits and commit processing.
+    pub fn exec_us(&self) -> u64 {
+        self.end_us
+            .saturating_sub(self.dequeued_us)
+            .saturating_sub(self.lock_wait_us)
+            .saturating_sub(self.commit_us)
+    }
+
+    /// End-to-end latency including queue wait.
+    pub fn total_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.submitted_us)
+    }
+
+    /// Stage duration by stage index.
+    pub fn stage_us(&self, stage: Stage) -> u64 {
+        match stage {
+            Stage::Queue => self.queue_wait_us(),
+            Stage::Lock => self.lock_wait_us,
+            Stage::Exec => self.exec_us(),
+            Stage::Commit => self.commit_us,
+        }
+    }
+
+    /// JSON object for the `/trace/spans` JSONL endpoint.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("seq", self.seq)
+            .set("tenant", self.tenant as u64)
+            .set("phase", self.phase as u64)
+            .set("txn_type", self.txn_type as u64)
+            .set("submitted_us", self.submitted_us)
+            .set("dequeued_us", self.dequeued_us)
+            .set("end_us", self.end_us)
+            .set("queue_us", self.queue_wait_us())
+            .set("lock_us", self.lock_wait_us)
+            .set("exec_us", self.exec_us())
+            .set("commit_us", self.commit_us)
+            .set("retries", self.retries as u64)
+            .set("outcome", self.outcome.name())
+    }
+}
+
+/// Recording mode for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum SpanMode {
+    /// Record nothing; `should_record` is a single relaxed load.
+    Off = 0,
+    /// Record a deterministic pseudo-random subset of requests.
+    Sampled = 1,
+    /// Record every request.
+    #[default]
+    Full = 2,
+}
+
+impl SpanMode {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanMode::Off => "off",
+            SpanMode::Sampled => "sampled",
+            SpanMode::Full => "full",
+        }
+    }
+
+    /// Parse the `observability.spans` config value.
+    pub fn parse(s: &str) -> Option<SpanMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" => Some(SpanMode::Off),
+            "sampled" => Some(SpanMode::Sampled),
+            "full" => Some(SpanMode::Full),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> SpanMode {
+        match v {
+            0 => SpanMode::Off,
+            1 => SpanMode::Sampled,
+            _ => SpanMode::Full,
+        }
+    }
+}
+
+/// Per-run observability configuration (`<observability>` in config.xml).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsConfig {
+    pub mode: SpanMode,
+    /// Fraction of requests recorded in `Sampled` mode (0.0..=1.0).
+    pub sample_ratio: f64,
+    /// Total span slots across all shards (divided evenly, min 64/shard).
+    pub ring_capacity: usize,
+    /// Shard count; power of two keeps the thread-slot modulo cheap.
+    pub shards: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig {
+            mode: SpanMode::Full,
+            sample_ratio: 0.1,
+            ring_capacity: 8192,
+            shards: 16,
+        }
+    }
+}
+
+thread_local! {
+    /// (lock_wait_us, commit_us) deposited by the storage layer while the
+    /// current thread executes one request.
+    static STAGE_ACC: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// Storage layer: add lock-wait time for the request executing on this
+/// thread. No-op cost when nobody drains it.
+#[inline]
+pub fn add_lock_wait_us(us: u64) {
+    STAGE_ACC.with(|c| {
+        let (l, m) = c.get();
+        c.set((l.saturating_add(us), m));
+    });
+}
+
+/// Storage layer: add commit-processing time for the request executing on
+/// this thread.
+#[inline]
+pub fn add_commit_us(us: u64) {
+    STAGE_ACC.with(|c| {
+        let (l, m) = c.get();
+        c.set((l, m.saturating_add(us)));
+    });
+}
+
+/// Worker loop: drain and reset this thread's (lock_wait_us, commit_us)
+/// accumulator. Called once per request so stage time cannot leak across
+/// requests.
+#[inline]
+pub fn take_stage_acc() -> (u64, u64) {
+    STAGE_ACC.with(|c| c.replace((0, 0)))
+}
+
+/// SplitMix64 finalizer: maps sequence numbers to uniform u64s so sampling
+/// is deterministic per request yet unbiased across arrival patterns.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One worker-side shard: a preallocated ring of spans plus per-stage
+/// latency histograms that outlive ring overwrites.
+struct Shard {
+    ring: Vec<Span>,
+    /// Total spans ever written to this shard (ring index = written % cap).
+    written: u64,
+    stage_hist: [Histogram; 4],
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            ring: Vec::with_capacity(capacity),
+            written: 0,
+            stage_hist: std::array::from_fn(|_| Histogram::latency()),
+        }
+    }
+
+    /// Spans in write order (oldest first).
+    fn ordered(&self, capacity: usize) -> impl Iterator<Item = &Span> {
+        let split = if self.ring.len() < capacity {
+            0
+        } else {
+            (self.written % capacity as u64) as usize
+        };
+        self.ring[split..].iter().chain(self.ring[..split].iter())
+    }
+}
+
+/// Per-stage latency roll-up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSummary {
+    pub stage: Stage,
+    pub count: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub mean_us: f64,
+}
+
+impl StageSummary {
+    pub fn from_hist(stage: Stage, h: &Histogram) -> StageSummary {
+        StageSummary {
+            stage,
+            count: h.count(),
+            p50_us: h.p50(),
+            p95_us: h.p95(),
+            p99_us: h.p99(),
+            mean_us: h.mean(),
+        }
+    }
+}
+
+/// Render the standard one-line per-stage summary:
+/// `spans=N queue p50/p95/p99=a/b/c lock=... exec=... commit=...` (µs).
+pub fn format_stage_line(count: u64, stages: &[StageSummary; 4]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("spans={count}");
+    for s in stages {
+        let _ = write!(
+            out,
+            " {} p50/p95/p99={}/{}/{}µs",
+            s.stage.name(),
+            s.p50_us,
+            s.p95_us,
+            s.p99_us
+        );
+    }
+    out
+}
+
+/// The sharded flight recorder. See the module docs for the design.
+pub struct SpanRecorder {
+    shards: Vec<CachePadded<Mutex<Shard>>>,
+    /// Ring capacity per shard.
+    shard_capacity: usize,
+    /// Current [`SpanMode`] as a u8 (hot-path reads are one relaxed load).
+    mode: AtomicU8,
+    /// Sampling threshold: record when `splitmix64(seq) <= threshold`.
+    threshold: AtomicU64,
+}
+
+impl SpanRecorder {
+    pub fn new(cfg: ObsConfig) -> SpanRecorder {
+        let shards = cfg.shards.max(1);
+        let shard_capacity = (cfg.ring_capacity / shards).max(64);
+        SpanRecorder {
+            shards: (0..shards)
+                .map(|_| CachePadded::new(Mutex::new(Shard::new(shard_capacity))))
+                .collect(),
+            shard_capacity,
+            mode: AtomicU8::new(cfg.mode as u8),
+            threshold: AtomicU64::new(Self::ratio_to_threshold(cfg.sample_ratio)),
+        }
+    }
+
+    fn ratio_to_threshold(ratio: f64) -> u64 {
+        (ratio.clamp(0.0, 1.0) * u64::MAX as f64) as u64
+    }
+
+    pub fn mode(&self) -> SpanMode {
+        SpanMode::from_u8(self.mode.load(Ordering::Relaxed))
+    }
+
+    /// Change the recording mode (and sampling ratio) at runtime.
+    pub fn set_mode(&self, mode: SpanMode, sample_ratio: f64) {
+        self.threshold
+            .store(Self::ratio_to_threshold(sample_ratio), Ordering::Relaxed);
+        self.mode.store(mode as u8, Ordering::Relaxed);
+    }
+
+    /// Should the request with this sequence number be recorded? In `Off`
+    /// mode this is one relaxed load and a branch (~1ns); in `Sampled` it
+    /// adds a 4-multiply hash — deterministic per seq, so reruns of the
+    /// same schedule sample the same requests.
+    #[inline]
+    pub fn should_record(&self, seq: u64) -> bool {
+        match self.mode.load(Ordering::Relaxed) {
+            0 => false,
+            2 => true,
+            _ => splitmix64(seq) <= self.threshold.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Record one span into the calling thread's shard. One uncontended
+    /// lock, four histogram bumps, one 64-byte ring write; no allocation
+    /// once the ring has grown to capacity.
+    pub fn record(&self, span: Span) {
+        let mut sh = self.shards[thread_slot() % self.shards.len()].lock();
+        sh.stage_hist[Stage::Queue as usize].record(span.queue_wait_us());
+        sh.stage_hist[Stage::Lock as usize].record(span.lock_wait_us);
+        sh.stage_hist[Stage::Exec as usize].record(span.exec_us());
+        sh.stage_hist[Stage::Commit as usize].record(span.commit_us);
+        let idx = (sh.written % self.shard_capacity as u64) as usize;
+        if idx < sh.ring.len() {
+            sh.ring[idx] = span;
+        } else {
+            sh.ring.push(span);
+        }
+        sh.written += 1;
+    }
+
+    /// Total spans ever recorded (including ones since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().written).sum()
+    }
+
+    /// Spans lost to ring overwrites.
+    pub fn overwritten(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                let sh = s.lock();
+                sh.written.saturating_sub(sh.ring.len() as u64)
+            })
+            .sum()
+    }
+
+    /// Total ring slots across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    /// The most recent `n` retained spans, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<Span> {
+        let mut all: Vec<Span> = Vec::new();
+        for s in &self.shards {
+            let sh = s.lock();
+            all.extend(sh.ordered(self.shard_capacity).copied());
+        }
+        all.sort_by_key(|s| (s.end_us, s.seq));
+        if all.len() > n {
+            all.drain(..all.len() - n);
+        }
+        all
+    }
+
+    /// Merged per-stage histograms (cover the whole run, not just the
+    /// retained rings).
+    pub fn stage_histograms(&self) -> [Histogram; 4] {
+        let mut acc: [Histogram; 4] = std::array::from_fn(|_| Histogram::latency());
+        for s in &self.shards {
+            let sh = s.lock();
+            for (a, h) in acc.iter_mut().zip(&sh.stage_hist) {
+                a.merge(h);
+            }
+        }
+        acc
+    }
+
+    /// Per-stage p50/p95/p99/mean across the whole run.
+    pub fn stage_summaries(&self) -> [StageSummary; 4] {
+        let hists = self.stage_histograms();
+        std::array::from_fn(|i| StageSummary::from_hist(Stage::ALL[i], &hists[i]))
+    }
+
+    /// One-line per-stage roll-up for logs.
+    pub fn summary_line(&self) -> String {
+        format_stage_line(self.recorded(), &self.stage_summaries())
+    }
+
+    /// Per-phase stage summaries built from the retained spans, ordered by
+    /// phase index. Older phases may be partially overwritten in long runs
+    /// (flight-recorder semantics).
+    pub fn phase_summaries(&self) -> Vec<(u16, [StageSummary; 4])> {
+        let spans = self.recent(usize::MAX);
+        let mut phases: Vec<u16> = spans.iter().map(|s| s.phase).collect();
+        phases.sort_unstable();
+        phases.dedup();
+        phases
+            .into_iter()
+            .map(|phase| {
+                let mut hists: [Histogram; 4] = std::array::from_fn(|_| Histogram::latency());
+                for sp in spans.iter().filter(|s| s.phase == phase) {
+                    for stage in Stage::ALL {
+                        hists[stage as usize].record(sp.stage_us(stage));
+                    }
+                }
+                (
+                    phase,
+                    std::array::from_fn(|i| StageSummary::from_hist(Stage::ALL[i], &hists[i])),
+                )
+            })
+            .collect()
+    }
+}
+
+impl MetricsSource for SpanRecorder {
+    fn collect(&self, buf: &mut MetricsBuf) {
+        let hists = self.stage_histograms();
+        for (stage, h) in Stage::ALL.iter().zip(&hists) {
+            buf.histogram(
+                "bp_stage_latency_us",
+                "Per-stage request latency in microseconds",
+                &[("stage", stage.name())],
+                h,
+            );
+        }
+        buf.counter(
+            "bp_spans_recorded_total",
+            "Lifecycle spans recorded by the flight recorder",
+            &[],
+            self.recorded() as f64,
+        );
+        buf.counter(
+            "bp_spans_overwritten_total",
+            "Spans lost to ring-buffer overwrites",
+            &[],
+            self.overwritten() as f64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(seq: u64, phase: u16) -> Span {
+        Span {
+            seq,
+            submitted_us: seq * 100,
+            dequeued_us: seq * 100 + 40,
+            end_us: seq * 100 + 240,
+            lock_wait_us: 30,
+            commit_us: 20,
+            tenant: 0,
+            phase,
+            txn_type: (seq % 3) as u16,
+            retries: 0,
+            outcome: SpanOutcome::Committed,
+        }
+    }
+
+    #[test]
+    fn stage_durations_derive() {
+        let s = span(1, 0);
+        assert_eq!(s.queue_wait_us(), 40);
+        assert_eq!(s.lock_wait_us, 30);
+        assert_eq!(s.commit_us, 20);
+        assert_eq!(s.exec_us(), 200 - 30 - 20);
+        assert_eq!(s.total_us(), 240);
+    }
+
+    #[test]
+    fn exec_never_underflows() {
+        let mut s = span(1, 0);
+        s.lock_wait_us = 10_000; // accumulator raced past the wall clock
+        assert_eq!(s.exec_us(), 0);
+    }
+
+    #[test]
+    fn full_mode_records_everything() {
+        let r = SpanRecorder::new(ObsConfig::default());
+        for i in 0..500 {
+            assert!(r.should_record(i));
+            r.record(span(i, 0));
+        }
+        assert_eq!(r.recorded(), 500);
+        assert_eq!(r.overwritten(), 0);
+        let sums = r.stage_summaries();
+        assert_eq!(sums[Stage::Queue as usize].count, 500);
+        assert!((sums[Stage::Queue as usize].mean_us - 40.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let r = SpanRecorder::new(ObsConfig { mode: SpanMode::Off, ..ObsConfig::default() });
+        for i in 0..100 {
+            assert!(!r.should_record(i));
+        }
+        assert_eq!(r.recorded(), 0);
+    }
+
+    #[test]
+    fn sampled_mode_hits_ratio() {
+        let cfg = ObsConfig { mode: SpanMode::Sampled, sample_ratio: 0.25, ..ObsConfig::default() };
+        let r = SpanRecorder::new(cfg);
+        let n = 100_000u64;
+        let hits = (0..n).filter(|&i| r.should_record(i)).count() as f64;
+        let ratio = hits / n as f64;
+        assert!((ratio - 0.25).abs() < 0.01, "observed ratio {ratio}");
+        // Deterministic: the same seq always gives the same answer.
+        assert_eq!(r.should_record(42), r.should_record(42));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let cfg = ObsConfig { ring_capacity: 64, shards: 1, ..ObsConfig::default() };
+        let r = SpanRecorder::new(cfg);
+        assert_eq!(r.capacity(), 64);
+        for i in 0..100 {
+            r.record(span(i, 0));
+        }
+        assert_eq!(r.recorded(), 100);
+        assert_eq!(r.overwritten(), 36);
+        let recent = r.recent(1000);
+        assert_eq!(recent.len(), 64);
+        // Oldest retained span is #36; newest is #99; order is oldest-first.
+        assert_eq!(recent.first().unwrap().seq, 36);
+        assert_eq!(recent.last().unwrap().seq, 99);
+        // Histograms still cover all 100.
+        assert_eq!(r.stage_summaries()[0].count, 100);
+    }
+
+    #[test]
+    fn recent_caps_at_n() {
+        let r = SpanRecorder::new(ObsConfig::default());
+        for i in 0..50 {
+            r.record(span(i, 0));
+        }
+        let recent = r.recent(10);
+        assert_eq!(recent.len(), 10);
+        assert_eq!(recent.last().unwrap().seq, 49);
+    }
+
+    #[test]
+    fn mode_switch_at_runtime() {
+        let r = SpanRecorder::new(ObsConfig::default());
+        assert_eq!(r.mode(), SpanMode::Full);
+        r.set_mode(SpanMode::Off, 0.0);
+        assert_eq!(r.mode(), SpanMode::Off);
+        assert!(!r.should_record(7));
+        r.set_mode(SpanMode::Sampled, 1.0);
+        assert!(r.should_record(7), "ratio 1.0 samples everything");
+    }
+
+    #[test]
+    fn stage_accumulator_drains_per_request() {
+        take_stage_acc();
+        add_lock_wait_us(100);
+        add_lock_wait_us(50);
+        add_commit_us(25);
+        assert_eq!(take_stage_acc(), (150, 25));
+        assert_eq!(take_stage_acc(), (0, 0), "drained");
+    }
+
+    #[test]
+    fn phase_summaries_grouped() {
+        let r = SpanRecorder::new(ObsConfig::default());
+        for i in 0..10 {
+            r.record(span(i, 0));
+        }
+        for i in 10..30 {
+            r.record(span(i, 1));
+        }
+        let phases = r.phase_summaries();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].0, 0);
+        assert_eq!(phases[0].1[0].count, 10);
+        assert_eq!(phases[1].1[0].count, 20);
+    }
+
+    #[test]
+    fn summary_line_mentions_all_stages() {
+        let r = SpanRecorder::new(ObsConfig::default());
+        r.record(span(1, 0));
+        let line = r.summary_line();
+        for stage in Stage::ALL {
+            assert!(line.contains(stage.name()), "{line}");
+        }
+        assert!(line.starts_with("spans=1"));
+    }
+
+    #[test]
+    fn span_json_has_all_stage_fields() {
+        let j = span(3, 1).to_json();
+        for key in [
+            "seq", "tenant", "phase", "txn_type", "queue_us", "lock_us", "exec_us", "commit_us",
+            "outcome",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(j.get("outcome").unwrap().as_str(), Some("committed"));
+    }
+
+    #[test]
+    fn multithreaded_recording_merges() {
+        let r = std::sync::Arc::new(SpanRecorder::new(ObsConfig::default()));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        r.record(span(t * 1000 + i, 0));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.recorded(), 8 * 500);
+        assert_eq!(r.stage_summaries()[0].count, 8 * 500);
+    }
+}

@@ -217,6 +217,7 @@ impl Session {
 
     pub fn commit(&mut self) -> Result<()> {
         let txn = self.txn.take().ok_or(StorageError::NoActiveTransaction)?;
+        let commit_start = std::time::Instant::now();
         let mut cost = 0.0;
         if txn.wal_bytes > 0 {
             let (_, wal_cost) = self.db.wal.commit(txn.wal_bytes, &self.db.metrics);
@@ -228,6 +229,9 @@ impl Session {
         self.db.metrics.add_rows_read(txn.rows_read);
         self.db.metrics.add_rows_written(txn.rows_written);
         self.db.metrics.txn_ended();
+        // Commit-stage time (WAL write + fsync cost model + lock release)
+        // for the span of the request executing on this thread.
+        bp_obs::add_commit_us(commit_start.elapsed().as_micros() as u64);
         Ok(())
     }
 

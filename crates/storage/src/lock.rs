@@ -109,6 +109,14 @@ impl LockManager {
             .clone()
     }
 
+    /// Record a finished lock wait: the engine-wide counters plus the
+    /// per-request span stage accumulator (drained by the worker loop).
+    fn note_wait(&self, wait_start: std::time::Instant) {
+        let waited = wait_start.elapsed();
+        self.metrics.record_lock_wait(waited);
+        bp_obs::add_lock_wait_us(waited.as_micros() as u64);
+    }
+
     /// Acquire (or upgrade to) `mode` on `target` for transaction `txn`.
     ///
     /// Returns `Ok(true)` if a new lock or upgrade was granted, `Ok(false)`
@@ -134,7 +142,7 @@ impl LockManager {
                 if others_ok {
                     state.granted[pos].1 = upgrade_result(held, mode);
                     if waited {
-                        self.metrics.record_lock_wait(wait_start.elapsed());
+                        self.note_wait(wait_start);
                     }
                     return Ok(true);
                 }
@@ -143,7 +151,7 @@ impl LockManager {
                 if all_ok {
                     state.granted.push((txn, mode));
                     if waited {
-                        self.metrics.record_lock_wait(wait_start.elapsed());
+                        self.note_wait(wait_start);
                     }
                     return Ok(true);
                 }
@@ -160,7 +168,7 @@ impl LockManager {
                 if holder < txn {
                     self.metrics.inc_deadlocks();
                     if waited {
-                        self.metrics.record_lock_wait(wait_start.elapsed());
+                        self.note_wait(wait_start);
                     }
                     return Err(StorageError::Deadlock { waiting_for: holder });
                 }
@@ -176,7 +184,7 @@ impl LockManager {
             state.waiters -= 1;
             if timed_out {
                 self.metrics.inc_lock_timeouts();
-                self.metrics.record_lock_wait(wait_start.elapsed());
+                self.note_wait(wait_start);
                 return Err(StorageError::LockTimeout);
             }
         }

@@ -54,24 +54,27 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// Per-field difference (`self` - `earlier`), used for rate windows.
+    /// Saturating: two snapshots taken concurrently with the data path can
+    /// observe individual counters "going backwards" relative to each
+    /// other, and a window of 0 is the sane reading of such a race.
     pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
-            commits: self.commits - earlier.commits,
-            aborts: self.aborts - earlier.aborts,
-            user_aborts: self.user_aborts - earlier.user_aborts,
-            rows_read: self.rows_read - earlier.rows_read,
-            rows_written: self.rows_written - earlier.rows_written,
-            lock_waits: self.lock_waits - earlier.lock_waits,
-            lock_wait_micros: self.lock_wait_micros - earlier.lock_wait_micros,
-            deadlocks: self.deadlocks - earlier.deadlocks,
-            lock_timeouts: self.lock_timeouts - earlier.lock_timeouts,
-            io_reads: self.io_reads - earlier.io_reads,
-            io_writes: self.io_writes - earlier.io_writes,
-            buf_hits: self.buf_hits - earlier.buf_hits,
-            buf_misses: self.buf_misses - earlier.buf_misses,
-            wal_bytes: self.wal_bytes - earlier.wal_bytes,
-            wal_fsyncs: self.wal_fsyncs - earlier.wal_fsyncs,
-            busy_micros: self.busy_micros - earlier.busy_micros,
+            commits: self.commits.saturating_sub(earlier.commits),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
+            user_aborts: self.user_aborts.saturating_sub(earlier.user_aborts),
+            rows_read: self.rows_read.saturating_sub(earlier.rows_read),
+            rows_written: self.rows_written.saturating_sub(earlier.rows_written),
+            lock_waits: self.lock_waits.saturating_sub(earlier.lock_waits),
+            lock_wait_micros: self.lock_wait_micros.saturating_sub(earlier.lock_wait_micros),
+            deadlocks: self.deadlocks.saturating_sub(earlier.deadlocks),
+            lock_timeouts: self.lock_timeouts.saturating_sub(earlier.lock_timeouts),
+            io_reads: self.io_reads.saturating_sub(earlier.io_reads),
+            io_writes: self.io_writes.saturating_sub(earlier.io_writes),
+            buf_hits: self.buf_hits.saturating_sub(earlier.buf_hits),
+            buf_misses: self.buf_misses.saturating_sub(earlier.buf_misses),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            wal_fsyncs: self.wal_fsyncs.saturating_sub(earlier.wal_fsyncs),
+            busy_micros: self.busy_micros.saturating_sub(earlier.busy_micros),
             active_txns: self.active_txns,
         }
     }
@@ -163,6 +166,30 @@ impl ServerMetrics {
         self.active_txns.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// All counter fields as `(name, value)` pairs, in declaration order.
+    /// One source of truth for the Prometheus exposition below and any
+    /// other exhaustive dump.
+    pub fn counter_fields(s: &MetricsSnapshot) -> [(&'static str, u64); 16] {
+        [
+            ("commits", s.commits),
+            ("aborts", s.aborts),
+            ("user_aborts", s.user_aborts),
+            ("rows_read", s.rows_read),
+            ("rows_written", s.rows_written),
+            ("lock_waits", s.lock_waits),
+            ("lock_wait_us", s.lock_wait_micros),
+            ("deadlocks", s.deadlocks),
+            ("lock_timeouts", s.lock_timeouts),
+            ("io_reads", s.io_reads),
+            ("io_writes", s.io_writes),
+            ("buf_hits", s.buf_hits),
+            ("buf_misses", s.buf_misses),
+            ("wal_bytes", s.wal_bytes),
+            ("wal_fsyncs", s.wal_fsyncs),
+            ("busy_us", s.busy_micros),
+        ]
+    }
+
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             commits: self.commits.load(Ordering::Relaxed),
@@ -183,6 +210,28 @@ impl ServerMetrics {
             busy_micros: self.busy_micros.load(Ordering::Relaxed),
             active_txns: self.active_txns.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl bp_obs::MetricsSource for ServerMetrics {
+    fn collect(&self, buf: &mut bp_obs::MetricsBuf) {
+        let s = self.snapshot();
+        for (name, v) in ServerMetrics::counter_fields(&s) {
+            let full = format!("bp_server_{name}_total");
+            buf.counter(&full, "Storage engine counter", &[], v as f64);
+        }
+        buf.gauge(
+            "bp_server_active_txns",
+            "Transactions currently open in the storage engine",
+            &[],
+            s.active_txns as f64,
+        );
+        buf.gauge(
+            "bp_server_buf_hit_ratio",
+            "Buffer pool hit ratio over the whole run",
+            &[],
+            s.hit_ratio(),
+        );
     }
 }
 
@@ -213,6 +262,34 @@ mod tests {
         m.inc_commits();
         let b = m.snapshot();
         assert_eq!(b.delta(&a).commits, 2);
+    }
+
+    #[test]
+    fn delta_saturates_on_backwards_counters() {
+        // A snapshot race can observe counters "earlier" than a snapshot
+        // taken before it; the delta must clamp at 0, not wrap to ~2^64.
+        let newer = MetricsSnapshot { commits: 5, busy_micros: 100, ..Default::default() };
+        let older = MetricsSnapshot { commits: 9, busy_micros: 40, ..Default::default() };
+        let d = newer.delta(&older);
+        assert_eq!(d.commits, 0, "backwards counter clamps to 0");
+        assert_eq!(d.busy_micros, 60, "forward counters unaffected");
+    }
+
+    #[test]
+    fn metrics_source_exposes_all_counters() {
+        use bp_obs::MetricsSource as _;
+        let m = ServerMetrics::new();
+        m.inc_commits();
+        m.txn_started();
+        let mut buf = bp_obs::MetricsBuf::new();
+        m.collect(&mut buf);
+        let samples = buf.into_samples();
+        // 16 counters + 2 gauges.
+        assert_eq!(samples.len(), 18);
+        for (name, _) in ServerMetrics::counter_fields(&m.snapshot()) {
+            let full = format!("bp_server_{name}_total");
+            assert!(samples.iter().any(|s| s.name == full), "missing {full}");
+        }
     }
 
     #[test]

@@ -11,7 +11,25 @@
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
+
+/// Monotonic slot handed to each thread on first use. Sharded collectors
+/// (statistics, span recorders) index their shard arrays with
+/// `thread_slot() % shards` so a given thread always lands on the same
+/// shard of a given collector and two collectors agree on the mapping.
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The calling thread's process-wide shard slot (stable for the thread's
+/// lifetime, dense from 0 in thread-creation order).
+#[inline]
+pub fn thread_slot() -> usize {
+    THREAD_SLOT.with(|s| *s)
+}
 
 /// A mutual-exclusion lock whose `lock()` returns the guard directly and
 /// never observes poisoning.
@@ -325,6 +343,14 @@ mod tests {
         *m.lock() = true;
         cv.notify_all();
         h.join().unwrap();
+    }
+
+    #[test]
+    fn thread_slots_stable_and_distinct() {
+        let mine = thread_slot();
+        assert_eq!(mine, thread_slot(), "slot must be stable per thread");
+        let other = std::thread::spawn(thread_slot).join().unwrap();
+        assert_ne!(mine, other, "each thread gets its own slot");
     }
 
     #[test]

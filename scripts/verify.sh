@@ -17,6 +17,12 @@ cargo test -q --offline
 echo "== cargo test -q --offline --workspace =="
 cargo test -q --offline --workspace
 
+echo "== observability: /metrics + /trace over real HTTP =="
+cargo test -q --offline --test observability
+
+echo "== span overhead bench (smoke: asserts <100ns/span full, ~0 off) =="
+BENCH_SMOKE=1 cargo bench -q --offline -p bp-bench --bench span_overhead
+
 if command -v cargo-clippy >/dev/null 2>&1 || cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --all-targets -- -D warnings =="
     cargo clippy --offline --all-targets -- -D warnings

@@ -22,6 +22,17 @@ fn shipped_workload_configs_parse_and_resolve() {
 }
 
 #[test]
+fn shipped_observability_block_parses() {
+    use benchpress::obs::SpanMode;
+    let xml = std::fs::read_to_string("configs/voter_readonly_burst.xml").unwrap();
+    let cfg = WorkloadConfig::parse(&xml).unwrap();
+    assert_eq!(cfg.obs.mode, SpanMode::Sampled);
+    assert_eq!(cfg.obs.sample_ratio, 0.25);
+    assert_eq!(cfg.obs.ring_capacity, 4096);
+    assert_eq!(cfg.run_config(1).obs, cfg.obs);
+}
+
+#[test]
 fn shipped_challenge_parses() {
     let xml = std::fs::read_to_string("configs/challenge_custom.xml").unwrap();
     let course = Course::from_xml(&xml).unwrap();

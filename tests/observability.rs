@@ -1,0 +1,208 @@
+//! Observability end to end: a live run's spans and counters flow into the
+//! unified registry, and a real `std::net` HTTP client scrapes `/metrics`
+//! (Prometheus text, every line parsed) and `/trace/spans` (JSONL).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use benchpress::api::{http_request_text, ApiServer};
+use benchpress::core::{Phase, PhaseScript, Rate, RunConfig};
+use benchpress::obs::MetricsRegistry;
+use benchpress::sql::Connection;
+use benchpress::storage::{Database, Personality};
+use benchpress::util::clock::wall_clock;
+use benchpress::util::json::Json;
+use benchpress::util::rng::Rng;
+use benchpress::workloads::by_name;
+
+/// Run voter briefly with full span recording and serve it over HTTP.
+fn finished_run() -> (Arc<ApiServer>, benchpress::core::Controller) {
+    let db = Database::new(Personality::test());
+    let workload = by_name("voter").unwrap();
+    let mut conn = Connection::open(&db);
+    workload.setup(&mut conn, 0.3, &mut Rng::new(3)).unwrap();
+    let cfg = RunConfig {
+        terminals: 4,
+        script: PhaseScript::new(vec![Phase::new(Rate::Limited(300.0), 1.5)]),
+        ..Default::default()
+    };
+    let handle = benchpress::core::start(db, workload, wall_clock(), cfg);
+    let controller = handle.join();
+
+    let api = Arc::new(ApiServer::new().with_registry(Arc::new(MetricsRegistry::new())));
+    api.register("voter", controller.clone());
+    (api, controller)
+}
+
+/// Parse the exposition strictly: every line must be a well-formed HELP /
+/// TYPE comment or a `name[{labels}] value` sample whose family was
+/// declared. Returns family name → type.
+fn parse_prometheus(text: &str) -> (HashMap<String, String>, Vec<String>) {
+    let mut families: HashMap<String, String> = HashMap::new();
+    let mut sample_lines = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            assert!(rest.split_whitespace().count() >= 2, "HELP without text: {line}");
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE name");
+            let ty = it.next().expect("TYPE kind");
+            assert!(
+                matches!(ty, "counter" | "gauge" | "histogram"),
+                "unknown metric type: {line}"
+            );
+            assert!(
+                families.insert(name.to_string(), ty.to_string()).is_none(),
+                "family {name} declared twice"
+            );
+        } else {
+            assert!(!line.starts_with('#'), "unknown comment form: {line}");
+            let (name_labels, value) =
+                line.rsplit_once(' ').unwrap_or_else(|| panic!("no value in: {line}"));
+            let v: f64 = value.parse().unwrap_or_else(|_| panic!("bad value in: {line}"));
+            assert!(v.is_finite(), "non-finite value in: {line}");
+            let name = match name_labels.split_once('{') {
+                Some((n, labels)) => {
+                    assert!(labels.ends_with('}'), "unterminated labels in: {line}");
+                    for kv in labels[..labels.len() - 1].split("\",") {
+                        let kv = kv.trim_end_matches('"');
+                        assert!(kv.contains("=\""), "malformed label `{kv}` in: {line}");
+                    }
+                    n
+                }
+                None => name_labels,
+            };
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in: {line}"
+            );
+            let base = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .filter(|b| families.get(*b).map(String::as_str) == Some("histogram"))
+                .unwrap_or(name);
+            assert!(families.contains_key(base), "sample without TYPE: {line}");
+            sample_lines.push(line.to_string());
+        }
+    }
+    (families, sample_lines)
+}
+
+#[test]
+fn metrics_scrape_covers_every_silo() {
+    let (api, controller) = finished_run();
+    let guard = api.serve_http("127.0.0.1:0").unwrap();
+    let (status, text) = http_request_text(guard.addr(), "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(!text.is_empty());
+
+    let (families, samples) = parse_prometheus(&text);
+
+    // Client stats: per-txn-type outcome counters + latency histograms.
+    for f in [
+        "bp_client_committed_total",
+        "bp_client_user_aborted_total",
+        "bp_client_failed_total",
+        "bp_client_retries_total",
+    ] {
+        assert_eq!(families.get(f).map(String::as_str), Some("counter"), "{f}");
+    }
+    assert_eq!(families.get("bp_client_latency_us").map(String::as_str), Some("histogram"));
+    // Voter has a single transaction type; the commit counter must carry
+    // its name as the `type` label.
+    assert!(
+        samples.iter().any(|l| l.starts_with("bp_client_committed_total{type=\"Vote\"")),
+        "expected per-type commit counters:\n{text}"
+    );
+    assert!(
+        samples.iter().any(|l| l.starts_with("bp_client_user_aborted_total{type=\"Vote\"")),
+        "expected per-type abort counters:\n{text}"
+    );
+
+    // Server engine counters: every ServerMetrics field.
+    for f in [
+        "commits", "aborts", "user_aborts", "rows_read", "rows_written", "lock_waits",
+        "lock_wait_us", "deadlocks", "lock_timeouts", "io_reads", "io_writes", "buf_hits",
+        "buf_misses", "wal_bytes", "wal_fsyncs", "busy_us",
+    ] {
+        let name = format!("bp_server_{f}_total");
+        assert_eq!(families.get(&name).map(String::as_str), Some("counter"), "{name}");
+    }
+    for f in ["bp_server_active_txns", "bp_server_buf_hit_ratio"] {
+        assert_eq!(families.get(f).map(String::as_str), Some("gauge"), "{f}");
+    }
+
+    // Span stages: one histogram per lifecycle stage, with +Inf buckets,
+    // _sum and _count.
+    assert_eq!(families.get("bp_stage_latency_us").map(String::as_str), Some("histogram"));
+    for stage in ["queue", "lock", "exec", "commit"] {
+        let bucket = format!("bp_stage_latency_us_bucket{{stage=\"{stage}\"");
+        assert!(samples.iter().any(|l| l.starts_with(&bucket)), "missing {bucket}");
+        assert!(
+            samples
+                .iter()
+                .any(|l| l.starts_with(&bucket) && l.contains("le=\"+Inf\"")),
+            "missing +Inf bucket for stage {stage}"
+        );
+    }
+    for suffix in ["_sum", "_count"] {
+        assert!(
+            samples.iter().any(|l| l.starts_with(&format!("bp_stage_latency_us{suffix}"))),
+            "missing bp_stage_latency_us{suffix}"
+        );
+    }
+    assert_eq!(families.get("bp_spans_recorded_total").map(String::as_str), Some("counter"));
+
+    // The scraped commit counter agrees with the run's own stats.
+    let committed = controller.status().committed;
+    assert!(committed > 0);
+    let server_commits: f64 = samples
+        .iter()
+        .find(|l| l.starts_with("bp_server_commits_total "))
+        .and_then(|l| l.rsplit_once(' ').unwrap().1.parse().ok())
+        .expect("bp_server_commits_total sample");
+    assert!(
+        server_commits >= committed as f64,
+        "server commits {server_commits} < client committed {committed}"
+    );
+}
+
+#[test]
+fn trace_spans_jsonl_over_http() {
+    let (api, controller) = finished_run();
+    let guard = api.serve_http("127.0.0.1:0").unwrap();
+    let (status, text) = http_request_text(guard.addr(), "GET", "/trace/spans?last=25", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(!text.is_empty(), "run should have recorded spans");
+    assert!(text.lines().count() <= 25);
+
+    let mut prev_end = 0u64;
+    for line in text.lines() {
+        let j = Json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line}: {e:?}"));
+        assert_eq!(j.get("workload").and_then(Json::as_str), Some("voter"));
+        for key in [
+            "seq", "tenant", "phase", "txn_type", "submitted_us", "dequeued_us", "end_us",
+            "queue_us", "lock_us", "exec_us", "commit_us", "retries",
+        ] {
+            assert!(j.get(key).and_then(Json::as_u64).is_some(), "missing {key} in {line}");
+        }
+        assert!(j.get("outcome").and_then(Json::as_str).is_some());
+        let end = j.get("end_us").and_then(Json::as_u64).unwrap();
+        assert!(end >= prev_end, "spans not ordered oldest-first");
+        prev_end = end;
+    }
+
+    // The trace summary over HTTP carries the same recorder's roll-up.
+    let (status, text) = http_request_text(guard.addr(), "GET", "/trace/summary", None).unwrap();
+    assert_eq!(status, 200);
+    let j = Json::parse(&text).unwrap();
+    let workloads = j.get("workloads").and_then(Json::as_arr).unwrap();
+    assert_eq!(workloads.len(), 1);
+    let spans = workloads[0].get("spans").and_then(Json::as_u64).unwrap();
+    assert_eq!(spans, controller.spans().unwrap().recorded());
+    assert!(spans > 0);
+}
