@@ -2,6 +2,12 @@
 //!
 //! Enough of HTTP for programmatic clients: request line, headers,
 //! `Content-Length` bodies, JSON in/out, connection-close semantics.
+//!
+//! The parser is hardened against misbehaving clients: request line and
+//! headers are read through hard byte/count ceilings (431), bodies are
+//! capped at [`MAX_BODY_BYTES`] (413), a malformed `Content-Length` is a
+//! 400, and a truncated or stalled body is a 400/408 instead of a hung
+//! worker thread or an abandoned connection.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -63,39 +69,113 @@ impl ApiServer {
     }
 }
 
+/// Ceiling on one header or request line, bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Ceiling on the number of header lines.
+pub const MAX_HEADERS: usize = 64;
+/// Ceiling on a request body, bytes.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Read one CRLF/LF-terminated line without ever buffering more than
+/// `max` bytes. `Ok(None)` means the line exceeded the ceiling.
+fn read_line_bounded(reader: &mut impl BufRead, max: usize) -> std::io::Result<Option<String>> {
+    let mut buf = Vec::with_capacity(128);
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            break; // EOF mid-line: serve what we have
+        }
+        let take = available.len().min(max + 1 - buf.len());
+        match available[..take].iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                buf.extend_from_slice(&available[..pos]);
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                buf.extend_from_slice(&available[..take]);
+                reader.consume(take);
+                if buf.len() > max {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+}
+
 fn handle_connection(stream: TcpStream, server: &ApiServer) -> std::io::Result<()> {
     stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
 
-    // Request line.
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
+    // Request line, bounded.
+    let line = match read_line_bounded(&mut reader, MAX_LINE_BYTES)? {
+        Some(l) => l,
+        None => {
+            return write_json(stream, 431, &Json::obj().set("error", "request line too long"))
+        }
+    };
     let mut parts = line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m.to_string(), p.to_string()),
         _ => return write_json(stream, 400, &Json::obj().set("error", "bad request line")),
     };
 
-    // Headers.
+    // Headers: bounded per line and in count; a malformed Content-Length is
+    // rejected rather than silently treated as "no body".
     let mut content_length = 0usize;
+    let mut header_count = 0usize;
     loop {
-        let mut header = String::new();
-        reader.read_line(&mut header)?;
+        if header_count >= MAX_HEADERS {
+            return write_json(stream, 431, &Json::obj().set("error", "too many headers"));
+        }
+        let header = match read_line_bounded(&mut reader, MAX_LINE_BYTES)? {
+            Some(h) => h,
+            None => {
+                return write_json(stream, 431, &Json::obj().set("error", "header too long"))
+            }
+        };
         let header = header.trim();
         if header.is_empty() {
             break;
         }
+        header_count += 1;
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().unwrap_or(0);
+                content_length = match value.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return write_json(
+                            stream,
+                            400,
+                            &Json::obj().set("error", "bad content-length"),
+                        )
+                    }
+                };
             }
         }
     }
 
-    // Body.
+    // Body: size-capped, and a short or stalled read answers instead of
+    // hanging the connection or dying silently.
     let body = if content_length > 0 {
-        let mut buf = vec![0u8; content_length.min(1 << 20)];
-        reader.read_exact(&mut buf)?;
+        if content_length > MAX_BODY_BYTES {
+            return write_json(stream, 413, &Json::obj().set("error", "body too large"));
+        }
+        let mut buf = vec![0u8; content_length];
+        if let Err(e) = reader.read_exact(&mut buf) {
+            let (status, msg) = match e.kind() {
+                std::io::ErrorKind::UnexpectedEof => (400, "truncated body"),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                    (408, "body read timed out")
+                }
+                _ => return Err(e),
+            };
+            return write_json(stream, status, &Json::obj().set("error", msg));
+        }
         match std::str::from_utf8(&buf).ok().and_then(|s| Json::parse(s).ok()) {
             Some(j) => Some(j),
             None => {
@@ -131,7 +211,10 @@ fn write_response(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         501 => "Not Implemented",
         _ => "Error",
     };
@@ -250,6 +333,97 @@ mod tests {
         let (status, text) = http_request_text(guard.addr(), "GET", "/metrics", None).unwrap();
         assert_eq!(status, 200);
         assert!(text.contains("# TYPE bp_server_commits_total counter"), "{text}");
+    }
+
+    /// Fire raw bytes at a live socket and return the response status line's
+    /// status code (0 if the server dropped the connection without replying).
+    fn raw_request(addr: SocketAddr, bytes: &[u8]) -> u16 {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // The server may answer-and-close before the full request is
+        // written (early 431/413), breaking the write mid-stream.
+        let _ = stream.write_all(bytes);
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut response = String::new();
+        let _ = BufReader::new(stream).read_to_string(&mut response);
+        response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn truncated_body_gets_400_not_hang() {
+        let s = server();
+        let guard = s.serve_http("127.0.0.1:0").unwrap();
+        // Promise 100 bytes, send 8, close: must answer 400, not hang
+        // until the read timeout or die without a response.
+        let status = raw_request(
+            guard.addr(),
+            b"POST /workloads/w/rate HTTP/1.1\r\nContent-Length: 100\r\n\r\n{\"tps\":",
+        );
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn oversized_body_gets_413() {
+        let s = server();
+        let guard = s.serve_http("127.0.0.1:0").unwrap();
+        // The server must reject on the declared length alone — no need to
+        // stream 2 MiB at it.
+        let status = raw_request(
+            guard.addr(),
+            format!("POST /workloads/w/rate HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 2 << 20)
+                .as_bytes(),
+        );
+        assert_eq!(status, 413);
+    }
+
+    #[test]
+    fn bad_content_length_gets_400() {
+        let s = server();
+        let guard = s.serve_http("127.0.0.1:0").unwrap();
+        let status = raw_request(
+            guard.addr(),
+            b"POST /workloads/w/rate HTTP/1.1\r\nContent-Length: banana\r\n\r\n{}",
+        );
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn oversized_request_line_gets_431() {
+        let s = server();
+        let guard = s.serve_http("127.0.0.1:0").unwrap();
+        let long_path = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(64 * 1024));
+        assert_eq!(raw_request(guard.addr(), long_path.as_bytes()), 431);
+    }
+
+    #[test]
+    fn oversized_header_gets_431() {
+        let s = server();
+        let guard = s.serve_http("127.0.0.1:0").unwrap();
+        let req = format!("GET /status HTTP/1.1\r\nX-Junk: {}\r\n\r\n", "y".repeat(64 * 1024));
+        assert_eq!(raw_request(guard.addr(), req.as_bytes()), 431);
+    }
+
+    #[test]
+    fn too_many_headers_gets_431() {
+        let s = server();
+        let guard = s.serve_http("127.0.0.1:0").unwrap();
+        let mut req = String::from("GET /status HTTP/1.1\r\n");
+        for i in 0..100 {
+            req.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        req.push_str("\r\n");
+        assert_eq!(raw_request(guard.addr(), req.as_bytes()), 431);
+    }
+
+    #[test]
+    fn garbage_request_line_gets_400() {
+        let s = server();
+        let guard = s.serve_http("127.0.0.1:0").unwrap();
+        assert_eq!(raw_request(guard.addr(), b"\x00\x01\x02\r\n\r\n"), 400);
+        assert_eq!(raw_request(guard.addr(), b"ONLYONETOKEN\r\n\r\n"), 400);
     }
 
     #[test]

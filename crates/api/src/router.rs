@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use bp_util::sync::RwLock;
 
+use bp_chaos::{ChaosController, FaultPlan};
 use bp_core::{Controller, MixturePreset, Rate, StatusSnapshot};
 use bp_obs::MetricsRegistry;
 use bp_util::json::Json;
@@ -100,6 +101,7 @@ pub struct ApiServer {
     launcher: Option<Arc<dyn Launcher>>,
     metrics: Option<Arc<dyn Fn() -> Json + Send + Sync>>,
     registry: Option<Arc<MetricsRegistry>>,
+    chaos: RwLock<Option<Arc<ChaosController>>>,
 }
 
 impl Default for ApiServer {
@@ -124,6 +126,7 @@ fn status_json(st: &StatusSnapshot) -> Json {
         .set("committed", st.committed)
         .set("user_aborted", st.user_aborted)
         .set("failed", st.failed)
+        .set("shed", st.shed)
         .set("retries", st.retries)
         .set("elapsed_s", st.elapsed_s)
 }
@@ -153,7 +156,26 @@ impl ApiServer {
             launcher: None,
             metrics: None,
             registry: None,
+            chaos: RwLock::new(None),
         }
+    }
+
+    /// Attach a chaos controller explicitly for the `/chaos` endpoints.
+    /// Without this, the endpoints fall back to the chaos controller of the
+    /// first registered workload's engine.
+    pub fn with_chaos(self, chaos: Arc<ChaosController>) -> ApiServer {
+        *self.chaos.write() = Some(chaos);
+        self
+    }
+
+    fn chaos_controller(&self) -> Option<Arc<ChaosController>> {
+        if let Some(c) = self.chaos.read().clone() {
+            return Some(c);
+        }
+        let map = self.workloads.read();
+        let mut ids: Vec<&String> = map.keys().collect();
+        ids.sort();
+        ids.first().map(|id| map[*id].chaos().clone())
     }
 
     pub fn with_launcher(mut self, launcher: Arc<dyn Launcher>) -> ApiServer {
@@ -223,12 +245,72 @@ impl ApiServer {
                 None => Response::error(501, "no launcher configured"),
             },
             (Method::Get, ["metrics"]) => self.metrics_response(),
+            (Method::Post, ["chaos"]) => self.chaos_arm(req),
+            (Method::Delete, ["chaos"]) => self.chaos_disarm(),
+            (Method::Get, ["chaos", "status"]) => self.chaos_status(),
             (Method::Get, ["trace", "spans"]) => self.trace_spans(query),
             (Method::Get, ["trace", "summary"]) => self.trace_summary(),
             (Method::Get, ["workloads", id]) => self.workload_status(id),
             (Method::Post, ["workloads", id, action]) => self.workload_action(id, action, req),
             _ => Response::error(404, &format!("no route for {}", req.path)),
         }
+    }
+
+    /// POST /chaos — arm a fault scenario mid-run. Body is either
+    /// `{"scenario": "error-burst", "seed": 7}` (a named preset) or
+    /// `{"plan": {...}}` (an inline [`FaultPlan`]); `{"disarm": true}`
+    /// disarms instead.
+    fn chaos_arm(&self, req: &Request) -> Response {
+        let Some(chaos) = self.chaos_controller() else {
+            return Response::error(501, "no chaos controller wired");
+        };
+        let body = req.body.clone().unwrap_or(Json::Null);
+        if body.get("disarm").and_then(Json::as_bool) == Some(true) {
+            chaos.disarm();
+            return Response::ok(chaos.status_json());
+        }
+        let plan = if let Some(name) = body.get("scenario").and_then(Json::as_str) {
+            let seed = body.get("seed").and_then(Json::as_u64).unwrap_or(42);
+            match FaultPlan::scenario(name, seed) {
+                Some(p) => p,
+                None => {
+                    return Response::error(
+                        400,
+                        &format!(
+                            "unknown scenario {name}; known: {}",
+                            FaultPlan::scenario_names().join(", ")
+                        ),
+                    )
+                }
+            }
+        } else if let Some(p) = body.get("plan") {
+            match FaultPlan::from_json(p) {
+                Some(p) => p,
+                None => return Response::error(400, "invalid fault plan"),
+            }
+        } else {
+            return Response::error(400, "body must contain scenario, plan, or disarm");
+        };
+        chaos.arm(plan);
+        Response::ok(chaos.status_json())
+    }
+
+    /// DELETE /chaos — disarm fault injection (counters are kept).
+    fn chaos_disarm(&self) -> Response {
+        let Some(chaos) = self.chaos_controller() else {
+            return Response::error(501, "no chaos controller wired");
+        };
+        chaos.disarm();
+        Response::ok(chaos.status_json())
+    }
+
+    /// GET /chaos/status — armed flag, plan, and per-kind probe/injection
+    /// counters.
+    fn chaos_status(&self) -> Response {
+        let Some(chaos) = self.chaos_controller() else {
+            return Response::error(501, "no chaos controller wired");
+        };
+        Response::ok(chaos.status_json())
     }
 
     /// GET /metrics — Prometheus text when a registry is attached, the
@@ -332,9 +414,16 @@ impl ApiServer {
             return Response::error(404, &format!("unknown workload {id}"));
         };
         let mixture = c.current_mixture();
+        let breaker = match c.breaker() {
+            Some(b) => Json::obj()
+                .set("state", b.state().name())
+                .set("shed", b.shed_total()),
+            None => Json::Null,
+        };
         Response::ok(
             Json::obj()
                 .set("id", id)
+                .set("breaker", breaker)
                 .set("benchmark", c.workload_name())
                 .set("rate", rate_json(c.current_rate()))
                 .set("mixture", mixture.weights().to_vec())
@@ -655,7 +744,7 @@ mod tests {
         let reg = Arc::new(MetricsRegistry::new());
         let s = ApiServer::new().with_registry(reg.clone());
         s.register("demo", controller_with_spans());
-        assert_eq!(reg.source_count(), 3, "stats + server + spans");
+        assert_eq!(reg.source_count(), 4, "stats + server + chaos + spans");
         let r = s.handle(&Request::get("/metrics"));
         assert!(r.is_ok());
         let (ctype, text) = r.raw.expect("raw payload");
@@ -700,6 +789,72 @@ mod tests {
         let stages = items[0].get("stages").unwrap().as_arr().unwrap();
         assert_eq!(stages.len(), 4);
         assert!(stages.iter().any(|st| st.get("stage").unwrap().as_str() == Some("queue")));
+    }
+
+    #[test]
+    fn chaos_arm_status_disarm_roundtrip() {
+        let s = server();
+        // Status while disarmed.
+        let r = s.handle(&Request::get("/chaos/status"));
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(r.body.get("armed").unwrap().as_bool(), Some(false));
+        // Arm a named scenario with an explicit seed.
+        let r = s.handle(&Request::post(
+            "/chaos",
+            Json::obj().set("scenario", "error-burst").set("seed", 7u64),
+        ));
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(r.body.get("armed").unwrap().as_bool(), Some(true));
+        assert_eq!(r.body.get("plan").unwrap().as_str(), Some("error-burst"));
+        assert_eq!(r.body.get("seed").unwrap().as_u64(), Some(7));
+        // Unknown scenario is a 400 listing the known names.
+        let r = s.handle(&Request::post("/chaos", Json::obj().set("scenario", "nope")));
+        assert_eq!(r.status, 400);
+        assert!(r.body.get("error").unwrap().as_str().unwrap().contains("error-burst"));
+        // Empty body is a 400.
+        let r = s.handle(&Request::post("/chaos", Json::obj()));
+        assert_eq!(r.status, 400);
+        // Disarm via DELETE.
+        let r = s.handle(&Request {
+            method: Method::Delete,
+            path: "/chaos".into(),
+            body: None,
+        });
+        assert!(r.is_ok());
+        assert_eq!(r.body.get("armed").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn chaos_inline_plan_and_disarm_body() {
+        let s = server();
+        let plan = Json::obj().set("name", "custom").set("seed", 3u64).set(
+            "windows",
+            Json::Arr(vec![Json::obj()
+                .set("kind", "injected_error")
+                .set("intensity", 1.0)]),
+        );
+        let r = s.handle(&Request::post("/chaos", Json::obj().set("plan", plan)));
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(r.body.get("plan").unwrap().as_str(), Some("custom"));
+        let r = s.handle(&Request::post("/chaos", Json::obj().set("disarm", true)));
+        assert!(r.is_ok());
+        assert_eq!(r.body.get("armed").unwrap().as_bool(), Some(false));
+        // Malformed inline plan.
+        let r = s.handle(&Request::post(
+            "/chaos",
+            Json::obj().set("plan", Json::obj().set("seed", 1u64)),
+        ));
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn status_reports_shed_and_breaker() {
+        let s = server();
+        let r = s.handle(&Request::get("/workloads/demo"));
+        assert!(r.is_ok());
+        // No breaker configured on this controller.
+        assert_eq!(r.body.get("breaker"), Some(&Json::Null));
+        assert_eq!(r.body.get("status").unwrap().get("shed").unwrap().as_u64(), Some(0));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The experiment harness CLI: regenerates every table/figure artifact.
 //!
-//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|obs|queue|all]`
+//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|obs|resilience|queue|all]`
 
 use bp_bench::*;
 
@@ -122,6 +122,20 @@ fn main() {
             r.metric_families, r.exposition_bytes
         );
     }
+    if run_all || arg == "resilience" {
+        ran = true;
+        println!("=== E12: chaos & resilience — error burst armed over HTTP mid-run ===");
+        let r = run_resilience(6.0);
+        println!(
+            "committed tx/s: baseline {:.0} → faulted {:.0} → recovered {:.0}",
+            r.baseline_tps, r.faulted_tps, r.recovered_tps
+        );
+        println!("faults injected: {}   requests shed: {}", r.injected, r.shed);
+        println!(
+            "breaker opened: {}   re-closed after disarm: {}   /metrics ok: {}\n",
+            r.breaker_opened, r.breaker_reclosed, r.metrics_ok
+        );
+    }
     if run_all || arg == "queue" {
         ran = true;
         println!("=== Ablation: centralized queue dispatch gate (never-exceed, §2.2.1) ===");
@@ -133,7 +147,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects obs queue all"
+            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects obs resilience queue all"
         );
         std::process::exit(2);
     }

@@ -497,6 +497,130 @@ pub fn run_observability(seconds: f64) -> ObservabilityReport {
     }
 }
 
+/// E12 — chaos & resilience: throughput dip-and-recovery under a fault
+/// scenario armed over the live HTTP control API mid-run, with the circuit
+/// breaker shedding load while the engine is sick and re-closing after the
+/// faults are disarmed.
+pub struct ResilienceReport {
+    /// Committed tx/s before, during, and after the fault window.
+    pub baseline_tps: f64,
+    pub faulted_tps: f64,
+    pub recovered_tps: f64,
+    /// Faults injected by the chaos layer (`bp_chaos_injected_total`).
+    pub injected: u64,
+    /// Requests fast-failed by the breaker (`bp_resilience_shed_total`).
+    pub shed: u64,
+    pub breaker_opened: bool,
+    pub breaker_reclosed: bool,
+    /// `/metrics` exposes nonzero chaos + resilience series.
+    pub metrics_ok: bool,
+}
+
+pub fn run_resilience(seconds: f64) -> ResilienceReport {
+    use bp_chaos::{BreakerConfig, FaultKind};
+    use bp_core::ResilienceConfig;
+
+    let db = Database::new(Personality::test());
+    let w = by_name("voter").unwrap();
+    let mut conn = Connection::open(&db);
+    w.setup(&mut conn, 0.3, &mut Rng::new(13)).unwrap();
+    let script = PhaseScript::new(vec![Phase::new(Rate::Limited(400.0), seconds)]);
+    let cfg = RunConfig {
+        terminals: 4,
+        script,
+        collect_trace: false,
+        max_retries: 2,
+        resilience: ResilienceConfig {
+            breaker: Some(BreakerConfig {
+                min_samples: 16,
+                window: 32,
+                cooldown_us: 300_000,
+                ..BreakerConfig::default()
+            }),
+            ..ResilienceConfig::default()
+        },
+        ..Default::default()
+    };
+    let handle = bp_core::start(db, w, wall_clock(), cfg);
+
+    // The control surface: /chaos armed over a live socket, /metrics from
+    // the unified registry.
+    let registry = Arc::new(bp_obs::MetricsRegistry::new());
+    let api = Arc::new(bp_api::ApiServer::new().with_registry(registry.clone()));
+    api.register("voter", handle.controller.clone());
+    let guard = api.serve_http("127.0.0.1:0").expect("bind http");
+
+    let third = std::time::Duration::from_secs_f64(seconds / 3.0);
+    let committed = |c: &bp_core::Controller| c.stats().status(1).committed;
+
+    // Phase 1: healthy baseline.
+    std::thread::sleep(third);
+    let c1 = committed(&handle.controller);
+
+    // Phase 2: arm the error burst mid-run over HTTP.
+    let (status, _) = bp_api::http_request(
+        guard.addr(),
+        "POST",
+        "/chaos",
+        Some(&bp_util::json::Json::obj().set("scenario", "error-burst").set("seed", 7u64)),
+    )
+    .expect("arm chaos");
+    assert_eq!(status, 200, "POST /chaos failed");
+    std::thread::sleep(third);
+    let c2 = committed(&handle.controller);
+    let opened = handle
+        .controller
+        .breaker()
+        .map(|b| b.transitions_to(bp_core::BreakerState::Open) > 0)
+        .unwrap_or(false);
+
+    // Phase 3: disarm and let the breaker probe its way back to Closed.
+    let (status, _) = bp_api::http_request(guard.addr(), "DELETE", "/chaos", None).expect("disarm");
+    assert_eq!(status, 200, "DELETE /chaos failed");
+    std::thread::sleep(third);
+    let c3 = committed(&handle.controller);
+
+    let controller = handle.stop_and_join();
+    let breaker = controller.breaker().cloned();
+    let reclosed = breaker
+        .as_ref()
+        .map(|b| {
+            b.state() == bp_core::BreakerState::Closed
+                && b.transitions_to(bp_core::BreakerState::Closed) > 0
+        })
+        .unwrap_or(false);
+    let injected = controller.chaos().injected_total(FaultKind::InjectedError);
+    let shed = breaker.as_ref().map(|b| b.shed_total()).unwrap_or(0);
+
+    let (_, metrics_text) =
+        bp_api::http_request_text(guard.addr(), "GET", "/metrics", None).expect("metrics");
+    let nonzero = |name: &str| {
+        metrics_text.lines().any(|l| {
+            l.starts_with(name)
+                && l.split_whitespace()
+                    .last()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .map(|v| v > 0.0)
+                    .unwrap_or(false)
+        })
+    };
+    let metrics_ok = nonzero("bp_chaos_injected_total")
+        && nonzero("bp_resilience_shed_total")
+        && metrics_text.contains("bp_resilience_breaker_state");
+
+    let per_third = seconds / 3.0;
+    ResilienceReport {
+        baseline_tps: c1 as f64 / per_third,
+        faulted_tps: (c2 - c1) as f64 / per_third,
+        recovered_tps: (c3 - c2) as f64 / per_third,
+        injected,
+        shed,
+        breaker_opened: opened,
+        breaker_reclosed: reclosed,
+        metrics_ok,
+    }
+}
+
 pub struct QueueAblationReport {
     pub gated_overshoot_seconds: usize,
     pub ungated_burst_tps: f64,
@@ -606,6 +730,28 @@ mod tests {
             .find(|r| r.dbms == "derby" && r.course == "tunnel")
             .unwrap();
         assert_eq!(derby_tunnel.outcome, "crash", "derby must fail the tunnel");
+    }
+
+    #[test]
+    fn resilience_dips_and_recovers() {
+        let r = run_resilience(4.5);
+        assert!(r.injected > 0, "chaos must inject faults");
+        assert!(r.breaker_opened, "breaker must open under the error burst");
+        assert!(r.shed > 0, "an open breaker must shed load");
+        assert!(r.breaker_reclosed, "breaker must re-close after disarm");
+        assert!(r.metrics_ok, "chaos + resilience series must be exposed");
+        assert!(
+            r.faulted_tps < r.baseline_tps * 0.8,
+            "no dip: baseline {:.0} faulted {:.0}",
+            r.baseline_tps,
+            r.faulted_tps
+        );
+        assert!(
+            r.recovered_tps > r.faulted_tps * 1.5,
+            "no recovery: faulted {:.0} recovered {:.0}",
+            r.faulted_tps,
+            r.recovered_tps
+        );
     }
 
     #[test]

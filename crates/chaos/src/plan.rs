@@ -1,0 +1,352 @@
+//! Fault plans: named, seeded schedules of fault windows.
+//!
+//! A [`FaultPlan`] is pure data — it says *what* goes wrong, *when*
+//! (relative to the moment the plan is armed), *how often* (intensity)
+//! and *how hard* (magnitude). It contains no randomness of its own:
+//! whether probe `k` of a given fault kind injects is a pure function of
+//! `(plan seed, kind, k)` evaluated by the
+//! [`ChaosController`](crate::ChaosController), so a plan armed twice with
+//! the same seed produces the identical injection sequence twice.
+
+use bp_util::json::Json;
+
+/// The taxonomy of injectable faults.
+///
+/// Each kind maps to one probe site in the engine or client:
+///
+/// | kind            | probe site                   | effect                              |
+/// |-----------------|------------------------------|-------------------------------------|
+/// | `FsyncStall`    | `Session::commit` (WAL sync) | adds `magnitude_us` to commit cost  |
+/// | `LatencySpike`  | `Session::charge`            | adds `magnitude_us` to any op cost  |
+/// | `InjectedError` | `LockManager::acquire`       | transient retryable `Injected` error|
+/// | `DeadlockStorm` | `LockManager::acquire`       | forced wait-die victim abort        |
+/// | `Blackout`      | executor (per tenant)        | in-flight txns fail for the window  |
+/// | `BufferThrash`  | `Session::touch_page`        | `magnitude` extra page IOs          |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    FsyncStall,
+    LatencySpike,
+    InjectedError,
+    DeadlockStorm,
+    Blackout,
+    BufferThrash,
+}
+
+/// All kinds, for iteration (status/metrics).
+pub const ALL_KINDS: [FaultKind; 6] = [
+    FaultKind::FsyncStall,
+    FaultKind::LatencySpike,
+    FaultKind::InjectedError,
+    FaultKind::DeadlockStorm,
+    FaultKind::Blackout,
+    FaultKind::BufferThrash,
+];
+
+impl FaultKind {
+    /// Stable dense index (counter arrays, metric labels).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::FsyncStall => 0,
+            FaultKind::LatencySpike => 1,
+            FaultKind::InjectedError => 2,
+            FaultKind::DeadlockStorm => 3,
+            FaultKind::Blackout => 4,
+            FaultKind::BufferThrash => 5,
+        }
+    }
+
+    /// Per-kind salt folded into the injection hash so two kinds with the
+    /// same probe index make independent decisions.
+    #[inline]
+    pub fn salt(self) -> u64 {
+        // Arbitrary odd constants; stable across releases (tests pin the
+        // resulting sequences).
+        const SALTS: [u64; 6] = [
+            0x9E6C_63D0_985E_5341,
+            0x51AF_D0C1_6F3B_9A77,
+            0xB7E1_5162_8AED_2A6B,
+            0x2545_F491_4F6C_DD1D,
+            0xDE9F_DE87_31C9_FD45,
+            0x8CB9_2BA7_2F3D_8DD7,
+        ];
+        SALTS[self.index()]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::FsyncStall => "fsync_stall",
+            FaultKind::LatencySpike => "latency_spike",
+            FaultKind::InjectedError => "injected_error",
+            FaultKind::DeadlockStorm => "deadlock_storm",
+            FaultKind::Blackout => "blackout",
+            FaultKind::BufferThrash => "buffer_thrash",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        ALL_KINDS.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+/// One window of adversity within a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultWindow {
+    pub kind: FaultKind,
+    /// Window start, µs since the plan was armed.
+    pub start_us: u64,
+    /// Window end (exclusive), µs since the plan was armed.
+    pub end_us: u64,
+    /// Probability in `[0, 1]` that a probe inside the window injects.
+    pub intensity: f64,
+    /// Kind-specific magnitude: µs of stall/spike for `FsyncStall` /
+    /// `LatencySpike`, extra page IOs for `BufferThrash`; unused for the
+    /// error kinds and `Blackout` (the window itself is the outage).
+    pub magnitude: u64,
+    /// Restrict the window to one tenant (`Blackout` windows almost always
+    /// set this); `None` applies to every tenant.
+    pub tenant: Option<u16>,
+}
+
+impl FaultWindow {
+    /// A window covering the whole run, every tenant.
+    pub fn always(kind: FaultKind, intensity: f64, magnitude: u64) -> FaultWindow {
+        FaultWindow { kind, start_us: 0, end_us: u64::MAX, intensity, magnitude, tenant: None }
+    }
+
+    #[inline]
+    pub fn active_at(&self, rel_us: u64) -> bool {
+        rel_us >= self.start_us && rel_us < self.end_us
+    }
+
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .set("kind", self.kind.name())
+            .set("start_us", self.start_us)
+            .set("end_us", self.end_us)
+            .set("intensity", self.intensity)
+            .set("magnitude", self.magnitude);
+        if let Some(t) = self.tenant {
+            j = j.set("tenant", t as u64);
+        }
+        j
+    }
+
+    fn from_json(j: &Json) -> Option<FaultWindow> {
+        let kind = FaultKind::from_name(j.get("kind")?.as_str()?)?;
+        let intensity = j.get("intensity")?.as_f64()?;
+        if !(0.0..=1.0).contains(&intensity) {
+            return None;
+        }
+        Some(FaultWindow {
+            kind,
+            start_us: j.get("start_us").and_then(Json::as_u64).unwrap_or(0),
+            end_us: j.get("end_us").and_then(Json::as_u64).unwrap_or(u64::MAX),
+            intensity,
+            magnitude: j.get("magnitude").and_then(Json::as_u64).unwrap_or(0),
+            tenant: j.get("tenant").and_then(Json::as_u64).map(|t| t as u16),
+        })
+    }
+}
+
+/// A named, seeded schedule of fault windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    pub name: String,
+    pub seed: u64,
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    pub fn new(name: &str, seed: u64) -> FaultPlan {
+        FaultPlan { name: name.to_string(), seed, windows: Vec::new() }
+    }
+
+    pub fn with_window(mut self, w: FaultWindow) -> FaultPlan {
+        self.windows.push(w);
+        self
+    }
+
+    /// Build one of the named scenarios (`POST /chaos` accepts these by
+    /// name). Returns `None` for an unknown scenario.
+    ///
+    /// Time-based windows in the stock scenarios sit at `[2s, 4s)` after
+    /// arming so a steady run shows a clean before/during/after shape.
+    pub fn scenario(name: &str, seed: u64) -> Option<FaultPlan> {
+        const S: u64 = 1_000_000; // 1 second in µs
+        let plan = FaultPlan::new(name, seed);
+        Some(match name {
+            // Every commit during the window pays an extra 2ms fsync.
+            "fsync-stall" => plan.with_window(FaultWindow {
+                kind: FaultKind::FsyncStall,
+                start_us: 2 * S,
+                end_us: 4 * S,
+                intensity: 1.0,
+                magnitude: 2_000,
+                tenant: None,
+            }),
+            // 20% of operations pay an extra 5ms.
+            "latency-spike" => plan.with_window(FaultWindow {
+                kind: FaultKind::LatencySpike,
+                start_us: 2 * S,
+                end_us: 4 * S,
+                intensity: 0.2,
+                magnitude: 5_000,
+                tenant: None,
+            }),
+            // 60% of lock acquisitions fail with a transient error for the
+            // whole armed period — the breaker-trip workhorse.
+            "error-burst" => plan.with_window(FaultWindow::always(
+                FaultKind::InjectedError,
+                0.6,
+                0,
+            )),
+            // 40% of lock acquisitions abort as forced wait-die victims.
+            "deadlock-storm" => plan.with_window(FaultWindow::always(
+                FaultKind::DeadlockStorm,
+                0.4,
+                0,
+            )),
+            // Tenant 0 blacks out for the window; its in-flight txns fail.
+            "blackout" => plan.with_window(FaultWindow {
+                kind: FaultKind::Blackout,
+                start_us: 2 * S,
+                end_us: 4 * S,
+                intensity: 1.0,
+                magnitude: 0,
+                tenant: Some(0),
+            }),
+            // Every page touch pays 3 extra IOs (cold buffer pool).
+            "buffer-thrash" => plan.with_window(FaultWindow {
+                kind: FaultKind::BufferThrash,
+                start_us: 2 * S,
+                end_us: 4 * S,
+                intensity: 1.0,
+                magnitude: 3,
+                tenant: None,
+            }),
+            // Everything at once, moderated.
+            "meltdown" => plan
+                .with_window(FaultWindow::always(FaultKind::FsyncStall, 0.5, 1_000))
+                .with_window(FaultWindow::always(FaultKind::LatencySpike, 0.1, 2_000))
+                .with_window(FaultWindow::always(FaultKind::InjectedError, 0.3, 0))
+                .with_window(FaultWindow::always(FaultKind::DeadlockStorm, 0.2, 0))
+                .with_window(FaultWindow::always(FaultKind::BufferThrash, 0.5, 2)),
+            _ => return None,
+        })
+    }
+
+    /// Names accepted by [`FaultPlan::scenario`].
+    pub fn scenario_names() -> &'static [&'static str] {
+        &[
+            "fsync-stall",
+            "latency-spike",
+            "error-burst",
+            "deadlock-storm",
+            "blackout",
+            "buffer-thrash",
+            "meltdown",
+        ]
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("name", self.name.as_str())
+            .set("seed", self.seed)
+            .set(
+                "windows",
+                Json::Arr(self.windows.iter().map(FaultWindow::to_json).collect()),
+            )
+    }
+
+    /// Parse a plan from JSON (the `POST /chaos` custom-plan form).
+    /// Returns `None` on any malformed field.
+    pub fn from_json(j: &Json) -> Option<FaultPlan> {
+        let name = j.get("name")?.as_str()?.to_string();
+        let seed = j.get("seed").and_then(Json::as_u64).unwrap_or(0);
+        let mut windows = Vec::new();
+        for w in j.get("windows")?.as_arr()? {
+            windows.push(FaultWindow::from_json(w)?);
+        }
+        Some(FaultPlan { name, seed, windows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in ALL_KINDS {
+            assert_eq!(FaultKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(FaultKind::from_name("nope"), None);
+        // Dense, unique indices and salts.
+        let mut idx: Vec<usize> = ALL_KINDS.iter().map(|k| k.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..6).collect::<Vec<_>>());
+        let mut salts: Vec<u64> = ALL_KINDS.iter().map(|k| k.salt()).collect();
+        salts.sort_unstable();
+        salts.dedup();
+        assert_eq!(salts.len(), 6);
+    }
+
+    #[test]
+    fn window_activity() {
+        let w = FaultWindow {
+            kind: FaultKind::FsyncStall,
+            start_us: 100,
+            end_us: 200,
+            intensity: 1.0,
+            magnitude: 5,
+            tenant: None,
+        };
+        assert!(!w.active_at(99));
+        assert!(w.active_at(100));
+        assert!(w.active_at(199));
+        assert!(!w.active_at(200));
+        assert!(FaultWindow::always(FaultKind::Blackout, 1.0, 0).active_at(u64::MAX - 1));
+    }
+
+    #[test]
+    fn every_scenario_builds_and_round_trips() {
+        for name in FaultPlan::scenario_names() {
+            let plan = FaultPlan::scenario(name, 42).unwrap_or_else(|| panic!("{name}"));
+            assert_eq!(plan.name, *name);
+            assert!(!plan.windows.is_empty(), "{name} has no windows");
+            for w in &plan.windows {
+                assert!((0.0..=1.0).contains(&w.intensity));
+            }
+            let back = FaultPlan::from_json(&plan.to_json()).expect("round trip");
+            assert_eq!(back, plan);
+        }
+        assert_eq!(FaultPlan::scenario("unknown", 1), None);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        // Missing kind.
+        let j = Json::parse(r#"{"name":"x","seed":1,"windows":[{"intensity":0.5}]}"#).unwrap();
+        assert_eq!(FaultPlan::from_json(&j), None);
+        // Intensity out of range.
+        let j = Json::parse(
+            r#"{"name":"x","seed":1,"windows":[{"kind":"fsync_stall","intensity":1.5}]}"#,
+        )
+        .unwrap();
+        assert_eq!(FaultPlan::from_json(&j), None);
+        // Unknown kind.
+        let j =
+            Json::parse(r#"{"name":"x","seed":1,"windows":[{"kind":"zap","intensity":0.5}]}"#)
+                .unwrap();
+        assert_eq!(FaultPlan::from_json(&j), None);
+        // Defaults fill in: window with only kind+intensity is always-on.
+        let j = Json::parse(
+            r#"{"name":"x","seed":7,"windows":[{"kind":"blackout","intensity":1.0,"tenant":3}]}"#,
+        )
+        .unwrap();
+        let plan = FaultPlan::from_json(&j).unwrap();
+        assert_eq!(plan.windows[0].tenant, Some(3));
+        assert_eq!(plan.windows[0].end_us, u64::MAX);
+    }
+}

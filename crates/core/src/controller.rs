@@ -154,6 +154,7 @@ pub struct Controller {
     types: Arc<Vec<TransactionType>>,
     workload_name: String,
     spans: Option<Arc<bp_obs::SpanRecorder>>,
+    breaker: Option<Arc<bp_chaos::CircuitBreaker>>,
 }
 
 impl Controller {
@@ -173,6 +174,7 @@ impl Controller {
             types: Arc::new(types),
             workload_name: workload_name.to_string(),
             spans: None,
+            breaker: None,
         }
     }
 
@@ -188,6 +190,23 @@ impl Controller {
         self.spans.as_ref()
     }
 
+    /// Attach the run's circuit breaker (builder-style; the executor does
+    /// this when `ResilienceConfig.breaker` is set).
+    pub fn with_breaker(mut self, breaker: Arc<bp_chaos::CircuitBreaker>) -> Controller {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// The run's admission controller, if one is configured.
+    pub fn breaker(&self) -> Option<&Arc<bp_chaos::CircuitBreaker>> {
+        self.breaker.as_ref()
+    }
+
+    /// The database's chaos controller (fault-injection surface).
+    pub fn chaos(&self) -> &Arc<bp_chaos::ChaosController> {
+        self.db.chaos()
+    }
+
     /// Register this workload's metrics silos with a unified registry:
     /// client-side statistics, the storage engine's server counters, and
     /// (when present) the span recorder's stage histograms. Duplicate
@@ -199,8 +218,12 @@ impl Controller {
             self.stats.clone(),
         );
         registry.register("server", self.db.metrics().clone());
+        registry.register("chaos", self.db.chaos().clone());
         if let Some(spans) = &self.spans {
             registry.register(&format!("spans:{}", self.workload_name), spans.clone());
+        }
+        if let Some(breaker) = &self.breaker {
+            registry.register(&format!("breaker:{}", self.workload_name), breaker.clone());
         }
     }
 
@@ -387,13 +410,28 @@ mod tests {
             .with_spans(Arc::new(bp_obs::SpanRecorder::new(bp_obs::ObsConfig::default())));
         assert!(c.spans().is_some());
         c.register_metrics(&reg);
-        assert_eq!(reg.source_count(), 3, "stats + server + spans");
+        assert_eq!(reg.source_count(), 4, "stats + server + chaos + spans");
         // Re-registering the same controller must not double-count.
         c.register_metrics(&reg);
-        assert_eq!(reg.source_count(), 3);
+        assert_eq!(reg.source_count(), 4);
         let text = reg.render_prometheus();
         assert!(text.contains("bp_server_commits_total"));
         assert!(text.contains("bp_stage_latency_us_bucket"));
+        assert!(text.contains("bp_chaos_armed"));
+    }
+
+    #[test]
+    fn register_metrics_includes_breaker_when_present() {
+        let reg = bp_obs::MetricsRegistry::new();
+        let c = controller().with_breaker(Arc::new(bp_chaos::CircuitBreaker::new(
+            "test",
+            bp_chaos::BreakerConfig::default(),
+        )));
+        c.register_metrics(&reg);
+        assert_eq!(reg.source_count(), 4, "stats + server + chaos + breaker");
+        let text = reg.render_prometheus();
+        assert!(text.contains("bp_resilience_breaker_state"));
+        assert!(text.contains("bp_resilience_shed_total"));
     }
 
     #[test]

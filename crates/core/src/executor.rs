@@ -11,11 +11,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use bp_chaos::{Admission, CircuitBreaker, ResilienceConfig, RetryBudget};
 use bp_obs::{ObsConfig, Span, SpanOutcome, SpanRecorder};
 use bp_sql::Connection;
 use bp_storage::Database;
 use bp_util::clock::{SharedClock, MICROS_PER_SEC};
-use bp_util::rng::Rng;
+use bp_util::rng::{next_backoff, Rng};
 
 use crate::controller::{ControlState, Controller};
 use crate::mixture::Mixture;
@@ -46,6 +47,8 @@ pub struct RunConfig {
     pub obs: ObsConfig,
     /// Tenant id stamped on spans (multi-tenant testbeds set this per run).
     pub tenant: u16,
+    /// Client resilience: backoff, deadlines, retry budget, breaker.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for RunConfig {
@@ -59,6 +62,7 @@ impl Default for RunConfig {
             unlimited_rate: 50_000.0,
             obs: ObsConfig::default(),
             tenant: 0,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -118,8 +122,14 @@ pub fn start(
     let stats = Arc::new(StatsCollector::new(clock.clone(), &type_names));
     let trace = if cfg.collect_trace { Some(Arc::new(Trace::new())) } else { None };
     let spans = Arc::new(SpanRecorder::new(cfg.obs));
+    let breaker = cfg
+        .resilience
+        .breaker
+        .as_ref()
+        .map(|b| Arc::new(CircuitBreaker::new(workload.name(), b.clone())));
+    let budget = Arc::new(RetryBudget::new(cfg.resilience.retry_budget_per_s));
 
-    let controller = Controller::new(
+    let mut controller = Controller::new(
         state.clone(),
         queue.clone(),
         stats.clone(),
@@ -128,6 +138,9 @@ pub fn start(
         workload.name(),
     )
     .with_spans(spans.clone());
+    if let Some(b) = &breaker {
+        controller = controller.with_breaker(b.clone());
+    }
 
     let active_workers = Arc::new(AtomicUsize::new(cfg.terminals));
     let mut threads = Vec::with_capacity(cfg.terminals + 1);
@@ -141,10 +154,13 @@ pub fn start(
         let script = cfg.script.clone();
         let unlimited = cfg.unlimited_rate;
         let seed = cfg.seed;
+        let budget = budget.clone();
         threads.push(
             std::thread::Builder::new()
                 .name("bp-manager".into())
-                .spawn(move || manager_loop(state, queue, stats, clock, script, unlimited, seed))
+                .spawn(move || {
+                    manager_loop(state, queue, stats, clock, script, unlimited, seed, budget)
+                })
                 .expect("spawn manager"),
         );
     }
@@ -163,6 +179,9 @@ pub fn start(
         let max_retries = cfg.max_retries;
         let tenant = cfg.tenant;
         let seed = cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1));
+        let breaker = breaker.clone();
+        let budget = budget.clone();
+        let resilience = cfg.resilience.clone();
         threads.push(
             std::thread::Builder::new()
                 .name(format!("bp-worker-{w}"))
@@ -179,6 +198,9 @@ pub fn start(
                         max_retries,
                         tenant,
                         seed,
+                        breaker,
+                        budget,
+                        resilience,
                     });
                     active.fetch_sub(1, Ordering::Relaxed);
                 })
@@ -199,6 +221,7 @@ fn manager_loop(
     script: PhaseScript,
     unlimited_rate: f64,
     seed: u64,
+    budget: Arc<RetryBudget>,
 ) {
     let mut rng = Rng::new(seed ^ 0xA5A5_5A5A);
     let start = clock.now();
@@ -256,6 +279,9 @@ fn manager_loop(
             }
         }
 
+        // One second's worth of fresh retry tokens (§ resilience).
+        budget.refill();
+
         second += 1;
         clock.sleep_until(start + second * MICROS_PER_SEC);
     }
@@ -275,12 +301,29 @@ struct WorkerCtx {
     max_retries: u32,
     tenant: u16,
     seed: u64,
+    breaker: Option<Arc<CircuitBreaker>>,
+    budget: Arc<RetryBudget>,
+    resilience: ResilienceConfig,
 }
 
 /// One client worker ("terminal").
 fn worker_loop(ctx: WorkerCtx) {
-    let WorkerCtx { db, workload, state, queue, stats, clock, trace, spans, max_retries, tenant, seed } =
-        ctx;
+    let WorkerCtx {
+        db,
+        workload,
+        state,
+        queue,
+        stats,
+        clock,
+        trace,
+        spans,
+        max_retries,
+        tenant,
+        seed,
+        breaker,
+        budget,
+        resilience,
+    } = ctx;
     let mut conn = Connection::open(&db);
     let mut rng = Rng::new(seed);
 
@@ -310,28 +353,102 @@ fn worker_loop(ctx: WorkerCtx) {
         let record_span = spans.should_record(req.seq);
         bp_obs::take_stage_acc();
 
+        // Admission control: an Open breaker fast-fails the request before
+        // it touches the engine. Shed is its own bucket — never an error,
+        // never throughput.
+        let admission = match &breaker {
+            Some(b) => b.admit(start, queue.backlog()),
+            None => Admission::Allow,
+        };
+        if admission == Admission::Shed {
+            stats.record(Sample {
+                txn_type: txn_idx,
+                arrival: req.arrival,
+                start,
+                end: start,
+                outcome: RequestOutcome::Shed,
+                retries: 0,
+            });
+            if record_span {
+                spans.record(Span {
+                    seq: req.seq,
+                    submitted_us: req.arrival,
+                    dequeued_us: start,
+                    end_us: start,
+                    lock_wait_us: 0,
+                    commit_us: 0,
+                    tenant,
+                    phase: state.phase_idx().min(u16::MAX as usize) as u16,
+                    txn_type: txn_idx.min(u16::MAX as usize) as u16,
+                    retries: 0,
+                    outcome: SpanOutcome::Shed,
+                });
+            }
+            if let Some(t) = &trace {
+                t.append(TraceRecord {
+                    start_us: start,
+                    latency_us: 0,
+                    txn_type: txn_idx,
+                    outcome: RequestOutcome::Shed,
+                });
+            }
+            continue;
+        }
+
         let mut retries = 0u32;
         let outcome = loop {
-            match workload.execute(txn_idx, &mut conn, &mut rng) {
-                Ok(TxnOutcome::Committed) => break RequestOutcome::Committed,
-                Ok(TxnOutcome::UserAborted) => break RequestOutcome::UserAborted,
-                Err(e) if e.is_retryable() && retries < max_retries => {
-                    retries += 1;
+            // A tenant blackout invalidates the attempt before it reaches
+            // the engine; it behaves like any retryable transient fault.
+            let attempt = if db.chaos().blackout(tenant) {
+                None
+            } else {
+                Some(workload.execute(txn_idx, &mut conn, &mut rng))
+            };
+            let retryable_failure = match attempt {
+                Some(Ok(TxnOutcome::Committed)) => break RequestOutcome::Committed,
+                Some(Ok(TxnOutcome::UserAborted)) => break RequestOutcome::UserAborted,
+                Some(Err(e)) => {
                     // Defensive: the workload must leave the session idle.
                     if conn.in_transaction() {
                         let _ = conn.rollback();
                     }
-                    continue;
+                    e.is_retryable()
                 }
-                Err(_) => {
+                None => {
                     if conn.in_transaction() {
                         let _ = conn.rollback();
                     }
-                    break RequestOutcome::Failed;
+                    true
                 }
+            };
+            // Deadline, the retry cap, and the cluster-wide retry budget
+            // all end the request as Failed.
+            let deadline_hit = resilience.deadline_us > 0
+                && clock.now().saturating_sub(start) >= resilience.deadline_us;
+            if !retryable_failure || retries >= max_retries || deadline_hit || !budget.take() {
+                break RequestOutcome::Failed;
+            }
+            retries += 1;
+            // Capped exponential backoff with deterministic jitter replaces
+            // the old tight retry loop: contending workers spread out
+            // instead of re-colliding in lockstep.
+            if resilience.backoff_base_us > 0 {
+                clock.sleep(next_backoff(
+                    retries - 1,
+                    resilience.backoff_base_us,
+                    resilience.backoff_cap_us,
+                    seed ^ req.seq,
+                ));
             }
         };
         let end = clock.now();
+
+        if let Some(b) = &breaker {
+            match outcome {
+                RequestOutcome::Failed => b.on_failure(end),
+                _ => b.on_success(),
+            }
+        }
 
         stats.record(Sample { txn_type: txn_idx, arrival: req.arrival, start, end, outcome, retries });
         if record_span {
@@ -351,6 +468,7 @@ fn worker_loop(ctx: WorkerCtx) {
                     RequestOutcome::Committed => SpanOutcome::Committed,
                     RequestOutcome::UserAborted => SpanOutcome::UserAborted,
                     RequestOutcome::Failed => SpanOutcome::Failed,
+                    RequestOutcome::Shed => unreachable!("shed recorded above"),
                 },
             });
         }

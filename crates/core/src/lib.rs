@@ -23,6 +23,7 @@ pub mod tenant;
 pub mod trace;
 pub mod workload;
 
+pub use bp_chaos::{Admission, BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig, RetryBudget};
 pub use config::WorkloadConfig;
 pub use controller::{ControlState, Controller};
 pub use des::{simulate_script, SimRun, SimSample};

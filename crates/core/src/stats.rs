@@ -23,6 +23,9 @@ pub enum RequestOutcome {
     UserAborted,
     /// Lock conflict / timeout; retries exhausted or disabled.
     Failed,
+    /// Fast-failed by the admission controller without executing.
+    /// Counted in its own bucket: never in throughput, never as an error.
+    Shed,
 }
 
 #[derive(Debug, Clone)]
@@ -33,6 +36,7 @@ struct PerType {
     user_aborted: u64,
     failed: u64,
     retries: u64,
+    shed: u64,
 }
 
 impl PerType {
@@ -44,6 +48,7 @@ impl PerType {
             user_aborted: 0,
             failed: 0,
             retries: 0,
+            shed: 0,
         }
     }
 
@@ -54,6 +59,7 @@ impl PerType {
         self.user_aborted += other.user_aborted;
         self.failed += other.failed;
         self.retries += other.retries;
+        self.shed += other.shed;
     }
 }
 
@@ -135,6 +141,9 @@ pub struct StatusSnapshot {
     pub user_aborted: u64,
     pub failed: u64,
     pub retries: u64,
+    /// Requests shed by the admission controller (excluded from
+    /// throughput and latency).
+    pub shed: u64,
     /// Seconds since the collector started.
     pub elapsed_s: f64,
 }
@@ -189,6 +198,16 @@ impl StatsCollector {
         let latency = s.end.saturating_sub(s.start);
         let delay = s.start.saturating_sub(s.arrival);
         let mut shard = self.my_shard().lock();
+        if s.outcome == RequestOutcome::Shed {
+            // Shed requests never executed: they contribute to no latency
+            // histogram and no completion (throughput) series — only their
+            // own counter. Graceful degradation must not be reported as
+            // either work done or work failed.
+            if let Some(pt) = shard.per_type.get_mut(s.txn_type) {
+                pt.shed += 1;
+            }
+            return;
+        }
         shard.all_latency.record(latency);
         shard.queue_delay.record(delay);
         shard.all_completions.record(s.end, latency);
@@ -200,6 +219,7 @@ impl StatsCollector {
                 RequestOutcome::Committed => pt.committed += 1,
                 RequestOutcome::UserAborted => pt.user_aborted += 1,
                 RequestOutcome::Failed => pt.failed += 1,
+                RequestOutcome::Shed => unreachable!("shed handled above"),
             }
         }
     }
@@ -231,6 +251,7 @@ impl StatsCollector {
             user_aborted: merged.per_type.iter().map(|p| p.user_aborted).sum(),
             failed: merged.per_type.iter().map(|p| p.failed).sum(),
             retries: merged.per_type.iter().map(|p| p.retries).sum(),
+            shed: merged.per_type.iter().map(|p| p.shed).sum(),
             elapsed_s: (now - self.start) as f64 / MICROS_PER_SEC as f64,
         }
     }
@@ -307,6 +328,12 @@ impl bp_obs::MetricsSource for StatsCollector {
                 "Retries of retryable aborts, by transaction type",
                 &labels,
                 pt.retries as f64,
+            );
+            buf.counter(
+                "bp_client_shed_total",
+                "Requests shed by the admission controller, by transaction type",
+                &labels,
+                pt.shed as f64,
             );
             buf.histogram(
                 "bp_client_latency_us",
@@ -411,6 +438,42 @@ mod tests {
         assert_eq!(st.failed, 1);
         assert_eq!(st.retries, 3);
         assert_eq!(st.committed, 0);
+    }
+
+    #[test]
+    fn retrying_txn_counts_once_in_throughput_n_in_retries() {
+        // Regression pin (satellite 2): a transaction that retries N times
+        // and then succeeds is ONE unit of throughput and N units of retry.
+        let (sim, clock) = sim_clock();
+        let c = StatsCollector::new(clock, &["t"]);
+        let mut s = sample(0, 0, 2_000);
+        s.retries = 4;
+        c.record(s);
+        sim.advance_to(MICROS_PER_SEC);
+        assert_eq!(c.total_completed(), 1, "one completion, not 1 + retries");
+        let st = c.status(1);
+        assert_eq!(st.committed, 1);
+        assert_eq!(st.retries, 4);
+        assert_eq!(c.per_type_summary()[0].count, 1, "latency recorded once");
+        assert_eq!(c.throughput_series().iter().sum::<f64>() as u64, 1);
+    }
+
+    #[test]
+    fn shed_excluded_from_throughput_and_latency() {
+        let (sim, clock) = sim_clock();
+        let c = StatsCollector::new(clock, &["t"]);
+        c.record(sample(0, 0, 100));
+        let mut s = sample(0, 0, 100);
+        s.outcome = RequestOutcome::Shed;
+        c.record(s);
+        c.record(s);
+        sim.advance_to(MICROS_PER_SEC);
+        let st = c.status(1);
+        assert_eq!(st.shed, 2);
+        assert_eq!(st.committed, 1);
+        assert_eq!(st.failed, 0, "shed is not an error");
+        assert_eq!(c.total_completed(), 1, "shed is not throughput");
+        assert_eq!(c.per_type_summary()[0].count, 1, "shed has no latency");
     }
 
     #[test]

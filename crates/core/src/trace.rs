@@ -60,6 +60,7 @@ impl Trace {
                 RequestOutcome::Committed => "C",
                 RequestOutcome::UserAborted => "U",
                 RequestOutcome::Failed => "F",
+                RequestOutcome::Shed => "S",
             };
             // Writing into `out` directly avoids a String allocation per
             // record (writes to a String are infallible).
@@ -94,6 +95,7 @@ impl Trace {
                 Some("C") => RequestOutcome::Committed,
                 Some("U") => RequestOutcome::UserAborted,
                 Some("F") => RequestOutcome::Failed,
+                Some("S") => RequestOutcome::Shed,
                 _ => return Err(parse_err("bad outcome")),
             };
             trace.append(TraceRecord { start_us, latency_us, txn_type, outcome });
@@ -121,6 +123,9 @@ pub struct TraceAnalysis {
     pub committed: u64,
     pub user_aborted: u64,
     pub failed: u64,
+    /// Requests shed by the admission controller; excluded from the
+    /// throughput/latency series like every other never-executed request.
+    pub shed: u64,
 }
 
 /// Target-vs-delivered comparison.
@@ -149,7 +154,12 @@ impl TraceAnalyzer {
         let mut committed = 0;
         let mut user_aborted = 0;
         let mut failed = 0;
+        let mut shed = 0;
         for r in &records {
+            if r.outcome == RequestOutcome::Shed {
+                shed += 1;
+                continue;
+            }
             completions.record(r.start_us + r.latency_us, r.latency_us);
             match per_type_counts.get_mut(r.txn_type) {
                 Some(c) => *c += 1,
@@ -159,6 +169,7 @@ impl TraceAnalyzer {
                 RequestOutcome::Committed => committed += 1,
                 RequestOutcome::UserAborted => user_aborted += 1,
                 RequestOutcome::Failed => failed += 1,
+                RequestOutcome::Shed => unreachable!("shed skipped above"),
             }
         }
         let throughput = completions.rates();
@@ -171,6 +182,7 @@ impl TraceAnalyzer {
             committed,
             user_aborted,
             failed,
+            shed,
         }
     }
 
@@ -236,6 +248,25 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert!(Trace::from_text("not a line").is_err());
         assert!(Trace::from_text("1 2 3 X").is_err());
+    }
+
+    #[test]
+    fn shed_round_trips_and_stays_out_of_throughput() {
+        let t = Trace::new();
+        t.append(rec(0, 0, 100));
+        t.append(TraceRecord {
+            start_us: 1_000,
+            latency_us: 0,
+            txn_type: 0,
+            outcome: RequestOutcome::Shed,
+        });
+        let back = Trace::from_text(&t.to_text()).unwrap();
+        assert_eq!(back.records(), t.records());
+        let a = TraceAnalyzer::analyze(&back, 1);
+        assert_eq!(a.shed, 1);
+        assert_eq!(a.committed, 1);
+        assert_eq!(a.per_type_counts, vec![1], "shed fits no type bucket");
+        assert_eq!(a.throughput.iter().sum::<f64>() as u64, 1);
     }
 
     #[test]

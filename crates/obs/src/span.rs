@@ -68,6 +68,8 @@ pub enum SpanOutcome {
     Committed = 0,
     UserAborted = 1,
     Failed = 2,
+    /// Fast-failed by the admission controller without executing.
+    Shed = 3,
 }
 
 impl SpanOutcome {
@@ -76,6 +78,7 @@ impl SpanOutcome {
             SpanOutcome::Committed => "committed",
             SpanOutcome::UserAborted => "user_aborted",
             SpanOutcome::Failed => "failed",
+            SpanOutcome::Shed => "shed",
         }
     }
 }

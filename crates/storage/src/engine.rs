@@ -13,6 +13,7 @@ use std::ops::Bound;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bp_chaos::{ChaosController, FaultKind};
 use bp_util::sync::RwLock;
 
 use bp_util::rng::Rng;
@@ -40,6 +41,7 @@ pub struct Database {
     wal: Wal,
     pool: BufferPool,
     metrics: Arc<ServerMetrics>,
+    chaos: Arc<ChaosController>,
     personality: Personality,
     next_txn: AtomicU64,
     next_table_id: AtomicU32,
@@ -49,9 +51,10 @@ pub struct Database {
 impl Database {
     pub fn new(personality: Personality) -> Arc<Database> {
         let metrics = Arc::new(ServerMetrics::new());
+        let chaos = Arc::new(ChaosController::new());
         Arc::new(Database {
             catalog: RwLock::new(Catalog::default()),
-            locks: LockManager::new(personality.lock_timeout, metrics.clone()),
+            locks: LockManager::new(personality.lock_timeout, metrics.clone(), chaos.clone()),
             wal: Wal::new(
                 personality.group_commit_window_us,
                 personality.wal_us_per_kb,
@@ -59,6 +62,7 @@ impl Database {
             ),
             pool: BufferPool::new(personality.buffer_pages, personality.rows_per_page),
             metrics,
+            chaos,
             personality,
             next_txn: AtomicU64::new(1),
             next_table_id: AtomicU32::new(1),
@@ -72,6 +76,13 @@ impl Database {
 
     pub fn metrics(&self) -> &Arc<ServerMetrics> {
         &self.metrics
+    }
+
+    /// The fault-injection gate for this engine instance. Disarmed (the
+    /// default) it costs one relaxed load per probe; the API layer arms
+    /// plans on it at runtime.
+    pub fn chaos(&self) -> &Arc<ChaosController> {
+        &self.chaos
     }
 
     /// Open a session (one per worker thread).
@@ -223,6 +234,10 @@ impl Session {
             let (_, wal_cost) = self.db.wal.commit(txn.wal_bytes, &self.db.metrics);
             cost += wal_cost;
         }
+        // Chaos: a stalled fsync lengthens the commit's service demand.
+        if let Some(stall_us) = self.db.chaos.roll(FaultKind::FsyncStall) {
+            cost += stall_us as f64;
+        }
         self.charge(cost);
         self.db.locks.release_all(txn.id, &txn.locks);
         self.db.metrics.inc_commits();
@@ -266,6 +281,13 @@ impl Session {
     }
 
     fn charge(&mut self, base_us: f64) {
+        // Chaos: latency spikes add service demand to whatever operation
+        // is being charged (probed before the zero check so a spike can
+        // hit even zero-cost personalities' operations).
+        let base_us = match self.db.chaos.roll(FaultKind::LatencySpike) {
+            Some(spike_us) => base_us + spike_us as f64,
+            None => base_us,
+        };
         if base_us <= 0.0 {
             return;
         }
@@ -296,8 +318,12 @@ impl Session {
             .db
             .pool
             .access(table.id, rowid, write, &self.db.metrics);
-        if access.ios > 0 {
-            self.charge(self.db.personality.io_us * access.ios as f64);
+        // Chaos: buffer-pool thrash charges extra page IOs as if the
+        // working set had been evicted under us.
+        let extra_ios = self.db.chaos.roll(FaultKind::BufferThrash).unwrap_or(0);
+        let ios = access.ios as u64 + extra_ios;
+        if ios > 0 {
+            self.charge(self.db.personality.io_us * ios as f64);
         }
     }
 
@@ -815,6 +841,48 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         deleter.commit().unwrap();
         assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn chaos_injection_threads_through_engine() {
+        use bp_chaos::{FaultPlan, FaultWindow};
+        let db = db();
+        let t = acct(&db);
+        let mut s = db.session();
+        s.with_txn(|s| s.insert(&t, vec![Value::Int(1), Value::Int(0)]))
+            .unwrap();
+        // Disarmed: nothing injected (everything above worked).
+        assert_eq!(db.chaos().injected_total(FaultKind::InjectedError), 0);
+        // Armed with certain transient errors: the first lock acquisition
+        // fails retryably and rolls the transaction back.
+        db.chaos().arm(
+            FaultPlan::new("all-errors", 1)
+                .with_window(FaultWindow::always(FaultKind::InjectedError, 1.0, 0)),
+        );
+        s.begin().unwrap();
+        let err = s.read_pk(&t, &[Value::Int(1)], false).unwrap_err();
+        assert_eq!(err, StorageError::Injected { site: "lock" });
+        assert!(err.is_retryable());
+        assert!(!s.in_txn(), "injected lock failure aborts the txn");
+        assert!(db.chaos().injected_total(FaultKind::InjectedError) >= 1);
+        // Disarm restores normal service.
+        db.chaos().disarm();
+        s.with_txn(|s| s.read_pk(&t, &[Value::Int(1)], false).map(|_| ()))
+            .unwrap();
+        // Fsync stalls land in the commit's busy time.
+        let busy_before = db.metrics().snapshot().busy_micros;
+        db.chaos().arm(
+            FaultPlan::new("stall", 2)
+                .with_window(FaultWindow::always(FaultKind::FsyncStall, 1.0, 7_000)),
+        );
+        s.with_txn(|s| s.insert(&t, vec![Value::Int(2), Value::Int(0)]))
+            .unwrap();
+        db.chaos().disarm();
+        let busy_after = db.metrics().snapshot().busy_micros;
+        assert!(
+            busy_after - busy_before >= 7_000,
+            "stall charged: {busy_before} -> {busy_after}"
+        );
     }
 
     #[test]

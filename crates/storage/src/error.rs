@@ -39,12 +39,17 @@ pub enum StorageError {
     InvalidSchema(String),
     /// Engine was shut down / reset while the operation was in flight.
     Shutdown,
+    /// Transient fault injected by the chaos layer (retryable).
+    Injected { site: &'static str },
 }
 
 impl StorageError {
     /// True when the failed transaction may simply be retried.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, StorageError::Deadlock { .. } | StorageError::LockTimeout)
+        matches!(
+            self,
+            StorageError::Deadlock { .. } | StorageError::LockTimeout | StorageError::Injected { .. }
+        )
     }
 }
 
@@ -74,6 +79,7 @@ impl fmt::Display for StorageError {
             StorageError::IndexExists(i) => write!(f, "index already exists: {i}"),
             StorageError::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
             StorageError::Shutdown => write!(f, "engine shut down"),
+            StorageError::Injected { site } => write!(f, "injected transient fault at {site}"),
         }
     }
 }

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use bp_chaos::{ChaosController, FaultKind};
 use bp_util::sync::{Condvar, Mutex};
 
 use crate::error::{Result, StorageError};
@@ -90,11 +91,16 @@ pub struct LockManager {
     entries: Mutex<HashMap<LockTarget, Arc<LockEntry>>>,
     timeout: Duration,
     metrics: Arc<ServerMetrics>,
+    chaos: Arc<ChaosController>,
 }
 
 impl LockManager {
-    pub fn new(timeout: Duration, metrics: Arc<ServerMetrics>) -> LockManager {
-        LockManager { entries: Mutex::new(HashMap::new()), timeout, metrics }
+    pub fn new(
+        timeout: Duration,
+        metrics: Arc<ServerMetrics>,
+        chaos: Arc<ChaosController>,
+    ) -> LockManager {
+        LockManager { entries: Mutex::new(HashMap::new()), timeout, metrics, chaos }
     }
 
     fn entry(&self, target: LockTarget) -> Arc<LockEntry> {
@@ -123,6 +129,18 @@ impl LockManager {
     /// if the transaction already held a covering lock (caller should not
     /// record it again).
     pub fn acquire(&self, txn: TxnId, target: LockTarget, mode: LockMode) -> Result<bool> {
+        // Chaos probes before touching the lock table: a transient error
+        // models a dropped connection / internal engine hiccup; a deadlock
+        // storm models pathological contention by forcing a wait-die
+        // victim abort. Both are retryable and both leave the lock table
+        // untouched, exactly like a real abort-before-grant.
+        if self.chaos.roll(FaultKind::InjectedError).is_some() {
+            return Err(StorageError::Injected { site: "lock" });
+        }
+        if self.chaos.roll(FaultKind::DeadlockStorm).is_some() {
+            self.metrics.inc_deadlocks();
+            return Err(StorageError::Deadlock { waiting_for: txn });
+        }
         let entry = self.entry(target);
         let mut state = entry.state.lock();
         let mut waited = false;
@@ -262,7 +280,11 @@ mod tests {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     fn mgr() -> LockManager {
-        LockManager::new(Duration::from_millis(200), Arc::new(ServerMetrics::new()))
+        LockManager::new(
+            Duration::from_millis(200),
+            Arc::new(ServerMetrics::new()),
+            Arc::new(ChaosController::new()),
+        )
     }
 
     const T: LockTarget = LockTarget::Table(1);
@@ -325,7 +347,11 @@ mod tests {
     #[test]
     fn timeout_fires() {
         let metrics = Arc::new(ServerMetrics::new());
-        let m = LockManager::new(Duration::from_millis(40), metrics.clone());
+        let m = LockManager::new(
+            Duration::from_millis(40),
+            metrics.clone(),
+            Arc::new(ChaosController::new()),
+        );
         m.acquire(5, R, LockMode::Exclusive).unwrap();
         // Older txn 1 waits but holder never releases -> timeout.
         let err = m.acquire(1, R, LockMode::Exclusive).unwrap_err();
@@ -377,7 +403,11 @@ mod tests {
     #[test]
     fn lock_wait_metrics_recorded() {
         let metrics = Arc::new(ServerMetrics::new());
-        let m = Arc::new(LockManager::new(Duration::from_millis(500), metrics.clone()));
+        let m = Arc::new(LockManager::new(
+            Duration::from_millis(500),
+            metrics.clone(),
+            Arc::new(ChaosController::new()),
+        ));
         m.acquire(5, R, LockMode::Exclusive).unwrap();
         let m2 = m.clone();
         let h = std::thread::spawn(move || {

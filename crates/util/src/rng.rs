@@ -24,6 +24,36 @@ pub fn mix64(v: u64) -> u64 {
     splitmix64(&mut s)
 }
 
+/// Capped exponential backoff with deterministic ("equal") jitter.
+///
+/// `attempt` is zero-based: attempt 0 is the delay before the *first*
+/// retry. The unjittered ceiling doubles each attempt
+/// (`base_us << attempt`, saturating) and is clamped to `cap_us`; the
+/// returned delay is drawn uniformly from `[ceiling/2, ceiling]` so
+/// concurrently-aborted transactions spread out instead of stampeding the
+/// same locks in lockstep. The draw is a pure function of
+/// `(attempt, seed)` — same inputs, same delay, forever — which keeps
+/// retry schedules reproducible across runs (callers derive `seed` from
+/// the run seed and the request's identity).
+///
+/// `base_us == 0` disables backoff (returns 0 for every attempt).
+pub fn next_backoff(attempt: u32, base_us: u64, cap_us: u64, seed: u64) -> u64 {
+    if base_us == 0 {
+        return 0;
+    }
+    let cap = cap_us.max(base_us);
+    // Saturate on bit overflow (checked_shl only guards the shift amount).
+    let exp = 1u64
+        .checked_shl(attempt)
+        .and_then(|m| base_us.checked_mul(m))
+        .unwrap_or(u64::MAX);
+    let ceiling = exp.min(cap);
+    let half = ceiling / 2;
+    // Span is at least 1, so the modulo is always valid.
+    let span = ceiling - half + 1;
+    half + mix64(seed ^ ((attempt as u64) << 32) ^ 0xC2B2_AE3D_27D4_EB4F) % span
+}
+
 /// A deterministic xoshiro256** PRNG.
 ///
 /// Not cryptographically secure; chosen for speed, quality and tiny state.
@@ -563,5 +593,44 @@ mod tests {
         let mut b = root.fork(2);
         let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
         assert!(same < 3);
+    }
+
+    #[test]
+    fn backoff_exact_sequence() {
+        // Pins the exact schedule so retry timing is reproducible across
+        // releases: any change to the jitter math is a deliberate,
+        // test-visible event.
+        let seq: Vec<u64> = (0..6).map(|a| next_backoff(a, 100, 10_000, 42)).collect();
+        assert_eq!(seq, vec![69, 124, 376, 645, 904, 1876]);
+        let other_seed: Vec<u64> = (0..6).map(|a| next_backoff(a, 100, 10_000, 43)).collect();
+        assert_eq!(other_seed, vec![58, 132, 315, 746, 880, 3029]);
+        assert_ne!(seq, other_seed);
+    }
+
+    #[test]
+    fn backoff_deterministic_and_bounded() {
+        for seed in 0..200u64 {
+            for attempt in 0..20u32 {
+                let d = next_backoff(attempt, 500, 50_000, seed);
+                assert_eq!(d, next_backoff(attempt, 500, 50_000, seed), "pure function");
+                let ceiling = (500u64 << attempt.min(30)).min(50_000);
+                assert!(d >= ceiling / 2, "attempt {attempt}: {d} < {}", ceiling / 2);
+                assert!(d <= ceiling, "attempt {attempt}: {d} > {ceiling}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_caps_and_saturates() {
+        // Past the cap every attempt draws from [cap/2, cap].
+        for attempt in [10u32, 31, 63, 64, 65, 1000] {
+            let d = next_backoff(attempt, 1_000, 8_000, 7);
+            assert!((4_000..=8_000).contains(&d), "attempt {attempt}: {d}");
+        }
+        // cap < base is treated as cap == base.
+        let d = next_backoff(0, 1_000, 10, 7);
+        assert!((500..=1_000).contains(&d));
+        // base 0 disables backoff entirely.
+        assert_eq!(next_backoff(5, 0, 10_000, 7), 0);
     }
 }

@@ -23,6 +23,13 @@ cargo test -q --offline --test observability
 echo "== span overhead bench (smoke: asserts <100ns/span full, ~0 off) =="
 BENCH_SMOKE=1 cargo bench -q --offline -p bp-bench --bench span_overhead
 
+echo "== chaos gate bench (smoke: asserts <5ns disarmed probe) =="
+BENCH_SMOKE=1 cargo bench -q --offline -p bp-bench --bench chaos_gate
+
+echo "== resilience: fault injection + breaker dip-and-recovery over HTTP =="
+cargo test -q --offline --test resilience
+cargo run -q --release --offline -p bp-bench --bin harness resilience
+
 if command -v cargo-clippy >/dev/null 2>&1 || cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --all-targets -- -D warnings =="
     cargo clippy --offline --all-targets -- -D warnings

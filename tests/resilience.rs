@@ -1,0 +1,315 @@
+//! Chaos & resilience end to end: seeded fault plans armed over a live
+//! HTTP socket reproduce identical injection sequences, deadlock storms on
+//! a high-contention workload are broken without starvation, per-tenant
+//! blackouts fail only the targeted tenant, and the circuit breaker opens
+//! under an error burst, sheds load, and re-closes after disarm — all
+//! visible through `/chaos/status` and `/metrics`.
+
+use std::sync::Arc;
+
+use benchpress::api::{http_request, http_request_text, ApiServer};
+use benchpress::chaos::{BreakerConfig, ChaosController, FaultKind, FaultPlan, FaultWindow};
+use benchpress::core::{
+    BreakerState, Phase, PhaseScript, Rate, ResilienceConfig, RunConfig,
+};
+use benchpress::obs::MetricsRegistry;
+use benchpress::sql::Connection;
+use benchpress::storage::{Database, Personality, Value};
+use benchpress::util::clock::wall_clock;
+use benchpress::util::json::Json;
+use benchpress::util::rng::Rng;
+use benchpress::workloads::by_name;
+
+#[test]
+fn same_seed_reproduces_injection_sequence_over_http() {
+    let chaos = Arc::new(ChaosController::new());
+    let api = Arc::new(ApiServer::new().with_chaos(chaos.clone()));
+    let guard = api.serve_http("127.0.0.1:0").unwrap();
+
+    let arm = |seed: u64| {
+        let (status, body) = http_request(
+            guard.addr(),
+            "POST",
+            "/chaos",
+            Some(&Json::obj().set("scenario", "error-burst").set("seed", seed)),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.get("armed").unwrap().as_bool(), Some(true));
+    };
+    let sequence = || -> Vec<bool> {
+        (0..300).map(|_| chaos.roll(FaultKind::InjectedError).is_some()).collect()
+    };
+
+    arm(123);
+    let first = sequence();
+    // Re-arming the same plan resets the probe ordinals: the exact same
+    // injection decisions must come back.
+    arm(123);
+    let second = sequence();
+    assert_eq!(first, second, "same seed must reproduce the same sequence");
+    assert!(first.iter().any(|&b| b), "intensity 0.6 must inject");
+    assert!(first.iter().any(|&b| !b), "intensity 0.6 must also pass requests");
+
+    // A different seed gives a different sequence.
+    arm(124);
+    assert_ne!(first, sequence(), "different seed, different sequence");
+
+    // /chaos/status reports the probe/injection counters.
+    let (status, body) = http_request(guard.addr(), "GET", "/chaos/status", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body.get("armed").unwrap().as_bool(), Some(true));
+    let faults = body.get("faults").unwrap();
+    let err = faults.get("injected_error").unwrap();
+    assert_eq!(err.get("probes").unwrap().as_u64(), Some(300));
+    assert!(err.get("injected").unwrap().as_u64().unwrap() > 0);
+}
+
+/// Satellite 4: a deadlock storm on a genuinely contended workload. Every
+/// request must finish inside its retry budget (no starvation, no hang)
+/// and the lock manager must actually break deadlocks.
+///
+/// The storm intensity is 0.12 per lock acquisition, not the named
+/// scenario's 0.4: a two-statement transfer probes the gate ~8 times per
+/// attempt (table + row locks, reentrant acquisitions included), so 0.4
+/// leaves only a 0.6^8 ≈ 1.7% success rate — the named scenario is meant
+/// for the executor's bounded-retry loop where failures are *counted*,
+/// while this client retries every transfer to completion.
+#[test]
+fn deadlock_storm_breaks_deadlocks_without_starvation() {
+    let db = Database::new(Personality::test());
+    let mut conn = Connection::open(&db);
+    conn.execute_batch("CREATE TABLE acct (id INT PRIMARY KEY, bal INT);").unwrap();
+    for i in 0..4i64 {
+        conn.execute("INSERT INTO acct VALUES (?, 100)", &[Value::Int(i)]).unwrap();
+    }
+    db.chaos().arm(
+        FaultPlan::new("storm", 9)
+            .with_window(FaultWindow::always(FaultKind::DeadlockStorm, 0.12, 0)),
+    );
+
+    const THREADS: usize = 8;
+    const TXNS: usize = 40;
+    const RETRY_BUDGET: u32 = 120;
+    let before = db.metrics().snapshot();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let mut conn = Connection::open(&db);
+                let mut rng = Rng::new(t as u64 + 1);
+                let mut committed = 0u64;
+                let mut max_attempts = 0u32;
+                for _ in 0..TXNS {
+                    let a = rng.int_range(0, 3);
+                    let b = rng.int_range(0, 3);
+                    let mut attempts = 0u32;
+                    loop {
+                        attempts += 1;
+                        let r = (|| {
+                            conn.begin()?;
+                            conn.execute(
+                                "UPDATE acct SET bal = bal - 1 WHERE id = ?",
+                                &[Value::Int(a)],
+                            )?;
+                            conn.execute(
+                                "UPDATE acct SET bal = bal + 1 WHERE id = ?",
+                                &[Value::Int(b)],
+                            )?;
+                            conn.commit()
+                        })();
+                        match r {
+                            Ok(()) => {
+                                committed += 1;
+                                break;
+                            }
+                            Err(e) => {
+                                if conn.in_transaction() {
+                                    let _ = conn.rollback();
+                                }
+                                assert!(
+                                    e.is_retryable(),
+                                    "storm must only produce retryable errors: {e}"
+                                );
+                                assert!(
+                                    attempts <= RETRY_BUDGET,
+                                    "starved past the retry budget ({attempts} attempts)"
+                                );
+                                // Back off so contending retries de-correlate.
+                                let us = benchpress::util::rng::next_backoff(
+                                    attempts - 1,
+                                    20,
+                                    500,
+                                    t as u64,
+                                );
+                                std::thread::sleep(std::time::Duration::from_micros(us));
+                            }
+                        }
+                    }
+                    max_attempts = max_attempts.max(attempts);
+                }
+                (committed, max_attempts)
+            })
+        })
+        .collect();
+
+    let mut committed = 0u64;
+    for h in handles {
+        let (c, _) = h.join().expect("worker must not panic or hang");
+        committed += c;
+    }
+    db.chaos().disarm();
+    assert_eq!(committed, (THREADS * TXNS) as u64, "every request must eventually commit");
+    let m = db.metrics().snapshot().delta(&before);
+    assert!(m.deadlocks > 0, "the storm must surface broken deadlocks");
+    assert!(
+        db.chaos().injected_total(FaultKind::DeadlockStorm) > 0,
+        "chaos must have injected storm deadlocks"
+    );
+    // Money conservation across all the retries and victim aborts.
+    let total: i64 = conn
+        .query("SELECT bal FROM acct", &[])
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| match r[0] {
+            Value::Int(v) => v,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(total, 400, "aborted transactions must not leak partial writes");
+}
+
+/// A per-tenant blackout fails only the targeted tenant's requests and
+/// lifts cleanly on disarm.
+#[test]
+fn blackout_targets_single_tenant() {
+    let run = |tenant: u16| -> (u64, u64) {
+        let db = Database::new(Personality::test());
+        let workload = by_name("voter").unwrap();
+        let mut conn = Connection::open(&db);
+        workload.setup(&mut conn, 0.3, &mut Rng::new(4)).unwrap();
+        db.chaos().arm(FaultPlan::new("blackout-t1", 5).with_window(FaultWindow {
+            kind: FaultKind::Blackout,
+            start_us: 0,
+            end_us: u64::MAX,
+            intensity: 1.0,
+            magnitude: 0,
+            tenant: Some(1),
+        }));
+        let cfg = RunConfig {
+            terminals: 2,
+            script: PhaseScript::new(vec![Phase::new(Rate::Limited(200.0), 1.0)]),
+            tenant,
+            ..Default::default()
+        };
+        let controller = benchpress::core::start(db, workload, wall_clock(), cfg).join();
+        let st = controller.stats().status(1);
+        (st.committed, st.failed)
+    };
+
+    let (committed, failed) = run(0);
+    assert!(committed > 0, "tenant 0 must be unaffected");
+    assert_eq!(failed, 0, "tenant 0 must see no blackout failures");
+
+    let (committed, failed) = run(1);
+    assert_eq!(committed, 0, "tenant 1 is blacked out");
+    assert!(failed > 0, "tenant 1's requests must fail (after retries)");
+}
+
+/// The full loop: error burst armed over HTTP mid-run, breaker opens and
+/// sheds, disarm, breaker probes its way back to Closed; `/metrics` shows
+/// the chaos and resilience series.
+#[test]
+fn breaker_opens_sheds_and_recloses_over_http() {
+    let db = Database::new(Personality::test());
+    let workload = by_name("voter").unwrap();
+    let mut conn = Connection::open(&db);
+    workload.setup(&mut conn, 0.3, &mut Rng::new(8)).unwrap();
+    let cfg = RunConfig {
+        terminals: 4,
+        script: PhaseScript::new(vec![Phase::new(Rate::Limited(400.0), 4.0)]),
+        collect_trace: false,
+        max_retries: 2,
+        resilience: ResilienceConfig {
+            breaker: Some(BreakerConfig {
+                min_samples: 16,
+                window: 32,
+                cooldown_us: 200_000,
+                ..BreakerConfig::default()
+            }),
+            ..ResilienceConfig::default()
+        },
+        ..Default::default()
+    };
+    let handle = benchpress::core::start(db, workload, wall_clock(), cfg);
+    let registry = Arc::new(MetricsRegistry::new());
+    let api = Arc::new(ApiServer::new().with_registry(registry));
+    api.register("voter", handle.controller.clone());
+    let guard = api.serve_http("127.0.0.1:0").unwrap();
+
+    // Healthy start, then the burst.
+    std::thread::sleep(std::time::Duration::from_millis(800));
+    let (status, _) = http_request(
+        guard.addr(),
+        "POST",
+        "/chaos",
+        Some(&Json::obj().set("scenario", "error-burst").set("seed", 7u64)),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    std::thread::sleep(std::time::Duration::from_millis(1400));
+
+    let breaker = handle.controller.breaker().cloned().expect("breaker configured");
+    assert!(
+        breaker.transitions_to(BreakerState::Open) > 0,
+        "burst must open the breaker"
+    );
+    assert!(breaker.shed_total() > 0, "open breaker must shed");
+
+    // Disarm and recover.
+    let (status, _) = http_request(guard.addr(), "DELETE", "/chaos", None).unwrap();
+    assert_eq!(status, 200);
+    std::thread::sleep(std::time::Duration::from_millis(1400));
+    let controller = handle.stop_and_join();
+
+    assert!(
+        breaker.transitions_to(BreakerState::Closed) > 0,
+        "breaker must re-close after disarm"
+    );
+    assert_eq!(breaker.state(), BreakerState::Closed);
+    assert!(
+        controller.chaos().injected_total(FaultKind::InjectedError) > 0,
+        "faults were injected"
+    );
+    // Shed requests are not errors and not throughput.
+    let st = controller.stats().status(1);
+    assert!(st.shed > 0, "sheds must be counted in their own bucket");
+    assert_eq!(
+        controller.stats().total_completed(),
+        st.committed + st.user_aborted + st.failed,
+        "sheds must stay out of the completion count"
+    );
+
+    // The serialized view: /metrics carries all three series.
+    let (status, text) = http_request_text(guard.addr(), "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let nonzero = |name: &str| {
+        text.lines().any(|l| {
+            l.starts_with(name)
+                && l.split_whitespace()
+                    .last()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .map(|v| v > 0.0)
+                    .unwrap_or(false)
+        })
+    };
+    assert!(nonzero("bp_chaos_injected_total"), "{text}");
+    assert!(nonzero("bp_resilience_shed_total"), "{text}");
+    assert!(nonzero("bp_client_shed_total"), "{text}");
+    assert!(
+        text.contains("bp_resilience_breaker_state{workload=\"voter\"}"),
+        "breaker gauge missing"
+    );
+    assert!(nonzero("bp_chaos_armed") || text.contains("bp_chaos_armed"), "armed gauge missing");
+}
