@@ -15,5 +15,5 @@ pub mod http;
 pub mod router;
 
 pub use http::{http_request, http_request_text};
-pub use router::{ApiServer, Launcher, Method, Request, Response};
-pub use router::{JSONL_CONTENT_TYPE, PROMETHEUS_CONTENT_TYPE};
+pub use router::{ApiServer, Launcher, Method, RecordProvider, ReplayLauncher, Request, Response};
+pub use router::{ARTIFACT_CONTENT_TYPE, JSONL_CONTENT_TYPE, PROMETHEUS_CONTENT_TYPE};

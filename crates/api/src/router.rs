@@ -8,6 +8,7 @@ use bp_util::sync::RwLock;
 use bp_chaos::{ChaosController, FaultPlan};
 use bp_core::{Controller, MixturePreset, Rate, StatusSnapshot};
 use bp_obs::MetricsRegistry;
+use bp_replay::{Artifact, ReplaySession, ReplayTiming};
 use bp_util::json::Json;
 
 /// Prometheus text exposition content type.
@@ -15,6 +16,9 @@ pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=ut
 
 /// JSON-lines content type used by `/trace/spans`.
 pub const JSONL_CONTENT_TYPE: &str = "application/x-ndjson";
+
+/// Content type for `GET /record` replay artifacts.
+pub const ARTIFACT_CONTENT_TYPE: &str = "text/plain; charset=utf-8";
 
 /// HTTP-style method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +98,19 @@ pub trait Launcher: Send + Sync {
     fn launch(&self, benchmark: &str, body: &Json) -> Result<Controller, String>;
 }
 
+/// Provider for `GET /record`: returns the current capture as artifact
+/// text, or `None` while there is nothing to serve.
+pub type RecordProvider = Arc<dyn Fn() -> Option<String> + Send + Sync>;
+
+/// Pluggable hook for `POST /replay`: the embedding application owns the
+/// database and workload, so it decides how a captured artifact turns into
+/// a live replay run (typically via `bp_replay::start_replay`).
+pub trait ReplayLauncher: Send + Sync {
+    /// Start replaying the artifact; the returned session is what
+    /// `GET /replay/status` reports on.
+    fn launch(&self, artifact: &Artifact, timing: ReplayTiming) -> Result<ReplaySession, String>;
+}
+
 /// The API server: a named set of workload controllers plus an optional
 /// launcher and metrics provider.
 pub struct ApiServer {
@@ -102,6 +119,9 @@ pub struct ApiServer {
     metrics: Option<Arc<dyn Fn() -> Json + Send + Sync>>,
     registry: Option<Arc<MetricsRegistry>>,
     chaos: RwLock<Option<Arc<ChaosController>>>,
+    replay_launcher: Option<Arc<dyn ReplayLauncher>>,
+    replay: RwLock<Option<Arc<ReplaySession>>>,
+    record: RwLock<Option<RecordProvider>>,
 }
 
 impl Default for ApiServer {
@@ -157,7 +177,27 @@ impl ApiServer {
             metrics: None,
             registry: None,
             chaos: RwLock::new(None),
+            replay_launcher: None,
+            replay: RwLock::new(None),
+            record: RwLock::new(None),
         }
+    }
+
+    /// Attach a replay launcher for `POST /replay`.
+    pub fn with_replay_launcher(mut self, launcher: Arc<dyn ReplayLauncher>) -> ApiServer {
+        self.replay_launcher = Some(launcher);
+        self
+    }
+
+    /// Provide the `GET /record` artifact. A provider (rather than a stored
+    /// string) lets the embedder snapshot a still-recording run on demand.
+    pub fn set_record_provider(&self, f: RecordProvider) {
+        *self.record.write() = Some(f);
+    }
+
+    /// The current replay session, if one was started via `POST /replay`.
+    pub fn replay_session(&self) -> Option<Arc<ReplaySession>> {
+        self.replay.read().clone()
     }
 
     /// Attach a chaos controller explicitly for the `/chaos` endpoints.
@@ -245,6 +285,9 @@ impl ApiServer {
                 None => Response::error(501, "no launcher configured"),
             },
             (Method::Get, ["metrics"]) => self.metrics_response(),
+            (Method::Post, ["replay"]) => self.replay_start(req),
+            (Method::Get, ["replay", "status"]) => self.replay_status(),
+            (Method::Get, ["record"]) => self.record_artifact(),
             (Method::Post, ["chaos"]) => self.chaos_arm(req),
             (Method::Delete, ["chaos"]) => self.chaos_disarm(),
             (Method::Get, ["chaos", "status"]) => self.chaos_status(),
@@ -253,6 +296,66 @@ impl ApiServer {
             (Method::Get, ["workloads", id]) => self.workload_status(id),
             (Method::Post, ["workloads", id, action]) => self.workload_action(id, action, req),
             _ => Response::error(404, &format!("no route for {}", req.path)),
+        }
+    }
+
+    /// POST /replay — start replaying a captured artifact. Body:
+    /// `{"artifact": "<bp-replay text>", "mode": "as-recorded"|"warp"|"asap",
+    /// "warp": k}`. 409 while a previous replay is still running.
+    fn replay_start(&self, req: &Request) -> Response {
+        let Some(launcher) = &self.replay_launcher else {
+            return Response::error(501, "no replay launcher configured");
+        };
+        if let Some(session) = self.replay.read().clone() {
+            if !session.is_complete() {
+                return Response::error(409, "a replay is already running");
+            }
+        }
+        let body = req.body.clone().unwrap_or(Json::Null);
+        let Some(text) = body.get("artifact").and_then(Json::as_str) else {
+            return Response::error(400, "body must contain artifact (bp-replay artifact text)");
+        };
+        let artifact = match Artifact::from_text(text) {
+            Ok(a) => a,
+            Err(e) => return Response::error(400, &format!("invalid artifact: {e}")),
+        };
+        let timing = match ReplayTiming::parse(
+            body.get("mode").and_then(Json::as_str),
+            body.get("warp").and_then(Json::as_f64),
+        ) {
+            Ok(t) => t,
+            Err(e) => return Response::error(400, &e),
+        };
+        match launcher.launch(&artifact, timing) {
+            Ok(session) => {
+                let session = Arc::new(session);
+                if let Some(reg) = &self.registry {
+                    session.register_metrics(reg);
+                }
+                let resp = Response::ok(session.status_json());
+                *self.replay.write() = Some(session);
+                resp
+            }
+            Err(e) => Response::error(400, &e),
+        }
+    }
+
+    /// GET /replay/status — progress and (once complete) the divergence
+    /// report of the most recently started replay.
+    fn replay_status(&self) -> Response {
+        match self.replay.read().clone() {
+            Some(session) => Response::ok(session.status_json()),
+            None => Response::error(404, "no replay started"),
+        }
+    }
+
+    /// GET /record — the captured artifact of the current/last recorded run
+    /// as `text/plain`, ready to be fed back to `POST /replay`.
+    fn record_artifact(&self) -> Response {
+        let provider = self.record.read().clone();
+        match provider.and_then(|f| f()) {
+            Some(text) => Response::text(ARTIFACT_CONTENT_TYPE, text),
+            None => Response::error(404, "no recorded artifact available"),
         }
     }
 
@@ -855,6 +958,95 @@ mod tests {
         // No breaker configured on this controller.
         assert_eq!(r.body.get("breaker"), Some(&Json::Null));
         assert_eq!(r.body.get("status").unwrap().get("shed").unwrap().as_u64(), Some(0));
+    }
+
+    use bp_core::PhaseScript;
+    use bp_replay::{ReplayProgress, ARTIFACT_VERSION};
+
+    fn script_only_artifact() -> Artifact {
+        Artifact {
+            version: ARTIFACT_VERSION,
+            workload: "demo".into(),
+            personality: "test".into(),
+            seed: 42,
+            terminals: 2,
+            tenant: 0,
+            unlimited_rate: 50_000.0,
+            types: vec!["Read".into(), "Write".into()],
+            script: PhaseScript::new(vec![bp_core::Phase::new(Rate::Limited(100.0), 1.0)]),
+            schedule: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    struct FakeReplayLauncher;
+    impl ReplayLauncher for FakeReplayLauncher {
+        fn launch(
+            &self,
+            artifact: &Artifact,
+            timing: ReplayTiming,
+        ) -> Result<ReplaySession, String> {
+            Ok(ReplaySession {
+                controller: controller(),
+                progress: ReplayProgress::new(artifact.schedule.len() as u64),
+                recorded: Arc::new(artifact.recorded_trace()),
+                replayed: None,
+                workload: artifact.workload.clone(),
+                num_types: artifact.types.len(),
+                timing,
+            })
+        }
+    }
+
+    #[test]
+    fn replay_endpoints_unconfigured() {
+        let s = server();
+        assert_eq!(s.handle(&Request::post("/replay", Json::obj())).status, 501);
+        assert_eq!(s.handle(&Request::get("/replay/status")).status, 404);
+        assert_eq!(s.handle(&Request::get("/record")).status, 404);
+    }
+
+    #[test]
+    fn record_provider_serves_artifact_text() {
+        let s = server();
+        let text = script_only_artifact().to_text();
+        s.set_record_provider(Arc::new(move || Some(text.clone())));
+        let r = s.handle(&Request::get("/record"));
+        let (ctype, body) = r.raw.expect("raw payload");
+        assert!(ctype.starts_with("text/plain"));
+        assert!(body.starts_with("#bp-replay v1"), "{body}");
+        assert!(Artifact::from_text(&body).is_ok());
+    }
+
+    #[test]
+    fn replay_start_validates_and_reports_status() {
+        let s = ApiServer::new().with_replay_launcher(Arc::new(FakeReplayLauncher));
+        // Missing / malformed artifact.
+        assert_eq!(s.handle(&Request::post("/replay", Json::obj())).status, 400);
+        let r = s.handle(&Request::post("/replay", Json::obj().set("artifact", "not a capture")));
+        assert_eq!(r.status, 400);
+        // Bad timing combination.
+        let text = script_only_artifact().to_text();
+        let r = s.handle(&Request::post(
+            "/replay",
+            Json::obj().set("artifact", text.as_str()).set("warp", -3.0),
+        ));
+        assert_eq!(r.status, 400);
+        // Valid launch.
+        let r = s.handle(&Request::post(
+            "/replay",
+            Json::obj().set("artifact", text.as_str()).set("warp", 4.0),
+        ));
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(r.body.get("mode").unwrap().as_str(), Some("warp"));
+        assert_eq!(r.body.get("warp").unwrap().as_f64(), Some(4.0));
+        // Status route mirrors the session; launcher session never
+        // completes (controller still running), so a second POST is a 409.
+        let r = s.handle(&Request::get("/replay/status"));
+        assert!(r.is_ok());
+        assert_eq!(r.body.get("complete").unwrap().as_bool(), Some(false));
+        let r = s.handle(&Request::post("/replay", Json::obj().set("artifact", text.as_str())));
+        assert_eq!(r.status, 409);
     }
 
     #[test]

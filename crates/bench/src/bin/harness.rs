@@ -1,6 +1,6 @@
 //! The experiment harness CLI: regenerates every table/figure artifact.
 //!
-//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|obs|resilience|queue|all]`
+//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|obs|resilience|replay|queue|all]`
 
 use bp_bench::*;
 
@@ -136,6 +136,32 @@ fn main() {
             r.breaker_opened, r.breaker_reclosed, r.metrics_ok
         );
     }
+    if run_all || arg == "replay" {
+        ran = true;
+        println!("=== E13: record → replay → divergence (bp-replay over HTTP) ===");
+        let r = run_replay();
+        println!(
+            "recorded {} requests in {:.1}s; same-seed schedule byte-identical: {}",
+            r.recorded_requests, r.recorded_wall_s, r.deterministic
+        );
+        println!(
+            "as-recorded replay divergence: {:.4} (within 0.15: {})",
+            r.replay_divergence, r.divergence_ok
+        );
+        println!(
+            "warp x4 wall time: {:.1}s vs {:.1}s recorded (ok: {})",
+            r.warp_wall_s, r.recorded_wall_s, r.warp_ok
+        );
+        println!(
+            "synthesized {} phases, max mixture error {:.4}   bp_replay_* metrics: {}\n",
+            r.synth_phases, r.synth_mixture_err, r.metrics_ok
+        );
+        assert!(r.deterministic, "same-seed record must be byte-identical");
+        assert!(r.divergence_ok, "replay divergence too high: {}", r.replay_divergence);
+        assert!(r.warp_ok, "warp x4 must compress wall time");
+        assert!(r.synth_mixture_err < 0.02, "synthesis mixture error >= 2%");
+        assert!(r.metrics_ok, "bp_replay_* series must be exposed");
+    }
     if run_all || arg == "queue" {
         ran = true;
         println!("=== Ablation: centralized queue dispatch gate (never-exceed, §2.2.1) ===");
@@ -147,7 +173,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects obs resilience queue all"
+            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects obs resilience replay queue all"
         );
         std::process::exit(2);
     }

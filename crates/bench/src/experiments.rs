@@ -661,6 +661,163 @@ pub fn run_queue_ablation() -> QueueAblationReport {
     }
 }
 
+/// E13 — record → replay → divergence, over the live HTTP control surface.
+pub struct ReplayReport {
+    pub recorded_requests: usize,
+    /// Same seed twice ⇒ byte-identical schedule sections.
+    pub deterministic: bool,
+    /// Composite divergence of the as-recorded replay (from /replay/status).
+    pub replay_divergence: f64,
+    pub divergence_ok: bool,
+    /// Wall time of the original recording and of the ×4 warp replay.
+    pub recorded_wall_s: f64,
+    pub warp_wall_s: f64,
+    pub warp_ok: bool,
+    pub synth_phases: usize,
+    /// Max per-type share error between the fitted mixtures and the
+    /// scripted weights.
+    pub synth_mixture_err: f64,
+    pub metrics_ok: bool,
+}
+
+pub fn run_replay() -> ReplayReport {
+    use bp_core::Workload;
+    use bp_replay::{capture_artifact, fit, start_recorded, start_replay, synthesize, Artifact, ReplaySession, ReplayTiming};
+    use bp_util::json::Json;
+    use std::time::{Duration, Instant};
+
+    let setup = || -> (Arc<Database>, Arc<dyn Workload>) {
+        let db = Database::new(Personality::test());
+        let w = by_name("smallbank").unwrap();
+        let mut conn = Connection::open(&db);
+        w.setup(&mut conn, 0.2, &mut Rng::new(13)).unwrap();
+        (db, w)
+    };
+
+    let weights0 = vec![40.0, 12.0, 12.0, 12.0, 12.0, 12.0];
+    let weights1 = vec![10.0, 18.0, 18.0, 18.0, 18.0, 18.0];
+    let script = PhaseScript::new(vec![
+        Phase::new(Rate::Limited(500.0), 2.0).with_weights(weights0.clone()),
+        Phase::new(Rate::Limited(800.0), 2.0)
+            .with_weights(weights1.clone())
+            .with_arrival(ArrivalDist::Exponential),
+    ]);
+    let cfg = RunConfig { terminals: 4, script, seed: 42, collect_trace: true, ..Default::default() };
+
+    // Record the run twice with the same seed: the schedule sections must
+    // be byte-identical regardless of wall-clock slippage.
+    let t0 = Instant::now();
+    let (db, w) = setup();
+    let (handle, recorder) = start_recorded(db, w.clone(), wall_clock(), cfg.clone());
+    let trace = handle.trace.clone();
+    let _ = handle.join();
+    let recorded_wall_s = t0.elapsed().as_secs_f64();
+    let artifact = capture_artifact(&cfg, w.as_ref(), "test", &recorder, trace.as_deref());
+
+    let (db2, w2) = setup();
+    let (handle2, recorder2) = start_recorded(db2, w2.clone(), wall_clock(), cfg.clone());
+    let _ = handle2.join();
+    let artifact2 = capture_artifact(&cfg, w2.as_ref(), "test", &recorder2, None);
+    let deterministic =
+        !artifact.schedule.is_empty() && artifact.schedule_text() == artifact2.schedule_text();
+
+    // The client flow over a live socket: download the capture from
+    // GET /record, POST it to /replay, poll /replay/status to completion.
+    struct BenchReplayLauncher {
+        db: Arc<Database>,
+        w: Arc<dyn Workload>,
+    }
+    impl bp_api::ReplayLauncher for BenchReplayLauncher {
+        fn launch(&self, a: &Artifact, t: ReplayTiming) -> Result<ReplaySession, String> {
+            Ok(start_replay(self.db.clone(), self.w.clone(), wall_clock(), a, t)?.session)
+        }
+    }
+    let (rdb, rw) = setup();
+    let registry = Arc::new(bp_obs::MetricsRegistry::new());
+    registry.register("recorder", recorder.clone());
+    let api = Arc::new(
+        bp_api::ApiServer::new()
+            .with_registry(registry.clone())
+            .with_replay_launcher(Arc::new(BenchReplayLauncher { db: rdb, w: rw })),
+    );
+    let text = artifact.to_text();
+    api.set_record_provider(Arc::new(move || Some(text.clone())));
+    let guard = api.serve_http("127.0.0.1:0").expect("bind http");
+
+    let (status, downloaded) =
+        bp_api::http_request_text(guard.addr(), "GET", "/record", None).expect("GET /record");
+    assert_eq!(status, 200, "GET /record failed");
+    let (status, _) = bp_api::http_request(
+        guard.addr(),
+        "POST",
+        "/replay",
+        Some(&Json::obj().set("artifact", downloaded.as_str())),
+    )
+    .expect("POST /replay");
+    assert_eq!(status, 200, "POST /replay failed");
+
+    let mut replay_divergence = f64::NAN;
+    for _ in 0..600 {
+        std::thread::sleep(Duration::from_millis(50));
+        let (st, body) = bp_api::http_request(guard.addr(), "GET", "/replay/status", None)
+            .expect("GET /replay/status");
+        assert_eq!(st, 200, "GET /replay/status failed");
+        if body.get("complete").and_then(Json::as_bool) == Some(true) {
+            replay_divergence = body
+                .get("divergence")
+                .and_then(|d| d.get("score"))
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN);
+            break;
+        }
+    }
+    let divergence_ok = replay_divergence.is_finite() && replay_divergence <= 0.15;
+    let (_, metrics_text) =
+        bp_api::http_request_text(guard.addr(), "GET", "/metrics", None).expect("GET /metrics");
+    let metrics_ok = metrics_text.contains("bp_replay_captured_total")
+        && metrics_text.contains("bp_replay_fed_total")
+        && metrics_text.contains("bp_replay_done")
+        && metrics_text.contains("bp_replay_divergence_score");
+
+    // ×4 time warp: the same schedule in about a quarter of the wall time.
+    let (wdb, ww) = setup();
+    let t1 = Instant::now();
+    let run = start_replay(wdb, ww, wall_clock(), &artifact, ReplayTiming::Warp(4.0))
+        .expect("warp replay");
+    let _ = run.handle.join();
+    let warp_wall_s = t1.elapsed().as_secs_f64();
+    let warp_ok = warp_wall_s < recorded_wall_s * 0.6;
+
+    // Statistics-driven synthesis: the fitted mixtures must match the
+    // scripted weights within 2% per type.
+    let stats = fit(&artifact);
+    let synth = synthesize(&stats, 0.25);
+    let share = |ws: &[f64]| -> Vec<f64> {
+        let sum: f64 = ws.iter().sum();
+        ws.iter().map(|x| x / sum).collect()
+    };
+    let expected = [share(&weights0), share(&weights1)];
+    let synth_mixture_err = stats
+        .phases
+        .iter()
+        .zip(expected.iter())
+        .flat_map(|(p, e)| p.mixture.iter().zip(e.iter()).map(|(m, e)| (m - e).abs()))
+        .fold(0.0, f64::max);
+
+    ReplayReport {
+        recorded_requests: artifact.schedule.len(),
+        deterministic,
+        replay_divergence,
+        divergence_ok,
+        recorded_wall_s,
+        warp_wall_s,
+        warp_ok,
+        synth_phases: synth.phases.len(),
+        synth_mixture_err,
+        metrics_ok,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,11 +1,15 @@
 //! The threaded Workload Manager and its client workers (Fig. 1, §2.1).
 //!
-//! A manager thread turns the phase script (plus any runtime overrides from
-//! the control API) into timestamped arrivals pushed to the central queue,
-//! exactly `rate` per second, interleaved uniformly or exponentially. Worker
-//! threads ("terminals") each own a connection; they pull requests, sample a
-//! transaction type from the current mixture, invoke the benchmark's
-//! transaction control code, optionally sleep a think time, and loop.
+//! A manager thread asks a [`ScheduleSource`] for one window of timestamped
+//! arrivals per second and pushes them to the central queue. The default
+//! source ([`ScriptSchedule`](crate::schedule::ScriptSchedule)) generates
+//! them live from the phase script (plus any runtime overrides from the
+//! control API), exactly `rate` per second, interleaved uniformly or
+//! exponentially; `bp-replay` substitutes a recorded schedule. Transaction
+//! types are pinned on each request at generation time, so worker threads
+//! ("terminals") just pull requests, invoke the benchmark's transaction
+//! control code for the pinned type, optionally sleep a think time, and
+//! loop.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -22,6 +26,7 @@ use crate::controller::{ControlState, Controller};
 use crate::mixture::Mixture;
 use crate::queue::RequestQueue;
 use crate::rate::{PhaseScript, Rate};
+use crate::schedule::{ScheduleSource, ScriptSchedule};
 use crate::stats::{RequestOutcome, Sample, StatsCollector};
 use crate::trace::{Trace, TraceRecord};
 use crate::workload::{TxnOutcome, Workload};
@@ -100,12 +105,27 @@ impl RunHandle {
 }
 
 /// Start a workload run on its own threads. The database must already be
-/// loaded (use `workload.setup`).
+/// loaded (use `workload.setup`). Arrivals are generated live from
+/// `cfg.script` by a [`ScriptSchedule`].
 pub fn start(
     db: Arc<Database>,
     workload: Arc<dyn Workload>,
     clock: SharedClock,
     cfg: RunConfig,
+) -> RunHandle {
+    let source = ScriptSchedule::new(cfg.script.clone(), cfg.unlimited_rate, cfg.seed);
+    start_with_source(db, workload, clock, cfg, Box::new(source))
+}
+
+/// Start a workload run driven by an explicit schedule source (replay,
+/// recording decorators, synthetic schedules). `cfg.script` is still used
+/// for the initial rate/mixture and controller status display.
+pub fn start_with_source(
+    db: Arc<Database>,
+    workload: Arc<dyn Workload>,
+    clock: SharedClock,
+    cfg: RunConfig,
+    source: Box<dyn ScheduleSource>,
 ) -> RunHandle {
     let types = workload.transaction_types();
     let type_names: Vec<&str> = types.iter().map(|t| t.name).collect();
@@ -151,16 +171,11 @@ pub fn start(
         let queue = queue.clone();
         let stats = stats.clone();
         let clock = clock.clone();
-        let script = cfg.script.clone();
-        let unlimited = cfg.unlimited_rate;
-        let seed = cfg.seed;
         let budget = budget.clone();
         threads.push(
             std::thread::Builder::new()
                 .name("bp-manager".into())
-                .spawn(move || {
-                    manager_loop(state, queue, stats, clock, script, unlimited, seed, budget)
-                })
+                .spawn(move || manager_loop(state, queue, stats, clock, source, budget))
                 .expect("spawn manager"),
         );
     }
@@ -211,72 +226,47 @@ pub fn start(
     RunHandle { controller, trace, spans, threads, active_workers }
 }
 
-/// The Workload Manager: one iteration per second.
-#[allow(clippy::too_many_arguments)]
+/// The Workload Manager: one iteration per second, window contents decided
+/// by the schedule source.
 fn manager_loop(
     state: Arc<ControlState>,
     queue: Arc<RequestQueue>,
     stats: Arc<StatsCollector>,
     clock: SharedClock,
-    script: PhaseScript,
-    unlimited_rate: f64,
-    seed: u64,
+    mut source: Box<dyn ScheduleSource>,
     budget: Arc<RetryBudget>,
 ) {
-    let mut rng = Rng::new(seed ^ 0xA5A5_5A5A);
     let start = clock.now();
     let mut second: u64 = 0;
-    let mut carry = 0.0f64;
-    let mut last_phase: Option<usize> = None;
 
     loop {
         if state.is_stopped() {
             queue.close();
             return;
         }
-        let t_run = second * MICROS_PER_SEC;
+        let boundary = start + second * MICROS_PER_SEC;
+        let behind = clock.now().saturating_sub(boundary);
+        let window = source.plan(second, behind, &state);
 
-        // Phase bookkeeping.
-        match script.phase_at(t_run) {
-            Some((idx, phase)) => {
-                let new_phase = last_phase != Some(idx);
-                state.apply_phase(
-                    idx,
-                    phase.rate,
-                    phase.arrival,
-                    phase.weights.as_deref(),
-                    phase.think_time_us,
-                    new_phase,
-                );
-                if new_phase {
-                    queue
-                        .set_rate(state.rate().arrivals_per_second(unlimited_rate));
-                    last_phase = Some(idx);
+        if let Some(tps) = window.gate_tps {
+            queue.set_rate(tps);
+        }
+        if !window.requests.is_empty() {
+            let n = window.requests.len();
+            queue.push_scheduled(boundary, window.requests);
+            stats.record_requested(boundary, n);
+        }
+        if window.done {
+            if source.drain_on_done() {
+                // Replay: let the already-enqueued tail dispatch instead of
+                // dropping it with the close.
+                while !state.is_stopped() && queue.backlog() > 0 {
+                    clock.sleep(20_000);
                 }
             }
-            None => {
-                // Script over: stop generating, close out.
-                state.stop();
-                queue.close();
-                return;
-            }
-        }
-
-        // Generate this second's arrivals (unless paused / disabled).
-        if !state.is_paused() {
-            let rate = state.rate();
-            let per_sec = rate.arrivals_per_second(unlimited_rate);
-            // Fractional accumulation preserves "the exact number of
-            // requests configured" over time for non-integer rates.
-            let exact = per_sec + carry;
-            let n = exact.floor() as usize;
-            carry = exact - n as f64;
-            if n > 0 {
-                let offsets = state.arrival().offsets(n, &mut rng);
-                let base = start + t_run;
-                queue.push_arrivals(offsets.into_iter().map(|o| base + o));
-                stats.record_requested(base, n);
-            }
+            state.stop();
+            queue.close();
+            return;
         }
 
         // One second's worth of fresh retry tokens (§ resilience).
@@ -344,8 +334,10 @@ fn worker_loop(ctx: WorkerCtx) {
             return; // queue closed
         };
 
-        let mixture = state.mixture();
-        let txn_idx = mixture.sample(&mut rng);
+        // The type was pinned at generation time (see `schedule`): no
+        // worker-side sampling, so replay is exact and schedules are a pure
+        // function of the seed.
+        let txn_idx = req.txn_type as usize;
         let start = clock.now();
         // One mode check per request; the storage layer's stage accumulator
         // is always drained (here, pre-execution) so lock-wait/commit time
@@ -378,7 +370,7 @@ fn worker_loop(ctx: WorkerCtx) {
                     lock_wait_us: 0,
                     commit_us: 0,
                     tenant,
-                    phase: state.phase_idx().min(u16::MAX as usize) as u16,
+                    phase: req.phase,
                     txn_type: txn_idx.min(u16::MAX as usize) as u16,
                     retries: 0,
                     outcome: SpanOutcome::Shed,
@@ -461,7 +453,7 @@ fn worker_loop(ctx: WorkerCtx) {
                 lock_wait_us,
                 commit_us,
                 tenant,
-                phase: state.phase_idx().min(u16::MAX as usize) as u16,
+                phase: req.phase,
                 txn_type: txn_idx.min(u16::MAX as usize) as u16,
                 retries: retries.min(u16::MAX as u32) as u16,
                 outcome: match outcome {

@@ -18,6 +18,7 @@ pub mod mixture;
 pub mod model;
 pub mod queue;
 pub mod rate;
+pub mod schedule;
 pub mod stats;
 pub mod tenant;
 pub mod trace;
@@ -27,12 +28,13 @@ pub use bp_chaos::{Admission, BreakerConfig, BreakerState, CircuitBreaker, Resil
 pub use config::WorkloadConfig;
 pub use controller::{ControlState, Controller};
 pub use des::{simulate_script, SimRun, SimSample};
-pub use executor::{start, RunConfig, RunHandle};
+pub use executor::{start, start_with_source, RunConfig, RunHandle};
 pub use mixture::{Mixture, MixtureError, MixturePreset};
 pub use model::{CapacityModel, SimDbms, SimServer};
-pub use queue::{Request, RequestQueue};
+pub use queue::{Request, RequestQueue, ScheduledRequest};
 pub use rate::{ArrivalDist, Phase, PhaseScript, Rate};
+pub use schedule::{ScheduleSource, ScriptSchedule, Window};
 pub use stats::{RequestOutcome, Sample, StatsCollector, StatusSnapshot, TypeSummary};
 pub use tenant::{Tenant, Testbed};
-pub use trace::{Trace, TraceAnalysis, TraceAnalyzer, TraceRecord, TrackingReport};
+pub use trace::{Trace, TraceAnalysis, TraceAnalyzer, TraceRecord, TrackingReport, TRACE_HEADER};
 pub use workload::{BenchmarkClass, LoadSummary, TransactionType, TxnOutcome, Workload};

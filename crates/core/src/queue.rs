@@ -26,6 +26,22 @@ pub struct Request {
     pub arrival: Micros,
     /// Sequence number (for tracing).
     pub seq: u64,
+    /// Transaction type, pinned at generation time. Sampling the mixture on
+    /// the manager thread (not in workers) is what makes a schedule a pure
+    /// function of the seed: worker pull order can no longer change which
+    /// request gets which type, so a recorded schedule replays byte-for-byte.
+    pub txn_type: u16,
+    /// Phase index active when the request was generated.
+    pub phase: u16,
+}
+
+/// One pre-planned request inside a `ScheduleSource` window: arrival offset
+/// relative to the window start plus the pinned transaction type and phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledRequest {
+    pub offset_us: Micros,
+    pub txn_type: u16,
+    pub phase: u16,
 }
 
 #[derive(Debug, Default)]
@@ -76,12 +92,30 @@ impl RequestQueue {
         self.cond.notify_all();
     }
 
-    /// Enqueue arrivals (already stamped with absolute times).
+    /// Enqueue arrivals (already stamped with absolute times). Requests get
+    /// type/phase 0 — used by benches and tests that bypass the manager.
     pub fn push_arrivals(&self, arrivals: impl IntoIterator<Item = Micros>) {
         let mut st = self.state.lock();
         for arrival in arrivals {
             let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-            st.queue.push_back(Request { arrival, seq });
+            st.queue.push_back(Request { arrival, seq, txn_type: 0, phase: 0 });
+        }
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// Enqueue a schedule window: offsets are relative to `base` and each
+    /// request carries its pinned transaction type and phase.
+    pub fn push_scheduled(&self, base: Micros, reqs: impl IntoIterator<Item = ScheduledRequest>) {
+        let mut st = self.state.lock();
+        for r in reqs {
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            st.queue.push_back(Request {
+                arrival: base + r.offset_us,
+                seq,
+                txn_type: r.txn_type,
+                phase: r.phase,
+            });
         }
         drop(st);
         self.cond.notify_all();
@@ -289,6 +323,25 @@ mod tests {
         q.try_pull().unwrap(); // waited 300
         assert_eq!(q.total_queue_wait_us(), 700);
         assert!((q.mean_queue_wait_us() - 350.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn push_scheduled_pins_type_and_phase() {
+        let (sim, clock) = sim_clock();
+        let q = RequestQueue::new(clock);
+        q.push_scheduled(
+            1_000,
+            [
+                ScheduledRequest { offset_us: 0, txn_type: 3, phase: 1 },
+                ScheduledRequest { offset_us: 250, txn_type: 0, phase: 2 },
+            ],
+        );
+        sim.advance_to(2_000);
+        let a = q.try_pull().unwrap();
+        assert_eq!((a.arrival, a.txn_type, a.phase), (1_000, 3, 1));
+        let b = q.try_pull().unwrap();
+        assert_eq!((b.arrival, b.txn_type, b.phase), (1_250, 0, 2));
+        assert!(a.seq < b.seq);
     }
 
     #[test]

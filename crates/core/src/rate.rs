@@ -5,6 +5,8 @@
 //! inter-arrival times. Unlimited (open-loop) execution enqueues at a large
 //! configurable constant; Disabled stops request generation entirely.
 
+use std::fmt;
+
 use bp_util::clock::{Micros, MICROS_PER_SEC};
 use bp_util::rng::Rng;
 
@@ -36,6 +38,19 @@ impl Rate {
             "unlimited" | "open" => Some(Rate::Unlimited),
             "disabled" | "off" => Some(Rate::Disabled),
             _ => t.parse::<f64>().ok().filter(|v| *v >= 0.0).map(Rate::Limited),
+        }
+    }
+}
+
+/// Inverse of [`Rate::parse`]: `Rate::parse(&r.to_string()) == Some(r)`.
+/// `f64` `Display` emits the shortest string that reads back exactly, so
+/// `Limited` round-trips bit-for-bit — the artifact header relies on this.
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rate::Unlimited => f.write_str("unlimited"),
+            Rate::Disabled => f.write_str("disabled"),
+            Rate::Limited(tps) => write!(f, "{tps}"),
         }
     }
 }
@@ -91,6 +106,16 @@ impl ArrivalDist {
     }
 }
 
+/// Inverse of [`ArrivalDist::parse`].
+impl fmt::Display for ArrivalDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArrivalDist::Uniform => "uniform",
+            ArrivalDist::Exponential => "exponential",
+        })
+    }
+}
+
 /// One workload phase: target rate, mixture weights, duration (§2.1).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Phase {
@@ -126,6 +151,64 @@ impl Phase {
 
     pub fn duration_us(&self) -> Micros {
         (self.duration_s * MICROS_PER_SEC as f64) as Micros
+    }
+
+    /// Inverse of the `Display` impl: parses `key=value` tokens
+    /// (`rate=… arrival=… duration_s=… think_us=… [weights=a,b,…]`) in any
+    /// order. Returns `None` on unknown keys, bad values, or missing fields.
+    pub fn parse(text: &str) -> Option<Phase> {
+        let mut rate = None;
+        let mut arrival = None;
+        let mut duration_s = None;
+        let mut think_time_us = None;
+        let mut weights = None;
+        for token in text.split_whitespace() {
+            let (key, value) = token.split_once('=')?;
+            match key {
+                "rate" => rate = Some(Rate::parse(value)?),
+                "arrival" => arrival = Some(ArrivalDist::parse(value)?),
+                "duration_s" => {
+                    duration_s = Some(value.parse::<f64>().ok().filter(|d| *d >= 0.0)?)
+                }
+                "think_us" => think_time_us = Some(value.parse::<Micros>().ok()?),
+                "weights" => {
+                    let ws: Option<Vec<f64>> =
+                        value.split(',').map(|w| w.parse::<f64>().ok()).collect();
+                    weights = Some(ws?);
+                }
+                _ => return None,
+            }
+        }
+        Some(Phase {
+            rate: rate?,
+            arrival: arrival?,
+            weights,
+            duration_s: duration_s?,
+            think_time_us: think_time_us?,
+        })
+    }
+}
+
+/// One line of `key=value` tokens; exact inverse of [`Phase::parse`]. All
+/// floats use `f64` `Display` (shortest exact representation), so the
+/// round-trip is lossless — this is the artifact-header encoding.
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rate={} arrival={} duration_s={} think_us={}",
+            self.rate, self.arrival, self.duration_s, self.think_time_us
+        )?;
+        if let Some(ws) = &self.weights {
+            f.write_str(" weights=")?;
+            for (i, w) in ws.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{w}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -276,6 +359,104 @@ mod tests {
         ]);
         let series = script.target_series(4, 9999.0);
         assert_eq!(series, vec![100.0, 100.0, 9999.0, 0.0]);
+    }
+
+    #[test]
+    fn rate_display_roundtrip_exact() {
+        for r in [
+            Rate::Unlimited,
+            Rate::Disabled,
+            Rate::Limited(0.0),
+            Rate::Limited(12.5),
+            Rate::Limited(400.0),
+            // A value with no short decimal form still round-trips exactly:
+            // f64 Display prints the shortest digits that read back to the
+            // same bits.
+            Rate::Limited(1.0 / 3.0),
+            Rate::Limited(f64::MAX),
+        ] {
+            assert_eq!(Rate::parse(&r.to_string()), Some(r), "{r}");
+        }
+    }
+
+    #[test]
+    fn arrival_display_roundtrip() {
+        for a in [ArrivalDist::Uniform, ArrivalDist::Exponential] {
+            assert_eq!(ArrivalDist::parse(&a.to_string()), Some(a), "{a}");
+        }
+    }
+
+    #[test]
+    fn phase_display_roundtrip_exact() {
+        let phases = [
+            Phase::new(Rate::Limited(200.0), 2.0),
+            Phase::new(Rate::Unlimited, 0.25)
+                .with_arrival(ArrivalDist::Exponential)
+                .with_think_time(15_000),
+            Phase::new(Rate::Limited(1.0 / 3.0), 1e-3).with_weights(vec![45.5, 54.5, 0.0]),
+            Phase::new(Rate::Disabled, 3600.0).with_weights(vec![100.0]),
+        ];
+        for p in phases {
+            let text = p.to_string();
+            assert_eq!(Phase::parse(&text), Some(p), "{text}");
+        }
+    }
+
+    #[test]
+    fn phase_parse_rejects_malformed() {
+        assert!(Phase::parse("").is_none(), "missing fields");
+        assert!(Phase::parse("rate=100 arrival=uniform duration_s=1").is_none(), "no think_us");
+        assert!(
+            Phase::parse("rate=100 arrival=uniform duration_s=-1 think_us=0").is_none(),
+            "negative duration"
+        );
+        assert!(
+            Phase::parse("rate=100 arrival=uniform duration_s=1 think_us=0 bogus=1").is_none(),
+            "unknown key"
+        );
+        assert!(
+            Phase::parse("rate=100 arrival=uniform duration_s=1 think_us=0 weights=a,b").is_none(),
+            "bad weights"
+        );
+    }
+
+    #[test]
+    fn phase_at_exact_boundaries() {
+        let script = PhaseScript::new(vec![
+            Phase::new(Rate::Limited(100.0), 2.0),
+            Phase::new(Rate::Limited(300.0), 3.0),
+        ]);
+        let total = script.total_duration_us();
+        assert_eq!(total, 5_000_000);
+        // t exactly on a phase edge belongs to the *next* phase…
+        assert_eq!(script.phase_at(2_000_000).unwrap().0, 1);
+        // …and t exactly at total_duration_us is past the end.
+        assert!(script.phase_at(total).is_none());
+        assert!(script.phase_at(total + 1).is_none());
+
+        // Repeating: the end wraps back to phase 0, mid-second-pass edges
+        // land on the right phase.
+        let repeating = PhaseScript::repeating(script.phases.clone());
+        assert_eq!(repeating.phase_at(total).unwrap().0, 0);
+        assert_eq!(repeating.phase_at(total + 2_000_000).unwrap().0, 1);
+
+        // Degenerate scripts never resolve a phase.
+        assert!(PhaseScript::default().phase_at(0).is_none());
+        let zero = PhaseScript::new(vec![Phase::new(Rate::Limited(1.0), 0.0)]);
+        assert!(zero.phase_at(0).is_none());
+    }
+
+    #[test]
+    fn offsets_n0_and_n1() {
+        let mut rng = Rng::new(9);
+        for dist in [ArrivalDist::Uniform, ArrivalDist::Exponential] {
+            assert!(dist.offsets(0, &mut rng).is_empty(), "{dist} n=0");
+            let one = dist.offsets(1, &mut rng);
+            assert_eq!(one.len(), 1, "{dist} n=1");
+            assert!(one[0] < MICROS_PER_SEC, "{dist} offset {} outside second", one[0]);
+        }
+        // Uniform n=1 is pinned to the window start.
+        assert_eq!(ArrivalDist::Uniform.offsets(1, &mut rng), vec![0]);
     }
 
     #[test]

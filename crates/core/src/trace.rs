@@ -13,6 +13,11 @@ use bp_util::timeseries::{mean_abs_error, Summary, TimeSeries};
 use crate::rate::PhaseScript;
 use crate::stats::RequestOutcome;
 
+/// The header `to_text` writes and `from_text` validates: bump the version
+/// when the line format changes so old parsers fail loudly instead of
+/// misreading.
+pub const TRACE_HEADER: &str = "#bp-trace v1";
+
 /// One trace record (a line of trace.txt).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceRecord {
@@ -20,6 +25,47 @@ pub struct TraceRecord {
     pub latency_us: Micros,
     pub txn_type: usize,
     pub outcome: RequestOutcome,
+}
+
+impl TraceRecord {
+    /// Parse one `start_us txn_type latency_us outcome` line.
+    pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
+        let mut parts = line.split_whitespace();
+        let start_us = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or("bad start")?;
+        let txn_type = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or("bad type")?;
+        let latency_us = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or("bad latency")?;
+        let outcome = match parts.next() {
+            Some("C") => RequestOutcome::Committed,
+            Some("U") => RequestOutcome::UserAborted,
+            Some("F") => RequestOutcome::Failed,
+            Some("S") => RequestOutcome::Shed,
+            _ => return Err("bad outcome".to_string()),
+        };
+        Ok(TraceRecord { start_us, latency_us, txn_type, outcome })
+    }
+
+    /// Append this record's line (inverse of `parse_line`).
+    pub fn write_line(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let o = match self.outcome {
+            RequestOutcome::Committed => "C",
+            RequestOutcome::UserAborted => "U",
+            RequestOutcome::Failed => "F",
+            RequestOutcome::Shed => "S",
+        };
+        // Writing into `out` directly avoids a String allocation per record
+        // (writes to a String are infallible).
+        let _ = writeln!(out, "{} {} {} {}", self.start_us, self.txn_type, self.latency_us, o);
+    }
 }
 
 /// An in-memory trace with text import/export.
@@ -49,56 +95,58 @@ impl Trace {
         self.records.lock().clone()
     }
 
-    /// Serialize in the `trace.txt` line format:
-    /// `start_us txn_type latency_us outcome`.
+    /// Build a trace from pre-existing records (replay/analysis helpers).
+    pub fn from_records(records: Vec<TraceRecord>) -> Trace {
+        Trace { records: Mutex::new(records) }
+    }
+
+    /// Serialize in the `trace.txt` line format: a [`TRACE_HEADER`] line,
+    /// then one `start_us txn_type latency_us outcome` line per record.
     pub fn to_text(&self) -> String {
-        use std::fmt::Write as _;
         let records = self.records.lock();
-        let mut out = String::with_capacity(records.len() * 24);
+        let mut out = String::with_capacity(TRACE_HEADER.len() + 1 + records.len() * 24);
+        out.push_str(TRACE_HEADER);
+        out.push('\n');
         for r in records.iter() {
-            let o = match r.outcome {
-                RequestOutcome::Committed => "C",
-                RequestOutcome::UserAborted => "U",
-                RequestOutcome::Failed => "F",
-                RequestOutcome::Shed => "S",
-            };
-            // Writing into `out` directly avoids a String allocation per
-            // record (writes to a String are infallible).
-            let _ = writeln!(out, "{} {} {} {}", r.start_us, r.txn_type, r.latency_us, o);
+            r.write_line(&mut out);
         }
         out
     }
 
     /// Parse a `trace.txt` back into a trace.
     pub fn from_text(text: &str) -> Result<Trace, String> {
+        Trace::from_lines(text.lines())
+    }
+
+    /// Streaming parse: consumes one line at a time without materializing
+    /// the whole input (pair with `BufRead::lines` for file-sized traces).
+    ///
+    /// A `#bp-trace v<N>` header line is validated when present (headerless
+    /// input still parses, so pre-versioning traces keep working); other
+    /// `#` comments and blank lines are skipped.
+    pub fn from_lines<I>(lines: I) -> Result<Trace, String>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
         let trace = Trace::new();
-        for (lineno, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
+        for (lineno, line) in lines.into_iter().enumerate() {
+            let line = line.as_ref().trim();
+            if line.is_empty() {
                 continue;
             }
-            let mut parts = line.split_whitespace();
-            let parse_err = |m: &str| format!("line {}: {m}", lineno + 1);
-            let start_us = parts
-                .next()
-                .and_then(|p| p.parse().ok())
-                .ok_or_else(|| parse_err("bad start"))?;
-            let txn_type = parts
-                .next()
-                .and_then(|p| p.parse().ok())
-                .ok_or_else(|| parse_err("bad type"))?;
-            let latency_us = parts
-                .next()
-                .and_then(|p| p.parse().ok())
-                .ok_or_else(|| parse_err("bad latency"))?;
-            let outcome = match parts.next() {
-                Some("C") => RequestOutcome::Committed,
-                Some("U") => RequestOutcome::UserAborted,
-                Some("F") => RequestOutcome::Failed,
-                Some("S") => RequestOutcome::Shed,
-                _ => return Err(parse_err("bad outcome")),
-            };
-            trace.append(TraceRecord { start_us, latency_us, txn_type, outcome });
+            if let Some(version) = line.strip_prefix("#bp-trace v") {
+                if version.trim() != "1" {
+                    return Err(format!("unsupported trace version: {line}"));
+                }
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let rec = TraceRecord::parse_line(line)
+                .map_err(|m| format!("line {}: {m}", lineno + 1))?;
+            trace.append(rec);
         }
         Ok(trace)
     }
@@ -248,6 +296,53 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert!(Trace::from_text("not a line").is_err());
         assert!(Trace::from_text("1 2 3 X").is_err());
+    }
+
+    #[test]
+    fn to_text_emits_versioned_header() {
+        let t = Trace::new();
+        t.append(rec(1, 0, 2));
+        let text = t.to_text();
+        assert!(text.starts_with(&format!("{TRACE_HEADER}\n")), "{text}");
+        // Future versions are rejected, not misread.
+        assert!(Trace::from_text("#bp-trace v2\n1 0 2 C").is_err());
+        // Headerless (pre-versioning) input still parses.
+        assert_eq!(Trace::from_text("1 0 2 C").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn streaming_parse_from_reader() {
+        use std::io::BufRead as _;
+        let t = Trace::new();
+        for i in 0..1000u64 {
+            t.append(TraceRecord {
+                start_us: i * 500,
+                latency_us: i % 97,
+                txn_type: (i % 3) as usize,
+                outcome: match i % 4 {
+                    0 => RequestOutcome::Committed,
+                    1 => RequestOutcome::UserAborted,
+                    2 => RequestOutcome::Failed,
+                    _ => RequestOutcome::Shed,
+                },
+            });
+        }
+        let text = t.to_text();
+        // Feed line-by-line through a BufRead, never holding the full text.
+        let reader = std::io::BufReader::new(text.as_bytes());
+        let back = Trace::from_lines(reader.lines().map(|l| l.unwrap())).unwrap();
+        assert_eq!(back.records(), t.records());
+    }
+
+    #[test]
+    fn unknown_type_bucket_roundtrips() {
+        let t = Trace::new();
+        t.append(rec(0, 0, 10));
+        t.append(rec(1_000, 7, 10)); // out of range for a 2-type workload
+        let back = Trace::from_text(&t.to_text()).unwrap();
+        let a = TraceAnalyzer::analyze(&back, 2);
+        assert_eq!(a.per_type_counts, vec![1, 0]);
+        assert_eq!(a.unknown_type, 1);
     }
 
     #[test]

@@ -15,7 +15,8 @@
 use std::sync::Arc;
 
 use bp_api::{ApiServer, Request};
-use bp_core::{CapacityModel, MixturePreset, SimDbms, SimServer, TransactionType};
+use bp_core::{CapacityModel, MixturePreset, Phase, PhaseScript, Rate, SimDbms, SimServer, TransactionType};
+use bp_replay::{Artifact, ARTIFACT_VERSION};
 use bp_util::clock::Micros;
 use bp_util::json::Json;
 
@@ -157,11 +158,14 @@ pub struct GameSession<B: GameBackend> {
     /// One summary line per finished run (crash or victory), pulled from
     /// the backend's span recorder when it has one.
     pub span_log: Vec<String>,
+    /// `(play_time_us, requested_tps)` per tick — the raw material for
+    /// saving the played run as a replayable scenario.
+    pub rate_log: Vec<(Micros, f64)>,
 }
 
 impl<B: GameBackend> GameSession<B> {
     pub fn new(game: Game, backend: B) -> GameSession<B> {
-        GameSession { game, backend, span_log: Vec::new() }
+        GameSession { game, backend, span_log: Vec::new(), rate_log: Vec::new() }
     }
 
     /// One game tick: exchange load with the backend, advance the game,
@@ -183,7 +187,64 @@ impl<B: GameBackend> GameSession<B> {
                 GameEvent::Victory => self.log_span_summary("victory"),
             }
         }
+        // Log the rate curve at distinct play-time points (paused ticks
+        // don't advance time and would duplicate the last point).
+        let t = self.game.elapsed_us();
+        if self.rate_log.last().is_none_or(|(lt, _)| *lt < t) {
+            self.rate_log.push((t, self.game.requested_tps()));
+        }
         events
+    }
+
+    /// Compress the played rate curve into a `PhaseScript`: consecutive
+    /// ticks whose requested rate stays near the running phase mean merge
+    /// into one phase at that mean. The merge band is sized to the
+    /// character's jump impulse, so normal jump/gravity oscillation around
+    /// a level folds into one phase while level changes split.
+    pub fn scenario_script(&self) -> PhaseScript {
+        let band = (1.5 * self.game.character.config().jump_tps).max(5.0);
+        let mut phases = Vec::new();
+        let mut iter = self.rate_log.iter().copied();
+        let Some((mut seg_t, first_rate)) = iter.next() else {
+            return PhaseScript::new(phases);
+        };
+        let mut sum = first_rate;
+        let mut n = 1u64;
+        let mut last_t = seg_t;
+        for (t, rate) in iter {
+            last_t = t;
+            let mean = sum / n as f64;
+            if (rate - mean).abs() <= (0.15 * mean.abs()).max(band) {
+                sum += rate;
+                n += 1;
+                continue;
+            }
+            let duration_s = ((t - seg_t) as f64 / 1e6).max(0.1);
+            phases.push(Phase::new(Rate::Limited(mean), duration_s));
+            (seg_t, sum, n) = (t, rate, 1);
+        }
+        let duration_s = ((last_t - seg_t) as f64 / 1e6).max(0.1);
+        phases.push(Phase::new(Rate::Limited(sum / n as f64), duration_s));
+        PhaseScript::new(phases)
+    }
+
+    /// Save the played run as a script-only replay artifact: replaying it
+    /// regenerates the scenario's schedule from `seed`, so a good game can
+    /// be re-run as a benchmark workload (or shared as text).
+    pub fn scenario_artifact(&self, seed: u64, types: &[&str]) -> Artifact {
+        Artifact {
+            version: ARTIFACT_VERSION,
+            workload: self.game.benchmark.clone(),
+            personality: self.game.dbms.clone(),
+            seed,
+            terminals: 4,
+            tenant: 0,
+            unlimited_rate: 50_000.0,
+            types: types.iter().map(|s| s.to_string()).collect(),
+            script: self.scenario_script(),
+            schedule: Vec::new(),
+            trace: Vec::new(),
+        }
     }
 
     fn log_span_summary(&mut self, event: &str) {
@@ -479,6 +540,42 @@ mod tests {
         let backend = ApiBackend::new(api, "w");
         let line = backend.span_summary().expect("summary line");
         assert!(line.contains("spans=1"), "{line}");
+    }
+
+    #[test]
+    fn played_run_saves_as_replayable_scenario() {
+        let course = steps_course(1_000.0);
+        let game = Game::new("ycsb", "mysql", course, PhysicsConfig {
+            jump_tps: 60.0,
+            gravity_tps_per_s: 40.0,
+            max_tps: 1_000.0,
+        });
+        let backend = SimBackend::new(quiet_model(), types(), 7);
+        let mut session = GameSession::new(game, backend);
+        session.run_policy(100_000, 400, chase_center_policy);
+
+        let ticks = session.rate_log.len();
+        assert!(ticks > 50, "rate log should cover the run: {ticks}");
+        let script = session.scenario_script();
+        assert!(!script.phases.is_empty());
+        assert!(
+            script.phases.len() * 4 < ticks,
+            "phases ({}) should compress ticks ({ticks})",
+            script.phases.len()
+        );
+        // Total scripted time tracks the played time.
+        let scripted: f64 = script.phases.iter().map(|p| p.duration_s).sum();
+        let played = session.game.elapsed_us() as f64 / 1e6;
+        assert!((scripted - played).abs() < 1.0, "scripted {scripted} played {played}");
+
+        // The artifact round-trips through text and stays replayable.
+        let artifact = session.scenario_artifact(42, &["r", "w"]);
+        let text = artifact.to_text();
+        let parsed = Artifact::from_text(&text).expect("parse scenario artifact");
+        assert_eq!(parsed.workload, "ycsb");
+        assert_eq!(parsed.personality, "mysql");
+        assert!(parsed.schedule.is_empty(), "scenario artifacts are script-only");
+        assert_eq!(parsed.script, artifact.script);
     }
 
     #[test]

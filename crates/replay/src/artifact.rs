@@ -1,0 +1,344 @@
+//! The versioned, self-describing replay artifact.
+//!
+//! A plain-text, line-oriented format so artifacts diff, grep and ship like
+//! any other trace file:
+//!
+//! ```text
+//! #bp-replay v1
+//! workload voter
+//! personality postgres
+//! seed 42
+//! terminals 4
+//! tenant 0
+//! unlimited_rate 50000
+//! types Vote,Audit
+//! repeat false
+//! phase rate=200 arrival=uniform duration_s=2 think_us=0
+//! schedule 400            <- record count, then one line per request
+//! 1250 0 1 0              <- offset_us tenant txn_type phase
+//! …
+//! trace 398               <- line count of the embedded recorded trace
+//! #bp-trace v1
+//! 1290 1 410 C            <- Trace::to_text lines (divergence baseline)
+//! …
+//! end
+//! ```
+//!
+//! The header is enough to regenerate the schedule from scratch (seed +
+//! script), so artifacts with an empty `schedule` section — e.g. a game
+//! session saved as a scenario — are still replayable: replay falls back to
+//! live generation from the recorded seed.
+
+use bp_core::{Phase, PhaseScript, Trace, TraceRecord};
+use bp_util::clock::Micros;
+
+use crate::recorder::ScheduleRecord;
+
+/// Artifact format version this build writes and understands.
+pub const ARTIFACT_VERSION: u32 = 1;
+const HEADER: &str = "#bp-replay v1";
+
+/// A captured run: everything needed to re-execute and then judge the
+/// re-execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    pub version: u32,
+    /// Workload (benchmark) name the schedule was recorded against.
+    pub workload: String,
+    /// DBMS personality of the recording run (informational).
+    pub personality: String,
+    pub seed: u64,
+    pub terminals: usize,
+    pub tenant: u16,
+    pub unlimited_rate: f64,
+    /// Transaction type names, index-aligned with `txn_type` fields.
+    pub types: Vec<String>,
+    /// The recorded run's phase script (rates/arrivals/durations).
+    pub script: PhaseScript,
+    /// The captured request schedule; empty for script-only artifacts.
+    pub schedule: Vec<ScheduleRecord>,
+    /// The recorded run's outcome trace — the divergence baseline.
+    pub trace: Vec<TraceRecord>,
+}
+
+impl Artifact {
+    /// Total recorded duration in whole seconds (schedule span, falling
+    /// back to the script duration for script-only artifacts).
+    pub fn duration_s(&self) -> f64 {
+        match self.schedule.last() {
+            Some(last) => (last.offset_us as f64 / 1e6).ceil(),
+            None => self.script.total_duration_us() as f64 / 1e6,
+        }
+    }
+
+    /// The `schedule` section alone (count line + record lines). Two
+    /// same-seed recordings must agree on this byte-for-byte — headers and
+    /// embedded traces may differ (wall-clock latencies), the schedule may
+    /// not.
+    pub fn schedule_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(16 + self.schedule.len() * 16);
+        let _ = writeln!(out, "schedule {}", self.schedule.len());
+        for r in &self.schedule {
+            let _ = writeln!(out, "{} {} {} {}", r.offset_us, r.tenant, r.txn_type, r.phase);
+        }
+        out
+    }
+
+    /// Serialize the whole artifact.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256 + self.schedule.len() * 16 + self.trace.len() * 24);
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "workload {}", self.workload);
+        let _ = writeln!(out, "personality {}", self.personality);
+        let _ = writeln!(out, "seed {}", self.seed);
+        let _ = writeln!(out, "terminals {}", self.terminals);
+        let _ = writeln!(out, "tenant {}", self.tenant);
+        let _ = writeln!(out, "unlimited_rate {}", self.unlimited_rate);
+        let _ = writeln!(out, "types {}", self.types.join(","));
+        let _ = writeln!(out, "repeat {}", self.script.repeat);
+        for p in &self.script.phases {
+            let _ = writeln!(out, "phase {p}");
+        }
+        out.push_str(&self.schedule_text());
+        let mut trace_lines = String::new();
+        for r in &self.trace {
+            r.write_line(&mut trace_lines);
+        }
+        let _ = writeln!(out, "trace {}", self.trace.len());
+        let _ = writeln!(out, "{}", bp_core::TRACE_HEADER);
+        out.push_str(&trace_lines);
+        let _ = writeln!(out, "end");
+        out
+    }
+
+    /// Line-streaming parse; the exact inverse of [`Artifact::to_text`].
+    pub fn from_text(text: &str) -> Result<Artifact, String> {
+        let mut lines = text.lines().enumerate();
+        let err = |lineno: usize, msg: &str| format!("artifact line {}: {msg}", lineno + 1);
+
+        let (n0, first) = lines.next().ok_or("empty artifact")?;
+        match first.trim().strip_prefix("#bp-replay v") {
+            Some("1") => {}
+            Some(_) => return Err(err(n0, "unsupported artifact version")),
+            None => return Err(err(n0, "missing #bp-replay header")),
+        }
+
+        let mut workload = None;
+        let mut personality = None;
+        let mut seed = None;
+        let mut terminals = None;
+        let mut tenant = None;
+        let mut unlimited_rate = None;
+        let mut types: Option<Vec<String>> = None;
+        let mut repeat = None;
+        let mut phases: Vec<Phase> = Vec::new();
+        let mut schedule: Vec<ScheduleRecord> = Vec::new();
+        let mut trace: Vec<TraceRecord> = Vec::new();
+        let mut saw_end = false;
+
+        while let Some((lineno, raw)) = lines.next() {
+            let line = raw.trim();
+            // The version header was already validated on line 1; any other
+            // `#` line (including the embedded trace header after an empty
+            // trace section) is a comment.
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = match line.split_once(char::is_whitespace) {
+                Some((k, v)) => (k, v.trim()),
+                None => (line, ""),
+            };
+            match key {
+                "workload" => workload = Some(value.to_string()),
+                "personality" => personality = Some(value.to_string()),
+                "seed" => {
+                    seed = Some(value.parse().map_err(|_| err(lineno, "bad seed"))?);
+                }
+                "terminals" => {
+                    terminals = Some(value.parse().map_err(|_| err(lineno, "bad terminals"))?);
+                }
+                "tenant" => {
+                    tenant = Some(value.parse().map_err(|_| err(lineno, "bad tenant"))?);
+                }
+                "unlimited_rate" => {
+                    unlimited_rate =
+                        Some(value.parse().map_err(|_| err(lineno, "bad unlimited_rate"))?);
+                }
+                "types" => {
+                    types = Some(
+                        value
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|t| !t.is_empty())
+                            .map(str::to_string)
+                            .collect(),
+                    );
+                }
+                "repeat" => {
+                    repeat = Some(value.parse().map_err(|_| err(lineno, "bad repeat"))?);
+                }
+                "phase" => {
+                    phases.push(Phase::parse(value).ok_or_else(|| err(lineno, "bad phase"))?);
+                }
+                "schedule" => {
+                    let count: usize =
+                        value.parse().map_err(|_| err(lineno, "bad schedule count"))?;
+                    schedule.reserve(count);
+                    for _ in 0..count {
+                        let (ln, rec) =
+                            lines.next().ok_or_else(|| err(lineno, "truncated schedule"))?;
+                        schedule.push(parse_schedule_line(rec).map_err(|m| err(ln, &m))?);
+                    }
+                }
+                "trace" => {
+                    let count: usize = value.parse().map_err(|_| err(lineno, "bad trace count"))?;
+                    trace.reserve(count);
+                    let mut remaining = count;
+                    while remaining > 0 {
+                        let (ln, rec) =
+                            lines.next().ok_or_else(|| err(lineno, "truncated trace"))?;
+                        let rec = rec.trim();
+                        if rec.is_empty() || rec.starts_with('#') {
+                            continue; // the embedded #bp-trace header
+                        }
+                        trace.push(TraceRecord::parse_line(rec).map_err(|m| err(ln, &m))?);
+                        remaining -= 1;
+                    }
+                }
+                "end" => {
+                    saw_end = true;
+                    break;
+                }
+                _ => return Err(err(lineno, "unknown artifact key")),
+            }
+        }
+        if !saw_end {
+            return Err("artifact missing end marker".to_string());
+        }
+
+        let types = types.ok_or("artifact missing types")?;
+        let num_types = types.len();
+        if let Some(bad) = schedule.iter().find(|r| r.txn_type as usize >= num_types) {
+            return Err(format!(
+                "schedule references txn_type {} but artifact declares {num_types} types",
+                bad.txn_type
+            ));
+        }
+        Ok(Artifact {
+            version: ARTIFACT_VERSION,
+            workload: workload.ok_or("artifact missing workload")?,
+            personality: personality.unwrap_or_default(),
+            seed: seed.ok_or("artifact missing seed")?,
+            terminals: terminals.ok_or("artifact missing terminals")?,
+            tenant: tenant.unwrap_or(0),
+            unlimited_rate: unlimited_rate.ok_or("artifact missing unlimited_rate")?,
+            types,
+            script: PhaseScript { phases, repeat: repeat.unwrap_or(false) },
+            schedule,
+            trace,
+        })
+    }
+
+    /// The embedded recorded trace as a `Trace` (divergence baseline).
+    pub fn recorded_trace(&self) -> Trace {
+        Trace::from_records(self.trace.clone())
+    }
+}
+
+fn parse_schedule_line(line: &str) -> Result<ScheduleRecord, String> {
+    let mut parts = line.split_whitespace();
+    let mut next = |what: &str| -> Result<u64, String> {
+        parts
+            .next()
+            .and_then(|p| p.parse::<u64>().ok())
+            .ok_or_else(|| format!("bad schedule {what}"))
+    };
+    let offset_us = next("offset")? as Micros;
+    let tenant = next("tenant")? as u16;
+    let txn_type = next("txn_type")? as u16;
+    let phase = next("phase")? as u16;
+    Ok(ScheduleRecord { offset_us, tenant, txn_type, phase })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_core::{ArrivalDist, Rate, RequestOutcome};
+
+    fn sample_artifact() -> Artifact {
+        Artifact {
+            version: 1,
+            workload: "counter".into(),
+            personality: "test".into(),
+            seed: 42,
+            terminals: 4,
+            tenant: 1,
+            unlimited_rate: 50_000.0,
+            types: vec!["Read".into(), "Incr".into()],
+            script: PhaseScript::new(vec![
+                Phase::new(Rate::Limited(200.0), 2.0).with_weights(vec![70.0, 30.0]),
+                Phase::new(Rate::Limited(12.5), 1.5).with_arrival(ArrivalDist::Exponential),
+            ]),
+            schedule: vec![
+                ScheduleRecord { offset_us: 0, tenant: 1, txn_type: 0, phase: 0 },
+                ScheduleRecord { offset_us: 5_000, tenant: 1, txn_type: 1, phase: 0 },
+                ScheduleRecord { offset_us: 2_100_000, tenant: 1, txn_type: 0, phase: 1 },
+            ],
+            trace: vec![
+                TraceRecord {
+                    start_us: 120,
+                    latency_us: 800,
+                    txn_type: 0,
+                    outcome: RequestOutcome::Committed,
+                },
+                TraceRecord {
+                    start_us: 5_200,
+                    latency_us: 0,
+                    txn_type: 1,
+                    outcome: RequestOutcome::Shed,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_exact() {
+        let a = sample_artifact();
+        let text = a.to_text();
+        let back = Artifact::from_text(&text).unwrap();
+        assert_eq!(back, a);
+        // Serialization is deterministic, so the round-trip is bytewise too.
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn schedule_text_is_a_section_of_to_text() {
+        let a = sample_artifact();
+        assert!(a.to_text().contains(&a.schedule_text()));
+        assert!(a.schedule_text().starts_with("schedule 3\n"));
+    }
+
+    #[test]
+    fn script_only_artifact_roundtrips() {
+        let mut a = sample_artifact();
+        a.schedule.clear();
+        a.trace.clear();
+        let back = Artifact::from_text(&a.to_text()).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.duration_s(), 3.5, "falls back to script duration");
+    }
+
+    #[test]
+    fn rejects_malformed_artifacts() {
+        assert!(Artifact::from_text("").is_err());
+        assert!(Artifact::from_text("#bp-replay v9\nend\n").is_err(), "future version");
+        assert!(Artifact::from_text("#bp-trace v1\n").is_err(), "wrong header");
+        let a = sample_artifact();
+        let truncated = a.to_text().replace("\nend\n", "\n");
+        assert!(Artifact::from_text(&truncated).is_err(), "missing end");
+        let bad_type = a.to_text().replace("types Read,Incr", "types Read");
+        assert!(Artifact::from_text(&bad_type).is_err(), "schedule type out of range");
+    }
+}

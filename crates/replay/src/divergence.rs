@@ -1,0 +1,232 @@
+//! Replayed-vs-recorded divergence: did the re-run behave like the
+//! original?
+//!
+//! The recorded artifact embeds the original run's outcome trace; after a
+//! replay finishes, both traces go through the existing `TraceAnalyzer` and
+//! are compared on three axes:
+//!
+//! - **throughput series** — per-second delivered rates, with the replayed
+//!   timeline rescaled by the warp factor so a ×4 replay is compared
+//!   against the recording it compresses;
+//! - **per-type counts** — mixture shares must match;
+//! - **latency percentiles** — p50/p95/p99 from the raw latencies.
+//!
+//! The composite `score` is 0 for an identical re-run and grows with
+//! relative error; `within(tol)` is the acceptance check used by the
+//! harness and verify.sh smoke.
+
+use bp_core::{RequestOutcome, Trace, TraceAnalyzer};
+use bp_util::histogram::Histogram;
+use bp_util::timeseries::mean_abs_error;
+
+/// The replayed-vs-recorded comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceReport {
+    /// Executed (non-shed) requests in each trace.
+    pub recorded_requests: u64,
+    pub replayed_requests: u64,
+    /// Per-second delivered throughput, recorded timeline.
+    pub recorded_throughput: Vec<f64>,
+    /// Replayed throughput mapped onto the recorded timeline (warp-scaled).
+    pub replayed_throughput: Vec<f64>,
+    /// Mean absolute error between the two series (tx/s).
+    pub throughput_mae: f64,
+    /// `throughput_mae` relative to the recorded mean rate.
+    pub throughput_rel_error: f64,
+    pub per_type_recorded: Vec<u64>,
+    pub per_type_replayed: Vec<u64>,
+    /// Largest absolute difference in per-type share (0..1).
+    pub max_type_share_diff: f64,
+    pub recorded_latency_us: [u64; 3],
+    pub replayed_latency_us: [u64; 3],
+    /// Composite divergence: mean of count, throughput and mixture relative
+    /// errors. 0 = statistically identical.
+    pub score: f64,
+}
+
+impl DivergenceReport {
+    /// Compare a replayed trace against the recorded baseline. `speed` is
+    /// the replay's time-compression factor (1.0 for as-recorded,
+    /// `f64::INFINITY` for asap — which skips the throughput-series axis,
+    /// as closed-loop replay deliberately abandons recorded timing).
+    pub fn compare(recorded: &Trace, replayed: &Trace, num_types: usize, speed: f64) -> DivergenceReport {
+        let rec = TraceAnalyzer::analyze(recorded, num_types);
+        let rep = TraceAnalyzer::analyze(replayed, num_types);
+        let recorded_requests: u64 = rec.committed + rec.user_aborted + rec.failed;
+        let replayed_requests: u64 = rep.committed + rep.user_aborted + rep.failed;
+
+        // Rescale the replayed completions onto the recorded timeline: a
+        // completion at replay-time t happened at recorded-time t*speed.
+        let recorded_throughput = rec.throughput.clone();
+        let replayed_throughput = if speed.is_finite() {
+            // A completion at replay-time t lands in recorded-second
+            // floor(t*speed); bucket counts then read directly as tx per
+            // recorded second.
+            let mut counts = vec![0.0f64; recorded_throughput.len().max(1)];
+            for r in replayed.records() {
+                if r.outcome == RequestOutcome::Shed {
+                    continue;
+                }
+                let end_us = (r.start_us + r.latency_us) as f64 * speed;
+                let s = (end_us / 1e6) as usize;
+                if let Some(slot) = counts.get_mut(s) {
+                    *slot += 1.0;
+                }
+            }
+            counts
+        } else {
+            Vec::new()
+        };
+
+        let (throughput_mae, throughput_rel_error) = if replayed_throughput.is_empty() {
+            (f64::NAN, f64::NAN)
+        } else {
+            let mae = mean_abs_error(&recorded_throughput, &replayed_throughput);
+            let mean_rate = recorded_throughput.iter().sum::<f64>()
+                / recorded_throughput.len().max(1) as f64;
+            (mae, if mean_rate > 0.0 { mae / mean_rate } else { 0.0 })
+        };
+
+        let max_type_share_diff = max_share_diff(
+            &rec.per_type_counts,
+            recorded_requests,
+            &rep.per_type_counts,
+            replayed_requests,
+        );
+
+        let pcts = |t: &Trace| -> [u64; 3] {
+            let mut h = Histogram::latency();
+            for r in t.records() {
+                if r.outcome != RequestOutcome::Shed {
+                    h.record(r.latency_us);
+                }
+            }
+            if h.is_empty() {
+                [0, 0, 0]
+            } else {
+                [h.percentile(50.0), h.percentile(95.0), h.percentile(99.0)]
+            }
+        };
+
+        let count_rel_error = if recorded_requests == 0 {
+            if replayed_requests == 0 {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            (recorded_requests as f64 - replayed_requests as f64).abs() / recorded_requests as f64
+        };
+        let mut components = vec![count_rel_error, max_type_share_diff];
+        if throughput_rel_error.is_finite() {
+            components.push(throughput_rel_error);
+        }
+        let score = components.iter().sum::<f64>() / components.len() as f64;
+
+        DivergenceReport {
+            recorded_requests,
+            replayed_requests,
+            recorded_throughput,
+            replayed_throughput,
+            throughput_mae,
+            throughput_rel_error,
+            per_type_recorded: rec.per_type_counts,
+            per_type_replayed: rep.per_type_counts,
+            max_type_share_diff,
+            recorded_latency_us: pcts(recorded),
+            replayed_latency_us: pcts(replayed),
+            score,
+        }
+    }
+
+    /// The acceptance check: composite divergence at or below `tolerance`.
+    pub fn within(&self, tolerance: f64) -> bool {
+        self.score <= tolerance
+    }
+}
+
+fn max_share_diff(a_counts: &[u64], a_total: u64, b_counts: &[u64], b_total: u64) -> f64 {
+    if a_total == 0 || b_total == 0 {
+        return if a_total == b_total { 0.0 } else { 1.0 };
+    }
+    a_counts
+        .iter()
+        .zip(b_counts)
+        .map(|(a, b)| (*a as f64 / a_total as f64 - *b as f64 / b_total as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_core::TraceRecord;
+
+    fn trace(records: Vec<(u64, usize, u64)>) -> Trace {
+        Trace::from_records(
+            records
+                .into_iter()
+                .map(|(start_us, txn_type, latency_us)| TraceRecord {
+                    start_us,
+                    latency_us,
+                    txn_type,
+                    outcome: RequestOutcome::Committed,
+                })
+                .collect(),
+        )
+    }
+
+    fn steady(rate: u64, seconds: u64, ty_mod: usize) -> Vec<(u64, usize, u64)> {
+        (0..rate * seconds)
+            .map(|i| (i * 1_000_000 / rate, (i as usize) % ty_mod, 300))
+            .collect()
+    }
+
+    #[test]
+    fn identical_traces_have_zero_score() {
+        let a = trace(steady(100, 2, 2));
+        let b = trace(steady(100, 2, 2));
+        let d = DivergenceReport::compare(&a, &b, 2, 1.0);
+        assert_eq!(d.recorded_requests, 200);
+        assert_eq!(d.replayed_requests, 200);
+        assert!(d.score < 1e-9, "score {}", d.score);
+        assert!(d.within(0.01));
+        assert_eq!(d.per_type_recorded, d.per_type_replayed);
+    }
+
+    #[test]
+    fn mixture_drift_raises_share_diff() {
+        let a = trace(steady(100, 2, 2)); // 50/50
+        let b = trace(steady(100, 2, 1)); // all type 0
+        let d = DivergenceReport::compare(&a, &b, 2, 1.0);
+        assert!((d.max_type_share_diff - 0.5).abs() < 1e-9, "{}", d.max_type_share_diff);
+        assert!(!d.within(0.05));
+    }
+
+    #[test]
+    fn warp_rescaling_matches_compressed_replay() {
+        // Recorded: 100/s for 4s. Replayed at ×4: same 400 requests in 1s.
+        let a = trace(steady(100, 4, 1));
+        let b = trace(steady(400, 1, 1));
+        let d = DivergenceReport::compare(&a, &b, 1, 4.0);
+        assert_eq!(d.replayed_throughput.len(), d.recorded_throughput.len());
+        assert!(d.throughput_rel_error < 0.05, "rel err {}", d.throughput_rel_error);
+        assert!(d.within(0.05), "score {}", d.score);
+    }
+
+    #[test]
+    fn asap_skips_throughput_axis() {
+        let a = trace(steady(100, 2, 2));
+        let b = trace(steady(1000, 1, 2).into_iter().take(200).collect());
+        let d = DivergenceReport::compare(&a, &b, 2, f64::INFINITY);
+        assert!(d.throughput_mae.is_nan());
+        assert!(d.score.is_finite());
+    }
+
+    #[test]
+    fn dropped_tail_counts_against_score() {
+        let a = trace(steady(100, 2, 2));
+        let b = trace(steady(100, 2, 2).into_iter().take(120).collect());
+        let d = DivergenceReport::compare(&a, &b, 2, 1.0);
+        assert!(d.score > 0.1, "score {}", d.score);
+    }
+}

@@ -1,0 +1,421 @@
+//! Deterministic replay: feed a recorded schedule back into the executor.
+//!
+//! [`ReplaySource`] implements `ScheduleSource`, so the manager loop,
+//! central queue, workers, stats, spans and trace collection all behave
+//! exactly as in a live run — only the *origin* of arrivals changes. Three
+//! timing modes:
+//!
+//! - **as-recorded** (open loop): every request arrives at its recorded
+//!   offset; the run takes as long as the recording did.
+//! - **time-warp ×k** (open loop): recorded offsets are divided by `k`, so
+//!   ×4 replays a 4-minute recording in ~1 minute (or `k`<1 slows it down).
+//! - **asap** (closed loop): recorded timing is discarded; the whole
+//!   schedule is enqueued immediately and worker completion paces the run.
+//!
+//! The queue's dispatch gate is removed during replay — arrival timestamps
+//! already encode the recorded pacing, and a gate computed from the script
+//! would fight any runtime rate overrides that were captured in the
+//! schedule.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bp_core::{ControlState, PhaseScript, ScheduleSource, ScheduledRequest, Window};
+use bp_obs::{MetricsBuf, MetricsSource};
+use bp_util::clock::{Micros, MICROS_PER_SEC};
+
+use crate::recorder::ScheduleRecord;
+
+/// How replay maps recorded arrival times onto the re-run clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplayTiming {
+    /// Open loop at recorded speed.
+    AsRecorded,
+    /// Open loop with time compressed (>1) or stretched (<1) by this factor.
+    Warp(f64),
+    /// Closed loop: enqueue everything now, workers set the pace.
+    Asap,
+}
+
+impl ReplayTiming {
+    /// The time-compression factor (recorded µs per replay µs).
+    pub fn speed(&self) -> f64 {
+        match self {
+            ReplayTiming::AsRecorded => 1.0,
+            ReplayTiming::Warp(k) => {
+                if k.is_finite() && *k > 0.0 {
+                    *k
+                } else {
+                    1.0
+                }
+            }
+            ReplayTiming::Asap => f64::INFINITY,
+        }
+    }
+
+    pub fn mode_name(&self) -> &'static str {
+        match self {
+            ReplayTiming::AsRecorded => "as-recorded",
+            ReplayTiming::Warp(_) => "warp",
+            ReplayTiming::Asap => "asap",
+        }
+    }
+
+    /// Parse an API request: `mode` is `as-recorded` | `warp` | `asap`;
+    /// `warp` uses the factor (a bare factor ≠ 1 implies warp mode).
+    pub fn parse(mode: Option<&str>, warp: Option<f64>) -> Result<ReplayTiming, String> {
+        match (mode, warp) {
+            (Some("asap"), _) => Ok(ReplayTiming::Asap),
+            (Some("as-recorded") | None, None) => Ok(ReplayTiming::AsRecorded),
+            (Some("warp") | Some("as-recorded") | None, Some(k)) => {
+                if !k.is_finite() || k <= 0.0 {
+                    Err(format!("bad warp factor {k}"))
+                } else if k == 1.0 {
+                    Ok(ReplayTiming::AsRecorded)
+                } else {
+                    Ok(ReplayTiming::Warp(k))
+                }
+            }
+            (Some("warp"), None) => Err("warp mode needs a warp factor".to_string()),
+            (Some(m), _) => Err(format!("unknown replay mode '{m}'")),
+        }
+    }
+}
+
+/// Live progress of a replay, shared with `/replay/status` and `/metrics`.
+#[derive(Debug, Default)]
+pub struct ReplayProgress {
+    total: AtomicU64,
+    fed: AtomicU64,
+    /// Worst observed manager lag behind the replay schedule (µs).
+    max_lag_us: AtomicU64,
+    done: AtomicBool,
+    /// Divergence score ×1e6 once computed (u64::MAX = not yet computed).
+    divergence_micro: AtomicU64,
+}
+
+impl ReplayProgress {
+    pub fn new(total: u64) -> Arc<ReplayProgress> {
+        let p = ReplayProgress::default();
+        p.total.store(total, Ordering::Relaxed);
+        p.divergence_micro.store(u64::MAX, Ordering::Relaxed);
+        Arc::new(p)
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    pub fn fed(&self) -> u64 {
+        self.fed.load(Ordering::Relaxed)
+    }
+
+    pub fn max_lag_us(&self) -> u64 {
+        self.max_lag_us.load(Ordering::Relaxed)
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Mark the schedule fully fed. Used by script-only replays, where the
+    /// schedule regenerates inside the executor and there is nothing for a
+    /// `ReplaySource` to feed.
+    pub fn mark_done(&self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+
+    pub fn set_divergence_score(&self, score: f64) {
+        self.divergence_micro
+            .store((score.max(0.0) * 1e6) as u64, Ordering::Relaxed);
+    }
+
+    pub fn divergence_score(&self) -> Option<f64> {
+        match self.divergence_micro.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            v => Some(v as f64 / 1e6),
+        }
+    }
+}
+
+/// `bp_replay_*` for `/metrics`.
+impl MetricsSource for ReplayProgress {
+    fn collect(&self, buf: &mut MetricsBuf) {
+        buf.counter(
+            "bp_replay_fed_total",
+            "Recorded requests fed back into the queue by the replayer",
+            &[],
+            self.fed() as f64,
+        );
+        buf.gauge(
+            "bp_replay_schedule_total",
+            "Total recorded requests in the replayed schedule",
+            &[],
+            self.total() as f64,
+        );
+        buf.gauge(
+            "bp_replay_lag_us",
+            "Worst manager lag behind the replay schedule (microseconds)",
+            &[],
+            self.max_lag_us() as f64,
+        );
+        buf.gauge(
+            "bp_replay_done",
+            "1 once the full schedule has been fed",
+            &[],
+            if self.is_done() { 1.0 } else { 0.0 },
+        );
+        if let Some(score) = self.divergence_score() {
+            buf.gauge(
+                "bp_replay_divergence_score",
+                "Composite replayed-vs-recorded divergence (0 = identical)",
+                &[],
+                score,
+            );
+        }
+    }
+}
+
+/// A `ScheduleSource` that replays a recorded schedule.
+pub struct ReplaySource {
+    /// Arrival-ordered records (as produced by `Recorder::snapshot`).
+    records: Vec<ScheduleRecord>,
+    /// The recorded script: drives phase bookkeeping so `/status` and spans
+    /// show the right phase during replay. May be empty.
+    script: PhaseScript,
+    timing: ReplayTiming,
+    pos: usize,
+    gate_cleared: bool,
+    last_phase: Option<usize>,
+    progress: Arc<ReplayProgress>,
+}
+
+impl ReplaySource {
+    pub fn new(
+        records: Vec<ScheduleRecord>,
+        script: PhaseScript,
+        timing: ReplayTiming,
+    ) -> ReplaySource {
+        let progress = ReplayProgress::new(records.len() as u64);
+        ReplaySource { records, script, timing, pos: 0, gate_cleared: false, last_phase: None, progress }
+    }
+
+    pub fn progress(&self) -> Arc<ReplayProgress> {
+        self.progress.clone()
+    }
+
+    /// Recorded time → replay time.
+    fn scale(&self, recorded_us: Micros) -> Micros {
+        match self.timing {
+            ReplayTiming::Asap => 0,
+            t => (recorded_us as f64 / t.speed()) as Micros,
+        }
+    }
+
+    fn apply_phase(&mut self, phase_idx: usize, state: &ControlState) {
+        if self.last_phase == Some(phase_idx) {
+            return;
+        }
+        if let Some(p) = self.script.phases.get(phase_idx) {
+            // Rate/arrival are informational during replay (arrivals are
+            // pre-stamped); think time would double-pace the recorded
+            // schedule, so it is dropped.
+            state.apply_phase(phase_idx, p.rate, p.arrival, p.weights.as_deref(), 0, true);
+        }
+        self.last_phase = Some(phase_idx);
+    }
+}
+
+impl ScheduleSource for ReplaySource {
+    fn plan(&mut self, second: u64, behind_us: Micros, state: &ControlState) -> Window {
+        let mut w = Window::default();
+        if !self.gate_cleared {
+            // Remove the dispatch gate `start_with_source` set from the
+            // script's first phase: recorded arrival times are the pacing.
+            w.gate_tps = Some(0.0);
+            self.gate_cleared = true;
+        }
+        // Pausing a replay defers it: nothing is fed and the cursor stays,
+        // so resuming continues from the next unfed record (overdue
+        // arrivals collapse to the window start).
+        if state.is_paused() {
+            return w;
+        }
+        self.progress.max_lag_us.fetch_max(behind_us, Ordering::Relaxed);
+
+        let window_start = second * MICROS_PER_SEC;
+        let window_end = window_start + MICROS_PER_SEC;
+        while self.pos < self.records.len() {
+            let rec = self.records[self.pos];
+            let at = self.scale(rec.offset_us);
+            if at >= window_end {
+                break;
+            }
+            w.requests.push(ScheduledRequest {
+                offset_us: at.saturating_sub(window_start),
+                txn_type: rec.txn_type,
+                phase: rec.phase,
+            });
+            self.pos += 1;
+        }
+        if let Some(first) = w.requests.first() {
+            self.apply_phase(first.phase as usize, state);
+        }
+        self.progress.fed.fetch_add(w.requests.len() as u64, Ordering::Relaxed);
+
+        if self.pos >= self.records.len() {
+            w.done = true;
+            self.progress.done.store(true, Ordering::Relaxed);
+        }
+        w
+    }
+
+    /// Wait for the enqueued tail to dispatch before closing — a recorded
+    /// schedule must not lose its last second to the close.
+    fn drain_on_done(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_core::{Mixture, Phase, Rate};
+
+    fn records(n: u64, spacing_us: Micros) -> Vec<ScheduleRecord> {
+        (0..n)
+            .map(|i| ScheduleRecord {
+                offset_us: i * spacing_us,
+                tenant: 0,
+                txn_type: (i % 2) as u16,
+                phase: 0,
+            })
+            .collect()
+    }
+
+    fn state() -> Arc<ControlState> {
+        ControlState::new(Rate::Limited(100.0), Mixture::new(vec![1.0, 1.0]).unwrap(), 50_000.0)
+    }
+
+    fn feed_all(mut src: ReplaySource) -> Vec<(u64, Vec<ScheduledRequest>)> {
+        let st = state();
+        let mut windows = Vec::new();
+        for second in 0..1000 {
+            let w = src.plan(second, 0, &st);
+            windows.push((second, w.requests));
+            if w.done {
+                return windows;
+            }
+        }
+        panic!("replay never finished");
+    }
+
+    #[test]
+    fn as_recorded_preserves_offsets() {
+        let recs = records(30, 100_000); // 10/s for 3s
+        let src = ReplaySource::new(recs.clone(), PhaseScript::default(), ReplayTiming::AsRecorded);
+        let progress = src.progress();
+        let windows = feed_all(src);
+        assert_eq!(windows.len(), 3);
+        let mut replayed = Vec::new();
+        for (second, reqs) in &windows {
+            assert_eq!(reqs.len(), 10);
+            replayed
+                .extend(reqs.iter().map(|r| (second * MICROS_PER_SEC + r.offset_us, r.txn_type)));
+        }
+        let expected: Vec<_> = recs.iter().map(|r| (r.offset_us, r.txn_type)).collect();
+        assert_eq!(replayed, expected);
+        assert_eq!(progress.fed(), 30);
+        assert!(progress.is_done());
+    }
+
+    #[test]
+    fn warp_4x_compresses_windows() {
+        let recs = records(40, 100_000); // 4 recorded seconds
+        let src = ReplaySource::new(recs, PhaseScript::default(), ReplayTiming::Warp(4.0));
+        let windows = feed_all(src);
+        assert_eq!(windows.len(), 1, "4 recorded seconds fit one warp-4 window");
+        assert_eq!(windows[0].1.len(), 40);
+        // Offsets are recorded/4.
+        assert_eq!(windows[0].1[4].offset_us, 100_000);
+    }
+
+    #[test]
+    fn warp_slowdown_stretches() {
+        let recs = records(10, 100_000); // 1 recorded second
+        let src = ReplaySource::new(recs, PhaseScript::default(), ReplayTiming::Warp(0.5));
+        let windows = feed_all(src);
+        assert_eq!(windows.len(), 2, "half speed doubles the duration");
+    }
+
+    #[test]
+    fn asap_feeds_everything_immediately() {
+        let recs = records(500, 10_000);
+        let src = ReplaySource::new(recs, PhaseScript::default(), ReplayTiming::Asap);
+        let windows = feed_all(src);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].1.len(), 500);
+        assert!(windows[0].1.iter().all(|r| r.offset_us == 0));
+    }
+
+    #[test]
+    fn pause_defers_instead_of_dropping() {
+        let recs = records(20, 100_000); // 2 recorded seconds
+        let mut src = ReplaySource::new(recs, PhaseScript::default(), ReplayTiming::AsRecorded);
+        let st = state();
+        st.pause();
+        assert!(src.plan(0, 0, &st).requests.is_empty());
+        st.resume();
+        // Second 1 feeds everything due by its end: the deferred second-0
+        // records (collapsed to the window start) plus second 1's own.
+        let w = src.plan(1, 0, &st);
+        assert_eq!(w.requests.len(), 20);
+        assert!(w.done);
+        assert_eq!(w.requests[0].offset_us, 0, "overdue arrivals collapse to window start");
+    }
+
+    #[test]
+    fn replay_applies_recorded_phases() {
+        let script = PhaseScript::new(vec![
+            Phase::new(Rate::Limited(10.0), 1.0),
+            Phase::new(Rate::Limited(20.0), 1.0),
+        ]);
+        let recs = vec![
+            ScheduleRecord { offset_us: 0, tenant: 0, txn_type: 0, phase: 0 },
+            ScheduleRecord { offset_us: 1_200_000, tenant: 0, txn_type: 1, phase: 1 },
+        ];
+        let mut src = ReplaySource::new(recs, script, ReplayTiming::AsRecorded);
+        let st = state();
+        src.plan(0, 0, &st);
+        assert_eq!(st.phase_idx(), 0);
+        assert_eq!(st.rate(), Rate::Limited(10.0));
+        src.plan(1, 0, &st);
+        assert_eq!(st.phase_idx(), 1);
+        assert_eq!(st.rate(), Rate::Limited(20.0));
+    }
+
+    #[test]
+    fn timing_parse() {
+        assert_eq!(ReplayTiming::parse(None, None), Ok(ReplayTiming::AsRecorded));
+        assert_eq!(ReplayTiming::parse(Some("asap"), None), Ok(ReplayTiming::Asap));
+        assert_eq!(ReplayTiming::parse(None, Some(4.0)), Ok(ReplayTiming::Warp(4.0)));
+        assert_eq!(ReplayTiming::parse(Some("warp"), Some(0.25)), Ok(ReplayTiming::Warp(0.25)));
+        assert_eq!(ReplayTiming::parse(Some("as-recorded"), Some(1.0)), Ok(ReplayTiming::AsRecorded));
+        assert!(ReplayTiming::parse(Some("warp"), None).is_err());
+        assert!(ReplayTiming::parse(Some("warp"), Some(0.0)).is_err());
+        assert!(ReplayTiming::parse(Some("nope"), None).is_err());
+    }
+
+    #[test]
+    fn progress_metrics_exposed() {
+        let p = ReplayProgress::new(10);
+        p.fed.store(4, Ordering::Relaxed);
+        assert_eq!(p.divergence_score(), None);
+        p.set_divergence_score(0.125);
+        assert_eq!(p.divergence_score(), Some(0.125));
+        let mut buf = MetricsBuf::new();
+        p.collect(&mut buf);
+        let samples = buf.into_samples();
+        assert!(samples.len() >= 5);
+    }
+}

@@ -30,6 +30,10 @@ echo "== resilience: fault injection + breaker dip-and-recovery over HTTP =="
 cargo test -q --offline --test resilience
 cargo run -q --release --offline -p bp-bench --bin harness resilience
 
+echo "== replay: record → replay → divergence smoke (same seed ⇒ byte-identical schedule) =="
+cargo test -q --offline --test replay
+cargo run -q --release --offline -p bp-bench --bin harness replay
+
 if command -v cargo-clippy >/dev/null 2>&1 || cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --all-targets -- -D warnings =="
     cargo clippy --offline --all-targets -- -D warnings

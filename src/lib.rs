@@ -5,6 +5,7 @@ pub use bp_core as core;
 pub use bp_game as game;
 pub use bp_monitor as monitor;
 pub use bp_obs as obs;
+pub use bp_replay as replay;
 pub use bp_sql as sql;
 pub use bp_storage as storage;
 pub use bp_util as util;
