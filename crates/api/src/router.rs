@@ -6,7 +6,7 @@ use std::sync::Arc;
 use bp_util::sync::RwLock;
 
 use bp_chaos::{ChaosController, FaultPlan};
-use bp_core::{Controller, MixturePreset, Rate, StatusSnapshot};
+use bp_core::{ControlLaw, Controller, MixturePreset, Rate, SloConfig, SloTarget, StatusSnapshot};
 use bp_obs::MetricsRegistry;
 use bp_replay::{Artifact, ReplaySession, ReplayTiming};
 use bp_util::json::Json;
@@ -169,6 +169,100 @@ fn rate_json(rate: Rate) -> Json {
     }
 }
 
+/// Build an [`SloConfig`] from a `POST /slo` body; every field falls back
+/// to the crate default.
+fn slo_config_from_json(body: &Json) -> Result<SloConfig, String> {
+    let mut cfg = SloConfig::default();
+    let limit_us = match body.get("limit_ms").and_then(Json::as_f64) {
+        Some(ms) if ms > 0.0 && ms.is_finite() => (ms * 1_000.0).round() as u64,
+        Some(_) => return Err("limit_ms must be a positive number".into()),
+        None => cfg.target.limit_us(),
+    };
+    let kind = body.get("target").and_then(Json::as_str).unwrap_or("p99");
+    cfg.target = SloTarget::parse(kind, limit_us)
+        .ok_or_else(|| format!("unknown target {kind}; known: p99, p50, max-throughput"))?;
+    if let Some(law) = body.get("law").and_then(Json::as_str) {
+        cfg.law =
+            ControlLaw::parse(law).ok_or_else(|| format!("unknown law {law}; known: aimd, pid"))?;
+    }
+    if let Some(w) = body.get("window_s").and_then(Json::as_u64) {
+        cfg.window_s = (w as usize).max(1);
+    }
+    if let Some(t) = body.get("tick_ms").and_then(Json::as_u64) {
+        cfg.tick_us = t.max(1) * 1_000;
+    }
+    if let Some(v) = body.get("min_rate").and_then(Json::as_f64) {
+        cfg.min_rate = v.max(0.0);
+    }
+    if let Some(v) = body.get("max_rate").and_then(Json::as_f64) {
+        cfg.max_rate = v;
+    }
+    if let Some(v) = body.get("initial_rate").and_then(Json::as_f64) {
+        cfg.initial_rate = v;
+    }
+    if let Some(v) = body.get("step").and_then(Json::as_f64) {
+        cfg.additive_step = v;
+    }
+    if let Some(v) = body.get("backoff").and_then(Json::as_f64) {
+        if !(0.0..1.0).contains(&v) || v == 0.0 {
+            return Err("backoff must be in (0, 1)".into());
+        }
+        cfg.backoff = v;
+    }
+    if let Some(v) = body.get("breaker_backoff").and_then(Json::as_f64) {
+        if !(0.0..1.0).contains(&v) || v == 0.0 {
+            return Err("breaker_backoff must be in (0, 1)".into());
+        }
+        cfg.breaker_backoff = v;
+    }
+    if let Some(v) = body.get("kp").and_then(Json::as_f64) {
+        cfg.kp = v;
+    }
+    if let Some(v) = body.get("ki").and_then(Json::as_f64) {
+        cfg.ki = v;
+    }
+    if let Some(v) = body.get("kd").and_then(Json::as_f64) {
+        cfg.kd = v;
+    }
+    if let Some(v) = body.get("min_samples").and_then(Json::as_u64) {
+        cfg.min_samples = v;
+    }
+    if cfg.max_rate < cfg.min_rate {
+        return Err("max_rate must be >= min_rate".into());
+    }
+    Ok(cfg)
+}
+
+/// The `GET /slo/status` body for one workload's SLO handle.
+fn slo_status_json(id: &str, c: &Controller) -> Json {
+    let h = c.slo();
+    let (target, limit_us, law, window_s) = match h.config() {
+        Some(cfg) => (cfg.target.kind(), cfg.target.limit_us(), cfg.law.name(), cfg.window_s as u64),
+        None => ("none", 0, "none", 0),
+    };
+    Json::obj()
+        .set("workload", id)
+        .set("active", h.is_active())
+        .set("target", target)
+        .set("limit_us", limit_us)
+        .set("law", law)
+        .set("window_s", window_s)
+        .set("rate", h.current_rate())
+        .set("error", h.error())
+        .set("observed_us", h.observed_us())
+        .set("observed_throughput", h.observed_throughput())
+        .set("window_samples", h.window_samples())
+        .set("ticks", h.ticks())
+        .set(
+            "adjustments",
+            Json::obj()
+                .set("increase", h.increases())
+                .set("decrease", h.decreases())
+                .set("hold", h.holds())
+                .set("breaker_backoff", h.breaker_backoffs()),
+        )
+}
+
 impl ApiServer {
     pub fn new() -> ApiServer {
         ApiServer {
@@ -291,6 +385,9 @@ impl ApiServer {
             (Method::Post, ["chaos"]) => self.chaos_arm(req),
             (Method::Delete, ["chaos"]) => self.chaos_disarm(),
             (Method::Get, ["chaos", "status"]) => self.chaos_status(),
+            (Method::Post, ["slo"]) => self.slo_arm(req, query),
+            (Method::Delete, ["slo"]) => self.slo_disarm(req, query),
+            (Method::Get, ["slo", "status"]) => self.slo_status(req, query),
             (Method::Get, ["trace", "spans"]) => self.trace_spans(query),
             (Method::Get, ["trace", "summary"]) => self.trace_summary(),
             (Method::Get, ["workloads", id]) => self.workload_status(id),
@@ -414,6 +511,78 @@ impl ApiServer {
             return Response::error(501, "no chaos controller wired");
         };
         Response::ok(chaos.status_json())
+    }
+
+    /// The workload an `/slo` request addresses: the `workload` field of
+    /// the body (or query parameter), falling back to the first registered
+    /// workload id — the same convention the `/chaos` endpoints use.
+    fn slo_workload(&self, body: &Json, query: &str) -> Result<(String, Controller), Response> {
+        let explicit = body
+            .get("workload")
+            .and_then(Json::as_str)
+            .or_else(|| query_param(query, "workload"));
+        let map = self.workloads.read();
+        match explicit {
+            Some(id) => match map.get(id) {
+                Some(c) => Ok((id.to_string(), c.clone())),
+                None => Err(Response::error(404, &format!("unknown workload {id}"))),
+            },
+            None => {
+                let mut ids: Vec<&String> = map.keys().collect();
+                ids.sort();
+                match ids.first() {
+                    Some(id) => Ok(((*id).clone(), map[*id].clone())),
+                    None => Err(Response::error(404, "no workloads registered")),
+                }
+            }
+        }
+    }
+
+    /// POST /slo — arm the closed-loop admission controller on a workload.
+    /// Body (all fields optional): `{"target": "p99"|"p50"|"max-throughput",
+    /// "limit_ms": 50, "law": "aimd"|"pid", "window_s": 3, "tick_ms": 200,
+    /// "min_rate": 10, "max_rate": 5000, "initial_rate": 100, "step": 50,
+    /// "backoff": 0.7, "breaker_backoff": 0.5, "min_samples": 20,
+    /// "kp": .., "ki": .., "kd": .., "workload": "<id>"}`.
+    fn slo_arm(&self, req: &Request, query: &str) -> Response {
+        let body = req.body.clone().unwrap_or(Json::Null);
+        let (id, c) = match self.slo_workload(&body, query) {
+            Ok(t) => t,
+            Err(r) => return r,
+        };
+        let cfg = match slo_config_from_json(&body) {
+            Ok(cfg) => cfg,
+            Err(e) => return Response::error(400, &e),
+        };
+        c.start_slo(cfg);
+        if let Some(reg) = &self.registry {
+            // Arc-pointer dedupe in the registry makes re-arming a no-op.
+            reg.register(&format!("slo:{id}"), c.slo().clone());
+        }
+        Response::ok(slo_status_json(&id, &c))
+    }
+
+    /// DELETE /slo — disarm the SLO loop; the last commanded rate sticks
+    /// (operators use POST /workloads/{id}/rate to change it afterwards).
+    fn slo_disarm(&self, req: &Request, query: &str) -> Response {
+        let body = req.body.clone().unwrap_or(Json::Null);
+        let (id, c) = match self.slo_workload(&body, query) {
+            Ok(t) => t,
+            Err(r) => return r,
+        };
+        c.stop_slo();
+        Response::ok(slo_status_json(&id, &c))
+    }
+
+    /// GET /slo/status — the controller's live state: target, commanded
+    /// rate, windowed observation and per-adjustment counters.
+    fn slo_status(&self, req: &Request, query: &str) -> Response {
+        let body = req.body.clone().unwrap_or(Json::Null);
+        let (id, c) = match self.slo_workload(&body, query) {
+            Ok(t) => t,
+            Err(r) => return r,
+        };
+        Response::ok(slo_status_json(&id, &c))
     }
 
     /// GET /metrics — Prometheus text when a registry is attached, the
@@ -1057,5 +1226,96 @@ mod tests {
         assert_eq!(r.raw.unwrap().1, "");
         let r = s.handle(&Request::get("/trace/summary"));
         assert!(r.body.get("workloads").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn slo_arm_status_disarm_roundtrip() {
+        let s = server();
+        // Status before arming: inactive, no target.
+        let r = s.handle(&Request::get("/slo/status"));
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(r.body.get("active").unwrap().as_bool(), Some(false));
+        assert_eq!(r.body.get("target").unwrap().as_str(), Some("none"));
+        // Arm a p99 target.
+        let r = s.handle(&Request::post(
+            "/slo",
+            Json::obj()
+                .set("target", "p99")
+                .set("limit_ms", 20.0)
+                .set("initial_rate", 500.0)
+                .set("min_rate", 50.0)
+                .set("law", "aimd"),
+        ));
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(r.body.get("workload").unwrap().as_str(), Some("demo"));
+        assert_eq!(r.body.get("active").unwrap().as_bool(), Some(true));
+        assert_eq!(r.body.get("target").unwrap().as_str(), Some("p99"));
+        assert_eq!(r.body.get("limit_us").unwrap().as_u64(), Some(20_000));
+        assert_eq!(r.body.get("law").unwrap().as_str(), Some("aimd"));
+        assert_eq!(r.body.get("rate").unwrap().as_f64(), Some(500.0));
+        // Status mirrors the armed config; with no traffic the loop holds.
+        let r = s.handle(&Request::get("/slo/status?workload=demo"));
+        assert!(r.is_ok());
+        assert_eq!(r.body.get("active").unwrap().as_bool(), Some(true));
+        assert_eq!(r.body.get("rate").unwrap().as_f64(), Some(500.0));
+        assert!(r.body.get("adjustments").unwrap().get("increase").is_some());
+        // Disarm.
+        let r = s.handle(&Request {
+            method: Method::Delete,
+            path: "/slo".into(),
+            body: None,
+        });
+        assert!(r.is_ok());
+        assert_eq!(r.body.get("active").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn slo_validation_and_unknown_workload() {
+        let s = server();
+        let r = s.handle(&Request::post("/slo", Json::obj().set("target", "p42")));
+        assert_eq!(r.status, 400);
+        assert!(r.body.get("error").unwrap().as_str().unwrap().contains("p99"));
+        let r = s.handle(&Request::post("/slo", Json::obj().set("law", "bang-bang")));
+        assert_eq!(r.status, 400);
+        let r = s.handle(&Request::post("/slo", Json::obj().set("backoff", 1.5)));
+        assert_eq!(r.status, 400);
+        let r = s.handle(&Request::post("/slo", Json::obj().set("limit_ms", -3.0)));
+        assert_eq!(r.status, 400);
+        let r = s.handle(&Request::post(
+            "/slo",
+            Json::obj().set("min_rate", 100.0).set("max_rate", 10.0),
+        ));
+        assert_eq!(r.status, 400);
+        let r = s.handle(&Request::post("/slo", Json::obj().set("workload", "ghost")));
+        assert_eq!(r.status, 404);
+        // No workloads registered at all.
+        let empty = ApiServer::new();
+        assert_eq!(empty.handle(&Request::get("/slo/status")).status, 404);
+        assert_eq!(empty.handle(&Request::post("/slo", Json::obj())).status, 404);
+    }
+
+    #[test]
+    fn slo_arm_registers_metrics_source() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let s = ApiServer::new().with_registry(reg.clone());
+        s.register("demo", controller());
+        let base = reg.source_count();
+        let r = s.handle(&Request::post("/slo", Json::obj().set("target", "max-throughput")));
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(reg.source_count(), base + 1);
+        assert!(reg.source_names().iter().any(|n| n == "slo:demo"), "{:?}", reg.source_names());
+        // Re-arming reuses the same handle: no duplicate source.
+        let r = s.handle(&Request::post("/slo", Json::obj().set("target", "p50")));
+        assert!(r.is_ok());
+        assert_eq!(reg.source_count(), base + 1);
+        let text = reg.render_prometheus();
+        assert!(text.contains("bp_slo_active"), "{text}");
+        assert!(text.contains("bp_slo_current_rate"), "{text}");
+        let r = s.handle(&Request {
+            method: Method::Delete,
+            path: "/slo".into(),
+            body: None,
+        });
+        assert!(r.is_ok());
     }
 }

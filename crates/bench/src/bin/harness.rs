@@ -1,6 +1,6 @@
 //! The experiment harness CLI: regenerates every table/figure artifact.
 //!
-//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|obs|resilience|replay|queue|all]`
+//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|obs|resilience|replay|slo|queue|all]`
 
 use bp_bench::*;
 
@@ -162,6 +162,24 @@ fn main() {
         assert!(r.synth_mixture_err < 0.02, "synthesis mixture error >= 2%");
         assert!(r.metrics_ok, "bp_replay_* series must be exposed");
     }
+    if run_all || arg == "slo" {
+        ran = true;
+        println!("=== E14: closed-loop SLO admission control — convergence + chaos backoff over HTTP ===");
+        let r = run_slo(4.0);
+        print!("{}", r.render());
+        println!();
+        assert!(
+            (0.6..=1.45).contains(&r.converged_ratio),
+            "SLO loop did not converge near the hand-found point (x{:.2})",
+            r.converged_ratio
+        );
+        assert!(r.breaker_opened, "breaker must open under the chaos spike");
+        assert!(r.breaker_backoffs > 0, "open breaker must force SLO backoff");
+        assert!(r.spike_rate < r.healthy_rate * 0.6, "SLO loop must back off under chaos");
+        assert!(r.recovered_rate > r.spike_rate * 1.4, "SLO loop must re-probe after recovery");
+        assert!(r.breaker_reclosed, "breaker must re-close after disarm");
+        assert!(r.metrics_ok, "bp_slo_* series must be live on /metrics");
+    }
     if run_all || arg == "queue" {
         ran = true;
         println!("=== Ablation: centralized queue dispatch gate (never-exceed, §2.2.1) ===");
@@ -173,7 +191,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects obs resilience replay queue all"
+            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects obs resilience replay slo queue all"
         );
         std::process::exit(2);
     }

@@ -23,6 +23,7 @@ use bp_util::xml::XmlNode;
 
 use crate::executor::RunConfig;
 use crate::rate::{ArrivalDist, Phase, PhaseScript, Rate};
+use crate::slo::{ControlLaw, SloConfig, SloTarget};
 
 /// A parsed workload configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +37,8 @@ pub struct WorkloadConfig {
     pub script: PhaseScript,
     /// Span recording configuration (`<observability>`; defaults to full).
     pub obs: ObsConfig,
+    /// Closed-loop SLO control (`<slo>`; absent = open-loop).
+    pub slo: Option<SloConfig>,
 }
 
 /// Configuration errors with context.
@@ -123,6 +126,59 @@ impl WorkloadConfig {
             }
         }
 
+        let mut slo = None;
+        if let Some(node) = root.child("slo") {
+            let mut cfg = SloConfig::default();
+            let kind = node.child_text("target").unwrap_or("p99");
+            let limit_ms = node.child_parse::<f64>("limitms").unwrap_or(50.0);
+            cfg.target = SloTarget::parse(kind, (limit_ms * 1_000.0).round() as u64)
+                .ok_or_else(|| ConfigError(format!("invalid <slo> <target> '{kind}'")))?;
+            if let Some(law) = node.child_text("law") {
+                cfg.law = ControlLaw::parse(law)
+                    .ok_or_else(|| ConfigError(format!("invalid <slo> <law> '{law}'")))?;
+            }
+            if let Some(w) = node.child_parse::<usize>("window") {
+                cfg.window_s = w.max(1);
+            }
+            if let Some(t) = node.child_parse::<u64>("tickms") {
+                cfg.tick_us = t.max(1) * 1_000;
+            }
+            if let Some(r) = node.child_parse::<f64>("minrate") {
+                cfg.min_rate = r.max(0.0);
+            }
+            if let Some(r) = node.child_parse::<f64>("maxrate") {
+                cfg.max_rate = r;
+            }
+            if let Some(r) = node.child_parse::<f64>("initialrate") {
+                cfg.initial_rate = r;
+            }
+            if let Some(s) = node.child_parse::<f64>("step") {
+                cfg.additive_step = s;
+            }
+            if let Some(b) = node.child_parse::<f64>("backoff") {
+                if !(0.0..1.0).contains(&b) {
+                    return Err(ConfigError(format!("<slo> <backoff> {b} outside (0, 1)")));
+                }
+                cfg.backoff = b;
+            }
+            if let Some(b) = node.child_parse::<f64>("breakerbackoff") {
+                cfg.breaker_backoff = b;
+            }
+            if let Some(v) = node.child_parse::<f64>("kp") {
+                cfg.kp = v;
+            }
+            if let Some(v) = node.child_parse::<f64>("ki") {
+                cfg.ki = v;
+            }
+            if let Some(v) = node.child_parse::<f64>("kd") {
+                cfg.kd = v;
+            }
+            if let Some(n) = node.child_parse::<u64>("minsamples") {
+                cfg.min_samples = n;
+            }
+            slo = Some(cfg);
+        }
+
         Ok(WorkloadConfig {
             dbtype,
             benchmark,
@@ -130,6 +186,7 @@ impl WorkloadConfig {
             terminals,
             script: PhaseScript::new(phases),
             obs,
+            slo,
         })
     }
 
@@ -140,6 +197,7 @@ impl WorkloadConfig {
             script: self.script.clone(),
             seed,
             obs: self.obs,
+            slo: self.slo.clone(),
             ..Default::default()
         }
     }
@@ -185,6 +243,25 @@ impl WorkloadConfig {
             obs.children.push(add("samplerate", format!("{}", self.obs.sample_ratio)));
             obs.children.push(add("ringcapacity", format!("{}", self.obs.ring_capacity)));
             root.children.push(obs);
+        }
+        if let Some(s) = &self.slo {
+            let mut slo = XmlNode::new("slo");
+            slo.children.push(add("target", s.target.kind().into()));
+            slo.children.push(add("limitms", format!("{}", s.target.limit_us() as f64 / 1_000.0)));
+            slo.children.push(add("law", s.law.name().into()));
+            slo.children.push(add("window", format!("{}", s.window_s)));
+            slo.children.push(add("tickms", format!("{}", s.tick_us / 1_000)));
+            slo.children.push(add("minrate", format!("{}", s.min_rate)));
+            slo.children.push(add("maxrate", format!("{}", s.max_rate)));
+            slo.children.push(add("initialrate", format!("{}", s.initial_rate)));
+            slo.children.push(add("step", format!("{}", s.additive_step)));
+            slo.children.push(add("backoff", format!("{}", s.backoff)));
+            slo.children.push(add("breakerbackoff", format!("{}", s.breaker_backoff)));
+            slo.children.push(add("kp", format!("{}", s.kp)));
+            slo.children.push(add("ki", format!("{}", s.ki)));
+            slo.children.push(add("kd", format!("{}", s.kd)));
+            slo.children.push(add("minsamples", format!("{}", s.min_samples)));
+            root.children.push(slo);
         }
         root.to_xml()
     }
@@ -289,6 +366,68 @@ mod tests {
         // Survives the XML round trip.
         let back = WorkloadConfig::parse(&cfg.to_xml()).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn parse_slo_block() {
+        let xml = SAMPLE.replace(
+            "</parameters>",
+            "<slo><target>p99</target><limitms>5</limitms><law>aimd</law>\
+             <window>2</window><tickms>100</tickms><minrate>25</minrate>\
+             <initialrate>150</initialrate><step>40</step><backoff>0.6</backoff>\
+             </slo></parameters>",
+        );
+        let cfg = WorkloadConfig::parse(&xml).unwrap();
+        let slo = cfg.slo.clone().unwrap();
+        assert_eq!(slo.target, SloTarget::P99BelowUs(5_000));
+        assert_eq!(slo.law, ControlLaw::Aimd);
+        assert_eq!(slo.window_s, 2);
+        assert_eq!(slo.tick_us, 100_000);
+        assert_eq!(slo.min_rate, 25.0);
+        assert_eq!(slo.initial_rate, 150.0);
+        assert_eq!(slo.additive_step, 40.0);
+        assert_eq!(slo.backoff, 0.6);
+        // Carried into the run config verbatim.
+        assert_eq!(cfg.run_config(1).slo, cfg.slo);
+        // Survives the XML round trip (including the infinite max_rate).
+        assert_eq!(slo.max_rate, f64::INFINITY);
+        let back = WorkloadConfig::parse(&cfg.to_xml()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn slo_defaults_and_validation() {
+        assert!(WorkloadConfig::parse(SAMPLE).unwrap().slo.is_none());
+
+        let max_tput = SAMPLE.replace(
+            "</parameters>",
+            "<slo><target>max-throughput</target><law>pid</law></slo></parameters>",
+        );
+        let cfg = WorkloadConfig::parse(&max_tput).unwrap();
+        let slo = cfg.slo.clone().unwrap();
+        assert_eq!(slo.target, SloTarget::MaxThroughput);
+        assert_eq!(slo.law, ControlLaw::Pid);
+        assert_eq!(slo.tick_us, SloConfig::default().tick_us);
+        let back = WorkloadConfig::parse(&cfg.to_xml()).unwrap();
+        assert_eq!(back, cfg);
+
+        let bad_target = SAMPLE.replace(
+            "</parameters>",
+            "<slo><target>p42</target></slo></parameters>",
+        );
+        assert!(WorkloadConfig::parse(&bad_target).is_err());
+
+        let bad_law = SAMPLE.replace(
+            "</parameters>",
+            "<slo><law>fuzzy</law></slo></parameters>",
+        );
+        assert!(WorkloadConfig::parse(&bad_law).is_err());
+
+        let bad_backoff = SAMPLE.replace(
+            "</parameters>",
+            "<slo><backoff>1.5</backoff></slo></parameters>",
+        );
+        assert!(WorkloadConfig::parse(&bad_backoff).is_err());
     }
 
     #[test]

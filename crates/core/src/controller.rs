@@ -15,6 +15,7 @@ use bp_util::clock::Micros;
 use crate::mixture::{Mixture, MixtureError, MixturePreset};
 use crate::queue::RequestQueue;
 use crate::rate::{ArrivalDist, Rate};
+use crate::slo::{slo_loop, SloConfig, SloHandle};
 use crate::stats::{StatsCollector, StatusSnapshot};
 use crate::workload::TransactionType;
 
@@ -155,6 +156,9 @@ pub struct Controller {
     workload_name: String,
     spans: Option<Arc<bp_obs::SpanRecorder>>,
     breaker: Option<Arc<bp_chaos::CircuitBreaker>>,
+    /// Persistent SLO-controller state, shared by all clones of this
+    /// controller so API servers and the executor see one loop.
+    slo: Arc<SloHandle>,
 }
 
 impl Controller {
@@ -175,6 +179,7 @@ impl Controller {
             workload_name: workload_name.to_string(),
             spans: None,
             breaker: None,
+            slo: Arc::new(SloHandle::new(workload_name)),
         }
     }
 
@@ -315,6 +320,33 @@ impl Controller {
 
     pub fn current_mixture(&self) -> Arc<Mixture> {
         self.state.mixture()
+    }
+
+    // -- closed-loop SLO control --
+
+    /// This workload's SLO-controller state (config, live gauges, loop
+    /// epoch). Always present; inactive until [`Controller::start_slo`].
+    pub fn slo(&self) -> &Arc<SloHandle> {
+        &self.slo
+    }
+
+    /// Start (or replace) the closed-loop SLO controller: arm the shared
+    /// handle, apply the initial rate, and spawn the control thread. A
+    /// previously running loop notices its stale epoch and exits.
+    pub fn start_slo(&self, cfg: SloConfig) {
+        let epoch = self.slo.arm(&cfg);
+        self.set_rate(Rate::Limited(cfg.initial_rate.clamp(cfg.min_rate, cfg.max_rate)));
+        let controller = self.clone();
+        let handle = self.slo.clone();
+        std::thread::Builder::new()
+            .name("bp-slo".into())
+            .spawn(move || slo_loop(controller, handle, cfg, epoch))
+            .expect("spawn SLO control thread");
+    }
+
+    /// Stop the SLO loop (the last applied rate stays in effect).
+    pub fn stop_slo(&self) {
+        self.slo.disarm();
     }
 }
 

@@ -27,6 +27,7 @@ use crate::mixture::Mixture;
 use crate::queue::RequestQueue;
 use crate::rate::{PhaseScript, Rate};
 use crate::schedule::{ScheduleSource, ScriptSchedule};
+use crate::slo::SloConfig;
 use crate::stats::{RequestOutcome, Sample, StatsCollector};
 use crate::trace::{Trace, TraceRecord};
 use crate::workload::{TxnOutcome, Workload};
@@ -54,6 +55,8 @@ pub struct RunConfig {
     pub tenant: u16,
     /// Client resilience: backoff, deadlines, retry budget, breaker.
     pub resilience: ResilienceConfig,
+    /// Closed-loop SLO admission control; `None` runs open-loop.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for RunConfig {
@@ -68,6 +71,7 @@ impl Default for RunConfig {
             obs: ObsConfig::default(),
             tenant: 0,
             resilience: ResilienceConfig::default(),
+            slo: None,
         }
     }
 }
@@ -160,6 +164,12 @@ pub fn start_with_source(
     .with_spans(spans.clone());
     if let Some(b) = &breaker {
         controller = controller.with_breaker(b.clone());
+    }
+
+    // Closed-loop SLO control: the loop thread is detached (it polls
+    // stats, not the queue) and exits on stop via its epoch/stop checks.
+    if let Some(slo_cfg) = &cfg.slo {
+        controller.start_slo(slo_cfg.clone());
     }
 
     let active_workers = Arc::new(AtomicUsize::new(cfg.terminals));

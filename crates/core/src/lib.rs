@@ -19,6 +19,7 @@ pub mod model;
 pub mod queue;
 pub mod rate;
 pub mod schedule;
+pub mod slo;
 pub mod stats;
 pub mod tenant;
 pub mod trace;
@@ -34,7 +35,12 @@ pub use model::{CapacityModel, SimDbms, SimServer};
 pub use queue::{Request, RequestQueue, ScheduledRequest};
 pub use rate::{ArrivalDist, Phase, PhaseScript, Rate};
 pub use schedule::{ScheduleSource, ScriptSchedule, Window};
-pub use stats::{RequestOutcome, Sample, StatsCollector, StatusSnapshot, TypeSummary};
+pub use slo::{
+    Adjustment, ControlLaw, SloConfig, SloCore, SloDecision, SloHandle, SloObservation, SloTarget,
+};
+pub use stats::{
+    RequestOutcome, Sample, StatsCollector, StatusSnapshot, TypeSummary, WindowSnapshot,
+};
 pub use tenant::{Tenant, Testbed};
 pub use trace::{Trace, TraceAnalysis, TraceAnalyzer, TraceRecord, TrackingReport, TRACE_HEADER};
 pub use workload::{BenchmarkClass, LoadSummary, TransactionType, TxnOutcome, Workload};

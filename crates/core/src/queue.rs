@@ -44,11 +44,19 @@ pub struct ScheduledRequest {
     pub phase: u16,
 }
 
+/// Nanoseconds per microsecond: the gate runs in nanos so fractional
+/// µs spacings (any rate above ~1k tx/s) are not truncated away.
+const NANOS_PER_MICRO: u64 = 1_000;
+
 #[derive(Debug, Default)]
 struct QueueState {
     queue: VecDeque<Request>,
-    /// Earliest time the next dispatch may happen (rate gate).
-    next_dispatch: Micros,
+    /// Earliest time the next dispatch may happen (rate gate), in nanos.
+    next_dispatch_ns: u64,
+    /// Schedule anchor of the most recent dispatch (nanos). `None` until
+    /// the first dispatch so a `set_rate` during setup cannot delay the
+    /// run's very first request by one spacing.
+    last_gate_ns: Option<u64>,
     closed: bool,
 }
 
@@ -57,8 +65,8 @@ pub struct RequestQueue {
     state: Mutex<QueueState>,
     cond: Condvar,
     clock: SharedClock,
-    /// Current dispatch spacing in µs (0 = no gating, i.e. unlimited).
-    spacing_us: AtomicU64,
+    /// Current dispatch spacing in nanos (0 = no gating, i.e. unlimited).
+    spacing_ns: AtomicU64,
     seq: AtomicU64,
     dispatched: AtomicU64,
     /// Cumulative scheduled-arrival → dispatch wait across all dispatches
@@ -74,7 +82,7 @@ impl RequestQueue {
             state: Mutex::new(QueueState::default()),
             cond: Condvar::new(),
             clock,
-            spacing_us: AtomicU64::new(0),
+            spacing_ns: AtomicU64::new(0),
             seq: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
             queue_wait_us: AtomicU64::new(0),
@@ -82,13 +90,25 @@ impl RequestQueue {
     }
 
     /// Update the dispatch gate for a new target rate (requests/second).
+    ///
+    /// The gate is re-anchored to the last dispatch's schedule point under
+    /// the *new* spacing: stepping the rate down immediately pushes
+    /// `next_dispatch` back (no overshoot burst under stale spacing right
+    /// after a downward adjustment — the SLO controller depends on this),
+    /// and stepping it up pulls the gate forward.
     pub fn set_rate(&self, tps: f64) {
         let spacing = if tps <= 0.0 || !tps.is_finite() {
             0
         } else {
-            (1_000_000.0 / tps) as u64
+            ((1_000_000_000.0 / tps).round() as u64).max(1)
         };
-        self.spacing_us.store(spacing, Ordering::Relaxed);
+        self.spacing_ns.store(spacing, Ordering::Relaxed);
+        let mut st = self.state.lock();
+        st.next_dispatch_ns = match st.last_gate_ns {
+            Some(gate) if spacing > 0 => gate.saturating_add(spacing),
+            _ => 0,
+        };
+        drop(st);
         self.cond.notify_all();
     }
 
@@ -174,25 +194,32 @@ impl RequestQueue {
             if st.closed {
                 return None;
             }
-            let now = self.clock.now();
+            let now_ns = self.clock.now() * NANOS_PER_MICRO;
             if let Some(&head) = st.queue.front() {
-                let gate = head.arrival.max(st.next_dispatch);
-                if now >= gate {
+                let gate_ns = (head.arrival * NANOS_PER_MICRO).max(st.next_dispatch_ns);
+                if now_ns >= gate_ns {
                     let req = st.queue.pop_front().expect("head exists");
-                    let spacing = self.spacing_us.load(Ordering::Relaxed);
+                    let spacing = self.spacing_ns.load(Ordering::Relaxed);
                     // Token-bucket with one spacing of credit: anchoring
                     // on the gate's own schedule avoids cumulative drift
                     // from late dispatches, while clamping to (now - one
-                    // spacing) keeps an old backlog from bursting past the
-                    // target rate.
-                    st.next_dispatch = gate.max(now.saturating_sub(spacing)) + spacing;
+                    // credit) keeps an old backlog from bursting past the
+                    // target rate. The credit is at least one clock
+                    // quantum (1µs) so sub-µs spacings don't lose schedule
+                    // to clock granularity.
+                    let credit = spacing.max(NANOS_PER_MICRO);
+                    let anchor = gate_ns.max(now_ns.saturating_sub(credit));
+                    st.last_gate_ns = Some(anchor);
+                    st.next_dispatch_ns = anchor + spacing;
                     self.dispatched.fetch_add(1, Ordering::Relaxed);
-                    self.queue_wait_us
-                        .fetch_add(now.saturating_sub(req.arrival), Ordering::Relaxed);
+                    self.queue_wait_us.fetch_add(
+                        (now_ns / NANOS_PER_MICRO).saturating_sub(req.arrival),
+                        Ordering::Relaxed,
+                    );
                     return Some(req);
                 }
                 // Wait until the gate opens (or something changes).
-                let wait = (gate - now).min(max_wait_us);
+                let wait = (gate_ns - now_ns).div_ceil(NANOS_PER_MICRO).min(max_wait_us);
                 let timeout = std::time::Duration::from_micros(wait.max(1));
                 self.cond.wait_for(&mut st, timeout);
             } else {
@@ -209,18 +236,23 @@ impl RequestQueue {
         if st.closed {
             return None;
         }
-        let now = self.clock.now();
+        let now_ns = self.clock.now() * NANOS_PER_MICRO;
         let head = *st.queue.front()?;
-        let gate = head.arrival.max(st.next_dispatch);
-        if now < gate {
+        let gate_ns = (head.arrival * NANOS_PER_MICRO).max(st.next_dispatch_ns);
+        if now_ns < gate_ns {
             return None;
         }
         st.queue.pop_front();
-        let spacing = self.spacing_us.load(Ordering::Relaxed);
-        st.next_dispatch = gate.max(now.saturating_sub(spacing)) + spacing;
+        let spacing = self.spacing_ns.load(Ordering::Relaxed);
+        let credit = spacing.max(NANOS_PER_MICRO);
+        let anchor = gate_ns.max(now_ns.saturating_sub(credit));
+        st.last_gate_ns = Some(anchor);
+        st.next_dispatch_ns = anchor + spacing;
         self.dispatched.fetch_add(1, Ordering::Relaxed);
-        self.queue_wait_us
-            .fetch_add(now.saturating_sub(head.arrival), Ordering::Relaxed);
+        self.queue_wait_us.fetch_add(
+            (now_ns / NANOS_PER_MICRO).saturating_sub(head.arrival),
+            Ordering::Relaxed,
+        );
         Some(head)
     }
 }
@@ -342,6 +374,104 @@ mod tests {
         let b = q.try_pull().unwrap();
         assert_eq!((b.arrival, b.txn_type, b.phase), (1_250, 0, 2));
         assert!(a.seq < b.seq);
+    }
+
+    /// Drain an overdue backlog for `dur_us` simulated µs at `tps` and
+    /// return how many requests were dispatched.
+    fn drain_at_rate(tps: f64, dur_us: u64) -> u64 {
+        let (sim, clock) = sim_clock();
+        let q = RequestQueue::new(clock);
+        q.set_rate(tps);
+        let expected = (tps * dur_us as f64 / 1e6) as u64;
+        q.push_arrivals((0..expected + expected / 10 + 10).map(|_| 0));
+        let mut n = 0u64;
+        for _ in 0..dur_us {
+            sim.advance(1);
+            while q.try_pull().is_some() {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn dispatch_accuracy_300k() {
+        // Regression: whole-µs spacing truncation made 300k tx/s dispatch
+        // at ~333k (+11%). With nano spacing the error must be ≤1%, and
+        // the never-exceed guarantee must hold.
+        let target = 300_000.0;
+        let secs = 0.5;
+        let n = drain_at_rate(target, (secs * 1e6) as u64);
+        let expected = target * secs;
+        let err = (n as f64 - expected).abs() / expected;
+        assert!(err <= 0.01, "300k: dispatched {n}, expected {expected}, err {err:.4}");
+        assert!(n as f64 <= expected * 1.01, "never-exceed violated: {n}");
+    }
+
+    #[test]
+    fn dispatch_accuracy_1_5m() {
+        // Above 1M tx/s the old gate truncated spacing to 0µs — fully
+        // unlimited. Sub-µs spacing must still track the target within 1%.
+        let target = 1_500_000.0;
+        let secs = 0.5;
+        let n = drain_at_rate(target, (secs * 1e6) as u64);
+        let expected = target * secs;
+        let err = (n as f64 - expected).abs() / expected;
+        assert!(err <= 0.01, "1.5M: dispatched {n}, expected {expected}, err {err:.4}");
+        assert!(n as f64 <= expected * 1.01, "never-exceed violated: {n}");
+    }
+
+    #[test]
+    fn rate_step_down_pushes_gate_back() {
+        let (sim, clock) = sim_clock();
+        let q = RequestQueue::new(clock);
+        q.set_rate(10_000.0); // 100µs spacing
+        q.push_arrivals((0..10).map(|_| 0));
+        sim.advance_to(MICROS_PER_SEC);
+        assert!(q.try_pull().is_some());
+        assert!(q.try_pull().is_some(), "one catch-up credit");
+        assert!(q.try_pull().is_none());
+        // Step DOWN to 1000 tx/s: the gate must be re-anchored to the new
+        // 1000µs spacing immediately, not after one stale 100µs slot.
+        q.set_rate(1_000.0);
+        sim.advance(100);
+        assert!(q.try_pull().is_none(), "stale 100µs spacing leaked through");
+        sim.advance(899);
+        assert!(q.try_pull().is_none(), "gate must honor the new spacing fully");
+        sim.advance(1); // 1000µs after the last dispatch
+        assert!(q.try_pull().is_some());
+    }
+
+    #[test]
+    fn rate_step_up_pulls_gate_forward() {
+        let (sim, clock) = sim_clock();
+        let q = RequestQueue::new(clock);
+        q.set_rate(1_000.0); // 1000µs spacing
+        q.push_arrivals((0..10).map(|_| 0));
+        sim.advance_to(MICROS_PER_SEC);
+        assert!(q.try_pull().is_some());
+        assert!(q.try_pull().is_some(), "one catch-up credit");
+        assert!(q.try_pull().is_none());
+        // Step UP to 10k tx/s: next dispatch is 100µs after the last one,
+        // not 1000µs.
+        q.set_rate(10_000.0);
+        sim.advance(99);
+        assert!(q.try_pull().is_none());
+        sim.advance(1);
+        assert!(q.try_pull().is_some(), "faster rate applies immediately");
+    }
+
+    #[test]
+    fn set_rate_before_first_dispatch_does_not_delay_it() {
+        let (sim, clock) = sim_clock();
+        let q = RequestQueue::new(clock);
+        // The executor configures the rate before the run starts; the very
+        // first request must still dispatch at its arrival time.
+        q.set_rate(10.0); // 100ms spacing
+        q.set_rate(10.0);
+        q.push_arrivals([1_000]);
+        sim.advance_to(1_000);
+        assert!(q.try_pull().is_some(), "first dispatch delayed by set_rate");
     }
 
     #[test]

@@ -11,9 +11,14 @@
 //! writes, so the merge cost sits on the cold path where it belongs.
 
 use bp_util::clock::{Micros, SharedClock, MICROS_PER_SEC};
-use bp_util::histogram::Histogram;
+use bp_util::histogram::{Histogram, WindowedHistogram};
 use bp_util::sync::{thread_slot, CachePadded, Mutex};
 use bp_util::timeseries::TimeSeries;
+
+/// Seconds of per-second latency history each shard keeps for sliding
+/// windows. Two minutes comfortably covers any control-loop window while
+/// bounding memory per shard.
+const WINDOW_RING_S: usize = 120;
 
 /// How a dispatched request ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +77,10 @@ struct Shard {
     all_latency: Histogram,
     queue_delay: Histogram,
     requested: TimeSeries,
+    /// Per-second latency ring for sliding-window percentiles. Recorded
+    /// under the same shard lock as everything else: no new locking on
+    /// the hot path.
+    windowed: WindowedHistogram,
 }
 
 impl Shard {
@@ -82,9 +91,14 @@ impl Shard {
             all_latency: Histogram::latency(),
             queue_delay: Histogram::latency(),
             requested: TimeSeries::per_second(),
+            windowed: WindowedHistogram::new(WINDOW_RING_S),
         }
     }
 
+    /// Cumulative merge. The windowed ring is deliberately excluded:
+    /// window views are folded across shards by
+    /// [`StatsCollector::window_histogram`], which merges each shard's
+    /// ring slice for one specific window instead of the whole ring.
     fn merge(&mut self, other: &Shard) {
         for (pt, o) in self.per_type.iter_mut().zip(&other.per_type) {
             pt.merge(o);
@@ -209,6 +223,7 @@ impl StatsCollector {
             return;
         }
         shard.all_latency.record(latency);
+        shard.windowed.record(s.end, latency);
         shard.queue_delay.record(delay);
         shard.all_completions.record(s.end, latency);
         if let Some(pt) = shard.per_type.get_mut(s.txn_type) {
@@ -298,6 +313,52 @@ impl StatsCollector {
     pub fn total_completed(&self) -> u64 {
         self.shards.iter().map(|s| s.lock().all_latency.count()).sum()
     }
+
+    /// The clock this collector stamps and windows against.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Latency histogram over the last `window_s` seconds (including the
+    /// current partial second), folded across all shards on demand.
+    pub fn window_histogram(&self, window_s: usize) -> Histogram {
+        let now = self.clock.now();
+        let mut acc = Histogram::latency();
+        for shard in &self.shards {
+            acc.merge(&shard.lock().windowed.window(now, window_s));
+        }
+        acc
+    }
+
+    /// Sliding-window view for feedback control: latency percentiles over
+    /// the window plus throughput over the same horizon.
+    pub fn window_snapshot(&self, window_s: usize) -> WindowSnapshot {
+        let hist = self.window_histogram(window_s);
+        let now = self.clock.now();
+        let throughput = self.merged().all_completions.recent_rate(now, window_s.max(1));
+        WindowSnapshot {
+            count: hist.count(),
+            mean_us: hist.mean(),
+            p50_us: hist.p50(),
+            p95_us: hist.p95(),
+            p99_us: hist.p99(),
+            throughput,
+        }
+    }
+}
+
+/// Sliding-window latency/throughput snapshot (the SLO controller's
+/// sensor reading).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// Completions inside the window.
+    pub count: u64,
+    pub mean_us: f64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    /// Throughput over the same window (tx/s, complete seconds).
+    pub throughput: f64,
 }
 
 impl bp_obs::MetricsSource for StatsCollector {
@@ -538,6 +599,66 @@ mod tests {
         assert_eq!(st.committed, threads * per_thread);
         let sum = c.per_type_summary();
         assert_eq!(sum[0].count + sum[1].count, threads * per_thread);
+    }
+
+    #[test]
+    fn window_snapshot_tracks_recent_latency_only() {
+        let (sim, clock) = sim_clock();
+        let c = StatsCollector::new(clock, &["t"]);
+        // Second 0: slow (10ms). Seconds 5-6: fast (1ms).
+        for i in 0..50u64 {
+            c.record(sample(0, i * 10_000, 10_000));
+        }
+        for i in 0..100u64 {
+            c.record(sample(0, 5 * MICROS_PER_SEC + i * 15_000, 1_000));
+        }
+        sim.advance_to(7 * MICROS_PER_SEC);
+        // A 3s window sees only the fast phase.
+        let w = c.window_snapshot(3);
+        assert_eq!(w.count, 100);
+        assert!(w.p99_us < 1_100, "p99 {} should reflect the fast phase", w.p99_us);
+        // A huge window sees everything, matching the cumulative histogram.
+        let all = c.window_snapshot(1_000);
+        assert_eq!(all.count, 150);
+        assert!(all.p99_us > 9_000, "cumulative p99 {} includes the slow phase", all.p99_us);
+    }
+
+    #[test]
+    fn window_histogram_huge_equals_cumulative() {
+        let (sim, clock) = sim_clock();
+        let c = StatsCollector::new(clock, &["t"]);
+        for i in 0..2_000u64 {
+            c.record(sample(0, i * 5_000, 100 + (i * 7) % 3_000));
+        }
+        sim.advance_to(11 * MICROS_PER_SEC);
+        let windowed = c.window_histogram(usize::MAX);
+        let st = c.status(1);
+        assert_eq!(windowed.count(), st.committed);
+        assert_eq!(windowed.p95(), c.per_type_summary()[0].p95_us);
+    }
+
+    #[test]
+    fn window_empty_after_quiet_period() {
+        let (sim, clock) = sim_clock();
+        let c = StatsCollector::new(clock, &["t"]);
+        c.record(sample(0, 0, 500));
+        sim.advance_to(30 * MICROS_PER_SEC);
+        let w = c.window_snapshot(5);
+        assert_eq!(w.count, 0);
+        assert_eq!(w.p99_us, 0);
+        assert_eq!(w.mean_us, 0.0);
+    }
+
+    #[test]
+    fn window_shed_excluded() {
+        let (sim, clock) = sim_clock();
+        let c = StatsCollector::new(clock, &["t"]);
+        c.record(sample(0, 0, 100));
+        let mut s = sample(0, 0, 100);
+        s.outcome = RequestOutcome::Shed;
+        c.record(s);
+        sim.advance_to(MICROS_PER_SEC);
+        assert_eq!(c.window_snapshot(10).count, 1, "shed never enters the window");
     }
 
     #[test]

@@ -186,6 +186,79 @@ impl Default for Histogram {
     }
 }
 
+/// A ring of per-second histograms for sliding-window percentiles.
+///
+/// `record(t, v)` lands `v` in the slot for `t`'s wall second, lazily
+/// clearing the slot the first time a new second reuses it — no timer
+/// thread, no extra locking (callers already hold their stats-shard
+/// lock). `window(now, w)` merges the last `w` seconds (including the
+/// current, partial one) into a plain [`Histogram`] on demand, so the
+/// read cost stays on the cold path.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    slots: Vec<WindowSlot>,
+}
+
+#[derive(Debug, Clone)]
+struct WindowSlot {
+    /// Wall second this slot currently holds. Slot 0 starts live (second
+    /// 0 is a real second); every other slot starts as a stale holder of
+    /// a second it can never have observed, so it reads as empty until
+    /// first written.
+    second: u64,
+    hist: Histogram,
+}
+
+impl WindowedHistogram {
+    /// A ring covering `capacity_s` seconds at latency precision.
+    pub fn new(capacity_s: usize) -> WindowedHistogram {
+        let capacity_s = capacity_s.max(2);
+        WindowedHistogram {
+            slots: (0..capacity_s)
+                .map(|i| WindowSlot {
+                    second: if i == 0 { 0 } else { u64::MAX },
+                    hist: Histogram::latency(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Seconds of history the ring can hold.
+    pub fn capacity_s(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Record `value` at time `t_us` (µs since run start).
+    pub fn record(&mut self, t_us: u64, value: u64) {
+        let sec = t_us / 1_000_000;
+        let idx = (sec % self.slots.len() as u64) as usize;
+        let slot = &mut self.slots[idx];
+        if slot.second != sec {
+            slot.hist.clear();
+            slot.second = sec;
+        }
+        slot.hist.record(value);
+    }
+
+    /// Merge the last `window_s` seconds (ending at `now_us`'s second,
+    /// inclusive) into one histogram. A window larger than the recorded
+    /// history simply returns everything still in the ring, so
+    /// `window(now, huge)` equals the cumulative histogram for runs no
+    /// longer than the ring capacity.
+    pub fn window(&self, now_us: u64, window_s: usize) -> Histogram {
+        let window_s = window_s.max(1) as u64;
+        let now_sec = now_us / 1_000_000;
+        let lo = now_sec.saturating_sub(window_s - 1);
+        let mut acc = Histogram::latency();
+        for slot in &self.slots {
+            if slot.second >= lo && slot.second <= now_sec && !slot.hist.is_empty() {
+                acc.merge(&slot.hist);
+            }
+        }
+        acc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,5 +377,93 @@ mod tests {
         }
         let sum: u64 = h.iter().map(|(_, c)| c).sum();
         assert_eq!(sum, h.count());
+    }
+
+    const SEC: u64 = 1_000_000;
+
+    #[test]
+    fn windowed_empty_window_is_zero() {
+        let w = WindowedHistogram::new(10);
+        let h = w.window(5 * SEC, 3);
+        assert!(h.is_empty());
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn windowed_includes_current_partial_second() {
+        let mut w = WindowedHistogram::new(10);
+        w.record(2 * SEC + 500_000, 777);
+        let h = w.window(2 * SEC + 600_000, 1);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p50(), 777);
+    }
+
+    #[test]
+    fn windowed_excludes_old_seconds() {
+        let mut w = WindowedHistogram::new(10);
+        w.record(0, 100); // second 0
+        w.record(SEC, 200); // second 1
+        w.record(4 * SEC, 300); // second 4
+        // Window of 2s ending in second 4 covers seconds 3..=4 only.
+        let h = w.window(4 * SEC + 1, 2);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 300);
+        // Widen to 5s: everything.
+        let h = w.window(4 * SEC + 1, 5);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn windowed_ring_rollover_reuses_slots() {
+        let mut w = WindowedHistogram::new(4);
+        // Fill seconds 0..4, then wrap into seconds 4 and 5 which reuse
+        // the slots of seconds 0 and 1.
+        for sec in 0..6u64 {
+            w.record(sec * SEC, 1_000 + sec);
+        }
+        // Ring capacity is 4: only seconds 2..=5 survive.
+        let h = w.window(5 * SEC, 100);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 1_002);
+        assert_eq!(h.max(), 1_005);
+        // A 1s window sees only second 5.
+        let h = w.window(5 * SEC, 1);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 1_005);
+    }
+
+    #[test]
+    fn windowed_huge_window_equals_cumulative() {
+        let mut w = WindowedHistogram::new(60);
+        let mut cumulative = Histogram::latency();
+        for i in 0..5_000u64 {
+            let t = i * 7_000; // 35s of samples
+            let v = 100 + (i * 13) % 20_000;
+            w.record(t, v);
+            cumulative.record(v);
+        }
+        let h = w.window(35 * SEC, usize::MAX);
+        assert_eq!(h.count(), cumulative.count());
+        assert_eq!(h.mean(), cumulative.mean());
+        assert_eq!(h.p50(), cumulative.p50());
+        assert_eq!(h.p99(), cumulative.p99());
+        assert_eq!(h.min(), cumulative.min());
+        assert_eq!(h.max(), cumulative.max());
+    }
+
+    #[test]
+    fn windowed_gap_then_resume() {
+        let mut w = WindowedHistogram::new(8);
+        w.record(0, 50);
+        // Long silence, then activity far beyond one ring revolution.
+        w.record(100 * SEC, 60);
+        let h = w.window(100 * SEC, 2);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 60);
+        // The stale second-0 slot must not leak into wide windows either:
+        // second 0 is outside [99, 100] regardless of ring position.
+        let h = w.window(100 * SEC, 8);
+        assert_eq!(h.count(), 1);
     }
 }

@@ -34,6 +34,10 @@ echo "== replay: record → replay → divergence smoke (same seed ⇒ byte-iden
 cargo test -q --offline --test replay
 cargo run -q --release --offline -p bp-bench --bin harness replay
 
+echo "== slo: closed-loop admission control — convergence + chaos backoff over HTTP =="
+cargo test -q --offline -p bp-core slo
+cargo run -q --release --offline -p bp-bench --bin harness slo
+
 if command -v cargo-clippy >/dev/null 2>&1 || cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --all-targets -- -D warnings =="
     cargo clippy --offline --all-targets -- -D warnings

@@ -131,6 +131,73 @@ fn sharded_stats_match_single_shard_totals() {
     }
 }
 
+/// The sliding-window histogram (the SLO controller's sensor) must merge
+/// across shards exactly like the cumulative path: each shard keeps its
+/// own per-second ring, and `window_histogram` folds the same ring slice
+/// from every shard with exact bucket-wise addition.
+#[test]
+fn sharded_window_histogram_matches_single_shard() {
+    let types = ["alpha", "beta", "gamma"];
+
+    // Sharded run: THREADS real threads, each recording its own stream.
+    let (sim, clock) = sim_clock();
+    let sharded = Arc::new(StatsCollector::new(clock, &types));
+    assert!(sharded.shard_count() > 1, "default collector must be sharded");
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let c = sharded.clone();
+            std::thread::spawn(move || {
+                for s in thread_samples(t) {
+                    c.record(s);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Reference run: the same sample multiset, one shard.
+    let (sim_single, clock) = sim_clock();
+    let single = StatsCollector::with_shards(clock, &types, 1);
+    for t in 0..THREADS {
+        for s in thread_samples(t) {
+            single.record(s);
+        }
+    }
+
+    // Completion times span ~[0, 3.1s); read the windows from mid-second 4
+    // so a short window sees only the stream's tail and a huge one sees
+    // everything.
+    sim.advance_to(4_500_000);
+    sim_single.advance_to(4_500_000);
+
+    let total = THREADS * SAMPLES_PER_THREAD;
+    for window_s in [1usize, 2, 4, usize::MAX] {
+        let a = sharded.window_histogram(window_s);
+        let b = single.window_histogram(window_s);
+        assert_eq!(a.count(), b.count(), "window {window_s}");
+        assert_eq!(a.p50(), b.p50(), "window {window_s}");
+        assert_eq!(a.p95(), b.p95(), "window {window_s}");
+        assert_eq!(a.p99(), b.p99(), "window {window_s}");
+        assert!((a.mean() - b.mean()).abs() < 1e-9, "window {window_s}");
+    }
+    // The 2s window [3s, 4.5s) catches only the tail of the stream...
+    let tail = sharded.window_histogram(2);
+    assert!(tail.count() > 0 && tail.count() < total, "tail: {}", tail.count());
+    // ...and a huge window is the cumulative histogram, on both layouts.
+    assert_eq!(sharded.window_histogram(usize::MAX).count(), total);
+    assert_eq!(sharded.window_histogram(usize::MAX).count(), sharded.total_completed());
+
+    // The controller-facing snapshot agrees too (throughput merges the
+    // same per-second completion counters).
+    let snap_a = sharded.window_snapshot(4);
+    let snap_b = single.window_snapshot(4);
+    assert_eq!(snap_a.count, snap_b.count);
+    assert_eq!(snap_a.p99_us, snap_b.p99_us);
+    assert!((snap_a.throughput - snap_b.throughput).abs() < 1e-9);
+}
+
 /// `record_requested` merges across shards the same way.
 #[test]
 fn sharded_requested_series_matches_single_shard() {
