@@ -7,7 +7,7 @@ use bp_util::sync::RwLock;
 
 use bp_chaos::{ChaosController, FaultPlan};
 use bp_core::{ControlLaw, Controller, MixturePreset, Rate, SloConfig, SloTarget, StatusSnapshot};
-use bp_obs::MetricsRegistry;
+use bp_obs::{Event, EventJournal, MetricsRegistry, Severity};
 use bp_replay::{Artifact, ReplaySession, ReplayTiming};
 use bp_util::json::Json;
 
@@ -159,6 +159,31 @@ fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
         .filter_map(|kv| kv.split_once('='))
         .find(|(k, _)| *k == key)
         .map(|(_, v)| v)
+}
+
+/// Strict `?last=N` parsing: absent falls back to `default`; present but
+/// non-numeric, negative, or overflowing is a 400 (not a silent default —
+/// a typo'd `last=1e4` silently returning 100 events is a debugging trap).
+fn parse_last(query: &str, default: usize) -> Result<usize, Response> {
+    match query_param(query, "last") {
+        None => Ok(default),
+        Some(v) => v.parse::<usize>().map_err(|_| {
+            Response::error(400, &format!("invalid last={v}: must be a non-negative integer"))
+        }),
+    }
+}
+
+/// Strict `?severity=` parsing: absent means everything (debug and up).
+fn parse_severity(query: &str) -> Result<Severity, Response> {
+    match query_param(query, "severity") {
+        None => Ok(Severity::Debug),
+        Some(v) => Severity::parse(v).ok_or_else(|| {
+            Response::error(
+                400,
+                &format!("invalid severity={v}; known: debug, info, warn, error"),
+            )
+        }),
+    }
 }
 
 fn rate_json(rate: Rate) -> Json {
@@ -345,6 +370,12 @@ impl ApiServer {
         if let Some(reg) = &self.registry {
             controller.register_metrics(reg);
         }
+        controller.journal().emit_with(Severity::Info, "api", "run_start", || {
+            (
+                format!("workload {id} registered ({})", controller.workload_name()),
+                vec![("workload", id.to_string())],
+            )
+        });
         self.workloads.write().insert(id.to_string(), controller);
     }
 
@@ -390,6 +421,9 @@ impl ApiServer {
             (Method::Get, ["slo", "status"]) => self.slo_status(req, query),
             (Method::Get, ["trace", "spans"]) => self.trace_spans(query),
             (Method::Get, ["trace", "summary"]) => self.trace_summary(),
+            (Method::Get, ["events"]) => self.events(query),
+            (Method::Get, ["report"]) => self.report(query),
+            (Method::Get, ["doctor"]) => self.doctor(query),
             (Method::Get, ["workloads", id]) => self.workload_status(id),
             (Method::Post, ["workloads", id, action]) => self.workload_action(id, action, req),
             _ => Response::error(404, &format!("no route for {}", req.path)),
@@ -429,6 +463,21 @@ impl ApiServer {
                 if let Some(reg) = &self.registry {
                     session.register_metrics(reg);
                 }
+                session.controller.journal().emit_with(
+                    Severity::Info,
+                    "api",
+                    "replay_launch",
+                    || {
+                        (
+                            format!(
+                                "replay of {} launched ({} scheduled requests)",
+                                session.workload,
+                                artifact.schedule.len(),
+                            ),
+                            vec![("workload", session.workload.clone())],
+                        )
+                    },
+                );
                 let resp = Response::ok(session.status_json());
                 *self.replay.write() = Some(session);
                 resp
@@ -585,6 +634,103 @@ impl ApiServer {
         Response::ok(slo_status_json(&id, &c))
     }
 
+    /// Every distinct event journal across the registered workloads
+    /// (controllers sharing one database share one journal; dedupe by
+    /// pointer), in sorted-workload-id order.
+    fn journals(&self) -> Vec<Arc<EventJournal>> {
+        let map = self.workloads.read();
+        let mut ids: Vec<&String> = map.keys().collect();
+        ids.sort();
+        let mut out: Vec<Arc<EventJournal>> = Vec::new();
+        for id in ids {
+            let j = map[id].journal().clone();
+            if !out.iter().any(|seen| Arc::ptr_eq(seen, &j)) {
+                out.push(j);
+            }
+        }
+        out
+    }
+
+    /// GET /events?last=N&severity=S — the merged event journal across all
+    /// workloads, oldest first, newest N kept (default 100).
+    fn events(&self, query: &str) -> Response {
+        let last = match parse_last(query, 100) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let min = match parse_severity(query) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let mut events: Vec<Event> = Vec::new();
+        for j in self.journals() {
+            events.extend(j.recent(usize::MAX, min));
+        }
+        events.sort_by_key(|e| (e.ts_us, e.seq));
+        if events.len() > last {
+            let cut = events.len() - last;
+            events.drain(..cut);
+        }
+        Response::ok(
+            Json::obj()
+                .set("count", events.len() as u64)
+                .set("events", Json::Arr(events.iter().map(Event::to_json).collect())),
+        )
+    }
+
+    /// The workload a `/report` or `/doctor` request addresses (same
+    /// convention as `/slo`: `?workload=` or the first registered id), plus
+    /// its telemetry recorder.
+    fn recorder_workload(
+        &self,
+        query: &str,
+    ) -> Result<(String, Controller, Arc<bp_obs::TelemetryRecorder>), Response> {
+        let (id, c) = self.slo_workload(&Json::Null, query)?;
+        match c.recorder() {
+            Some(r) => {
+                let r = r.clone();
+                Ok((id, c, r))
+            }
+            None => Err(Response::error(
+                404,
+                &format!("workload {id} has no telemetry recorder wired"),
+            )),
+        }
+    }
+
+    /// GET /report — the `#bp-report v1` flight-recorder artifact: the
+    /// telemetry sample timeline plus the event journal, as text.
+    fn report(&self, query: &str) -> Response {
+        match self.recorder_workload(query) {
+            Ok((_, c, recorder)) => {
+                Response::text(ARTIFACT_CONTENT_TYPE, recorder.report(c.journal()).to_text())
+            }
+            Err(r) => r,
+        }
+    }
+
+    /// GET /doctor — ranked bottleneck findings from `bp_obs::diagnose`
+    /// over the current report, as JSON.
+    fn doctor(&self, query: &str) -> Response {
+        match self.recorder_workload(query) {
+            Ok((id, c, recorder)) => {
+                let report = recorder.report(c.journal());
+                let findings = bp_obs::diagnose(&report);
+                Response::ok(
+                    Json::obj()
+                        .set("workload", id.as_str())
+                        .set("samples", report.samples.len() as u64)
+                        .set("events", report.events.len() as u64)
+                        .set(
+                            "findings",
+                            Json::Arr(findings.iter().map(|f| f.to_json()).collect()),
+                        ),
+                )
+            }
+            Err(r) => r,
+        }
+    }
+
     /// GET /metrics — Prometheus text when a registry is attached, the
     /// legacy JSON callback otherwise.
     fn metrics_response(&self) -> Response {
@@ -600,9 +746,10 @@ impl ApiServer {
     /// GET /trace/spans?last=N — the most recent N spans across every
     /// workload's flight recorder, oldest first, one JSON object per line.
     fn trace_spans(&self, query: &str) -> Response {
-        let last = query_param(query, "last")
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(100);
+        let last = match parse_last(query, 100) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
         let mut spans: Vec<(String, bp_obs::Span)> = Vec::new();
         {
             let map = self.workloads.read();
@@ -776,11 +923,23 @@ impl ApiServer {
                 self.workload_status(id)
             }
             "stop" => {
+                c.journal().emit_with(Severity::Info, "api", "run_stop", || {
+                    (
+                        format!("workload {id} stopped via API"),
+                        vec![("workload", id.to_string())],
+                    )
+                });
                 c.stop();
                 self.workload_status(id)
             }
             "reset" => {
                 // The game-over path: halt the benchmark, reset the DB.
+                c.journal().emit_with(Severity::Warn, "api", "run_stop", || {
+                    (
+                        format!("workload {id} halted and reset via API"),
+                        vec![("workload", id.to_string()), ("crash", "reset".to_string())],
+                    )
+                });
                 let dropped = c.halt_and_reset();
                 Response::ok(Json::obj().set("halted", true).set("dropped_requests", dropped))
             }
@@ -1016,7 +1175,7 @@ mod tests {
         let reg = Arc::new(MetricsRegistry::new());
         let s = ApiServer::new().with_registry(reg.clone());
         s.register("demo", controller_with_spans());
-        assert_eq!(reg.source_count(), 4, "stats + server + chaos + spans");
+        assert_eq!(reg.source_count(), 5, "stats + server + chaos + spans + journal");
         let r = s.handle(&Request::get("/metrics"));
         assert!(r.is_ok());
         let (ctype, text) = r.raw.expect("raw payload");
@@ -1226,6 +1385,82 @@ mod tests {
         assert_eq!(r.raw.unwrap().1, "");
         let r = s.handle(&Request::get("/trace/summary"));
         assert!(r.body.get("workloads").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn events_endpoint_merges_journal() {
+        let s = server(); // register() journals a run_start
+        let r = s.handle(&Request::get("/events"));
+        assert!(r.is_ok(), "{r:?}");
+        let events = r.body.get("events").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+        assert!(
+            events.iter().any(|e| e.get("kind").unwrap().as_str() == Some("run_start")),
+            "{events:?}"
+        );
+        // Severity filter: nothing at error level yet.
+        let r = s.handle(&Request::get("/events?severity=error"));
+        assert_eq!(r.body.get("count").unwrap().as_u64(), Some(0));
+        // Stop journals a run_stop; last=1 keeps only the newest.
+        s.handle(&Request::post("/workloads/demo/stop", Json::obj()));
+        let r = s.handle(&Request::get("/events?last=1"));
+        let events = r.body.get("events").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("kind").unwrap().as_str(), Some("run_stop"));
+    }
+
+    #[test]
+    fn malformed_query_params_are_400_not_silent_defaults() {
+        let s = server();
+        for q in [
+            "/events?last=abc",
+            "/events?last=-1",
+            "/events?last=1e3",
+            "/events?last=99999999999999999999999999",
+            "/events?severity=loud",
+            "/trace/spans?last=half",
+        ] {
+            let r = s.handle(&Request::get(q));
+            assert_eq!(r.status, 400, "{q} -> {r:?}");
+            assert!(
+                r.body.get("error").unwrap().as_str().unwrap().contains("invalid"),
+                "{q} -> {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_and_doctor_endpoints() {
+        let s = ApiServer::new();
+        let rec = Arc::new(bp_obs::TelemetryRecorder::new(1_000_000));
+        for i in 0..5u64 {
+            rec.record(bp_obs::TelemetrySample {
+                t_us: i * 1_000_000,
+                rate: f64::INFINITY,
+                throughput: 100.0,
+                p50_us: 1_000,
+                p99_us: 2_000,
+                commits: 100,
+                ..Default::default()
+            });
+        }
+        s.register("demo", controller().with_recorder(rec));
+        let r = s.handle(&Request::get("/report"));
+        let (ctype, text) = r.raw.expect("raw payload");
+        assert!(ctype.starts_with("text/plain"));
+        assert!(text.starts_with("#bp-report v1"), "{text}");
+        let parsed = bp_obs::Report::from_text(&text).expect("report round-trips");
+        assert_eq!(parsed.samples.len(), 5);
+        assert!(!parsed.events.is_empty(), "run_start is in the report");
+        let r = s.handle(&Request::get("/doctor"));
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(r.body.get("samples").unwrap().as_u64(), Some(5));
+        assert!(r.body.get("findings").unwrap().as_arr().is_some());
+        // Controllers without a recorder (and unknown workloads) are 404s.
+        let bare = server();
+        assert_eq!(bare.handle(&Request::get("/report")).status, 404);
+        assert_eq!(bare.handle(&Request::get("/doctor")).status, 404);
+        assert_eq!(s.handle(&Request::get("/report?workload=ghost")).status, 404);
     }
 
     #[test]

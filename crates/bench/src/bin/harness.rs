@@ -1,6 +1,6 @@
 //! The experiment harness CLI: regenerates every table/figure artifact.
 //!
-//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|obs|resilience|replay|slo|queue|all]`
+//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|obs|resilience|replay|slo|doctor|queue|all]`
 
 use bp_bench::*;
 
@@ -180,6 +180,32 @@ fn main() {
         assert!(r.breaker_reclosed, "breaker must re-close after disarm");
         assert!(r.metrics_ok, "bp_slo_* series must be live on /metrics");
     }
+    if run_all || arg == "doctor" {
+        ran = true;
+        println!("=== E15: flight recorder — chaos-induced bottlenecks named by bp-doctor ===");
+        let r = run_doctor(2.0);
+        println!(
+            "report: {} samples, {} events, round-trip ok: {}   chaos arms journaled: {}",
+            r.samples, r.events, r.report_round_trip, r.chaos_events_journaled
+        );
+        for (bottleneck, score, causal) in &r.findings {
+            println!("finding: {bottleneck:<18} score {score:>6.1}   caused by: {causal}");
+        }
+        println!(
+            "lock storm  -> {}",
+            r.lock_evidence.as_deref().unwrap_or("NOT CLASSIFIED")
+        );
+        println!(
+            "fsync stall -> {}\n",
+            r.io_evidence.as_deref().unwrap_or("NOT CLASSIFIED")
+        );
+        assert!(r.report_round_trip, "#bp-report v1 must round-trip");
+        assert!(r.chaos_events_journaled, "chaos arms must be journaled");
+        assert!(r.lock_evidence.is_some(), "lock storm not classified as lock_contention");
+        assert!(r.io_evidence.is_some(), "fsync stall not classified as io_saturation");
+        assert!(r.lock_causal_kind.starts_with("chaos_"), "lock finding must cite a chaos event");
+        assert!(r.io_causal_kind.starts_with("chaos_"), "io finding must cite a chaos event");
+    }
     if run_all || arg == "queue" {
         ran = true;
         println!("=== Ablation: centralized queue dispatch gate (never-exceed, §2.2.1) ===");
@@ -191,7 +217,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects obs resilience replay slo queue all"
+            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects obs resilience replay slo doctor queue all"
         );
         std::process::exit(2);
     }

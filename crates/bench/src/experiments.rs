@@ -1124,6 +1124,169 @@ pub fn run_replay() -> ReplayReport {
     }
 }
 
+/// E15 — the flight recorder end-to-end: a live HTTP run is pushed through
+/// two chaos-induced bottlenecks (a lock storm, then an fsync stall) and
+/// bp-doctor must name each one correctly, citing the journal event that
+/// caused it. Also checks the `#bp-report v1` artifact round-trips.
+pub struct DoctorReport {
+    /// Telemetry samples and journal events in the downloaded report.
+    pub samples: usize,
+    pub events: usize,
+    /// `GET /report` text parses and re-renders byte-identically.
+    pub report_round_trip: bool,
+    /// Both chaos arms show up in `GET /events`.
+    pub chaos_events_journaled: bool,
+    /// All findings, ranked: `(bottleneck, score, causal_kind)`.
+    pub findings: Vec<(String, f64, String)>,
+    /// The lock-storm window was classified as lock contention, with the
+    /// doctor's evidence line; empty causal kind means no event was cited.
+    pub lock_evidence: Option<String>,
+    pub lock_causal_kind: String,
+    /// Same for the fsync-stall window / IO saturation.
+    pub io_evidence: Option<String>,
+    pub io_causal_kind: String,
+}
+
+pub fn run_doctor(phase_s: f64) -> DoctorReport {
+    use bp_util::json::Json;
+    use std::time::Duration;
+
+    let db = Database::new(Personality::test());
+    let w = by_name("voter").unwrap();
+    let mut conn = Connection::open(&db);
+    w.setup(&mut conn, 0.3, &mut Rng::new(29)).unwrap();
+    // Fine-grained telemetry so each chaos window spans several samples.
+    let script = PhaseScript::new(vec![Phase::new(Rate::Limited(300.0), phase_s * 3.0 + 5.0)]);
+    let cfg = RunConfig {
+        terminals: 4,
+        script,
+        collect_trace: false,
+        telemetry_interval_us: 250_000,
+        ..Default::default()
+    };
+    let handle = bp_core::start(db, w, wall_clock(), cfg);
+    let api = Arc::new(bp_api::ApiServer::new());
+    api.register("voter", handle.controller.clone());
+    let guard = api.serve_http("127.0.0.1:0").expect("bind http");
+    let sleep_s = |s: f64| std::thread::sleep(Duration::from_secs_f64(s));
+    let post = |path: &str, body: &Json| {
+        let (status, resp) =
+            bp_api::http_request(guard.addr(), "POST", path, Some(body)).expect("POST");
+        assert_eq!(status, 200, "POST {path} failed: {resp:?}");
+        resp
+    };
+    let window = |kind: &str, intensity: f64, magnitude: u64| {
+        Json::obj().set("kind", kind).set("intensity", intensity).set("magnitude", magnitude)
+    };
+
+    // Phase 1: healthy baseline — the doctor's 25th-percentile reference.
+    sleep_s(phase_s);
+
+    // Phase 2: lock storm — forced wait-die victims push deadlocks/txn far
+    // past the 0.1/txn contention threshold.
+    let lock_plan = Json::obj().set("name", "lock-storm").set("seed", 21u64).set(
+        "windows",
+        Json::Arr(vec![window("deadlock_storm", 0.5, 0)]),
+    );
+    post("/chaos", &Json::obj().set("plan", lock_plan));
+    sleep_s(phase_s);
+    let (status, _) = bp_api::http_request(guard.addr(), "DELETE", "/chaos", None).expect("disarm");
+    assert_eq!(status, 200);
+    sleep_s(0.5);
+
+    // Phase 3: fsync stall — every commit pays a 20ms fsync, so fsync_us/txn
+    // dwarfs the healthy baseline.
+    let io_plan = Json::obj().set("name", "fsync-wall").set("seed", 22u64).set(
+        "windows",
+        Json::Arr(vec![window("fsync_stall", 1.0, 20_000)]),
+    );
+    post("/chaos", &Json::obj().set("plan", io_plan));
+    sleep_s(phase_s);
+    let (status, _) = bp_api::http_request(guard.addr(), "DELETE", "/chaos", None).expect("disarm");
+    assert_eq!(status, 200);
+    sleep_s(0.5);
+
+    // Pull the whole flight recorder over the live socket. The lock storm
+    // journals thousands of deadlock-victim events, so the window must be
+    // wide enough to reach back past them to the chaos arms.
+    let (status, events_body) =
+        bp_api::http_request(guard.addr(), "GET", "/events?last=5000", None).expect("GET /events");
+    assert_eq!(status, 200, "GET /events failed");
+    let (status, report_text) =
+        bp_api::http_request_text(guard.addr(), "GET", "/report", None).expect("GET /report");
+    assert_eq!(status, 200, "GET /report failed");
+    let (status, doctor_body) =
+        bp_api::http_request(guard.addr(), "GET", "/doctor", None).expect("GET /doctor");
+    assert_eq!(status, 200, "GET /doctor failed");
+
+    drop(guard);
+    handle.stop_and_join();
+
+    let parsed = bp_obs::Report::from_text(&report_text);
+    let report_round_trip =
+        parsed.as_ref().map(|r| r.to_text() == report_text).unwrap_or(false);
+    let (samples, events) =
+        parsed.map(|r| (r.samples.len(), r.events.len())).unwrap_or((0, 0));
+
+    let chaos_arms = events_body
+        .get("events")
+        .and_then(Json::as_arr)
+        .map(|evs| {
+            evs.iter()
+                .filter(|e| e.get("kind").and_then(Json::as_str) == Some("chaos_armed"))
+                .count()
+        })
+        .unwrap_or(0);
+
+    let findings: Vec<(String, f64, String)> = doctor_body
+        .get("findings")
+        .and_then(Json::as_arr)
+        .map(|fs| {
+            fs.iter()
+                .filter_map(|f| {
+                    Some((
+                        f.get("bottleneck")?.as_str()?.to_string(),
+                        f.get("score").and_then(Json::as_f64).unwrap_or(0.0),
+                        f.get("causal_kind")
+                            .and_then(Json::as_str)
+                            .unwrap_or("")
+                            .to_string(),
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let evidence_of = |name: &str| -> (Option<String>, String) {
+        doctor_body
+            .get("findings")
+            .and_then(Json::as_arr)
+            .and_then(|fs| {
+                fs.iter().find(|f| f.get("bottleneck").and_then(Json::as_str) == Some(name))
+            })
+            .map(|f| {
+                (
+                    f.get("evidence").and_then(Json::as_str).map(str::to_string),
+                    f.get("causal_kind").and_then(Json::as_str).unwrap_or("").to_string(),
+                )
+            })
+            .unwrap_or((None, String::new()))
+    };
+    let (lock_evidence, lock_causal_kind) = evidence_of("lock_contention");
+    let (io_evidence, io_causal_kind) = evidence_of("io_saturation");
+
+    DoctorReport {
+        samples,
+        events,
+        report_round_trip,
+        chaos_events_journaled: chaos_arms >= 2,
+        findings,
+        lock_evidence,
+        lock_causal_kind,
+        io_evidence,
+        io_causal_kind,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1256,6 +1419,30 @@ mod tests {
         );
         assert!(r.breaker_reclosed, "breaker must re-close after disarm");
         assert!(r.metrics_ok, "bp_slo_* series must be live on /metrics");
+    }
+
+    #[test]
+    fn doctor_names_both_bottlenecks() {
+        let _serial = serial();
+        let r = run_doctor(2.0);
+        assert!(r.samples > 10, "telemetry must cover the run: {} samples", r.samples);
+        assert!(r.report_round_trip, "#bp-report v1 must round-trip byte-identically");
+        assert!(r.chaos_events_journaled, "both chaos arms must be journaled");
+        assert!(
+            r.lock_evidence.is_some(),
+            "lock storm must be classified as lock_contention: {:?}",
+            r.findings
+        );
+        assert!(
+            r.io_evidence.is_some(),
+            "fsync stall must be classified as io_saturation: {:?}",
+            r.findings
+        );
+        // Each finding must cite the chaos plan that induced it (the io
+        // peak can land just after disarm, so either edge of the window
+        // counts as the cause).
+        assert!(r.lock_causal_kind.starts_with("chaos_"), "{:?}", r.findings);
+        assert!(r.io_causal_kind.starts_with("chaos_"), "{:?}", r.findings);
     }
 
     #[test]

@@ -23,8 +23,9 @@
 //! pile onto an engine that is already down.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 
-use bp_obs::{MetricsBuf, MetricsSource};
+use bp_obs::{EventJournal, MetricsBuf, MetricsSource, Severity};
 use bp_util::sync::Mutex;
 
 /// Breaker tuning. Defaults are deliberately conservative: a breaker with
@@ -149,6 +150,7 @@ pub struct CircuitBreaker {
     shed: AtomicU64,
     /// Transition counts, indexed by destination state.
     transitions: [AtomicU64; 3],
+    journal: Option<Arc<EventJournal>>,
 }
 
 impl CircuitBreaker {
@@ -168,7 +170,15 @@ impl CircuitBreaker {
             cfg,
             shed: AtomicU64::new(0),
             transitions: Default::default(),
+            journal: None,
         }
+    }
+
+    /// Attach the event journal (state-transition events) — builder style
+    /// so the plain constructor keeps working everywhere.
+    pub fn with_journal(mut self, journal: Arc<EventJournal>) -> CircuitBreaker {
+        self.journal = Some(journal);
+        self
     }
 
     #[inline]
@@ -185,8 +195,25 @@ impl CircuitBreaker {
     }
 
     fn transition(&self, to: BreakerState) {
-        self.state.store(to as u8, Ordering::Relaxed);
+        let from = BreakerState::from_u8(self.state.swap(to as u8, Ordering::Relaxed));
         self.transitions[to as usize].fetch_add(1, Ordering::Relaxed);
+        if let Some(j) = &self.journal {
+            let sev = match to {
+                BreakerState::Open => Severity::Error,
+                BreakerState::HalfOpen => Severity::Warn,
+                BreakerState::Closed => Severity::Info,
+            };
+            j.emit_with(sev, "chaos", "breaker_transition", || {
+                (
+                    format!("breaker {} {} -> {}", self.name, from.name(), to.name()),
+                    vec![
+                        ("workload", self.name.clone()),
+                        ("from", from.name().to_string()),
+                        ("to", to.name().to_string()),
+                    ],
+                )
+            });
+        }
     }
 
     /// Decide whether to execute a request arriving at `now_us` with the
@@ -540,6 +567,37 @@ mod tests {
         assert_eq!(cfg.retry_budget_per_s, 0);
         assert!(cfg.breaker.is_none());
         assert!(cfg.backoff_base_us > 0, "backoff on by default (satellite 1)");
+    }
+
+    #[test]
+    fn transitions_journaled_with_from_and_to() {
+        let j = Arc::new(EventJournal::new());
+        let b = CircuitBreaker::new("w", quick_cfg()).with_journal(j.clone());
+        for i in 0..10u64 {
+            b.admit(i, 0);
+            b.on_failure(i);
+        }
+        assert_eq!(b.admit(2_000, 0), Admission::Probe);
+        b.on_success();
+        b.on_success();
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        let events = j.all();
+        let kinds: Vec<(&str, String)> = events
+            .iter()
+            .map(|e| (e.kind, e.fields.iter().find(|(k, _)| *k == "to").unwrap().1.clone()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("breaker_transition", "open".to_string()),
+                ("breaker_transition", "half_open".to_string()),
+                ("breaker_transition", "closed".to_string()),
+            ],
+            "{events:?}"
+        );
+        assert_eq!(events[0].severity, Severity::Error);
+        assert!(events[0].fields.contains(&("from", "closed".to_string())));
     }
 
     #[test]

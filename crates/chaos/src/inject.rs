@@ -24,7 +24,9 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use bp_obs::{MetricsBuf, MetricsSource};
+use std::sync::Arc;
+
+use bp_obs::{EventJournal, MetricsBuf, MetricsSource, Severity};
 use bp_util::json::Json;
 use bp_util::rng::mix64;
 use bp_util::sync::{CachePadded, RwLock};
@@ -69,6 +71,8 @@ pub struct ChaosController {
     /// Probes that actually injected, per kind.
     injected: [CachePadded<AtomicU64>; 6],
     arms: AtomicU64,
+    /// Arm/disarm events land here when attached (cold path only).
+    journal: RwLock<Option<Arc<EventJournal>>>,
 }
 
 impl Default for ChaosController {
@@ -85,7 +89,14 @@ impl ChaosController {
             probes: Default::default(),
             injected: Default::default(),
             arms: AtomicU64::new(0),
+            journal: RwLock::new(None),
         }
+    }
+
+    /// Attach the event journal (arm/disarm events). Post-construction so
+    /// shared `Arc<ChaosController>`s can be wired after the fact.
+    pub fn set_journal(&self, journal: Arc<EventJournal>) {
+        *self.journal.write() = Some(journal);
     }
 
     /// Arm a plan: reset all probe ordinals (so the injection sequence
@@ -97,15 +108,35 @@ impl ChaosController {
             self.injected[i].store(0, Ordering::Relaxed);
         }
         self.arms.fetch_add(1, Ordering::Relaxed);
+        let name = plan.name.clone();
+        let windows = plan.windows.len();
         *slot = Some(Armed { plan, epoch: Instant::now() });
         self.armed.store(true, Ordering::Release);
+        drop(slot);
+        if let Some(j) = self.journal.read().as_ref() {
+            j.emit_with(Severity::Warn, "chaos", "chaos_armed", || {
+                (
+                    format!("fault plan {name} armed ({windows} windows)"),
+                    vec![("plan", name.clone()), ("state", "armed".to_string())],
+                )
+            });
+        }
     }
 
     /// Close the gate and drop the plan. Counters keep their final values
     /// until the next arm so a post-mortem scrape still sees them.
     pub fn disarm(&self) {
         self.armed.store(false, Ordering::Release);
-        *self.plan.write() = None;
+        let name = self.plan.write().take().map(|a| a.plan.name);
+        if let Some(j) = self.journal.read().as_ref() {
+            j.emit_with(Severity::Info, "chaos", "chaos_disarmed", || {
+                let name = name.clone().unwrap_or_else(|| "none".to_string());
+                (
+                    format!("fault plan {name} disarmed"),
+                    vec![("plan", name), ("state", "disarmed".to_string())],
+                )
+            });
+        }
     }
 
     #[inline]
@@ -402,6 +433,22 @@ mod tests {
         );
         assert_eq!(c.injected_total(FaultKind::InjectedError), 0, "arm resets");
         assert_eq!(c.status().arms, 2);
+    }
+
+    #[test]
+    fn arm_and_disarm_journaled() {
+        let c = ChaosController::new();
+        let j = Arc::new(EventJournal::new());
+        c.set_journal(j.clone());
+        c.arm(FaultPlan::scenario("error-burst", 1).unwrap());
+        c.disarm();
+        let events = j.all();
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert_eq!(events[0].kind, "chaos_armed");
+        assert_eq!(events[0].severity, Severity::Warn);
+        assert!(events[0].fields.contains(&("plan", "error-burst".to_string())));
+        assert_eq!(events[1].kind, "chaos_disarmed");
+        assert!(events[1].fields.contains(&("plan", "error-burst".to_string())));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use bp_obs::{EventJournal, Severity};
 use bp_util::sync::RwLock;
 
 use bp_storage::Database;
@@ -33,6 +34,9 @@ pub struct ControlState {
     mixture_override: AtomicBool,
     phase_idx: AtomicUsize,
     pub unlimited_rate: f64,
+    /// The run's event journal (phase transitions, rate/mixture changes).
+    /// Wired by [`Controller::new`] from the database's journal.
+    journal: RwLock<Option<Arc<EventJournal>>>,
 }
 
 impl ControlState {
@@ -48,7 +52,25 @@ impl ControlState {
             mixture_override: AtomicBool::new(false),
             phase_idx: AtomicUsize::new(0),
             unlimited_rate,
+            journal: RwLock::new(None),
         })
+    }
+
+    /// Attach the event journal (control-plane change events). Idempotent;
+    /// called by [`Controller::new`] so every construction path is wired.
+    pub fn set_journal(&self, journal: Arc<EventJournal>) {
+        *self.journal.write() = Some(journal);
+    }
+
+    fn emit(
+        &self,
+        severity: Severity,
+        kind: &'static str,
+        make: impl FnOnce() -> (String, Vec<(&'static str, String)>),
+    ) {
+        if let Some(j) = self.journal.read().as_ref() {
+            j.emit_with(severity, "core", kind, make);
+        }
     }
 
     pub fn rate(&self) -> Rate {
@@ -97,6 +119,12 @@ impl ControlState {
             self.mixture_override.store(false, Ordering::SeqCst);
             self.phase_idx.store(idx, Ordering::Relaxed);
             self.think_time_us.store(think_time_us, Ordering::Relaxed);
+            self.emit(Severity::Info, "phase_change", || {
+                (
+                    format!("phase {idx} started (rate {rate}, think {think_time_us}us)"),
+                    vec![("phase", idx.to_string()), ("rate", rate.to_string())],
+                )
+            });
         }
         if !self.rate_override.load(Ordering::SeqCst) {
             *self.rate.write() = rate;
@@ -115,7 +143,20 @@ impl ControlState {
 
     pub fn set_rate(&self, rate: Rate) {
         self.rate_override.store(true, Ordering::SeqCst);
-        *self.rate.write() = rate;
+        let before = {
+            let mut r = self.rate.write();
+            let before = *r;
+            *r = rate;
+            before
+        };
+        if before != rate {
+            self.emit(Severity::Info, "rate_change", || {
+                (
+                    format!("offered rate changed: {before} -> {rate}"),
+                    vec![("before", before.to_string()), ("after", rate.to_string())],
+                )
+            });
+        }
     }
 
     pub fn set_arrival(&self, arrival: ArrivalDist) {
@@ -125,7 +166,14 @@ impl ControlState {
 
     pub fn set_mixture(&self, mixture: Mixture) {
         self.mixture_override.store(true, Ordering::SeqCst);
+        let weights = format!("{:?}", mixture.weights());
         *self.mixture.write() = Arc::new(mixture);
+        self.emit(Severity::Info, "mixture_change", || {
+            (
+                format!("transaction mixture changed to {weights}"),
+                vec![("after", weights.replace(' ', ""))],
+            )
+        });
     }
 
     pub fn set_think_time(&self, micros: Micros) {
@@ -156,6 +204,7 @@ pub struct Controller {
     workload_name: String,
     spans: Option<Arc<bp_obs::SpanRecorder>>,
     breaker: Option<Arc<bp_chaos::CircuitBreaker>>,
+    recorder: Option<Arc<bp_obs::TelemetryRecorder>>,
     /// Persistent SLO-controller state, shared by all clones of this
     /// controller so API servers and the executor see one loop.
     slo: Arc<SloHandle>,
@@ -170,6 +219,7 @@ impl Controller {
         types: Vec<TransactionType>,
         workload_name: &str,
     ) -> Controller {
+        state.set_journal(db.journal().clone());
         Controller {
             state,
             queue,
@@ -179,6 +229,7 @@ impl Controller {
             workload_name: workload_name.to_string(),
             spans: None,
             breaker: None,
+            recorder: None,
             slo: Arc::new(SloHandle::new(workload_name)),
         }
     }
@@ -207,6 +258,24 @@ impl Controller {
         self.breaker.as_ref()
     }
 
+    /// Attach the run's continuous telemetry recorder (builder-style; the
+    /// executor does this so API surfaces can expose `/report`).
+    pub fn with_recorder(mut self, recorder: Arc<bp_obs::TelemetryRecorder>) -> Controller {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The run's telemetry recorder, if continuous recording is wired up.
+    pub fn recorder(&self) -> Option<&Arc<bp_obs::TelemetryRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// The run's structured event journal (owned by the database so the
+    /// storage, chaos, and control layers all write into one ring).
+    pub fn journal(&self) -> &Arc<bp_obs::EventJournal> {
+        self.db.journal()
+    }
+
     /// The database's chaos controller (fault-injection surface).
     pub fn chaos(&self) -> &Arc<bp_chaos::ChaosController> {
         self.db.chaos()
@@ -229,6 +298,10 @@ impl Controller {
         }
         if let Some(breaker) = &self.breaker {
             registry.register(&format!("breaker:{}", self.workload_name), breaker.clone());
+        }
+        registry.register("journal", self.db.journal().clone());
+        if let Some(recorder) = &self.recorder {
+            registry.register(&format!("telemetry:{}", self.workload_name), recorder.clone());
         }
     }
 
@@ -335,6 +408,20 @@ impl Controller {
     /// previously running loop notices its stale epoch and exits.
     pub fn start_slo(&self, cfg: SloConfig) {
         let epoch = self.slo.arm(&cfg);
+        self.journal().emit_with(Severity::Info, "slo", "slo_armed", || {
+            (
+                format!(
+                    "SLO loop armed: {} <= {}us ({})",
+                    cfg.target.kind(),
+                    cfg.target.limit_us(),
+                    cfg.law.name(),
+                ),
+                vec![
+                    ("workload", self.workload_name.clone()),
+                    ("limit_us", cfg.target.limit_us().to_string()),
+                ],
+            )
+        });
         self.set_rate(Rate::Limited(cfg.initial_rate.clamp(cfg.min_rate, cfg.max_rate)));
         let controller = self.clone();
         let handle = self.slo.clone();
@@ -347,6 +434,12 @@ impl Controller {
     /// Stop the SLO loop (the last applied rate stays in effect).
     pub fn stop_slo(&self) {
         self.slo.disarm();
+        self.journal().emit_with(Severity::Info, "slo", "slo_disarmed", || {
+            (
+                "SLO loop disarmed (last applied rate stays in effect)".to_string(),
+                vec![("workload", self.workload_name.clone())],
+            )
+        });
     }
 }
 
@@ -442,14 +535,15 @@ mod tests {
             .with_spans(Arc::new(bp_obs::SpanRecorder::new(bp_obs::ObsConfig::default())));
         assert!(c.spans().is_some());
         c.register_metrics(&reg);
-        assert_eq!(reg.source_count(), 4, "stats + server + chaos + spans");
+        assert_eq!(reg.source_count(), 5, "stats + server + chaos + spans + journal");
         // Re-registering the same controller must not double-count.
         c.register_metrics(&reg);
-        assert_eq!(reg.source_count(), 4);
+        assert_eq!(reg.source_count(), 5);
         let text = reg.render_prometheus();
         assert!(text.contains("bp_server_commits_total"));
         assert!(text.contains("bp_stage_latency_us_bucket"));
         assert!(text.contains("bp_chaos_armed"));
+        assert!(text.contains("bp_events_emitted_total"));
     }
 
     #[test]
@@ -460,10 +554,27 @@ mod tests {
             bp_chaos::BreakerConfig::default(),
         )));
         c.register_metrics(&reg);
-        assert_eq!(reg.source_count(), 4, "stats + server + chaos + breaker");
+        assert_eq!(reg.source_count(), 5, "stats + server + chaos + breaker + journal");
         let text = reg.render_prometheus();
         assert!(text.contains("bp_resilience_breaker_state"));
         assert!(text.contains("bp_resilience_shed_total"));
+    }
+
+    #[test]
+    fn control_changes_journaled() {
+        let c = controller();
+        c.set_rate(Rate::Limited(500.0));
+        c.set_rate(Rate::Limited(500.0)); // unchanged: no duplicate event
+        c.set_mixture(vec![0.0, 1.0]).unwrap();
+        c.state()
+            .apply_phase(2, Rate::Limited(50.0), ArrivalDist::Uniform, None, 0, true);
+        let events = c.journal().all();
+        let rates: Vec<_> = events.iter().filter(|e| e.kind == "rate_change").collect();
+        assert_eq!(rates.len(), 1, "{events:?}");
+        assert!(rates[0].fields.contains(&("after", "500".to_string())));
+        assert!(events.iter().any(|e| e.kind == "mixture_change"));
+        let phase = events.iter().find(|e| e.kind == "phase_change").unwrap();
+        assert!(phase.fields.contains(&("phase", "2".to_string())));
     }
 
     #[test]

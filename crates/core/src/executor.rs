@@ -16,7 +16,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bp_chaos::{Admission, CircuitBreaker, ResilienceConfig, RetryBudget};
-use bp_obs::{ObsConfig, Span, SpanOutcome, SpanRecorder};
+use bp_obs::{
+    journal_now_us, ObsConfig, Span, SpanOutcome, SpanRecorder, TelemetryGuard, TelemetryRecorder,
+    TelemetrySample,
+};
 use bp_sql::Connection;
 use bp_storage::Database;
 use bp_util::clock::{SharedClock, MICROS_PER_SEC};
@@ -57,6 +60,9 @@ pub struct RunConfig {
     pub resilience: ResilienceConfig,
     /// Closed-loop SLO admission control; `None` runs open-loop.
     pub slo: Option<SloConfig>,
+    /// Continuous telemetry recorder tick, µs of wall time (0 disables
+    /// the recorder thread entirely).
+    pub telemetry_interval_us: u64,
 }
 
 impl Default for RunConfig {
@@ -72,6 +78,7 @@ impl Default for RunConfig {
             tenant: 0,
             resilience: ResilienceConfig::default(),
             slo: None,
+            telemetry_interval_us: 1_000_000,
         }
     }
 }
@@ -85,6 +92,10 @@ pub struct RunHandle {
     pub spans: Arc<SpanRecorder>,
     threads: Vec<JoinHandle<()>>,
     active_workers: Arc<AtomicUsize>,
+    /// Keeps the telemetry thread alive for the run's lifetime; dropping
+    /// the handle (after `join`) stops it. The recorded samples stay
+    /// readable through `controller.recorder()`.
+    _telemetry: Option<TelemetryGuard>,
 }
 
 impl RunHandle {
@@ -146,11 +157,11 @@ pub fn start_with_source(
     let stats = Arc::new(StatsCollector::new(clock.clone(), &type_names));
     let trace = if cfg.collect_trace { Some(Arc::new(Trace::new())) } else { None };
     let spans = Arc::new(SpanRecorder::new(cfg.obs));
-    let breaker = cfg
-        .resilience
-        .breaker
-        .as_ref()
-        .map(|b| Arc::new(CircuitBreaker::new(workload.name(), b.clone())));
+    let breaker = cfg.resilience.breaker.as_ref().map(|b| {
+        Arc::new(
+            CircuitBreaker::new(workload.name(), b.clone()).with_journal(db.journal().clone()),
+        )
+    });
     let budget = Arc::new(RetryBudget::new(cfg.resilience.retry_budget_per_s));
 
     let mut controller = Controller::new(
@@ -165,6 +176,24 @@ pub fn start_with_source(
     if let Some(b) = &breaker {
         controller = controller.with_breaker(b.clone());
     }
+
+    // Continuous telemetry: a background thread samples the client window
+    // stats and per-interval engine-counter deltas into a flight-recorder
+    // ring (`GET /report`, `bp-doctor`).
+    let telemetry = if cfg.telemetry_interval_us > 0 {
+        let recorder = Arc::new(TelemetryRecorder::new(cfg.telemetry_interval_us));
+        controller = controller.with_recorder(recorder.clone());
+        let guard = recorder.spawn(sensor(
+            state.clone(),
+            queue.clone(),
+            stats.clone(),
+            db.clone(),
+            breaker.clone(),
+        ));
+        Some(guard)
+    } else {
+        None
+    };
 
     // Closed-loop SLO control: the loop thread is detached (it polls
     // stats, not the queue) and exits on stop via its epoch/stop checks.
@@ -233,7 +262,69 @@ pub fn start_with_source(
         );
     }
 
-    RunHandle { controller, trace, spans, threads, active_workers }
+    RunHandle { controller, trace, spans, threads, active_workers, _telemetry: telemetry }
+}
+
+/// Build the telemetry sensor closure: one call = one [`TelemetrySample`].
+/// Client-side window stats come from the collector, engine counters are
+/// per-interval deltas of the server silo, and the breaker/queue/rate
+/// gauges are read point-in-time.
+fn sensor(
+    state: Arc<ControlState>,
+    queue: Arc<RequestQueue>,
+    stats: Arc<StatsCollector>,
+    db: Arc<Database>,
+    breaker: Option<Arc<CircuitBreaker>>,
+) -> Box<dyn FnMut() -> TelemetrySample + Send> {
+    let mut prev_srv = db.metrics().snapshot();
+    let mut prev_done = 0u64;
+    let mut prev_failed = 0u64;
+    let mut prev_shed = 0u64;
+    Box::new(move || {
+        let win = stats.window_snapshot(3);
+        let status = stats.status(3);
+        let srv = db.metrics().snapshot();
+        let d = srv.delta(&prev_srv);
+        prev_srv = srv;
+        let done_total = status.committed + status.user_aborted + status.failed;
+        let done = done_total.saturating_sub(prev_done);
+        let failed = status.failed.saturating_sub(prev_failed);
+        let shed = status.shed.saturating_sub(prev_shed);
+        prev_done = done_total;
+        prev_failed = status.failed;
+        prev_shed = status.shed;
+        TelemetrySample {
+            t_us: journal_now_us(),
+            rate: match state.rate() {
+                Rate::Limited(tps) => tps,
+                Rate::Unlimited => f64::INFINITY,
+                Rate::Disabled => 0.0,
+            },
+            throughput: win.throughput,
+            p50_us: win.p50_us,
+            p99_us: win.p99_us,
+            error_rate: if done > 0 { failed as f64 / done as f64 } else { 0.0 },
+            shed_rate: if done + shed > 0 {
+                shed as f64 / (done + shed) as f64
+            } else {
+                0.0
+            },
+            breaker_state: breaker.as_ref().map(|b| b.state() as u8).unwrap_or(0),
+            queue_depth: queue.backlog() as u64,
+            commits: d.commits,
+            lock_waits: d.lock_waits,
+            lock_wait_us: d.lock_wait_micros,
+            deadlocks: d.deadlocks,
+            io_reads: d.io_reads,
+            io_writes: d.io_writes,
+            wal_fsyncs: d.wal_fsyncs,
+            wal_bytes: d.wal_bytes,
+            fsync_us: d.fsync_micros,
+            buf_hits: d.buf_hits,
+            buf_misses: d.buf_misses,
+            busy_us: d.busy_micros,
+        }
+    })
 }
 
 /// The Workload Manager: one iteration per second, window contents decided

@@ -34,7 +34,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bp_chaos::BreakerState;
-use bp_obs::{MetricsBuf, MetricsSource};
+use bp_obs::{MetricsBuf, MetricsSource, Severity};
 use bp_util::sync::Mutex;
 
 use crate::controller::Controller;
@@ -581,6 +581,7 @@ impl MetricsSource for SloHandle {
 /// or the run stops. Spawned by [`Controller::start_slo`].
 pub(crate) fn slo_loop(controller: Controller, handle: Arc<SloHandle>, cfg: SloConfig, epoch: u64) {
     let clock = controller.stats().clock().clone();
+    let journal = controller.journal().clone();
     let mut core = SloCore::new(cfg.clone());
     loop {
         clock.sleep(cfg.tick_us);
@@ -603,7 +604,32 @@ pub(crate) fn slo_loop(controller: Controller, handle: Arc<SloHandle>, cfg: SloC
             breaker_open: open,
             breaker_half_open: half_open,
         };
+        let before = core.rate();
         let d = core.tick(&obs);
+        if d.adjustment != Adjustment::Hold {
+            // Holds are the steady state; journaling only the actual rate
+            // decisions keeps the ring about *changes* (the doctor matches
+            // these against latency onsets).
+            let sev = match d.adjustment {
+                Adjustment::BreakerBackoff => Severity::Warn,
+                _ => Severity::Info,
+            };
+            journal.emit_with(sev, "slo", "slo_decision", || {
+                (
+                    format!(
+                        "slo {}: rate {before:.1} -> {:.1} (error {:+.2})",
+                        d.adjustment.name(),
+                        d.rate,
+                        d.error,
+                    ),
+                    vec![
+                        ("adjustment", d.adjustment.name().to_string()),
+                        ("before", format!("{before:.1}")),
+                        ("after", format!("{:.1}", d.rate)),
+                    ],
+                )
+            });
+        }
         controller.set_rate(Rate::Limited(d.rate));
         handle.on_tick(&obs, &d);
     }

@@ -44,6 +44,12 @@ pub trait GameBackend {
     fn span_summary(&self) -> Option<String> {
         None
     }
+
+    /// Post-mortem bottleneck findings from the testbed's doctor, one line
+    /// per finding. Backends without telemetry return nothing.
+    fn doctor_findings(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// Deterministic backend over the analytic capacity model.
@@ -149,6 +155,22 @@ impl GameBackend for ApiBackend {
             .as_str()
             .map(str::to_string)
     }
+
+    fn doctor_findings(&self) -> Vec<String> {
+        let path = format!("/doctor?workload={}", self.workload_id);
+        let resp = self.api.handle(&Request::get(&path));
+        let Some(findings) = resp.body.get("findings").and_then(Json::as_arr) else {
+            return Vec::new();
+        };
+        findings
+            .iter()
+            .filter_map(|f| {
+                let bottleneck = f.get("bottleneck")?.as_str()?;
+                let evidence = f.get("evidence").and_then(Json::as_str).unwrap_or("");
+                Some(format!("{bottleneck}: {evidence}"))
+            })
+            .collect()
+    }
 }
 
 /// A single-player session: game + backend, stepped tick by tick.
@@ -158,6 +180,9 @@ pub struct GameSession<B: GameBackend> {
     /// One summary line per finished run (crash or victory), pulled from
     /// the backend's span recorder when it has one.
     pub span_log: Vec<String>,
+    /// Bottleneck post-mortem lines from the testbed's doctor, captured at
+    /// crash time (before the reset wipes the telemetry).
+    pub doctor_log: Vec<String>,
     /// `(play_time_us, requested_tps)` per tick — the raw material for
     /// saving the played run as a replayable scenario.
     pub rate_log: Vec<(Micros, f64)>,
@@ -165,7 +190,7 @@ pub struct GameSession<B: GameBackend> {
 
 impl<B: GameBackend> GameSession<B> {
     pub fn new(game: Game, backend: B) -> GameSession<B> {
-        GameSession { game, backend, span_log: Vec::new(), rate_log: Vec::new() }
+        GameSession { game, backend, span_log: Vec::new(), doctor_log: Vec::new(), rate_log: Vec::new() }
     }
 
     /// One game tick: exchange load with the backend, advance the game,
@@ -179,9 +204,10 @@ impl<B: GameBackend> GameSession<B> {
                 GameEvent::ResumeBenchmark => self.backend.set_paused(false),
                 GameEvent::ApplyPreset(p) => self.backend.apply_preset(*p),
                 GameEvent::HaltAndReset => {
-                    // Snapshot the run's stage latencies before the reset
-                    // wipes the benchmark state.
+                    // Snapshot the run's stage latencies and the doctor's
+                    // post-mortem before the reset wipes the benchmark state.
                     self.log_span_summary("game-over");
+                    self.doctor_log.extend(self.backend.doctor_findings());
                     self.backend.halt_and_reset();
                 }
                 GameEvent::Victory => self.log_span_summary("victory"),
@@ -496,6 +522,9 @@ mod tests {
             fn span_summary(&self) -> Option<String> {
                 Some("spans=42 queue p50/p95/p99=1/2/3µs".into())
             }
+            fn doctor_findings(&self) -> Vec<String> {
+                vec!["lock_contention: p99 rose 8x at t=12s".into()]
+            }
         }
         let course = steps_course(1_000.0);
         let game = Game::new("ycsb", "mysql", course, PhysicsConfig::default());
@@ -505,6 +534,8 @@ mod tests {
         assert_eq!(session.backend.0.resets, 1);
         assert_eq!(session.span_log.len(), 1);
         assert!(session.span_log[0].starts_with("game-over spans=42"), "{:?}", session.span_log);
+        assert_eq!(session.doctor_log.len(), 1, "crash captures the doctor post-mortem");
+        assert!(session.doctor_log[0].starts_with("lock_contention:"), "{:?}", session.doctor_log);
     }
 
     #[test]

@@ -55,6 +55,17 @@ pub enum Saturation {
     Locks,
 }
 
+impl Saturation {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Saturation::None => "none",
+            Saturation::Cpu => "cpu",
+            Saturation::Io => "io",
+            Saturation::Locks => "locks",
+        }
+    }
+}
+
 /// Thresholds for the saturation detector.
 #[derive(Debug, Clone, Copy)]
 pub struct SaturationThresholds {
@@ -151,6 +162,8 @@ pub struct Monitor {
     start: Micros,
     last: Mutex<(Micros, MetricsSnapshot)>,
     samples: Mutex<Vec<ResourceSample>>,
+    thresholds: SaturationThresholds,
+    last_saturation: Mutex<Saturation>,
 }
 
 impl Monitor {
@@ -163,7 +176,15 @@ impl Monitor {
             start,
             last: Mutex::new((start, snap)),
             samples: Mutex::new(Vec::new()),
+            thresholds: SaturationThresholds::default(),
+            last_saturation: Mutex::new(Saturation::None),
         }
+    }
+
+    /// Override the saturation-detector thresholds (builder style).
+    pub fn with_thresholds(mut self, thresholds: SaturationThresholds) -> Monitor {
+        self.thresholds = thresholds;
+        self
     }
 
     /// Take one sample covering the interval since the previous tick.
@@ -179,7 +200,36 @@ impl Monitor {
 
         let sample = ResourceSample::from_delta(now - self.start, dt_us, &d);
         self.samples.lock().push(sample);
+        self.note_saturation(&sample);
         sample
+    }
+
+    /// Journal a `saturation_change` event when the classification flips
+    /// between ticks (§4.2's "seems to saturate" signal as a discrete,
+    /// timestamped fact the doctor can cite).
+    fn note_saturation(&self, sample: &ResourceSample) {
+        let now = sample.saturation(&self.thresholds);
+        let mut prev = self.last_saturation.lock();
+        if *prev == now {
+            return;
+        }
+        let from = *prev;
+        *prev = now;
+        drop(prev);
+        let sev = if now == Saturation::None {
+            bp_obs::Severity::Info
+        } else {
+            bp_obs::Severity::Warn
+        };
+        self.db.journal().emit_with(sev, "monitor", "saturation_change", || {
+            (
+                format!("saturation: {} -> {}", from.name(), now.name()),
+                vec![
+                    ("from", from.name().to_string()),
+                    ("to", now.name().to_string()),
+                ],
+            )
+        });
     }
 
     /// All samples collected so far.
@@ -439,6 +489,26 @@ mod tests {
         let samples = buf.into_samples();
         assert_eq!(samples.len(), 10);
         assert!(samples.iter().any(|s| s.name == "bp_monitor_cpu_busy"));
+    }
+
+    #[test]
+    fn saturation_crossings_journaled() {
+        let db = db_with_work();
+        let clock = wall_clock();
+        let mon = Monitor::new(db.clone(), clock);
+        let quiet = ResourceSample::from_delta(1_000, 1_000, &MetricsSnapshot::default());
+        let mut locky = quiet;
+        locky.lock_wait_share = 0.9;
+        mon.note_saturation(&locky); // none -> locks
+        mon.note_saturation(&locky); // unchanged: no event
+        mon.note_saturation(&quiet); // locks -> none
+        let events = db.journal().all();
+        let sats: Vec<_> = events.iter().filter(|e| e.kind == "saturation_change").collect();
+        assert_eq!(sats.len(), 2, "{events:?}");
+        assert_eq!(sats[0].severity, bp_obs::Severity::Warn);
+        assert!(sats[0].fields.contains(&("to", "locks".to_string())));
+        assert_eq!(sats[1].severity, bp_obs::Severity::Info);
+        assert!(sats[1].fields.contains(&("from", "locks".to_string())));
     }
 
     #[test]

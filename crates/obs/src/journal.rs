@@ -1,0 +1,527 @@
+//! The event journal: a structured "why" channel next to the metric "what".
+//!
+//! Counters say *that* p99 rose; the journal says *what happened right
+//! before* — a phase transition, an SLO decision, a chaos fault arming, a
+//! breaker trip, a WAL rotation. Every layer emits [`Event`]s into one
+//! lock-sharded, fixed-capacity ring; the doctor ([`crate::doctor`]) and
+//! `GET /events` read them back aligned with the telemetry timeline.
+//!
+//! Cost model mirrors the chaos gate: when the journal is disabled the
+//! emit probe is a single relaxed load and a branch (< 5 ns, asserted by
+//! the `event_overhead` bench), and [`EventJournal::emit_with`] takes a
+//! closure so message formatting is never paid on the disabled path. When
+//! enabled, an emit takes one uncontended shard lock and writes one ring
+//! slot; old events are overwritten, flight-recorder style.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use bp_util::json::Json;
+use bp_util::sync::{thread_slot, CachePadded, Mutex};
+
+use crate::registry::{MetricsBuf, MetricsSource};
+
+/// Event severity, ordered so `>=` filters work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Severity {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+}
+
+impl Severity {
+    pub const ALL: [Severity; 4] =
+        [Severity::Debug, Severity::Info, Severity::Warn, Severity::Error];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parse a `?severity=` query value or report-artifact token.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "debug" => Some(Severity::Debug),
+            "info" => Some(Severity::Info),
+            "warn" | "warning" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One structured event: fixed identity fields plus free-form key=value
+/// context. `source`/`kind` are `&'static str` so an event body is ~40
+/// bytes plus the message and field values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Globally ordered sequence number (1-based, never reused).
+    pub seq: u64,
+    /// Microseconds since the journal's clock origin (run start).
+    pub ts_us: u64,
+    pub severity: Severity,
+    /// Emitting layer: `core`, `slo`, `chaos`, `storage`, `api`, `monitor`.
+    pub source: &'static str,
+    /// Machine-matchable event type, e.g. `phase_change`, `chaos_armed`.
+    pub kind: &'static str,
+    pub message: String,
+    pub fields: Vec<(&'static str, String)>,
+}
+
+impl Event {
+    /// JSON object for the `/events` endpoint.
+    pub fn to_json(&self) -> Json {
+        let mut fields = Json::obj();
+        for (k, v) in &self.fields {
+            fields = fields.set(k, v.as_str());
+        }
+        Json::obj()
+            .set("seq", self.seq)
+            .set("ts_us", self.ts_us)
+            .set("severity", self.severity.name())
+            .set("source", self.source)
+            .set("kind", self.kind)
+            .set("message", self.message.as_str())
+            .set("fields", fields)
+    }
+
+    /// One-line rendering for logs and the `#bp-report v1` artifact:
+    /// `event <seq> <ts_us> <severity> <source> <kind> <k=v,...|-> <message>`.
+    /// Field values and the message have whitespace control characters
+    /// flattened so the line stays line-oriented.
+    pub fn to_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "event {} {} {} {} {} ",
+            self.seq,
+            self.ts_us,
+            self.severity.name(),
+            self.source,
+            self.kind
+        );
+        if self.fields.is_empty() {
+            out.push('-');
+        } else {
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{k}={}", flatten(v));
+            }
+        }
+        out.push(' ');
+        out.push_str(&flatten(&self.message));
+        out
+    }
+
+    /// Parse one [`Event::to_line`] line. `source`/`kind` come back leaked
+    /// as `&'static str` only for the fixed vocabulary this build knows;
+    /// unknown tokens fall back to `"unknown"` rather than leaking memory.
+    pub fn from_line(line: &str) -> Result<Event, String> {
+        let rest = line.strip_prefix("event ").ok_or("missing `event` prefix")?;
+        let mut it = rest.splitn(6, ' ');
+        let mut next = |what: &str| it.next().ok_or(format!("missing {what}"));
+        let seq = next("seq")?.parse::<u64>().map_err(|e| format!("bad seq: {e}"))?;
+        let ts_us = next("ts_us")?.parse::<u64>().map_err(|e| format!("bad ts: {e}"))?;
+        let severity = Severity::parse(next("severity")?).ok_or("bad severity")?;
+        let source = intern(next("source")?);
+        let kind = intern(next("kind")?);
+        let tail = next("fields")?;
+        let (fields_tok, message) = match tail.split_once(' ') {
+            Some((f, m)) => (f, m.to_string()),
+            None => (tail, String::new()),
+        };
+        let mut fields = Vec::new();
+        if fields_tok != "-" {
+            for kv in fields_tok.split(',') {
+                let (k, v) = kv.split_once('=').ok_or(format!("bad field `{kv}`"))?;
+                fields.push((intern(k), v.to_string()));
+            }
+        }
+        Ok(Event { seq, ts_us, severity, source, kind, message, fields })
+    }
+}
+
+/// Replace the characters that would break the line-oriented formats
+/// (newlines, and in field values also the separators).
+fn flatten(s: &str) -> String {
+    s.chars()
+        .map(|c| if c == '\n' || c == '\r' || c == ',' || c == '=' { '_' } else { c })
+        .collect()
+}
+
+/// The fixed source/kind/field vocabulary, so parsed events round-trip to
+/// `&'static str` without leaking.
+const VOCAB: &[&str] = &[
+    "core", "slo", "chaos", "storage", "api", "monitor", "game", "run_start", "run_stop",
+    "phase_change", "rate_change", "mixture_change", "slo_decision", "slo_armed", "slo_disarmed",
+    "chaos_armed", "chaos_disarmed", "breaker_transition", "deadlock_victim", "wal_rotate",
+    "buffer_pressure", "saturation_change", "replay_launch", "doctor", "phase", "rate", "before",
+    "after", "plan", "state", "txn", "holder", "segment", "lsn", "bytes", "ratio", "from", "to",
+    "workload", "adjustment", "p99_us", "limit_us", "crash", "unknown",
+];
+
+fn intern(s: &str) -> &'static str {
+    VOCAB.iter().find(|v| **v == s).copied().unwrap_or("unknown")
+}
+
+struct Shard {
+    ring: Vec<Event>,
+    written: u64,
+}
+
+impl Shard {
+    /// Events in write order (oldest first) for this shard.
+    fn ordered(&self, capacity: usize) -> impl Iterator<Item = &Event> {
+        let split = if self.ring.len() < capacity {
+            0
+        } else {
+            (self.written % capacity as u64) as usize
+        };
+        self.ring[split..].iter().chain(self.ring[..split].iter())
+    }
+}
+
+/// The lock-sharded event ring. See the module docs for the design.
+pub struct EventJournal {
+    /// The gate: disabled journals cost one relaxed load per emit probe.
+    enabled: AtomicBool,
+    /// Global sequence counter; also the emitted-total metric.
+    seq: AtomicU64,
+    shards: Vec<CachePadded<Mutex<Shard>>>,
+    shard_capacity: usize,
+}
+
+impl EventJournal {
+    /// Default total capacity: enough for hours of control-plane events;
+    /// storms overwrite the oldest.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    pub fn new() -> EventJournal {
+        EventJournal::with_capacity(Self::DEFAULT_CAPACITY, Self::DEFAULT_SHARDS)
+    }
+
+    pub fn with_capacity(capacity: usize, shards: usize) -> EventJournal {
+        let shards = shards.max(1);
+        let shard_capacity = (capacity / shards).max(16);
+        EventJournal {
+            enabled: AtomicBool::new(true),
+            seq: AtomicU64::new(0),
+            shards: (0..shards)
+                .map(|_| CachePadded::new(Mutex::new(Shard { ring: Vec::new(), written: 0 })))
+                .collect(),
+            shard_capacity,
+        }
+    }
+
+    /// A journal that starts disabled (for overhead benches and for
+    /// components constructed without a run to attach to).
+    pub fn disabled() -> EventJournal {
+        let j = EventJournal::new();
+        j.set_enabled(false);
+        j
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Emit with lazily built message/fields: the closure runs only when
+    /// the journal is enabled, so a disabled emit site pays one relaxed
+    /// load and never formats.
+    #[inline]
+    pub fn emit_with<F>(&self, severity: Severity, source: &'static str, kind: &'static str, f: F)
+    where
+        F: FnOnce() -> (String, Vec<(&'static str, String)>),
+    {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let (message, fields) = f();
+        self.emit_slow(severity, source, kind, message, fields);
+    }
+
+    /// Emit with a pre-built message and no fields.
+    #[inline]
+    pub fn emit(
+        &self,
+        severity: Severity,
+        source: &'static str,
+        kind: &'static str,
+        message: impl Into<String>,
+    ) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.emit_slow(severity, source, kind, message.into(), Vec::new());
+    }
+
+    #[cold]
+    fn emit_slow(
+        &self,
+        severity: Severity,
+        source: &'static str,
+        kind: &'static str,
+        message: String,
+        fields: Vec<(&'static str, String)>,
+    ) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let event = Event {
+            seq,
+            ts_us: now_us(),
+            severity,
+            source,
+            kind,
+            message,
+            fields,
+        };
+        let mut sh = self.shards[thread_slot() % self.shards.len()].lock();
+        let idx = (sh.written % self.shard_capacity as u64) as usize;
+        if idx < sh.ring.len() {
+            sh.ring[idx] = event;
+        } else {
+            sh.ring.push(event);
+        }
+        sh.written += 1;
+    }
+
+    /// Total events ever emitted (including ones since overwritten).
+    pub fn emitted(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to ring overwrites.
+    pub fn overwritten(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                let sh = s.lock();
+                sh.written.saturating_sub(sh.ring.len() as u64)
+            })
+            .sum()
+    }
+
+    /// Total ring slots across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    /// The most recent `n` retained events at or above `min_severity`,
+    /// oldest first (globally ordered by seq).
+    pub fn recent(&self, n: usize, min_severity: Severity) -> Vec<Event> {
+        let mut all: Vec<Event> = Vec::new();
+        for s in &self.shards {
+            let sh = s.lock();
+            all.extend(
+                sh.ordered(self.shard_capacity)
+                    .filter(|e| e.severity >= min_severity)
+                    .cloned(),
+            );
+        }
+        all.sort_by_key(|e| e.seq);
+        if all.len() > n {
+            all.drain(..all.len() - n);
+        }
+        all
+    }
+
+    /// All retained events, oldest first.
+    pub fn all(&self) -> Vec<Event> {
+        self.recent(usize::MAX, Severity::Debug)
+    }
+}
+
+impl Default for EventJournal {
+    fn default() -> EventJournal {
+        EventJournal::new()
+    }
+}
+
+impl MetricsSource for EventJournal {
+    fn collect(&self, buf: &mut MetricsBuf) {
+        buf.counter(
+            "bp_events_emitted_total",
+            "Structured events emitted into the journal",
+            &[],
+            self.emitted() as f64,
+        );
+        buf.counter(
+            "bp_events_overwritten_total",
+            "Journal events lost to ring-buffer overwrites",
+            &[],
+            self.overwritten() as f64,
+        );
+    }
+}
+
+/// Wall-clock microseconds since the first call in this process. The
+/// journal timestamps with its own origin so events from every layer line
+/// up without threading a clock through each constructor. Public so the
+/// telemetry sensor can stamp samples on the *same* axis as events — the
+/// doctor's causal-event matching depends on that alignment.
+pub fn journal_now_us() -> u64 {
+    now_us()
+}
+
+fn now_us() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    ORIGIN.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_in_global_order() {
+        let j = EventJournal::new();
+        j.emit(Severity::Info, "core", "phase_change", "phase 0 -> 1");
+        j.emit(Severity::Warn, "chaos", "chaos_armed", "plan storm");
+        j.emit(Severity::Error, "storage", "deadlock_victim", "txn 9 died");
+        let all = j.all();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].seq, 1);
+        assert_eq!(all[2].seq, 3);
+        assert!(all.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(j.emitted(), 3);
+    }
+
+    #[test]
+    fn disabled_gate_skips_closure() {
+        let j = EventJournal::disabled();
+        let mut called = false;
+        j.emit_with(Severity::Info, "core", "rate_change", || {
+            called = true;
+            (String::new(), Vec::new())
+        });
+        assert!(!called, "closure must not run while disabled");
+        assert_eq!(j.emitted(), 0);
+        j.set_enabled(true);
+        j.emit_with(Severity::Info, "core", "rate_change", || {
+            ("300 -> 500".to_string(), vec![("before", "300".to_string())])
+        });
+        assert_eq!(j.emitted(), 1);
+        assert_eq!(j.all()[0].fields[0], ("before", "300".to_string()));
+    }
+
+    #[test]
+    fn severity_filter_and_last_n() {
+        let j = EventJournal::new();
+        for i in 0..10u64 {
+            let sev = if i % 2 == 0 { Severity::Debug } else { Severity::Warn };
+            j.emit(sev, "core", "rate_change", format!("e{i}"));
+        }
+        assert_eq!(j.recent(100, Severity::Warn).len(), 5);
+        let last2 = j.recent(2, Severity::Debug);
+        assert_eq!(last2.len(), 2);
+        assert_eq!(last2[1].message, "e9");
+        assert!(last2[0].seq < last2[1].seq);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let j = EventJournal::with_capacity(16, 1);
+        for i in 0..40u64 {
+            j.emit(Severity::Info, "core", "rate_change", format!("e{i}"));
+        }
+        assert_eq!(j.emitted(), 40);
+        assert_eq!(j.overwritten(), 24);
+        let all = j.all();
+        assert_eq!(all.len(), 16);
+        assert_eq!(all[0].message, "e24", "oldest retained after overwrite");
+        assert_eq!(all.last().unwrap().message, "e39");
+    }
+
+    #[test]
+    fn line_round_trips() {
+        let e = Event {
+            seq: 142,
+            ts_us: 12_000_000,
+            severity: Severity::Warn,
+            source: "chaos",
+            kind: "chaos_armed",
+            message: "plan lock-storm armed".to_string(),
+            fields: vec![("plan", "lock-storm".to_string()), ("state", "armed".to_string())],
+        };
+        let line = e.to_line();
+        let back = Event::from_line(&line).unwrap();
+        assert_eq!(back, e);
+
+        // Hostile content flattens instead of corrupting the line format.
+        let nasty = Event {
+            fields: vec![("plan", "a,b=c\nd".to_string())],
+            message: "line1\nline2".to_string(),
+            ..e
+        };
+        let back = Event::from_line(&nasty.to_line()).unwrap();
+        assert_eq!(back.fields[0].1, "a_b_c_d");
+        assert_eq!(back.message, "line1_line2");
+    }
+
+    #[test]
+    fn from_line_rejects_garbage() {
+        assert!(Event::from_line("not an event").is_err());
+        assert!(Event::from_line("event x 0 info core rate_change - m").is_err());
+        assert!(Event::from_line("event 1 0 loud core rate_change - m").is_err());
+        assert!(Event::from_line("event 1 0 info core rate_change badfield m").is_err());
+    }
+
+    #[test]
+    fn severity_parses() {
+        assert_eq!(Severity::parse("WARN"), Some(Severity::Warn));
+        assert_eq!(Severity::parse("warning"), Some(Severity::Warn));
+        assert_eq!(Severity::parse("info"), Some(Severity::Info));
+        assert_eq!(Severity::parse("loud"), None);
+        assert!(Severity::Error > Severity::Debug);
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = EventJournal::new();
+        j.emit_with(Severity::Info, "api", "run_start", || {
+            ("run voter".to_string(), vec![("workload", "voter".to_string())])
+        });
+        let e = &j.all()[0];
+        let json = e.to_json();
+        assert_eq!(json.get("severity").and_then(Json::as_str), Some("info"));
+        assert_eq!(json.get("kind").and_then(Json::as_str), Some("run_start"));
+        assert_eq!(
+            json.get("fields").and_then(|f| f.get("workload")).and_then(Json::as_str),
+            Some("voter")
+        );
+    }
+
+    #[test]
+    fn multithreaded_emission_keeps_order() {
+        let j = std::sync::Arc::new(EventJournal::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let j = j.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        j.emit(Severity::Debug, "core", "rate_change", format!("t{t}e{i}"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(j.emitted(), 800);
+        let all = j.all();
+        assert!(all.windows(2).all(|w| w[0].seq < w[1].seq), "globally ordered");
+    }
+}

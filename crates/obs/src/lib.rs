@@ -17,13 +17,34 @@
 //!   [`MetricsSource`]; the registry renders the union in Prometheus text
 //!   exposition format for `GET /metrics`.
 //!
+//! PR 7 adds the black-box layer on top:
+//!
+//! * [`EventJournal`] — a lock-sharded ring of structured control-plane
+//!   [`Event`]s (phase changes, SLO decisions, chaos arms, breaker trips,
+//!   deadlock victims, WAL rotations…), behind a <5ns disarmed gate.
+//! * [`TelemetryRecorder`] — a background sampler that snapshots the
+//!   run's vitals every tick and exports a versioned `#bp-report v1`
+//!   timeline aligned with the journal.
+//! * [`doctor`] — a pure analysis pass over a [`Report`] that names the
+//!   dominant bottleneck per window with evidence and a causal event.
+//!
 //! This crate depends only on `bp-util` so every other layer (core,
 //! storage, monitor, api) can depend on it without cycles.
 
+pub mod doctor;
+pub mod journal;
+pub mod recorder;
 pub mod registry;
 pub mod span;
 
-pub use registry::{MetricValue, MetricsBuf, MetricsRegistry, MetricsSource, Sample};
+pub use doctor::{diagnose, Bottleneck, Finding};
+pub use journal::{journal_now_us, Event, EventJournal, Severity};
+pub use recorder::{
+    Report, TelemetryGuard, TelemetryRecorder, TelemetrySample, SAMPLE_COLUMNS,
+};
+pub use registry::{
+    escape_label_value, MetricValue, MetricsBuf, MetricsRegistry, MetricsSource, Sample,
+};
 pub use span::{
     add_commit_us, add_lock_wait_us, format_stage_line, take_stage_acc, ObsConfig, Span,
     SpanMode, SpanOutcome, SpanRecorder, Stage, StageSummary,

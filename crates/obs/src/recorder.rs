@@ -1,0 +1,525 @@
+//! The continuous telemetry recorder and the `#bp-report v1` artifact.
+//!
+//! A background thread ([`TelemetryRecorder::spawn`]) calls a sensor
+//! closure every tick; the closure (built by `bp-core`, which can see the
+//! stats collector, the engine counters, the breaker and the commanded
+//! rate) returns one [`TelemetrySample`] — client-window latency
+//! percentiles plus per-interval engine counter deltas. Samples land in a
+//! fixed-capacity in-memory ring, flight-recorder style.
+//!
+//! [`Report`] is the export: a versioned, self-describing, line-oriented
+//! text artifact in the same style as `#bp-replay v1`, carrying the sample
+//! timeline *and* the event journal so a single file answers both "what
+//! happened" and "what changed right before". [`Report::from_text`] is the
+//! exact inverse of [`Report::to_text`]; the doctor consumes the parsed
+//! form.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bp_util::sync::Mutex;
+
+use crate::journal::{Event, EventJournal};
+use crate::registry::{MetricsBuf, MetricsSource};
+
+/// One telemetry tick: client-side window stats plus per-interval deltas
+/// of the engine counters the doctor classifies on.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TelemetrySample {
+    /// Journal-aligned timestamp (µs, same origin as [`Event::ts_us`]).
+    pub t_us: u64,
+    /// Commanded offered rate (tx/s); `f64::INFINITY` for unlimited.
+    pub rate: f64,
+    /// Delivered throughput over the window (tx/s).
+    pub throughput: f64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    /// Failed / completed in the window (0..=1).
+    pub error_rate: f64,
+    /// Shed / (completed + shed) in the window (0..=1).
+    pub shed_rate: f64,
+    /// Breaker state gauge: 0 closed, 1 open, 2 half-open.
+    pub breaker_state: u8,
+    /// Request-queue backlog at sample time.
+    pub queue_depth: u64,
+    // Engine counter deltas over the interval:
+    pub commits: u64,
+    pub lock_waits: u64,
+    pub lock_wait_us: u64,
+    pub deadlocks: u64,
+    pub io_reads: u64,
+    pub io_writes: u64,
+    pub wal_fsyncs: u64,
+    pub wal_bytes: u64,
+    /// Time spent in commit/fsync processing (includes injected stalls).
+    pub fsync_us: u64,
+    pub buf_hits: u64,
+    pub buf_misses: u64,
+    pub busy_us: u64,
+}
+
+/// Column names, index-aligned with [`TelemetrySample::values`] /
+/// [`TelemetrySample::from_values`]. Written into the artifact header so
+/// the format is self-describing.
+pub const SAMPLE_COLUMNS: [&str; 21] = [
+    "t_us", "rate", "tput", "p50_us", "p99_us", "err", "shed", "breaker", "qdepth", "commits",
+    "lock_waits", "lock_wait_us", "deadlocks", "io_reads", "io_writes", "wal_fsyncs", "wal_bytes",
+    "fsync_us", "buf_hits", "buf_misses", "busy_us",
+];
+
+impl TelemetrySample {
+    fn values(&self) -> [f64; 21] {
+        [
+            self.t_us as f64,
+            self.rate,
+            self.throughput,
+            self.p50_us as f64,
+            self.p99_us as f64,
+            self.error_rate,
+            self.shed_rate,
+            self.breaker_state as f64,
+            self.queue_depth as f64,
+            self.commits as f64,
+            self.lock_waits as f64,
+            self.lock_wait_us as f64,
+            self.deadlocks as f64,
+            self.io_reads as f64,
+            self.io_writes as f64,
+            self.wal_fsyncs as f64,
+            self.wal_bytes as f64,
+            self.fsync_us as f64,
+            self.buf_hits as f64,
+            self.buf_misses as f64,
+            self.busy_us as f64,
+        ]
+    }
+
+    fn from_values(v: &[f64]) -> TelemetrySample {
+        let u = |i: usize| v[i] as u64;
+        TelemetrySample {
+            t_us: u(0),
+            rate: v[1],
+            throughput: v[2],
+            p50_us: u(3),
+            p99_us: u(4),
+            error_rate: v[5],
+            shed_rate: v[6],
+            breaker_state: v[7] as u8,
+            queue_depth: u(8),
+            commits: u(9),
+            lock_waits: u(10),
+            lock_wait_us: u(11),
+            deadlocks: u(12),
+            io_reads: u(13),
+            io_writes: u(14),
+            wal_fsyncs: u(15),
+            wal_bytes: u(16),
+            fsync_us: u(17),
+            buf_hits: u(18),
+            buf_misses: u(19),
+            busy_us: u(20),
+        }
+    }
+
+    /// One artifact line: the 21 columns space-separated, floats in Rust
+    /// round-trip `Display` form (`inf` for unlimited rate).
+    pub fn to_line(&self) -> String {
+        let vals = self.values();
+        let mut out = String::with_capacity(128);
+        for (i, v) in vals.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                out.push_str(&format!("{}", *v as i64));
+            } else {
+                out.push_str(&format!("{v}"));
+            }
+        }
+        out
+    }
+
+    pub fn from_line(line: &str) -> Result<TelemetrySample, String> {
+        let vals: Vec<f64> = line
+            .split_whitespace()
+            .map(|t| t.parse::<f64>().map_err(|e| format!("bad sample value `{t}`: {e}")))
+            .collect::<Result<_, _>>()?;
+        if vals.len() != SAMPLE_COLUMNS.len() {
+            return Err(format!(
+                "sample has {} columns, expected {}",
+                vals.len(),
+                SAMPLE_COLUMNS.len()
+            ));
+        }
+        Ok(TelemetrySample::from_values(&vals))
+    }
+}
+
+struct Ring {
+    samples: Vec<TelemetrySample>,
+    written: u64,
+}
+
+/// Guard for the background sampling thread; stops and joins on drop.
+pub struct TelemetryGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TelemetryGuard {
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Fixed-capacity ring of [`TelemetrySample`]s with an optional background
+/// sampling thread.
+pub struct TelemetryRecorder {
+    interval_us: u64,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl TelemetryRecorder {
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    pub fn new(interval_us: u64) -> TelemetryRecorder {
+        TelemetryRecorder::with_capacity(interval_us, Self::DEFAULT_CAPACITY)
+    }
+
+    pub fn with_capacity(interval_us: u64, capacity: usize) -> TelemetryRecorder {
+        TelemetryRecorder {
+            interval_us: interval_us.max(1),
+            capacity: capacity.max(4),
+            ring: Mutex::new(Ring { samples: Vec::new(), written: 0 }),
+        }
+    }
+
+    pub fn interval_us(&self) -> u64 {
+        self.interval_us
+    }
+
+    /// Record one sample (the background thread's tick body; also the
+    /// direct path for DES runs that tick a simulated clock).
+    pub fn record(&self, sample: TelemetrySample) {
+        let mut ring = self.ring.lock();
+        let idx = (ring.written % self.capacity as u64) as usize;
+        if idx < ring.samples.len() {
+            ring.samples[idx] = sample;
+        } else {
+            ring.samples.push(sample);
+        }
+        ring.written += 1;
+    }
+
+    /// Samples ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.ring.lock().written
+    }
+
+    /// Retained samples, oldest first.
+    pub fn samples(&self) -> Vec<TelemetrySample> {
+        let ring = self.ring.lock();
+        let split = if ring.samples.len() < self.capacity {
+            0
+        } else {
+            (ring.written % self.capacity as u64) as usize
+        };
+        ring.samples[split..]
+            .iter()
+            .chain(ring.samples[..split].iter())
+            .copied()
+            .collect()
+    }
+
+    /// Spawn the sampling thread: every `interval_us` of wall time, call
+    /// `sensor` and record what it returns. Stops when the guard drops.
+    pub fn spawn(
+        self: &Arc<Self>,
+        mut sensor: Box<dyn FnMut() -> TelemetrySample + Send>,
+    ) -> TelemetryGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let recorder = self.clone();
+        let interval = std::time::Duration::from_micros(self.interval_us);
+        let handle = std::thread::Builder::new()
+            .name("bp-telemetry".into())
+            .spawn(move || {
+                // Sleep in small slices so stop is honored promptly even
+                // with second-long intervals.
+                let slice = interval.min(std::time::Duration::from_millis(25));
+                let mut next = std::time::Instant::now() + interval;
+                while !stop2.load(Ordering::Relaxed) {
+                    if std::time::Instant::now() >= next {
+                        recorder.record(sensor());
+                        next += interval;
+                    }
+                    std::thread::sleep(slice);
+                }
+            })
+            .expect("spawn telemetry thread");
+        TelemetryGuard { stop, handle: Some(handle) }
+    }
+
+    /// Export the recorded timeline plus the journal as a report.
+    pub fn report(&self, journal: &EventJournal) -> Report {
+        Report {
+            version: REPORT_VERSION,
+            interval_us: self.interval_us,
+            samples: self.samples(),
+            events: journal.all(),
+        }
+    }
+}
+
+impl MetricsSource for TelemetryRecorder {
+    fn collect(&self, buf: &mut MetricsBuf) {
+        buf.counter(
+            "bp_report_samples_total",
+            "Telemetry samples recorded by the report recorder",
+            &[],
+            self.recorded() as f64,
+        );
+        buf.gauge(
+            "bp_report_interval_us",
+            "Telemetry recorder tick interval in microseconds",
+            &[],
+            self.interval_us as f64,
+        );
+    }
+}
+
+/// Report artifact version this build writes and understands.
+pub const REPORT_VERSION: u32 = 1;
+const HEADER: &str = "#bp-report v1";
+
+/// The parsed (or about-to-be-serialized) report artifact: a per-run
+/// timeline of samples aligned with the event journal.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Report {
+    pub version: u32,
+    pub interval_us: u64,
+    pub samples: Vec<TelemetrySample>,
+    pub events: Vec<Event>,
+}
+
+impl Report {
+    /// Serialize: header, column legend, samples, events, `end`.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(64 + self.samples.len() * 96 + self.events.len() * 64);
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "interval_us {}", self.interval_us);
+        let _ = writeln!(out, "columns {}", SAMPLE_COLUMNS.join(" "));
+        let _ = writeln!(out, "samples {}", self.samples.len());
+        for s in &self.samples {
+            let _ = writeln!(out, "{}", s.to_line());
+        }
+        let _ = writeln!(out, "events {}", self.events.len());
+        for e in &self.events {
+            let _ = writeln!(out, "{}", e.to_line());
+        }
+        let _ = writeln!(out, "end");
+        out
+    }
+
+    /// Line-streaming parse; the exact inverse of [`Report::to_text`].
+    pub fn from_text(text: &str) -> Result<Report, String> {
+        let mut lines = text.lines().enumerate();
+        let err = |lineno: usize, msg: String| format!("report line {}: {msg}", lineno + 1);
+
+        let (n0, first) = lines.next().ok_or("empty report")?;
+        match first.trim().strip_prefix("#bp-report v") {
+            Some("1") => {}
+            Some(_) => return Err(err(n0, "unsupported report version".into())),
+            None => return Err(err(n0, "missing #bp-report header".into())),
+        }
+
+        let mut report = Report { version: REPORT_VERSION, ..Report::default() };
+        let mut saw_end = false;
+        while let Some((lineno, raw)) = lines.next() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+            match key {
+                "interval_us" => {
+                    report.interval_us =
+                        value.trim().parse().map_err(|e| err(lineno, format!("bad interval: {e}")))?;
+                }
+                "columns" => {
+                    let cols: Vec<&str> = value.split_whitespace().collect();
+                    if cols != SAMPLE_COLUMNS {
+                        return Err(err(lineno, "unknown column layout".into()));
+                    }
+                }
+                "samples" => {
+                    let n: usize =
+                        value.trim().parse().map_err(|e| err(lineno, format!("bad count: {e}")))?;
+                    report.samples.reserve(n);
+                    for _ in 0..n {
+                        let (ln, row) = lines.next().ok_or("truncated samples section")?;
+                        report.samples.push(
+                            TelemetrySample::from_line(row.trim()).map_err(|e| err(ln, e))?,
+                        );
+                    }
+                }
+                "events" => {
+                    let n: usize =
+                        value.trim().parse().map_err(|e| err(lineno, format!("bad count: {e}")))?;
+                    report.events.reserve(n);
+                    for _ in 0..n {
+                        let (ln, row) = lines.next().ok_or("truncated events section")?;
+                        report.events.push(Event::from_line(row.trim()).map_err(|e| err(ln, e))?);
+                    }
+                }
+                "end" => {
+                    saw_end = true;
+                    break;
+                }
+                other => return Err(err(lineno, format!("unknown section `{other}`"))),
+            }
+        }
+        if !saw_end {
+            return Err("report missing `end` marker".into());
+        }
+        Ok(report)
+    }
+
+    /// Run duration covered by the samples, µs.
+    pub fn duration_us(&self) -> u64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(a), Some(b)) => b.t_us.saturating_sub(a.t_us) + self.interval_us,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Severity;
+
+    fn sample(i: u64) -> TelemetrySample {
+        TelemetrySample {
+            t_us: i * 1_000_000,
+            rate: if i == 0 { f64::INFINITY } else { 300.5 },
+            throughput: 295.25,
+            p50_us: 180,
+            p99_us: 900 + i * 10,
+            error_rate: 0.0125,
+            shed_rate: 0.0,
+            breaker_state: (i % 3) as u8,
+            queue_depth: 4,
+            commits: 295,
+            lock_waits: 12,
+            lock_wait_us: 35_000,
+            deadlocks: 1,
+            io_reads: 40,
+            io_writes: 8,
+            wal_fsyncs: 295,
+            wal_bytes: 29_500,
+            fsync_us: 2_400,
+            buf_hits: 900,
+            buf_misses: 11,
+            busy_us: 180_000,
+        }
+    }
+
+    #[test]
+    fn sample_line_round_trips() {
+        for i in 0..3 {
+            let s = sample(i);
+            let back = TelemetrySample::from_line(&s.to_line()).unwrap();
+            assert_eq!(back, s, "line: {}", s.to_line());
+        }
+        assert!(TelemetrySample::from_line("1 2 3").is_err(), "short row rejected");
+        assert!(TelemetrySample::from_line(&"x ".repeat(21)).is_err());
+    }
+
+    #[test]
+    fn report_round_trips_with_events() {
+        let journal = EventJournal::new();
+        journal.emit_with(Severity::Warn, "chaos", "chaos_armed", || {
+            ("plan lock-storm armed".into(), vec![("plan", "lock-storm".to_string())])
+        });
+        journal.emit(Severity::Info, "core", "phase_change", "phase 0 -> 1");
+
+        let rec = TelemetryRecorder::new(1_000_000);
+        for i in 0..5 {
+            rec.record(sample(i));
+        }
+        let report = rec.report(&journal);
+        assert_eq!(report.samples.len(), 5);
+        assert_eq!(report.events.len(), 2);
+
+        let text = report.to_text();
+        assert!(text.starts_with("#bp-report v1\n"));
+        assert!(text.contains("columns t_us rate tput"));
+        let back = Report::from_text(&text).unwrap();
+        assert_eq!(back, report, "byte-identical round trip");
+        assert_eq!(back.to_text(), text);
+        assert_eq!(report.duration_us(), 5_000_000);
+    }
+
+    #[test]
+    fn parser_rejects_malformed() {
+        assert!(Report::from_text("").is_err());
+        assert!(Report::from_text("#bp-report v2\nend\n").is_err());
+        assert!(Report::from_text("#bp-report v1\nsamples 1\n").is_err(), "truncated");
+        assert!(Report::from_text("#bp-report v1\nbogus 3\nend\n").is_err());
+        assert!(Report::from_text("#bp-report v1\nsamples 0\nevents 0\n").is_err(), "no end");
+        assert!(
+            Report::from_text("#bp-report v1\ncolumns a b c\nend\n").is_err(),
+            "column mismatch"
+        );
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let rec = TelemetryRecorder::with_capacity(1_000_000, 4);
+        for i in 0..10 {
+            rec.record(sample(i));
+        }
+        assert_eq!(rec.recorded(), 10);
+        let kept = rec.samples();
+        assert_eq!(kept.len(), 4);
+        assert_eq!(kept[0].t_us, 6_000_000, "oldest retained");
+        assert_eq!(kept[3].t_us, 9_000_000);
+    }
+
+    #[test]
+    fn spawned_sensor_ticks_and_stops() {
+        let rec = Arc::new(TelemetryRecorder::new(10_000));
+        let n = Arc::new(AtomicBool::new(false));
+        let guard = rec.spawn(Box::new({
+            let mut i = 0u64;
+            move || {
+                i += 1;
+                sample(i)
+            }
+        }));
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        guard.stop();
+        let after = rec.recorded();
+        assert!(after >= 2, "expected ticks, got {after}");
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert_eq!(rec.recorded(), after, "no ticks after stop");
+        drop(n);
+    }
+}

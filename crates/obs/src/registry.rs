@@ -73,6 +73,23 @@ fn sanitize_name(name: &str) -> String {
     out
 }
 
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double-quote, and newline become `\\`, `\"`, `\n`. Applied
+/// once at [`MetricsBuf`] push time, so stored samples are already
+/// scrape-safe and the renderer writes them verbatim.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl MetricsBuf {
     pub fn new() -> MetricsBuf {
         MetricsBuf::default()
@@ -83,7 +100,7 @@ impl MetricsBuf {
             name: sanitize_name(name),
             labels: labels
                 .iter()
-                .map(|(k, v)| (sanitize_name(k), (*v).to_string()))
+                .map(|(k, v)| (sanitize_name(k), escape_label_value(v)))
                 .collect(),
             help,
             value,
@@ -145,7 +162,8 @@ impl MetricsBuf {
             labels,
             MetricValue::Histogram {
                 buckets,
-                sum: h.mean() * h.count() as f64,
+                // An empty histogram's mean is NaN; its sum must render 0.
+                sum: if h.count() == 0 { 0.0 } else { h.mean() * h.count() as f64 },
                 count: h.count(),
             },
         );
@@ -192,7 +210,9 @@ impl MetricsRegistry {
         self.sources.lock().iter().map(|(n, _)| n.clone()).collect()
     }
 
-    /// Collect every source into one flat, name-sorted sample list.
+    /// Collect every source into one flat, name-sorted sample list. Build
+    /// identity and uptime are always appended so scrapes are
+    /// self-identifying regardless of which sources got registered.
     pub fn snapshot(&self) -> Vec<Sample> {
         let sources: Vec<Arc<dyn MetricsSource>> =
             self.sources.lock().iter().map(|(_, s)| s.clone()).collect();
@@ -200,6 +220,7 @@ impl MetricsRegistry {
         for s in &sources {
             s.collect(&mut buf);
         }
+        collect_build_info(&mut buf);
         let mut samples = buf.into_samples();
         samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
         samples
@@ -228,6 +249,30 @@ impl MetricsRegistry {
         }
         out
     }
+}
+
+/// The always-on self-identification samples: `bp_build_info` (value 1,
+/// identity in the labels, Prometheus `*_build_info` convention) and
+/// `bp_uptime_seconds` on the journal's process-wide clock origin.
+fn collect_build_info(buf: &mut MetricsBuf) {
+    let journal_shards = crate::journal::EventJournal::DEFAULT_SHARDS.to_string();
+    buf.gauge(
+        "bp_build_info",
+        "Build identity; value is constant 1, identity is in the labels",
+        &[
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("git_hash", option_env!("BP_GIT_HASH").unwrap_or("unknown")),
+            ("profile", if cfg!(debug_assertions) { "debug" } else { "release" }),
+            ("journal_shards", journal_shards.as_str()),
+        ],
+        1.0,
+    );
+    buf.gauge(
+        "bp_uptime_seconds",
+        "Seconds since this process first touched the observability clock",
+        &[],
+        crate::journal::journal_now_us() as f64 / 1e6,
+    );
 }
 
 fn render_sample(out: &mut String, s: &Sample) {
@@ -276,15 +321,10 @@ fn render_labels(out: &mut String, labels: &[(String, String)], le: Option<f64>)
         }
         first = false;
         out.push_str(k);
+        // Values were escaped at push time (`escape_label_value`), so they
+        // are written verbatim — escaping again would double the slashes.
         out.push_str("=\"");
-        for c in v.chars() {
-            match c {
-                '\\' => out.push_str("\\\\"),
-                '"' => out.push_str("\\\""),
-                '\n' => out.push_str("\\n"),
-                c => out.push(c),
-            }
-        }
+        out.push_str(v);
         out.push('"');
     }
     if let Some(le) = le {
@@ -396,6 +436,46 @@ mod tests {
         }
         reg.register("one", Arc::new(One));
         assert!(reg.render_prometheus().contains("m_total{l=\"a\\\"b\"} 1\n"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_zero_sum() {
+        let h = Histogram::latency();
+        let mut buf = MetricsBuf::new();
+        buf.histogram("lat", "h", &[], &h);
+        let s = &buf.into_samples()[0];
+        let MetricValue::Histogram { buckets, sum, count } = &s.value else {
+            panic!("not a histogram");
+        };
+        assert_eq!(*count, 0);
+        assert_eq!(*sum, 0.0, "empty histogram must not render NaN sum");
+        assert!(buckets.iter().all(|(_, c)| *c == 0));
+        let mut out = String::new();
+        render_sample(&mut out, s);
+        assert!(out.contains("lat_sum 0\n"), "{out}");
+        assert!(out.contains("lat_count 0\n"), "{out}");
+        assert!(!out.contains("NaN"), "{out}");
+    }
+
+    #[test]
+    fn build_info_and_uptime_always_present() {
+        let reg = MetricsRegistry::new();
+        let text = reg.render_prometheus();
+        assert!(text.contains("bp_build_info{"), "{text}");
+        assert!(text.contains(&format!("version=\"{}\"", env!("CARGO_PKG_VERSION"))), "{text}");
+        assert!(text.contains("git_hash=\""), "{text}");
+        assert!(text.contains("bp_uptime_seconds "), "{text}");
+    }
+
+    #[test]
+    fn label_values_escaped_once_at_push() {
+        let mut buf = MetricsBuf::new();
+        buf.counter("m_total", "c", &[("l", "a\"b\\c\nd")], 1.0);
+        let s = &buf.into_samples()[0];
+        assert_eq!(s.labels[0].1, "a\\\"b\\\\c\\nd", "stored pre-escaped");
+        let mut out = String::new();
+        render_sample(&mut out, s);
+        assert!(out.contains("m_total{l=\"a\\\"b\\\\c\\nd\"} 1\n"), "no double escape: {out}");
     }
 
     #[test]

@@ -7,10 +7,18 @@
 //! transactions if the disk IO activity seems to saturate", §4.2).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use bp_obs::{EventJournal, Severity};
 use bp_util::sync::Mutex;
 
 use crate::metrics::ServerMetrics;
+
+/// Accesses per pressure-detection epoch.
+const PRESSURE_EPOCH: u64 = 1024;
+/// Miss-ratio hysteresis: enter pressure above `HIGH`, leave below `LOW`.
+const PRESSURE_HIGH: f64 = 0.5;
+const PRESSURE_LOW: f64 = 0.3;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PageId {
@@ -30,6 +38,11 @@ struct PoolState {
     map: HashMap<PageId, usize>,
     frames: Vec<Frame>,
     hand: usize,
+    /// Accesses/misses in the current pressure epoch.
+    epoch_accesses: u64,
+    epoch_misses: u64,
+    /// Whether the pool is currently in the "pressured" regime.
+    pressured: bool,
 }
 
 /// The access outcome, used by the engine to charge IO cost.
@@ -40,11 +53,11 @@ pub struct Access {
     pub ios: u32,
 }
 
-#[derive(Debug)]
 pub struct BufferPool {
     capacity: usize,
     rows_per_page: u64,
     state: Mutex<PoolState>,
+    journal: Option<Arc<EventJournal>>,
 }
 
 impl BufferPool {
@@ -57,7 +70,48 @@ impl BufferPool {
                 map: HashMap::with_capacity(capacity),
                 frames: Vec::with_capacity(capacity),
                 hand: 0,
+                epoch_accesses: 0,
+                epoch_misses: 0,
+                pressured: false,
             }),
+            journal: None,
+        }
+    }
+
+    /// Attach the event journal (pressure-crossing events) — builder style
+    /// so the plain constructor keeps working everywhere.
+    pub fn with_journal(mut self, journal: Arc<EventJournal>) -> BufferPool {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Close a pressure epoch: on a hysteresis crossing, flip the regime
+    /// and journal it. Called with the state lock held.
+    fn note_epoch(&self, st: &mut PoolState) {
+        let ratio = st.epoch_misses as f64 / st.epoch_accesses as f64;
+        st.epoch_accesses = 0;
+        st.epoch_misses = 0;
+        let crossed = if st.pressured { ratio < PRESSURE_LOW } else { ratio > PRESSURE_HIGH };
+        if !crossed {
+            return;
+        }
+        st.pressured = !st.pressured;
+        let entering = st.pressured;
+        if let Some(j) = &self.journal {
+            let sev = if entering { Severity::Warn } else { Severity::Info };
+            j.emit_with(sev, "storage", "buffer_pressure", || {
+                (
+                    format!(
+                        "buffer pool {} pressure (miss ratio {:.0}% over {PRESSURE_EPOCH} accesses)",
+                        if entering { "entered" } else { "left" },
+                        ratio * 100.0,
+                    ),
+                    vec![
+                        ("ratio", format!("{ratio:.3}")),
+                        ("state", if entering { "pressured" } else { "ok" }.to_string()),
+                    ],
+                )
+            });
         }
     }
 
@@ -69,14 +123,19 @@ impl BufferPool {
     pub fn access(&self, table: u32, rowid: u64, write: bool, metrics: &ServerMetrics) -> Access {
         let key = self.page_of(table, rowid);
         let mut st = self.state.lock();
+        st.epoch_accesses += 1;
         if let Some(&idx) = st.map.get(&key) {
             let f = &mut st.frames[idx];
             f.referenced = true;
             f.dirty |= write;
             metrics.inc_buf_hits();
+            if st.epoch_accesses >= PRESSURE_EPOCH {
+                self.note_epoch(&mut st);
+            }
             return Access { hit: true, ios: 0 };
         }
         // Miss.
+        st.epoch_misses += 1;
         metrics.inc_buf_misses();
         metrics.add_io_reads(1);
         let mut ios = 1;
@@ -105,6 +164,9 @@ impl BufferPool {
                 break;
             }
         }
+        if st.epoch_accesses >= PRESSURE_EPOCH {
+            self.note_epoch(&mut st);
+        }
         Access { hit: false, ios }
     }
 
@@ -114,6 +176,9 @@ impl BufferPool {
         st.map.clear();
         st.frames.clear();
         st.hand = 0;
+        st.epoch_accesses = 0;
+        st.epoch_misses = 0;
+        st.pressured = false;
     }
 
     pub fn resident_pages(&self) -> usize {
@@ -177,6 +242,32 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.buf_misses, 16);
         assert_eq!(s.buf_hits, 4 * 1024 - 16);
+    }
+
+    #[test]
+    fn pressure_crossings_journaled_with_hysteresis() {
+        let m = ServerMetrics::new();
+        let j = Arc::new(EventJournal::new());
+        // Tiny pool, one row per page: distinct rows always miss.
+        let bp = BufferPool::new(2, 1).with_journal(j.clone());
+        // Epoch 1: all misses -> enter pressure.
+        for r in 0..PRESSURE_EPOCH {
+            bp.access(1, r, false, &m);
+        }
+        // Epoch 2: all hits on 2 resident pages -> leave pressure.
+        for i in 0..PRESSURE_EPOCH {
+            bp.access(1, PRESSURE_EPOCH - 2 + (i % 2), false, &m);
+        }
+        // Epoch 3: all hits again -> no new event (hysteresis).
+        for i in 0..PRESSURE_EPOCH {
+            bp.access(1, PRESSURE_EPOCH - 2 + (i % 2), false, &m);
+        }
+        let events = j.all();
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert_eq!(events[0].kind, "buffer_pressure");
+        assert!(events[0].fields.contains(&("state", "pressured".to_string())));
+        assert_eq!(events[0].severity, Severity::Warn);
+        assert!(events[1].fields.contains(&("state", "ok".to_string())));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bp_chaos::{ChaosController, FaultKind};
+use bp_obs::EventJournal;
 use bp_util::sync::RwLock;
 
 use bp_util::rng::Rng;
@@ -42,6 +43,7 @@ pub struct Database {
     pool: BufferPool,
     metrics: Arc<ServerMetrics>,
     chaos: Arc<ChaosController>,
+    journal: Arc<EventJournal>,
     personality: Personality,
     next_txn: AtomicU64,
     next_table_id: AtomicU32,
@@ -52,17 +54,26 @@ impl Database {
     pub fn new(personality: Personality) -> Arc<Database> {
         let metrics = Arc::new(ServerMetrics::new());
         let chaos = Arc::new(ChaosController::new());
+        // One journal per engine instance, shared by every emitting layer
+        // (lock manager, WAL, buffer pool, chaos gate, and — via
+        // `Database::journal()` — the controller and API on top).
+        let journal = Arc::new(EventJournal::new());
+        chaos.set_journal(journal.clone());
         Arc::new(Database {
             catalog: RwLock::new(Catalog::default()),
-            locks: LockManager::new(personality.lock_timeout, metrics.clone(), chaos.clone()),
+            locks: LockManager::new(personality.lock_timeout, metrics.clone(), chaos.clone())
+                .with_journal(journal.clone()),
             wal: Wal::new(
                 personality.group_commit_window_us,
                 personality.wal_us_per_kb,
                 personality.commit_us,
-            ),
-            pool: BufferPool::new(personality.buffer_pages, personality.rows_per_page),
+            )
+            .with_journal(journal.clone()),
+            pool: BufferPool::new(personality.buffer_pages, personality.rows_per_page)
+                .with_journal(journal.clone()),
             metrics,
             chaos,
+            journal,
             personality,
             next_txn: AtomicU64::new(1),
             next_table_id: AtomicU32::new(1),
@@ -83,6 +94,12 @@ impl Database {
     /// plans on it at runtime.
     pub fn chaos(&self) -> &Arc<ChaosController> {
         &self.chaos
+    }
+
+    /// The event journal every layer of this engine emits into. Layers
+    /// above (controller, API) share it so `/events` shows one timeline.
+    pub fn journal(&self) -> &Arc<EventJournal> {
+        &self.journal
     }
 
     /// Open a session (one per worker thread).
@@ -235,8 +252,10 @@ impl Session {
             cost += wal_cost;
         }
         // Chaos: a stalled fsync lengthens the commit's service demand.
+        // Charged to fsync_us too so the doctor sees the stall as IO time.
         if let Some(stall_us) = self.db.chaos.roll(FaultKind::FsyncStall) {
             cost += stall_us as f64;
+            self.db.metrics.add_fsync_micros(stall_us);
         }
         self.charge(cost);
         self.db.locks.release_all(txn.id, &txn.locks);

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bp_chaos::{ChaosController, FaultKind};
+use bp_obs::{EventJournal, Severity};
 use bp_util::sync::{Condvar, Mutex};
 
 use crate::error::{Result, StorageError};
@@ -92,6 +93,7 @@ pub struct LockManager {
     timeout: Duration,
     metrics: Arc<ServerMetrics>,
     chaos: Arc<ChaosController>,
+    journal: Option<Arc<EventJournal>>,
 }
 
 impl LockManager {
@@ -100,7 +102,32 @@ impl LockManager {
         metrics: Arc<ServerMetrics>,
         chaos: Arc<ChaosController>,
     ) -> LockManager {
-        LockManager { entries: Mutex::new(HashMap::new()), timeout, metrics, chaos }
+        LockManager {
+            entries: Mutex::new(HashMap::new()),
+            timeout,
+            metrics,
+            chaos,
+            journal: None,
+        }
+    }
+
+    /// Attach the event journal (deadlock-victim events) — builder style so
+    /// the plain constructor keeps working everywhere.
+    pub fn with_journal(mut self, journal: Arc<EventJournal>) -> LockManager {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Journal a wait-die (or chaos-storm) victim pick.
+    fn note_victim(&self, txn: TxnId, holder: TxnId) {
+        if let Some(j) = &self.journal {
+            j.emit_with(Severity::Debug, "storage", "deadlock_victim", || {
+                (
+                    format!("txn {txn} aborted: wait-die victim behind txn {holder}"),
+                    vec![("txn", txn.to_string()), ("holder", holder.to_string())],
+                )
+            });
+        }
     }
 
     fn entry(&self, target: LockTarget) -> Arc<LockEntry> {
@@ -139,6 +166,7 @@ impl LockManager {
         }
         if self.chaos.roll(FaultKind::DeadlockStorm).is_some() {
             self.metrics.inc_deadlocks();
+            self.note_victim(txn, txn);
             return Err(StorageError::Deadlock { waiting_for: txn });
         }
         let entry = self.entry(target);
@@ -185,6 +213,7 @@ impl LockManager {
             if let Some(holder) = oldest_conflicting {
                 if holder < txn {
                     self.metrics.inc_deadlocks();
+                    self.note_victim(txn, holder);
                     if waited {
                         self.note_wait(wait_start);
                     }
@@ -398,6 +427,20 @@ mod tests {
         m.release_all(9, &[R, T]);
         h.join().unwrap();
         assert!(m.entry_count() <= 1);
+    }
+
+    #[test]
+    fn deadlock_victim_journaled() {
+        let j = Arc::new(EventJournal::new());
+        let m = mgr().with_journal(j.clone());
+        m.acquire(1, R, LockMode::Exclusive).unwrap();
+        let err = m.acquire(2, R, LockMode::Exclusive).unwrap_err();
+        assert_eq!(err, StorageError::Deadlock { waiting_for: 1 });
+        let events = j.all();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "deadlock_victim");
+        assert!(events[0].fields.contains(&("txn", "2".to_string())));
+        assert!(events[0].fields.contains(&("holder", "1".to_string())));
     }
 
     #[test]

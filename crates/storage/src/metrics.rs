@@ -25,6 +25,9 @@ pub struct ServerMetrics {
     buf_misses: AtomicU64,
     wal_bytes: AtomicU64,
     wal_fsyncs: AtomicU64,
+    /// Time spent in WAL commit/fsync processing, µs (includes injected
+    /// fsync stalls) — lets the doctor tell IO saturation from lock waits.
+    fsync_micros: AtomicU64,
     /// Simulated CPU-busy time in µs (sum of service costs applied).
     busy_micros: AtomicU64,
     active_txns: AtomicI64,
@@ -48,6 +51,7 @@ pub struct MetricsSnapshot {
     pub buf_misses: u64,
     pub wal_bytes: u64,
     pub wal_fsyncs: u64,
+    pub fsync_micros: u64,
     pub busy_micros: u64,
     pub active_txns: i64,
 }
@@ -74,6 +78,7 @@ impl MetricsSnapshot {
             buf_misses: self.buf_misses.saturating_sub(earlier.buf_misses),
             wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
             wal_fsyncs: self.wal_fsyncs.saturating_sub(earlier.wal_fsyncs),
+            fsync_micros: self.fsync_micros.saturating_sub(earlier.fsync_micros),
             busy_micros: self.busy_micros.saturating_sub(earlier.busy_micros),
             active_txns: self.active_txns,
         }
@@ -154,6 +159,10 @@ impl ServerMetrics {
         self.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
     }
     #[inline]
+    pub fn add_fsync_micros(&self, n: u64) {
+        self.fsync_micros.fetch_add(n, Ordering::Relaxed);
+    }
+    #[inline]
     pub fn add_busy_micros(&self, n: u64) {
         self.busy_micros.fetch_add(n, Ordering::Relaxed);
     }
@@ -169,7 +178,7 @@ impl ServerMetrics {
     /// All counter fields as `(name, value)` pairs, in declaration order.
     /// One source of truth for the Prometheus exposition below and any
     /// other exhaustive dump.
-    pub fn counter_fields(s: &MetricsSnapshot) -> [(&'static str, u64); 16] {
+    pub fn counter_fields(s: &MetricsSnapshot) -> [(&'static str, u64); 17] {
         [
             ("commits", s.commits),
             ("aborts", s.aborts),
@@ -186,6 +195,7 @@ impl ServerMetrics {
             ("buf_misses", s.buf_misses),
             ("wal_bytes", s.wal_bytes),
             ("wal_fsyncs", s.wal_fsyncs),
+            ("fsync_us", s.fsync_micros),
             ("busy_us", s.busy_micros),
         ]
     }
@@ -207,6 +217,7 @@ impl ServerMetrics {
             buf_misses: self.buf_misses.load(Ordering::Relaxed),
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
             wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            fsync_micros: self.fsync_micros.load(Ordering::Relaxed),
             busy_micros: self.busy_micros.load(Ordering::Relaxed),
             active_txns: self.active_txns.load(Ordering::Relaxed),
         }
@@ -284,8 +295,8 @@ mod tests {
         let mut buf = bp_obs::MetricsBuf::new();
         m.collect(&mut buf);
         let samples = buf.into_samples();
-        // 16 counters + 2 gauges.
-        assert_eq!(samples.len(), 18);
+        // 17 counters + 2 gauges.
+        assert_eq!(samples.len(), 19);
         for (name, _) in ServerMetrics::counter_fields(&m.snapshot()) {
             let full = format!("bp_server_{name}_total");
             assert!(samples.iter().any(|s| s.name == full), "missing {full}");

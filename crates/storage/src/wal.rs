@@ -7,11 +7,17 @@
 //! personalities under write-heavy mixtures.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+use bp_obs::{EventJournal, Severity};
 
 use crate::metrics::ServerMetrics;
 
-#[derive(Debug)]
+/// Default log-segment size; crossing it rotates to a new segment and
+/// emits a `wal_rotate` journal event.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 16 * 1024 * 1024;
+
 pub struct Wal {
     epoch: Instant,
     /// Time (µs since epoch) of the last fsync.
@@ -20,6 +26,12 @@ pub struct Wal {
     group_window_us: u64,
     us_per_kb: f64,
     fsync_us: f64,
+    /// Bytes appended since the current segment opened.
+    segment_bytes: AtomicU64,
+    segment_limit: u64,
+    /// Segments rotated away so far (current segment index).
+    segments_rotated: AtomicU64,
+    journal: Option<Arc<EventJournal>>,
 }
 
 impl Wal {
@@ -31,7 +43,28 @@ impl Wal {
             group_window_us,
             us_per_kb,
             fsync_us,
+            segment_bytes: AtomicU64::new(0),
+            segment_limit: DEFAULT_SEGMENT_BYTES,
+            segments_rotated: AtomicU64::new(0),
+            journal: None,
         }
+    }
+
+    /// Attach the event journal (rotation events) — builder style so the
+    /// plain constructor keeps working everywhere.
+    pub fn with_journal(mut self, journal: Arc<EventJournal>) -> Wal {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Override the segment-rotation threshold (tests use small segments).
+    pub fn with_segment_bytes(mut self, limit: u64) -> Wal {
+        self.segment_limit = limit.max(1);
+        self
+    }
+
+    pub fn segments_rotated(&self) -> u64 {
+        self.segments_rotated.load(Ordering::Relaxed)
     }
 
     fn now_us(&self) -> u64 {
@@ -46,6 +79,32 @@ impl Wal {
         let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
         metrics.add_wal_bytes(bytes);
         let mut cost = self.us_per_kb * bytes as f64 / 1024.0;
+
+        // Segment accounting: the committer that crosses the limit opens a
+        // new segment and journals the rotation.
+        let seg = self.segment_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if seg >= self.segment_limit && bytes > 0 {
+            let over = seg - self.segment_limit;
+            if self
+                .segment_bytes
+                .compare_exchange(seg, over, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                let segment = self.segments_rotated.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(j) = &self.journal {
+                    j.emit_with(Severity::Info, "storage", "wal_rotate", || {
+                        (
+                            format!("wal segment {segment} opened at lsn {lsn}"),
+                            vec![
+                                ("segment", segment.to_string()),
+                                ("lsn", lsn.to_string()),
+                                ("bytes", self.segment_limit.to_string()),
+                            ],
+                        )
+                    });
+                }
+            }
+        }
 
         let now = self.now_us();
         let last = self.last_fsync_us.load(Ordering::Relaxed);
@@ -67,6 +126,7 @@ impl Wal {
                 metrics.add_io_writes(1);
             }
         }
+        metrics.add_fsync_micros(cost as u64);
         (lsn, cost)
     }
 
@@ -77,6 +137,7 @@ impl Wal {
     /// Reset after a database reset.
     pub fn reset(&self) {
         self.last_fsync_us.store(u64::MAX, Ordering::Relaxed);
+        self.segment_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -127,6 +188,23 @@ mod tests {
         assert!((c1 - 10.0).abs() < 1e-9);
         assert!((c2 - 40.0).abs() < 1e-9);
         assert_eq!(m.snapshot().wal_bytes, 5120);
+    }
+
+    #[test]
+    fn segment_rotation_emits_journal_event() {
+        let m = ServerMetrics::new();
+        let j = Arc::new(EventJournal::new());
+        let wal = Wal::new(0, 0.0, 10.0).with_journal(j.clone()).with_segment_bytes(1000);
+        for _ in 0..5 {
+            wal.commit(300, &m);
+        }
+        // 1500 bytes crosses at commit 4 (1200), remainder 200 + 300 = 500.
+        assert_eq!(wal.segments_rotated(), 1);
+        let events = j.all();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "wal_rotate");
+        assert!(events[0].fields.iter().any(|(k, v)| *k == "segment" && v == "1"));
+        assert!(m.snapshot().fsync_micros >= 50, "commit cost charged to fsync_us");
     }
 
     #[test]

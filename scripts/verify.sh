@@ -38,6 +38,12 @@ echo "== slo: closed-loop admission control — convergence + chaos backoff over
 cargo test -q --offline -p bp-core slo
 cargo run -q --release --offline -p bp-bench --bin harness slo
 
+echo "== event journal bench (smoke: asserts <5ns disabled emit) =="
+BENCH_SMOKE=1 cargo bench -q --offline -p bp-bench --bench event_overhead
+
+echo "== doctor: chaos-induced bottlenecks named with causal events over HTTP =="
+cargo run -q --release --offline -p bp-bench --bin harness doctor
+
 if command -v cargo-clippy >/dev/null 2>&1 || cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --all-targets -- -D warnings =="
     cargo clippy --offline --all-targets -- -D warnings

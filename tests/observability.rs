@@ -127,7 +127,7 @@ fn metrics_scrape_covers_every_silo() {
     for f in [
         "commits", "aborts", "user_aborts", "rows_read", "rows_written", "lock_waits",
         "lock_wait_us", "deadlocks", "lock_timeouts", "io_reads", "io_writes", "buf_hits",
-        "buf_misses", "wal_bytes", "wal_fsyncs", "busy_us",
+        "buf_misses", "wal_bytes", "wal_fsyncs", "fsync_us", "busy_us",
     ] {
         let name = format!("bp_server_{f}_total");
         assert_eq!(families.get(&name).map(String::as_str), Some("counter"), "{name}");
@@ -135,6 +135,20 @@ fn metrics_scrape_covers_every_silo() {
     for f in ["bp_server_active_txns", "bp_server_buf_hit_ratio"] {
         assert_eq!(families.get(f).map(String::as_str), Some("gauge"), "{f}");
     }
+
+    // Registry self-identification: every scrape carries the build identity
+    // and process uptime.
+    assert_eq!(families.get("bp_build_info").map(String::as_str), Some("gauge"));
+    assert!(
+        samples
+            .iter()
+            .any(|l| l.starts_with("bp_build_info{") && l.contains("version=\"") && l.ends_with(" 1")),
+        "bp_build_info must carry identity labels with value 1:\n{text}"
+    );
+    assert_eq!(families.get("bp_uptime_seconds").map(String::as_str), Some("gauge"));
+
+    // The run's event journal is registered as a source too.
+    assert_eq!(families.get("bp_events_emitted_total").map(String::as_str), Some("counter"));
 
     // Span stages: one histogram per lifecycle stage, with +Inf buckets,
     // _sum and _count.
@@ -169,6 +183,127 @@ fn metrics_scrape_covers_every_silo() {
         server_commits >= committed as f64,
         "server commits {server_commits} < client committed {committed}"
     );
+}
+
+#[test]
+fn flight_recorder_over_http() {
+    let (api, _controller) = finished_run();
+    let guard = api.serve_http("127.0.0.1:0").unwrap();
+
+    // The journal saw the run: a phase_change from the script landing and
+    // the run_start from registration.
+    let (status, text) = http_request_text(guard.addr(), "GET", "/events", None).unwrap();
+    assert_eq!(status, 200);
+    let events = Json::parse(&text).unwrap();
+    let kinds: Vec<String> = events
+        .get("events")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|e| e.get("kind").and_then(Json::as_str).map(str::to_string))
+        .collect();
+    assert!(kinds.iter().any(|k| k == "phase_change"), "{kinds:?}");
+    assert!(kinds.iter().any(|k| k == "run_start"), "{kinds:?}");
+
+    // The default run config records telemetry; the report artifact is
+    // versioned, downloadable, and parseable.
+    let (status, text) = http_request_text(guard.addr(), "GET", "/report", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(text.starts_with("#bp-report v1"), "{text}");
+    let report = benchpress::obs::Report::from_text(&text).expect("report parses");
+    assert!(!report.events.is_empty());
+
+    // The doctor runs over the same artifact.
+    let (status, text) = http_request_text(guard.addr(), "GET", "/doctor", None).unwrap();
+    assert_eq!(status, 200);
+    let j = Json::parse(&text).unwrap();
+    assert!(j.get("findings").and_then(Json::as_arr).is_some(), "{text}");
+}
+
+#[test]
+fn label_values_escape_and_round_trip_over_scrape() {
+    use benchpress::obs::{escape_label_value, MetricsBuf, MetricsRegistry, MetricsSource};
+
+    const NASTY: &str = "quote\" backslash\\ newline\n done";
+    struct Nasty;
+    impl MetricsSource for Nasty {
+        fn collect(&self, buf: &mut MetricsBuf) {
+            buf.counter("bp_test_nasty_total", "Escaping probe", &[("v", NASTY)], 3.0);
+        }
+    }
+    let reg = Arc::new(MetricsRegistry::new());
+    reg.register("nasty", Arc::new(Nasty));
+    let api = Arc::new(ApiServer::new().with_registry(reg));
+    let guard = api.serve_http("127.0.0.1:0").unwrap();
+    let (status, text) = http_request_text(guard.addr(), "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    // The whole exposition stays line-parseable despite the hostile value.
+    parse_prometheus(&text);
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("bp_test_nasty_total{"))
+        .expect("nasty sample rendered");
+    assert!(line.contains(&escape_label_value(NASTY)), "not escaped at push time: {line}");
+
+    // Un-escaping the rendered label value returns the original exactly.
+    let start = line.find("v=\"").unwrap() + 3;
+    let end = line.rfind('"').unwrap();
+    let mut unescaped = String::new();
+    let mut chars = line[start..end].chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            unescaped.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => unescaped.push('\\'),
+            Some('"') => unescaped.push('"'),
+            Some('n') => unescaped.push('\n'),
+            other => panic!("bad escape sequence \\{other:?} in: {line}"),
+        }
+    }
+    assert_eq!(unescaped, NASTY, "label value must round-trip through the scrape");
+}
+
+#[test]
+fn histogram_with_bounds_is_cumulative_and_nan_free() {
+    use benchpress::obs::{MetricValue, MetricsBuf};
+    use benchpress::util::histogram::Histogram;
+
+    let mut h = Histogram::latency();
+    for v in [5u64, 50, 500, 5_000, 50_000, 5_000_000_000] {
+        h.record(v);
+    }
+    let mut buf = MetricsBuf::new();
+    buf.histogram_with_bounds("bp_test_hist", "probe", &[], &h, &[10, 100, 1_000, 10_000]);
+    let samples = buf.into_samples();
+    let MetricValue::Histogram { buckets, sum, count } = &samples[0].value else {
+        panic!("expected a histogram sample");
+    };
+    // Cumulative counts never decrease across increasing bounds.
+    for w in buckets.windows(2) {
+        assert!(w[0].0 < w[1].0, "bounds must increase: {buckets:?}");
+        assert!(w[0].1 <= w[1].1, "cumulative counts must be monotone: {buckets:?}");
+    }
+    // The +Inf bucket equals the total count, including values past the
+    // last finite bound.
+    let (inf_bound, inf_count) = buckets.last().unwrap();
+    assert!(inf_bound.is_infinite());
+    assert_eq!(*inf_count, h.count());
+    assert_eq!(*count, h.count());
+    assert!(sum.is_finite());
+
+    // An empty histogram renders count=0 with a finite (zero) sum — no NaN
+    // may ever reach the exposition.
+    let mut buf = MetricsBuf::new();
+    buf.histogram_with_bounds("bp_test_empty", "probe", &[], &Histogram::latency(), &[10, 100]);
+    let samples = buf.into_samples();
+    let MetricValue::Histogram { buckets, sum, count } = &samples[0].value else {
+        panic!("expected a histogram sample");
+    };
+    assert_eq!(*count, 0);
+    assert_eq!(*sum, 0.0, "empty histogram must not render a NaN sum");
+    assert!(buckets.iter().all(|(_, c)| *c == 0));
 }
 
 #[test]
