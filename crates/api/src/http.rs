@@ -216,6 +216,7 @@ fn write_response(
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     write!(
@@ -333,6 +334,27 @@ mod tests {
         let (status, text) = http_request_text(guard.addr(), "GET", "/metrics", None).unwrap();
         assert_eq!(status, 200);
         assert!(text.contains("# TYPE bp_server_commits_total counter"), "{text}");
+    }
+
+    #[test]
+    fn http_health_and_readiness() {
+        // An empty server is alive but not ready.
+        let empty = Arc::new(ApiServer::new());
+        let guard = empty.serve_http("127.0.0.1:0").unwrap();
+        let (status, body) = http_request(guard.addr(), "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.get("ok").unwrap().as_bool(), Some(true));
+        let (status, body) = http_request(guard.addr(), "GET", "/readyz", None).unwrap();
+        assert_eq!(status, 503, "{body}");
+        assert_eq!(body.get("ready").unwrap().as_bool(), Some(false));
+
+        // With a workload registered, readiness flips to 200.
+        let s = server();
+        let guard = s.serve_http("127.0.0.1:0").unwrap();
+        let (status, body) = http_request(guard.addr(), "GET", "/readyz", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.get("ready").unwrap().as_bool(), Some(true));
+        assert_eq!(body.get("workloads").unwrap().as_u64(), Some(1));
     }
 
     /// Fire raw bytes at a live socket and return the response status line's

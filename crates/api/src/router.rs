@@ -6,7 +6,10 @@ use std::sync::Arc;
 use bp_util::sync::RwLock;
 
 use bp_chaos::{ChaosController, FaultPlan};
-use bp_core::{ControlLaw, Controller, MixturePreset, Rate, SloConfig, SloTarget, StatusSnapshot};
+use bp_core::{
+    ControlLaw, Controller, MixturePreset, Rate, RecoveryConfig, SloConfig, SloTarget,
+    StatusSnapshot,
+};
 use bp_obs::{Event, EventJournal, MetricsRegistry, Severity};
 use bp_replay::{Artifact, ReplaySession, ReplayTiming};
 use bp_util::json::Json;
@@ -288,6 +291,54 @@ fn slo_status_json(id: &str, c: &Controller) -> Json {
         )
 }
 
+/// GET /healthz — process liveness. Always 200: if the router runs, the
+/// process is alive. Readiness (can the testbed do useful work?) is a
+/// separate, stricter question answered by `/readyz`.
+fn healthz() -> Response {
+    Response::ok(Json::obj().set("ok", true))
+}
+
+/// The `GET /recovery/status` body: engine-side crash/recovery counters
+/// plus the supervisor's own state for one workload.
+fn recovery_status_json(id: &str, c: &Controller) -> Json {
+    let s = c.database().recovery_status();
+    let h = c.recovery();
+    let (poll_us, checkpoint_us) = match h.config() {
+        Some(cfg) => (cfg.poll_interval_us, cfg.checkpoint_interval_us),
+        None => (0, 0),
+    };
+    Json::obj()
+        .set("workload", id)
+        .set("crashed", s.crashed)
+        .set("crashes", s.crashes)
+        .set("recoveries", s.recoveries)
+        .set("replayed_records", s.replayed_records)
+        .set("torn_truncations", s.torn_truncations)
+        .set("checkpoints", s.checkpoints)
+        .set("segments_truncated", s.segments_truncated)
+        .set("last_recovery_us", s.last_recovery_us)
+        .set(
+            "last_crashpoint",
+            match s.last_crashpoint {
+                Some(p) => Json::Str(p.name().to_string()),
+                None => Json::Null,
+            },
+        )
+        .set("checkpoint_lsn", s.checkpoint_lsn)
+        .set("durable_lsn", s.durable_lsn)
+        .set("generation", s.generation)
+        .set(
+            "supervisor",
+            Json::obj()
+                .set("active", h.is_active())
+                .set("poll_us", poll_us)
+                .set("checkpoint_us", checkpoint_us)
+                .set("recoveries_run", h.recoveries_run())
+                .set("checkpoints_run", h.checkpoints_run())
+                .set("ticks", h.ticks()),
+        )
+}
+
 impl ApiServer {
     pub fn new() -> ApiServer {
         ApiServer {
@@ -416,6 +467,11 @@ impl ApiServer {
             (Method::Post, ["chaos"]) => self.chaos_arm(req),
             (Method::Delete, ["chaos"]) => self.chaos_disarm(),
             (Method::Get, ["chaos", "status"]) => self.chaos_status(),
+            (Method::Get, ["healthz"]) => healthz(),
+            (Method::Get, ["readyz"]) => self.readyz(),
+            (Method::Post, ["recovery"]) => self.recovery_arm(req, query),
+            (Method::Delete, ["recovery"]) => self.recovery_disarm(req, query),
+            (Method::Get, ["recovery", "status"]) => self.recovery_status(req, query),
             (Method::Post, ["slo"]) => self.slo_arm(req, query),
             (Method::Delete, ["slo"]) => self.slo_disarm(req, query),
             (Method::Get, ["slo", "status"]) => self.slo_status(req, query),
@@ -632,6 +688,83 @@ impl ApiServer {
             Err(r) => return r,
         };
         Response::ok(slo_status_json(&id, &c))
+    }
+
+    /// GET /readyz — readiness probe: 200 once at least one workload is
+    /// registered and no workload's engine is crashed (i.e. mid-outage,
+    /// waiting on recovery). Load balancers and harnesses poll this to know
+    /// when to (re)start driving traffic.
+    fn readyz(&self) -> Response {
+        let map = self.workloads.read();
+        let mut ids: Vec<&String> = map.keys().collect();
+        ids.sort();
+        let mut crashed: Vec<Json> = Vec::new();
+        for id in &ids {
+            if map[*id].database().is_crashed() {
+                crashed.push(Json::Str((*id).clone()));
+            }
+        }
+        let ready = !ids.is_empty() && crashed.is_empty();
+        let reason = if ids.is_empty() {
+            "no workloads registered"
+        } else if !crashed.is_empty() {
+            "engine crashed; awaiting recovery"
+        } else {
+            "ok"
+        };
+        let body = Json::obj()
+            .set("ready", ready)
+            .set("reason", reason)
+            .set("workloads", ids.len() as u64)
+            .set("crashed", Json::Arr(crashed));
+        Response { status: if ready { 200 } else { 503 }, body, raw: None }
+    }
+
+    /// POST /recovery — arm the recovery supervisor (watchdog + periodic
+    /// checkpointer) on a workload. Body (all optional): `{"poll_ms": 5,
+    /// "checkpoint_ms": 2000, "workload": "<id>"}`. `checkpoint_ms: 0`
+    /// disables periodic checkpoints.
+    fn recovery_arm(&self, req: &Request, query: &str) -> Response {
+        let body = req.body.clone().unwrap_or(Json::Null);
+        let (id, c) = match self.slo_workload(&body, query) {
+            Ok(t) => t,
+            Err(r) => return r,
+        };
+        let mut cfg = RecoveryConfig::default();
+        if let Some(v) = body.get("poll_ms").and_then(Json::as_u64) {
+            if v == 0 {
+                return Response::error(400, "poll_ms must be > 0");
+            }
+            cfg.poll_interval_us = v * 1_000;
+        }
+        if let Some(v) = body.get("checkpoint_ms").and_then(Json::as_u64) {
+            cfg.checkpoint_interval_us = v * 1_000;
+        }
+        c.start_recovery(cfg);
+        Response::ok(recovery_status_json(&id, &c))
+    }
+
+    /// DELETE /recovery — disarm the supervisor. A crashed engine then
+    /// stays down until re-armed or recovered manually.
+    fn recovery_disarm(&self, req: &Request, query: &str) -> Response {
+        let body = req.body.clone().unwrap_or(Json::Null);
+        let (id, c) = match self.slo_workload(&body, query) {
+            Ok(t) => t,
+            Err(r) => return r,
+        };
+        c.stop_recovery();
+        Response::ok(recovery_status_json(&id, &c))
+    }
+
+    /// GET /recovery/status — engine crash/recovery counters and the
+    /// supervisor's state.
+    fn recovery_status(&self, req: &Request, query: &str) -> Response {
+        let body = req.body.clone().unwrap_or(Json::Null);
+        let (id, c) = match self.slo_workload(&body, query) {
+            Ok(t) => t,
+            Err(r) => return r,
+        };
+        Response::ok(recovery_status_json(&id, &c))
     }
 
     /// Every distinct event journal across the registered workloads
@@ -1088,6 +1221,128 @@ mod tests {
         assert_eq!(r.body.get("halted").unwrap().as_bool(), Some(true));
     }
 
+    /// Crash the workload's engine the same way the chaos layer does in
+    /// production: arm `ServerCrash`, push one commit through it.
+    fn crash_engine(db: &Arc<Database>) {
+        use bp_chaos::{FaultKind, FaultPlan, FaultWindow};
+        db.create_table(
+            bp_storage::TableSchema::new(
+                "crashed_t",
+                vec![bp_storage::Column::new("id", bp_storage::DataType::Int)],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let t = db.table("crashed_t").unwrap();
+        db.chaos().arm(FaultPlan::new("crash", 1).with_window(FaultWindow::always(
+            FaultKind::ServerCrash,
+            1.0,
+            0,
+        )));
+        let mut sess = db.session();
+        sess.begin().unwrap();
+        sess.insert(&t, vec![bp_storage::Value::Int(1)]).unwrap();
+        assert_eq!(sess.commit(), Err(bp_storage::StorageError::Crashed));
+        db.chaos().disarm();
+        assert!(db.is_crashed());
+    }
+
+    #[test]
+    fn healthz_always_ok() {
+        let empty = ApiServer::new();
+        let r = empty.handle(&Request::get("/healthz"));
+        assert!(r.is_ok());
+        assert_eq!(r.body.get("ok").unwrap().as_bool(), Some(true));
+        // Still 200 with workloads registered — liveness never depends on them.
+        let r = server().handle(&Request::get("/healthz"));
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn readyz_tracks_registration_and_crash() {
+        let s = ApiServer::new();
+        let r = s.handle(&Request::get("/readyz"));
+        assert_eq!(r.status, 503);
+        assert_eq!(r.body.get("ready").unwrap().as_bool(), Some(false));
+        assert_eq!(r.body.get("reason").unwrap().as_str(), Some("no workloads registered"));
+
+        s.register("demo", controller());
+        let r = s.handle(&Request::get("/readyz"));
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(r.body.get("ready").unwrap().as_bool(), Some(true));
+
+        let db = s.controller("demo").unwrap().database().clone();
+        crash_engine(&db);
+        let r = s.handle(&Request::get("/readyz"));
+        assert_eq!(r.status, 503);
+        assert_eq!(r.body.get("reason").unwrap().as_str(), Some("engine crashed; awaiting recovery"));
+        assert_eq!(r.body.get("crashed").unwrap().as_arr().unwrap().len(), 1);
+
+        db.recover();
+        let r = s.handle(&Request::get("/readyz"));
+        assert!(r.is_ok());
+        assert_eq!(r.body.get("ready").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn recovery_arm_status_disarm_roundtrip() {
+        let s = server();
+        // Arm with a fast poll; periodic checkpoints off.
+        let r = s.handle(&Request::post(
+            "/recovery",
+            Json::obj().set("poll_ms", 1u64).set("checkpoint_ms", 0u64),
+        ));
+        assert!(r.is_ok(), "{r:?}");
+        let sup = r.body.get("supervisor").unwrap();
+        assert_eq!(sup.get("active").unwrap().as_bool(), Some(true));
+        assert_eq!(sup.get("poll_us").unwrap().as_u64(), Some(1_000));
+        assert_eq!(sup.get("checkpoint_us").unwrap().as_u64(), Some(0));
+
+        // Crash the engine; the supervisor brings it back within a few polls.
+        let db = s.controller("demo").unwrap().database().clone();
+        crash_engine(&db);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while db.is_crashed() && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(!db.is_crashed(), "supervisor recovered the engine");
+
+        let r = s.handle(&Request::get("/recovery/status"));
+        assert!(r.is_ok());
+        assert_eq!(r.body.get("workload").unwrap().as_str(), Some("demo"));
+        assert_eq!(r.body.get("crashed").unwrap().as_bool(), Some(false));
+        assert_eq!(r.body.get("crashes").unwrap().as_u64(), Some(1));
+        assert_eq!(r.body.get("recoveries").unwrap().as_u64(), Some(1));
+        assert_eq!(r.body.get("last_crashpoint").unwrap().as_str(), Some("before_append"));
+        let sup = r.body.get("supervisor").unwrap();
+        assert_eq!(sup.get("recoveries_run").unwrap().as_u64(), Some(1));
+
+        let r = s.handle(&Request {
+            method: Method::Delete,
+            path: "/recovery".into(),
+            body: None,
+        });
+        assert!(r.is_ok());
+        let sup = r.body.get("supervisor").unwrap();
+        assert_eq!(sup.get("active").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn recovery_arm_validates_input() {
+        let s = server();
+        let r = s.handle(&Request::post("/recovery", Json::obj().set("poll_ms", 0u64)));
+        assert_eq!(r.status, 400);
+        let r = s.handle(&Request::post(
+            "/recovery",
+            Json::obj().set("workload", "ghost"),
+        ));
+        assert_eq!(r.status, 404);
+        // No workloads at all: 404, same convention as /slo.
+        let r = ApiServer::new().handle(&Request::get("/recovery/status"));
+        assert_eq!(r.status, 404);
+    }
+
     #[test]
     fn unknown_routes_404() {
         let s = server();
@@ -1175,7 +1430,7 @@ mod tests {
         let reg = Arc::new(MetricsRegistry::new());
         let s = ApiServer::new().with_registry(reg.clone());
         s.register("demo", controller_with_spans());
-        assert_eq!(reg.source_count(), 5, "stats + server + chaos + spans + journal");
+        assert_eq!(reg.source_count(), 6, "stats + server + chaos + spans + journal + recovery");
         let r = s.handle(&Request::get("/metrics"));
         assert!(r.is_ok());
         let (ctype, text) = r.raw.expect("raw payload");

@@ -1,6 +1,6 @@
 //! The experiment harness CLI: regenerates every table/figure artifact.
 //!
-//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|obs|resilience|replay|slo|doctor|queue|all]`
+//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|obs|resilience|replay|slo|doctor|recovery|queue|all]`
 
 use bp_bench::*;
 
@@ -206,6 +206,32 @@ fn main() {
         assert!(r.lock_causal_kind.starts_with("chaos_"), "lock finding must cite a chaos event");
         assert!(r.io_causal_kind.starts_with("chaos_"), "io finding must cite a chaos event");
     }
+    if run_all || arg == "recovery" {
+        ran = true;
+        println!("=== E16: crash recovery — redo-log replay under live load, supervised restart ===");
+        let r = run_recovery(1.5);
+        println!(
+            "throughput: {:.0} tx/s before crash, {:.0} tx/s after recovery (x{:.2})",
+            r.pre_tps, r.post_tps, r.ratio
+        );
+        println!(
+            "crashes: {}   recoveries: {} ({} by supervisor)   readyz 503 during outage: {}   200 after: {}",
+            r.crashes, r.recoveries, r.supervisor_recoveries,
+            r.not_ready_during_outage, r.ready_after_recovery
+        );
+        println!(
+            "doctor: {}",
+            r.doctor_evidence.as_deref().unwrap_or("NOT CLASSIFIED")
+        );
+        println!("bp_recovery_* on /metrics: {}   crash+recovery journaled: {}\n", r.metrics_ok, r.journal_ok);
+        assert!(r.crashes >= 1, "ServerCrash fault must fire");
+        assert!(r.supervisor_recoveries >= 1, "supervisor must run the recovery");
+        assert!(r.not_ready_during_outage && r.ready_after_recovery, "/readyz must track the outage");
+        assert!(r.ratio >= 0.9, "post-crash throughput must be within 10% of pre-crash");
+        assert!(r.doctor_evidence.is_some(), "doctor must name crash_recovery");
+        assert!(r.metrics_ok, "bp_recovery_* series must be exposed");
+        assert!(r.journal_ok, "crash + recovery events must be journaled");
+    }
     if run_all || arg == "queue" {
         ran = true;
         println!("=== Ablation: centralized queue dispatch gate (never-exceed, §2.2.1) ===");
@@ -217,7 +243,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects obs resilience replay slo doctor queue all"
+            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects obs resilience replay slo doctor recovery queue all"
         );
         std::process::exit(2);
     }

@@ -1287,6 +1287,166 @@ pub fn run_doctor(phase_s: f64) -> DoctorReport {
     }
 }
 
+/// E16 (`recovery`): crash the engine under live load, let the supervisor
+/// bring it back, and verify the workload resumes at its pre-crash rate —
+/// all observed through the HTTP control surface (`/recovery`, `/readyz`,
+/// `/doctor`, `/metrics`, `/events`).
+pub struct RecoveryExperimentReport {
+    /// Committed tx/s in the healthy window before the crash.
+    pub pre_tps: f64,
+    /// Committed tx/s after the supervisor recovered the engine.
+    pub post_tps: f64,
+    /// `post_tps / pre_tps`.
+    pub ratio: f64,
+    /// Engine-side crash / recovery counters at the end of the run.
+    pub crashes: u64,
+    pub recoveries: u64,
+    /// Recoveries executed by the armed supervisor (vs manual).
+    pub supervisor_recoveries: u64,
+    /// `GET /readyz` answered 503 while the engine was down.
+    pub not_ready_during_outage: bool,
+    /// `GET /readyz` answered 200 once recovered.
+    pub ready_after_recovery: bool,
+    /// The doctor's `crash_recovery` evidence line, if classified.
+    pub doctor_evidence: Option<String>,
+    /// Nonzero `bp_recovery_*` series live on `/metrics`.
+    pub metrics_ok: bool,
+    /// `server_crash` + `recovery_complete` both journaled.
+    pub journal_ok: bool,
+}
+
+pub fn run_recovery(phase_s: f64) -> RecoveryExperimentReport {
+    use bp_util::json::Json;
+    use std::time::{Duration, Instant};
+
+    let db = Database::new(Personality::test());
+    let w = by_name("voter").unwrap();
+    let mut conn = Connection::open(&db);
+    w.setup(&mut conn, 0.3, &mut Rng::new(31)).unwrap();
+    let script = PhaseScript::new(vec![Phase::new(Rate::Limited(300.0), phase_s * 3.0 + 10.0)]);
+    let cfg = RunConfig {
+        terminals: 4,
+        script,
+        collect_trace: false,
+        telemetry_interval_us: 250_000,
+        ..Default::default()
+    };
+    let handle = bp_core::start(db.clone(), w, wall_clock(), cfg);
+    let reg = Arc::new(bp_obs::MetricsRegistry::new());
+    let api = Arc::new(bp_api::ApiServer::new().with_registry(reg));
+    api.register("voter", handle.controller.clone());
+    let guard = api.serve_http("127.0.0.1:0").expect("bind http");
+
+    let sleep_s = |s: f64| std::thread::sleep(Duration::from_secs_f64(s));
+    let get = |path: &str| bp_api::http_request(guard.addr(), "GET", path, None).expect("GET");
+    let post = |path: &str, body: &Json| {
+        let (status, resp) =
+            bp_api::http_request(guard.addr(), "POST", path, Some(body)).expect("POST");
+        assert_eq!(status, 200, "POST {path} failed: {resp:?}");
+        resp
+    };
+    let committed = || handle.controller.stats().status(1).committed;
+
+    // Healthy window: measure the pre-crash rate.
+    sleep_s(0.5);
+    let c0 = committed();
+    sleep_s(phase_s);
+    let pre_tps = (committed() - c0) as f64 / phase_s;
+
+    // Kill the engine mid-commit (crashpoint 1: after-append-before-fsync,
+    // the torn-record case). No supervisor armed yet, so it stays down.
+    let window = Json::obj().set("kind", "server_crash").set("intensity", 1.0).set("magnitude", 1u64);
+    let plan = Json::obj()
+        .set("name", "kill")
+        .set("seed", 33u64)
+        .set("windows", Json::Arr(vec![window]));
+    post("/chaos", &Json::obj().set("plan", plan));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (_, s) = get("/recovery/status");
+        if s.get("crashed").and_then(Json::as_bool) == Some(true) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "ServerCrash fault never fired: {s}");
+        sleep_s(0.02);
+    }
+    let (status, _) = get("/readyz");
+    let not_ready_during_outage = status == 503;
+    let (status, _) =
+        bp_api::http_request(guard.addr(), "DELETE", "/chaos", None).expect("disarm");
+    assert_eq!(status, 200);
+
+    // Arm the supervisor; it notices the dead engine within a few polls.
+    post("/recovery", &Json::obj().set("poll_ms", 2u64).set("checkpoint_ms", 500u64));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (_, s) = get("/recovery/status");
+        if s.get("crashed").and_then(Json::as_bool) == Some(false) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "supervisor never recovered the engine: {s}");
+        sleep_s(0.02);
+    }
+    let (status, _) = get("/readyz");
+    let ready_after_recovery = status == 200;
+
+    // Post-recovery window: the workload must resume at its old rate.
+    sleep_s(0.5);
+    let c1 = committed();
+    sleep_s(phase_s);
+    let post_tps = (committed() - c1) as f64 / phase_s;
+
+    let (_, rec_status) = get("/recovery/status");
+    let (status, metrics_text) =
+        bp_api::http_request_text(guard.addr(), "GET", "/metrics", None).expect("GET /metrics");
+    assert_eq!(status, 200);
+    let (_, doctor_body) = get("/doctor");
+    let (_, events_body) = get("/events?last=5000");
+
+    drop(guard);
+    handle.stop_and_join();
+
+    let counter = |name: &str| rec_status.get(name).and_then(Json::as_u64).unwrap_or(0);
+    let doctor_evidence = doctor_body
+        .get("findings")
+        .and_then(Json::as_arr)
+        .and_then(|fs| {
+            fs.iter()
+                .find(|f| f.get("bottleneck").and_then(Json::as_str) == Some("crash_recovery"))
+        })
+        .and_then(|f| f.get("evidence").and_then(Json::as_str))
+        .map(str::to_string);
+    let journaled = |kind: &str| {
+        events_body
+            .get("events")
+            .and_then(Json::as_arr)
+            .map(|evs| {
+                evs.iter().any(|e| e.get("kind").and_then(Json::as_str) == Some(kind))
+            })
+            .unwrap_or(false)
+    };
+
+    RecoveryExperimentReport {
+        pre_tps,
+        post_tps,
+        ratio: if pre_tps > 0.0 { post_tps / pre_tps } else { 0.0 },
+        crashes: counter("crashes"),
+        recoveries: counter("recoveries"),
+        supervisor_recoveries: rec_status
+            .get("supervisor")
+            .and_then(|s| s.get("recoveries_run"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        not_ready_during_outage,
+        ready_after_recovery,
+        doctor_evidence,
+        metrics_ok: metrics_text.contains("bp_recovery_crashes_total")
+            && metrics_text.contains("bp_recovery_recoveries_total")
+            && metrics_text.contains("bp_recovery_replayed_records_total"),
+        journal_ok: journaled("server_crash") && journaled("recovery_complete"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1443,6 +1603,26 @@ mod tests {
         // counts as the cause).
         assert!(r.lock_causal_kind.starts_with("chaos_"), "{:?}", r.findings);
         assert!(r.io_causal_kind.starts_with("chaos_"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn recovery_restores_throughput() {
+        let _serial = serial();
+        let r = run_recovery(1.5);
+        assert!(r.pre_tps > 0.0, "healthy window must commit work");
+        assert!(r.crashes >= 1, "ServerCrash fault must fire");
+        assert!(r.recoveries >= 1 && r.supervisor_recoveries >= 1, "supervisor must recover");
+        assert!(r.not_ready_during_outage, "/readyz must 503 while down");
+        assert!(r.ready_after_recovery, "/readyz must 200 after recovery");
+        assert!(
+            r.ratio >= 0.9,
+            "post-crash throughput within 10% of pre-crash: {:.0} vs {:.0} tx/s",
+            r.post_tps,
+            r.pre_tps
+        );
+        assert!(r.doctor_evidence.is_some(), "doctor must report crash_recovery");
+        assert!(r.metrics_ok, "bp_recovery_* series must be live on /metrics");
+        assert!(r.journal_ok, "crash + recovery must be journaled");
     }
 
     #[test]

@@ -56,8 +56,8 @@ pub struct ChaosStatus {
     pub elapsed_us: u64,
     pub arms: u64,
     /// Per-kind totals, indexed by [`FaultKind::index`].
-    pub probes: [u64; 6],
-    pub injected: [u64; 6],
+    pub probes: [u64; 8],
+    pub injected: [u64; 8],
 }
 
 /// The fault-injection gate. One per [`Database`]; shared with the API
@@ -67,9 +67,9 @@ pub struct ChaosController {
     armed: AtomicBool,
     plan: RwLock<Option<Armed>>,
     /// Monotone probe ordinals per kind — the `k` in the decision hash.
-    probes: [CachePadded<AtomicU64>; 6],
+    probes: [CachePadded<AtomicU64>; 8],
     /// Probes that actually injected, per kind.
-    injected: [CachePadded<AtomicU64>; 6],
+    injected: [CachePadded<AtomicU64>; 8],
     arms: AtomicU64,
     /// Arm/disarm events land here when attached (cold path only).
     journal: RwLock<Option<Arc<EventJournal>>>,
@@ -103,7 +103,7 @@ impl ChaosController {
     /// restarts from `k = 0`) and open the gate.
     pub fn arm(&self, plan: FaultPlan) {
         let mut slot = self.plan.write();
-        for i in 0..6 {
+        for i in 0..8 {
             self.probes[i].store(0, Ordering::Relaxed);
             self.injected[i].store(0, Ordering::Relaxed);
         }
@@ -228,8 +228,8 @@ impl ChaosController {
 
     pub fn status(&self) -> ChaosStatus {
         let slot = self.plan.read();
-        let mut probes = [0u64; 6];
-        let mut injected = [0u64; 6];
+        let mut probes = [0u64; 8];
+        let mut injected = [0u64; 8];
         for k in ALL_KINDS {
             probes[k.index()] = self.probes[k.index()].load(Ordering::Relaxed);
             injected[k.index()] = self.injected[k.index()].load(Ordering::Relaxed);
@@ -317,8 +317,8 @@ mod tests {
         }
         let st = c.status();
         assert!(!st.armed);
-        assert_eq!(st.probes, [0; 6]);
-        assert_eq!(st.injected, [0; 6]);
+        assert_eq!(st.probes, [0; 8]);
+        assert_eq!(st.injected, [0; 8]);
     }
 
     #[test]
@@ -479,11 +479,11 @@ mod tests {
         assert_eq!(armed.value, bp_obs::MetricValue::Gauge(1.0));
         let injected = find("bp_chaos_injected_total", Some("deadlock_storm"));
         assert_eq!(injected.value, bp_obs::MetricValue::Counter(5.0));
-        // All six kinds present.
+        // All kinds present.
         let kinds = samples
             .iter()
             .filter(|s| s.name == "bp_chaos_injected_total")
             .count();
-        assert_eq!(kinds, 6);
+        assert_eq!(kinds, 8);
     }
 }

@@ -22,6 +22,12 @@ use bp_util::json::Json;
 /// | `DeadlockStorm` | `LockManager::acquire`       | forced wait-die victim abort        |
 /// | `Blackout`      | executor (per tenant)        | in-flight txns fail for the window  |
 /// | `BufferThrash`  | `Session::touch_page`        | `magnitude` extra page IOs          |
+/// | `ServerCrash`   | `Session::commit`            | kills the engine at a crashpoint    |
+/// | `PanicStorm`    | executor (worker loop)       | panics the worker mid-transaction   |
+///
+/// `ServerCrash` uses `magnitude` to pick the crashpoint (`magnitude % 3`):
+/// 0 = before the redo append, 1 = after the append but before fsync (torn
+/// record), 2 = after fsync (durable but the client sees an error).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     FsyncStall,
@@ -30,16 +36,20 @@ pub enum FaultKind {
     DeadlockStorm,
     Blackout,
     BufferThrash,
+    ServerCrash,
+    PanicStorm,
 }
 
 /// All kinds, for iteration (status/metrics).
-pub const ALL_KINDS: [FaultKind; 6] = [
+pub const ALL_KINDS: [FaultKind; 8] = [
     FaultKind::FsyncStall,
     FaultKind::LatencySpike,
     FaultKind::InjectedError,
     FaultKind::DeadlockStorm,
     FaultKind::Blackout,
     FaultKind::BufferThrash,
+    FaultKind::ServerCrash,
+    FaultKind::PanicStorm,
 ];
 
 impl FaultKind {
@@ -53,6 +63,8 @@ impl FaultKind {
             FaultKind::DeadlockStorm => 3,
             FaultKind::Blackout => 4,
             FaultKind::BufferThrash => 5,
+            FaultKind::ServerCrash => 6,
+            FaultKind::PanicStorm => 7,
         }
     }
 
@@ -62,13 +74,15 @@ impl FaultKind {
     pub fn salt(self) -> u64 {
         // Arbitrary odd constants; stable across releases (tests pin the
         // resulting sequences).
-        const SALTS: [u64; 6] = [
+        const SALTS: [u64; 8] = [
             0x9E6C_63D0_985E_5341,
             0x51AF_D0C1_6F3B_9A77,
             0xB7E1_5162_8AED_2A6B,
             0x2545_F491_4F6C_DD1D,
             0xDE9F_DE87_31C9_FD45,
             0x8CB9_2BA7_2F3D_8DD7,
+            0xA24B_AED4_963E_E407,
+            0x6C62_272E_07BB_0142,
         ];
         SALTS[self.index()]
     }
@@ -81,6 +95,8 @@ impl FaultKind {
             FaultKind::DeadlockStorm => "deadlock_storm",
             FaultKind::Blackout => "blackout",
             FaultKind::BufferThrash => "buffer_thrash",
+            FaultKind::ServerCrash => "server_crash",
+            FaultKind::PanicStorm => "panic_storm",
         }
     }
 
@@ -225,6 +241,26 @@ impl FaultPlan {
                 magnitude: 3,
                 tenant: None,
             }),
+            // One crash 2s in, at the nastiest crashpoint (torn record).
+            // The window is a narrow spike so exactly one commit dies; the
+            // recovery supervisor restarts the engine and the run resumes.
+            "server-crash" => plan.with_window(FaultWindow {
+                kind: FaultKind::ServerCrash,
+                start_us: 2 * S,
+                end_us: 2 * S + 200_000,
+                intensity: 1.0,
+                magnitude: 1,
+                tenant: None,
+            }),
+            // 5% of transactions panic their worker thread mid-execution.
+            "panic-storm" => plan.with_window(FaultWindow {
+                kind: FaultKind::PanicStorm,
+                start_us: 2 * S,
+                end_us: 4 * S,
+                intensity: 0.05,
+                magnitude: 0,
+                tenant: None,
+            }),
             // Everything at once, moderated.
             "meltdown" => plan
                 .with_window(FaultWindow::always(FaultKind::FsyncStall, 0.5, 1_000))
@@ -245,6 +281,8 @@ impl FaultPlan {
             "deadlock-storm",
             "blackout",
             "buffer-thrash",
+            "server-crash",
+            "panic-storm",
             "meltdown",
         ]
     }
@@ -285,11 +323,11 @@ mod tests {
         // Dense, unique indices and salts.
         let mut idx: Vec<usize> = ALL_KINDS.iter().map(|k| k.index()).collect();
         idx.sort_unstable();
-        assert_eq!(idx, (0..6).collect::<Vec<_>>());
+        assert_eq!(idx, (0..8).collect::<Vec<_>>());
         let mut salts: Vec<u64> = ALL_KINDS.iter().map(|k| k.salt()).collect();
         salts.sort_unstable();
         salts.dedup();
-        assert_eq!(salts.len(), 6);
+        assert_eq!(salts.len(), 8);
     }
 
     #[test]

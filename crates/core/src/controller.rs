@@ -16,6 +16,7 @@ use bp_util::clock::Micros;
 use crate::mixture::{Mixture, MixtureError, MixturePreset};
 use crate::queue::RequestQueue;
 use crate::rate::{ArrivalDist, Rate};
+use crate::recovery::{recovery_loop, RecoveryConfig, RecoveryHandle};
 use crate::slo::{slo_loop, SloConfig, SloHandle};
 use crate::stats::{StatsCollector, StatusSnapshot};
 use crate::workload::TransactionType;
@@ -208,6 +209,9 @@ pub struct Controller {
     /// Persistent SLO-controller state, shared by all clones of this
     /// controller so API servers and the executor see one loop.
     slo: Arc<SloHandle>,
+    /// Recovery-supervisor state (crash watchdog + checkpointer), shared by
+    /// all clones like the SLO handle.
+    recovery: Arc<RecoveryHandle>,
 }
 
 impl Controller {
@@ -231,6 +235,7 @@ impl Controller {
             breaker: None,
             recorder: None,
             slo: Arc::new(SloHandle::new(workload_name)),
+            recovery: Arc::new(RecoveryHandle::new()),
         }
     }
 
@@ -293,6 +298,7 @@ impl Controller {
         );
         registry.register("server", self.db.metrics().clone());
         registry.register("chaos", self.db.chaos().clone());
+        registry.register("recovery", self.db.recovery_stats().clone());
         if let Some(spans) = &self.spans {
             registry.register(&format!("spans:{}", self.workload_name), spans.clone());
         }
@@ -441,6 +447,52 @@ impl Controller {
             )
         });
     }
+
+    // -- crash-recovery supervision --
+
+    /// This controller's recovery-supervisor state. Always present;
+    /// inactive until [`Controller::start_recovery`].
+    pub fn recovery(&self) -> &Arc<RecoveryHandle> {
+        &self.recovery
+    }
+
+    /// Start (or replace) the recovery supervisor: a watchdog thread that
+    /// runs [`Database::recover`] whenever the engine crashes and takes
+    /// periodic checkpoints to keep redo replay short. A previously
+    /// running watchdog notices its stale epoch and exits.
+    pub fn start_recovery(&self, cfg: RecoveryConfig) {
+        let epoch = self.recovery.arm(&cfg);
+        self.journal().emit_with(Severity::Info, "core", "recovery_armed", || {
+            (
+                format!(
+                    "recovery supervisor armed (poll {}us, checkpoint every {}us)",
+                    cfg.poll_interval_us, cfg.checkpoint_interval_us,
+                ),
+                vec![
+                    ("poll_us", cfg.poll_interval_us.to_string()),
+                    ("checkpoint_us", cfg.checkpoint_interval_us.to_string()),
+                ],
+            )
+        });
+        let db = self.db.clone();
+        let handle = self.recovery.clone();
+        std::thread::Builder::new()
+            .name("bp-recovery".into())
+            .spawn(move || recovery_loop(db, handle, cfg, epoch))
+            .expect("spawn recovery supervisor thread");
+    }
+
+    /// Stop the recovery supervisor. A crashed engine then stays down
+    /// until `recover()` is invoked some other way (API or test code).
+    pub fn stop_recovery(&self) {
+        self.recovery.disarm();
+        self.journal().emit_with(Severity::Info, "core", "recovery_disarmed", || {
+            (
+                "recovery supervisor disarmed".to_string(),
+                vec![("state", "disarmed".to_string())],
+            )
+        });
+    }
 }
 
 #[cfg(test)]
@@ -535,14 +587,19 @@ mod tests {
             .with_spans(Arc::new(bp_obs::SpanRecorder::new(bp_obs::ObsConfig::default())));
         assert!(c.spans().is_some());
         c.register_metrics(&reg);
-        assert_eq!(reg.source_count(), 5, "stats + server + chaos + spans + journal");
+        assert_eq!(
+            reg.source_count(),
+            6,
+            "stats + server + chaos + recovery + spans + journal"
+        );
         // Re-registering the same controller must not double-count.
         c.register_metrics(&reg);
-        assert_eq!(reg.source_count(), 5);
+        assert_eq!(reg.source_count(), 6);
         let text = reg.render_prometheus();
         assert!(text.contains("bp_server_commits_total"));
         assert!(text.contains("bp_stage_latency_us_bucket"));
         assert!(text.contains("bp_chaos_armed"));
+        assert!(text.contains("bp_recovery_crashes_total"));
         assert!(text.contains("bp_events_emitted_total"));
     }
 
@@ -554,10 +611,63 @@ mod tests {
             bp_chaos::BreakerConfig::default(),
         )));
         c.register_metrics(&reg);
-        assert_eq!(reg.source_count(), 5, "stats + server + chaos + breaker + journal");
+        assert_eq!(
+            reg.source_count(),
+            6,
+            "stats + server + chaos + recovery + breaker + journal"
+        );
         let text = reg.render_prometheus();
         assert!(text.contains("bp_resilience_breaker_state"));
         assert!(text.contains("bp_resilience_shed_total"));
+    }
+
+    #[test]
+    fn recovery_supervisor_restarts_crashed_engine() {
+        use bp_chaos::{FaultKind, FaultPlan, FaultWindow};
+        let c = controller();
+        let db = c.database().clone();
+        db.create_table(
+            bp_storage::TableSchema::new(
+                "t",
+                vec![bp_storage::Column::new("id", bp_storage::DataType::Int)],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let t = db.table("t").unwrap();
+        c.start_recovery(RecoveryConfig { poll_interval_us: 1_000, checkpoint_interval_us: 0 });
+        assert!(c.recovery().is_active());
+        // Crash the engine mid-commit via the chaos layer.
+        db.chaos().arm(FaultPlan::new("crash", 1).with_window(FaultWindow::always(
+            FaultKind::ServerCrash,
+            1.0,
+            0,
+        )));
+        let mut s = db.session();
+        s.begin().unwrap();
+        s.insert(&t, vec![bp_storage::Value::Int(1)]).unwrap();
+        assert_eq!(s.commit(), Err(bp_storage::StorageError::Crashed));
+        db.chaos().disarm();
+        // The watchdog notices within a few polls and recovers.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while db.is_crashed() && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(!db.is_crashed(), "supervisor recovered the engine");
+        assert!(c.recovery().recoveries_run() >= 1);
+        // The engine accepts work again.
+        let mut s = db.session();
+        s.begin().unwrap();
+        s.insert(&t, vec![bp_storage::Value::Int(2)]).unwrap();
+        s.commit().unwrap();
+        c.stop_recovery();
+        assert!(!c.recovery().is_active());
+        let kinds: Vec<_> = db.journal().all().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"recovery_armed"));
+        assert!(kinds.contains(&"server_crash"));
+        assert!(kinds.contains(&"recovery_complete"));
+        assert!(kinds.contains(&"recovery_disarmed"));
     }
 
     #[test]

@@ -11,14 +11,15 @@
 //! control code for the pinned type, optionally sleep a think time, and
 //! loop.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use bp_chaos::{Admission, CircuitBreaker, ResilienceConfig, RetryBudget};
+use bp_chaos::{Admission, CircuitBreaker, FaultKind, ResilienceConfig, RetryBudget};
 use bp_obs::{
-    journal_now_us, ObsConfig, Span, SpanOutcome, SpanRecorder, TelemetryGuard, TelemetryRecorder,
-    TelemetrySample,
+    journal_now_us, ObsConfig, Severity, Span, SpanOutcome, SpanRecorder, TelemetryGuard,
+    TelemetryRecorder, TelemetrySample,
 };
 use bp_sql::Connection;
 use bp_storage::Database;
@@ -378,6 +379,17 @@ fn manager_loop(
     }
 }
 
+/// Best-effort panic payload text for the `worker_panic` journal event.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Everything one client worker needs; bundled so the span recorder and
 /// tenant id ride along without a 12-argument function.
 struct WorkerCtx {
@@ -495,7 +507,36 @@ fn worker_loop(ctx: WorkerCtx) {
             let attempt = if db.chaos().blackout(tenant) {
                 None
             } else {
-                Some(workload.execute(txn_idx, &mut conn, &mut rng))
+                // Panic isolation: a panicking transaction (workload bug or
+                // an injected `PanicStorm` fault) must not take the worker
+                // thread down with it — OLTP-Bench terminals similarly
+                // survive benchmark-code exceptions. The panic is caught,
+                // the open transaction rolled back (releasing its locks),
+                // and the request counted as a plain failure.
+                match catch_unwind(AssertUnwindSafe(|| {
+                    if db.chaos().roll(FaultKind::PanicStorm).is_some() {
+                        panic!("injected worker panic (panic_storm)");
+                    }
+                    workload.execute(txn_idx, &mut conn, &mut rng)
+                })) {
+                    Ok(r) => Some(r),
+                    Err(payload) => {
+                        if conn.in_transaction() {
+                            let _ = conn.rollback();
+                        }
+                        let msg = panic_message(payload.as_ref());
+                        db.journal().emit_with(Severity::Error, "core", "worker_panic", || {
+                            (
+                                format!("worker survived transaction panic: {msg}"),
+                                vec![
+                                    ("txn_type", txn_idx.to_string()),
+                                    ("panic", msg.clone()),
+                                ],
+                            )
+                        });
+                        break RequestOutcome::Failed;
+                    }
+                }
             };
             let retryable_failure = match attempt {
                 Some(Ok(TxnOutcome::Committed)) => break RequestOutcome::Committed,
@@ -834,6 +875,39 @@ mod tests {
             "sampled ratio {observed} too far from 0.5 ({} of {completed})",
             spans.recorded()
         );
+    }
+
+    #[test]
+    fn worker_survives_injected_panics() {
+        use bp_chaos::{FaultPlan, FaultWindow};
+        let (db, w) = setup();
+        let clock = wall_clock();
+        // Every transaction panics its worker mid-execution for the whole
+        // run. The workers must survive (isolation), count the requests as
+        // failures, and journal each panic.
+        db.chaos().arm(
+            FaultPlan::new("storm", 7)
+                .with_window(FaultWindow::always(bp_chaos::FaultKind::PanicStorm, 1.0, 0)),
+        );
+        let cfg = RunConfig {
+            terminals: 2,
+            script: PhaseScript::new(vec![Phase::new(Rate::Limited(60.0), 0.5)]),
+            ..Default::default()
+        };
+        let handle = start(db.clone(), w, clock, cfg);
+        let controller = handle.join();
+        db.chaos().disarm();
+        let status = controller.stats().status(60);
+        assert_eq!(status.committed, 0, "every attempt panicked");
+        assert!(status.failed > 0, "panics counted as failures");
+        let panics = db
+            .journal()
+            .all()
+            .iter()
+            .filter(|e| e.kind == "worker_panic")
+            .count();
+        assert!(panics > 0, "worker_panic events journaled");
+        assert!(panics as u64 >= status.failed, "one journal event per panic");
     }
 
     #[test]

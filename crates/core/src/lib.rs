@@ -18,6 +18,7 @@ pub mod mixture;
 pub mod model;
 pub mod queue;
 pub mod rate;
+pub mod recovery;
 pub mod schedule;
 pub mod slo;
 pub mod stats;
@@ -34,6 +35,7 @@ pub use mixture::{Mixture, MixtureError, MixturePreset};
 pub use model::{CapacityModel, SimDbms, SimServer};
 pub use queue::{Request, RequestQueue, ScheduledRequest};
 pub use rate::{ArrivalDist, Phase, PhaseScript, Rate};
+pub use recovery::{RecoveryConfig, RecoveryHandle};
 pub use schedule::{ScheduleSource, ScriptSchedule, Window};
 pub use slo::{
     Adjustment, ControlLaw, SloConfig, SloCore, SloDecision, SloHandle, SloObservation, SloTarget,

@@ -1,0 +1,171 @@
+//! The recovery supervisor: a watchdog thread that restarts a crashed
+//! storage engine and takes periodic checkpoints.
+//!
+//! The storage engine never recovers itself — a crash (injected via the
+//! chaos layer's `ServerCrash` fault or, in a real deployment, a process
+//! kill) leaves every operation failing with the retryable
+//! `StorageError::Crashed` until *someone* runs [`Database::recover`].
+//! That someone is this supervisor: armed via `POST /recovery`, it polls
+//! the crashed flag, replays the redo log when the flag trips, and takes
+//! periodic checkpoints so replay stays short. Client-side resilience
+//! (breaker + retry budget) rides through the outage; the workload resumes
+//! as soon as recovery completes.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bp_storage::Database;
+use bp_util::sync::Mutex;
+
+/// Supervisor tuning. The defaults poll fast enough that a crash costs
+/// milliseconds of downtime, and checkpoint rarely enough that the
+/// checkpointer never competes with the workload for the redo mutex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryConfig {
+    /// How often the watchdog checks the crashed flag, µs.
+    pub poll_interval_us: u64,
+    /// Periodic checkpoint cadence, µs; `0` disables the checkpointer
+    /// (recovery then replays from the last explicit checkpoint, or the
+    /// whole log).
+    pub checkpoint_interval_us: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig { poll_interval_us: 5_000, checkpoint_interval_us: 2_000_000 }
+    }
+}
+
+/// Shared supervisor state: config, liveness, and loop counters. One per
+/// controller lineage (all clones share it), same pattern as `SloHandle`.
+pub struct RecoveryHandle {
+    cfg: Mutex<Option<RecoveryConfig>>,
+    active: AtomicBool,
+    /// Bumped on every start/stop; a running loop exits when its epoch is
+    /// stale, so re-`POST /recovery` cleanly replaces the old watchdog.
+    epoch: AtomicU64,
+    recoveries_run: AtomicU64,
+    checkpoints_run: AtomicU64,
+    ticks: AtomicU64,
+}
+
+impl Default for RecoveryHandle {
+    fn default() -> RecoveryHandle {
+        RecoveryHandle::new()
+    }
+}
+
+impl RecoveryHandle {
+    pub fn new() -> RecoveryHandle {
+        RecoveryHandle {
+            cfg: Mutex::new(None),
+            active: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            recoveries_run: AtomicU64::new(0),
+            checkpoints_run: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    pub fn config(&self) -> Option<RecoveryConfig> {
+        self.cfg.lock().clone()
+    }
+
+    /// Recoveries this supervisor has executed (distinct from the
+    /// engine-side `bp_recovery_recoveries_total`, which also counts
+    /// manual `Database::recover` calls).
+    pub fn recoveries_run(&self) -> u64 {
+        self.recoveries_run.load(Ordering::Relaxed)
+    }
+
+    pub fn checkpoints_run(&self) -> u64 {
+        self.checkpoints_run.load(Ordering::Relaxed)
+    }
+
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Arm: store the config, mark active, bump the epoch. Returns the new
+    /// epoch for the loop to hold.
+    pub(crate) fn arm(&self, cfg: &RecoveryConfig) -> u64 {
+        *self.cfg.lock() = Some(cfg.clone());
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        self.active.store(true, Ordering::SeqCst);
+        epoch
+    }
+
+    pub(crate) fn disarm(&self) {
+        self.active.store(false, Ordering::SeqCst);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// The watchdog body. Runs on its own thread ("bp-recovery"); exits when
+/// disarmed or replaced (stale epoch).
+pub(crate) fn recovery_loop(
+    db: Arc<Database>,
+    handle: Arc<RecoveryHandle>,
+    cfg: RecoveryConfig,
+    epoch: u64,
+) {
+    let poll = Duration::from_micros(cfg.poll_interval_us.max(100));
+    let mut last_checkpoint = Instant::now();
+    loop {
+        if !handle.is_active() || handle.epoch() != epoch {
+            return;
+        }
+        if db.is_crashed() {
+            // `recover()` journals recovery_begin/recovery_complete and
+            // bumps the engine-side stats; the handle only counts that this
+            // particular watchdog did the work.
+            let _ = db.recover();
+            handle.recoveries_run.fetch_add(1, Ordering::Relaxed);
+            // A fresh checkpoint right after recovery bounds the next
+            // replay to the post-crash tail.
+            if db.checkpoint().is_some() {
+                handle.checkpoints_run.fetch_add(1, Ordering::Relaxed);
+            }
+            last_checkpoint = Instant::now();
+        } else if cfg.checkpoint_interval_us > 0
+            && last_checkpoint.elapsed().as_micros() as u64 >= cfg.checkpoint_interval_us
+        {
+            if db.checkpoint().is_some() {
+                handle.checkpoints_run.fetch_add(1, Ordering::Relaxed);
+            }
+            last_checkpoint = Instant::now();
+        }
+        handle.ticks.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(poll);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_arm_disarm_epochs() {
+        let h = RecoveryHandle::new();
+        assert!(!h.is_active());
+        assert_eq!(h.config(), None);
+        let e1 = h.arm(&RecoveryConfig::default());
+        assert!(h.is_active());
+        assert_eq!(h.epoch(), e1);
+        assert_eq!(h.config(), Some(RecoveryConfig::default()));
+        h.disarm();
+        assert!(!h.is_active());
+        assert!(h.epoch() > e1, "disarm invalidates the running loop");
+        let e2 = h.arm(&RecoveryConfig { poll_interval_us: 1_000, checkpoint_interval_us: 0 });
+        assert!(e2 > e1);
+    }
+}

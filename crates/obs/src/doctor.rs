@@ -37,6 +37,7 @@ pub enum Bottleneck {
     RateGateLimit,
     QueueBackpressure,
     ShedDominated,
+    CrashRecovery,
 }
 
 impl Bottleneck {
@@ -48,6 +49,7 @@ impl Bottleneck {
             Bottleneck::RateGateLimit => "rate_gate_limit",
             Bottleneck::QueueBackpressure => "queue_backpressure",
             Bottleneck::ShedDominated => "shed_dominated",
+            Bottleneck::CrashRecovery => "crash_recovery",
         }
     }
 }
@@ -205,9 +207,10 @@ fn causal_event(
     peak_us: u64,
     interval_us: u64,
 ) -> Option<&Event> {
-    const CAUSAL_KINDS: [&str; 8] = [
+    const CAUSAL_KINDS: [&str; 10] = [
         "chaos_armed", "chaos_disarmed", "phase_change", "rate_change", "mixture_change",
-        "slo_decision", "breaker_transition", "replay_launch",
+        "slo_decision", "breaker_transition", "replay_launch", "server_crash",
+        "recovery_complete",
     ];
     let earliest = onset_us.saturating_sub(2 * interval_us);
     let in_range =
@@ -220,12 +223,66 @@ fn causal_event(
         .or_else(|| events.iter().filter(in_range).max_by_key(|e| (e.ts_us, e.seq)))
 }
 
+/// Crash → recovery spans are event-driven, not counter-driven: a dead
+/// engine produces unremarkable (mostly zero) telemetry windows, so the
+/// doctor reads the `server_crash` / `recovery_complete` journal pairs
+/// directly. One finding per crash; an unrecovered crash spans to the end
+/// of the report.
+fn crash_findings(report: &Report) -> Vec<Finding> {
+    let field = |e: &Event, name: &str| {
+        e.fields.iter().find(|(k, _)| *k == name).map(|(_, v)| v.clone())
+    };
+    let report_end = report
+        .samples
+        .last()
+        .map(|s| s.t_us + report.interval_us)
+        .or_else(|| report.events.last().map(|e| e.ts_us));
+    report
+        .events
+        .iter()
+        .filter(|e| e.kind == "server_crash")
+        .map(|crash| {
+            let recovered = report
+                .events
+                .iter()
+                .find(|e| e.kind == "recovery_complete" && e.ts_us >= crash.ts_us);
+            let end_us = recovered
+                .map(|e| e.ts_us)
+                .or(report_end)
+                .unwrap_or(crash.ts_us);
+            let point = field(crash, "crashpoint").unwrap_or_else(|| "unknown".to_string());
+            let evidence = match recovered {
+                Some(r) => format!(
+                    "engine crashed at {point} and recovered in {:.0}ms (replayed {} redo records, {} torn)",
+                    (end_us.saturating_sub(crash.ts_us)) as f64 / 1e3,
+                    field(r, "replayed").unwrap_or_else(|| "?".to_string()),
+                    field(r, "torn").unwrap_or_else(|| "0".to_string()),
+                ),
+                None => format!("engine crashed at {point} and has not recovered"),
+            };
+            Finding {
+                bottleneck: Bottleneck::CrashRecovery,
+                start_us: crash.ts_us,
+                end_us,
+                // Outranks every counter-driven class: a dead engine is the
+                // bottleneck no matter what else the windows show.
+                score: 60.0,
+                evidence,
+                causal_event: Some(crash.seq),
+                causal_kind: Some("server_crash"),
+            }
+        })
+        .collect()
+}
+
 /// Diagnose a report: classify each window, fold consecutive same-class
 /// windows into findings, attach causal events, rank by score descending.
 pub fn diagnose(report: &Report) -> Vec<Finding> {
     let samples = &report.samples;
     if samples.is_empty() {
-        return Vec::new();
+        let mut findings = crash_findings(report);
+        findings.sort_by(|a, b| b.score.total_cmp(&a.score));
+        return findings;
     }
     let interval = report.interval_us.max(1);
     let base = Baselines {
@@ -304,6 +361,9 @@ pub fn diagnose(report: &Report) -> Vec<Finding> {
                 "delivered {:.0} tx/s ~= commanded {:.0} tx/s with healthy tail",
                 peak_sample.throughput, peak_sample.rate,
             ),
+            // Crash findings are synthesized from journal events, never
+            // from window classification.
+            Bottleneck::CrashRecovery => unreachable!("event-driven class"),
         };
         evidence.push_str("; ");
         evidence.push_str(&detail);
@@ -330,6 +390,7 @@ pub fn diagnose(report: &Report) -> Vec<Finding> {
         });
     }
 
+    findings.extend(crash_findings(report));
     findings.sort_by(|a, b| b.score.total_cmp(&a.score));
     findings
 }
@@ -484,6 +545,51 @@ mod tests {
     #[test]
     fn empty_report_yields_nothing() {
         assert!(diagnose(&Report::default()).is_empty());
+    }
+
+    #[test]
+    fn crash_and_recovery_span_reported_from_events() {
+        let samples: Vec<TelemetrySample> = (0..6).map(healthy).collect();
+        let crash = Event {
+            seq: 7,
+            ts_us: 2_500_000,
+            severity: Severity::Error,
+            source: "storage",
+            kind: "server_crash",
+            message: "server crashed at after_append_before_fsync (lsn 42)".into(),
+            fields: vec![
+                ("crashpoint", "after_append_before_fsync".to_string()),
+                ("lsn", "42".to_string()),
+            ],
+        };
+        let recovered = Event {
+            seq: 9,
+            ts_us: 2_540_000,
+            severity: Severity::Warn,
+            source: "storage",
+            kind: "recovery_complete",
+            message: "recovery complete".into(),
+            fields: vec![
+                ("replayed", "41".to_string()),
+                ("torn", "1".to_string()),
+            ],
+        };
+        let findings = diagnose(&report(samples, vec![crash.clone(), recovered]));
+        let top = &findings[0];
+        assert_eq!(top.bottleneck, Bottleneck::CrashRecovery, "{findings:?}");
+        assert_eq!(top.start_us, 2_500_000);
+        assert_eq!(top.end_us, 2_540_000);
+        assert_eq!(top.causal_event, Some(7));
+        assert_eq!(top.causal_kind, Some("server_crash"));
+        assert!(top.evidence.contains("after_append_before_fsync"), "{}", top.evidence);
+        assert!(top.evidence.contains("replayed 41"), "{}", top.evidence);
+
+        // An unrecovered crash spans to the end of the report, and a
+        // sample-free report still surfaces it.
+        let findings = diagnose(&report(vec![], vec![crash]));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].bottleneck, Bottleneck::CrashRecovery);
+        assert!(findings[0].evidence.contains("has not recovered"), "{}", findings[0].evidence);
     }
 
     #[test]

@@ -10,11 +10,11 @@
 
 use std::collections::HashMap;
 use std::ops::Bound;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bp_chaos::{ChaosController, FaultKind};
-use bp_obs::EventJournal;
+use bp_obs::{EventJournal, Severity};
 use bp_util::sync::RwLock;
 
 use bp_util::rng::Rng;
@@ -24,6 +24,10 @@ use crate::error::{Result, StorageError};
 use crate::lock::{LockManager, LockMode, LockTarget, TxnId};
 use crate::metrics::ServerMetrics;
 use crate::personality::{apply_delay, Personality};
+use crate::recovery::{
+    encode_row, CheckpointStats, CrashPoint, RecoveryReport, RecoveryStats, RecoveryStatus,
+    RedoOp, RedoRecord,
+};
 use crate::schema::{IndexDef, TableSchema};
 use crate::table::{RowId, Table};
 use crate::value::{Row, Value};
@@ -48,6 +52,14 @@ pub struct Database {
     next_txn: AtomicU64,
     next_table_id: AtomicU32,
     seed: AtomicU64,
+    /// True while the engine is "dead" after an injected crash: every
+    /// operation fails with [`StorageError::Crashed`] until [`recover`]
+    /// (see [`Database::recover`]) completes.
+    crashed: AtomicBool,
+    /// Bumped by every recovery; transactions begun under an older
+    /// generation are stale and must not apply their undo.
+    generation: AtomicU64,
+    recovery: Arc<RecoveryStats>,
 }
 
 impl Database {
@@ -78,6 +90,9 @@ impl Database {
             next_txn: AtomicU64::new(1),
             next_table_id: AtomicU32::new(1),
             seed: AtomicU64::new(0x9E3779B97F4A7C15),
+            crashed: AtomicBool::new(false),
+            generation: AtomicU64::new(1),
+            recovery: Arc::new(RecoveryStats::new()),
         })
     }
 
@@ -170,14 +185,17 @@ impl Database {
     }
 
     /// Empty every table, keeping schemas and indexes (the game's crash
-    /// semantics reset the database, §4.1.1).
+    /// semantics reset the database, §4.1.1). The WAL is fully rewound —
+    /// LSN, rotation counters and the redo store — so back-to-back runs
+    /// start from a clean log.
     pub fn truncate_all(&self) {
         let cat = self.catalog.read();
         for t in cat.by_name.values() {
             t.truncate();
         }
         self.pool.clear();
-        self.wal.reset();
+        self.wal.reset_full();
+        self.recovery.reset();
     }
 
     /// Drop all tables entirely.
@@ -186,7 +204,143 @@ impl Database {
         cat.by_name.clear();
         cat.order.clear();
         self.pool.clear();
-        self.wal.reset();
+        self.wal.reset_full();
+        self.recovery.reset();
+    }
+
+    // ---- Crash & recovery ----
+
+    /// True while the engine is dead awaiting recovery.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Current engine generation (bumped by every recovery).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Recovery bookkeeping, exposed as `bp_recovery_*` metrics.
+    pub fn recovery_stats(&self) -> &Arc<RecoveryStats> {
+        &self.recovery
+    }
+
+    /// Snapshot for `/recovery/status`.
+    pub fn recovery_status(&self) -> RecoveryStatus {
+        self.recovery.status(self.generation())
+    }
+
+    /// Kill the engine at `point` (injected by the `ServerCrash` fault).
+    /// Idempotent: only the first caller journals the crash.
+    fn crash(&self, point: CrashPoint, lsn: u64) {
+        if self.crashed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.recovery.note_crash(point);
+        self.journal.emit_with(Severity::Error, "storage", "server_crash", || {
+            (
+                format!("storage engine crashed mid-commit at crashpoint {}", point.name()),
+                vec![("crashpoint", point.name().to_string()), ("lsn", lsn.to_string())],
+            )
+        });
+    }
+
+    /// Rebuild committed state from the latest checkpoint plus the redo
+    /// tail, truncating a torn final record, then bring the engine back
+    /// online under a new generation.
+    pub fn recover(&self) -> RecoveryReport {
+        let start = std::time::Instant::now();
+        self.journal.emit_with(Severity::Warn, "storage", "recovery_begin", || {
+            ("replaying redo log after crash".to_string(), Vec::new())
+        });
+        let image = self.wal.recovered_image();
+        {
+            let cat = self.catalog.read();
+            let empty = std::collections::BTreeMap::new();
+            for t in cat.by_name.values() {
+                t.rebuild_from(image.tables.get(&t.id).unwrap_or(&empty));
+            }
+        }
+        self.pool.clear();
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let report = RecoveryReport {
+            replayed_records: image.replayed_records,
+            torn_truncated: image.torn_truncated,
+            checkpoint_lsn: image.checkpoint_lsn,
+            durable_lsn: image.durable_lsn,
+            duration_us: start.elapsed().as_micros() as u64,
+            generation,
+        };
+        self.recovery.note_recovery(&report);
+        self.crashed.store(false, Ordering::Release);
+        self.journal.emit_with(Severity::Warn, "storage", "recovery_complete", || {
+            (
+                format!(
+                    "recovered to lsn {} in {}µs: checkpoint lsn {} + {} replayed records, {} torn",
+                    report.durable_lsn,
+                    report.duration_us,
+                    report.checkpoint_lsn,
+                    report.replayed_records,
+                    report.torn_truncated
+                ),
+                vec![
+                    ("durable_lsn", report.durable_lsn.to_string()),
+                    ("replayed", report.replayed_records.to_string()),
+                    ("torn", report.torn_truncated.to_string()),
+                    ("duration_us", report.duration_us.to_string()),
+                    ("generation", generation.to_string()),
+                ],
+            )
+        });
+        report
+    }
+
+    /// Snapshot committed state at the current stable LSN and truncate the
+    /// consumed redo segments. Returns `None` while crashed (the
+    /// checkpointer must not run against a dead engine).
+    pub fn checkpoint(&self) -> Option<CheckpointStats> {
+        if self.is_crashed() {
+            return None;
+        }
+        let stats = self.wal.take_checkpoint();
+        self.recovery.note_checkpoint(&stats);
+        self.recovery.note_durable(self.wal.durable_lsn());
+        self.journal.emit_with(Severity::Info, "storage", "checkpoint", || {
+            (
+                format!(
+                    "checkpoint at lsn {} ({} records, {} segments truncated)",
+                    stats.lsn, stats.records_applied, stats.segments_truncated
+                ),
+                vec![
+                    ("lsn", stats.lsn.to_string()),
+                    ("records", stats.records_applied.to_string()),
+                    ("segments", stats.segments_truncated.to_string()),
+                ],
+            )
+        });
+        Some(stats)
+    }
+
+    /// Canonical byte encoding of all live rows, in catalog order with
+    /// rowids ascending. Two databases holding the same committed state
+    /// produce identical digests — the crashpoint matrix compares these.
+    pub fn state_digest(&self) -> Vec<u8> {
+        let cat = self.catalog.read();
+        let mut out = Vec::new();
+        for name in &cat.order {
+            let t = &cat.by_name[name];
+            out.extend_from_slice(name.as_bytes());
+            out.push(0);
+            out.extend_from_slice(&t.id.to_le_bytes());
+            let mut rows = t.scan();
+            rows.sort_by_key(|(rid, _)| *rid);
+            out.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+            for (rid, row) in rows {
+                out.extend_from_slice(&rid.to_le_bytes());
+                encode_row(&mut out, &row);
+            }
+        }
+        out
     }
 }
 
@@ -198,8 +352,13 @@ enum Undo {
 
 struct Txn {
     id: TxnId,
+    /// Engine generation at `begin`; a recovery in between makes the txn
+    /// stale (its undo must not touch the rebuilt tables).
+    gen: u64,
     locks: Vec<LockTarget>,
     undo: Vec<Undo>,
+    /// After-images for the commit's redo record, in operation order.
+    redo: Vec<RedoOp>,
     wal_bytes: u64,
     rows_read: u64,
     rows_written: u64,
@@ -226,7 +385,24 @@ impl Session {
         self.txn.as_ref().map(|t| t.id)
     }
 
+    /// Fail fast with [`StorageError::Crashed`] when the engine is dead or
+    /// this txn predates the last recovery. Aborts the active transaction
+    /// (stale undo is skipped by `rollback`), like a lock failure would.
+    fn ensure_alive(&mut self) -> Result<()> {
+        let stale = self
+            .txn
+            .as_ref()
+            .is_some_and(|t| t.gen != self.db.generation());
+        if self.db.is_crashed() || stale {
+            return Err(self.abort_with(StorageError::Crashed));
+        }
+        Ok(())
+    }
+
     pub fn begin(&mut self) -> Result<()> {
+        if self.db.is_crashed() {
+            return Err(StorageError::Crashed);
+        }
         if self.txn.is_some() {
             return Err(StorageError::TransactionActive);
         }
@@ -234,8 +410,10 @@ impl Session {
         self.db.metrics.txn_started();
         self.txn = Some(Txn {
             id,
+            gen: self.db.generation(),
             locks: Vec::new(),
             undo: Vec::new(),
+            redo: Vec::new(),
             wal_bytes: 0,
             rows_read: 0,
             rows_written: 0,
@@ -244,12 +422,41 @@ impl Session {
     }
 
     pub fn commit(&mut self) -> Result<()> {
+        self.ensure_alive()?;
         let txn = self.txn.take().ok_or(StorageError::NoActiveTransaction)?;
         let commit_start = std::time::Instant::now();
+        // Chaos: an injected server crash kills the engine at one of three
+        // deterministic points in the commit sequence (window magnitude
+        // selects which). The dying commit reports failure either way; at
+        // `AfterFsync` the record is durable, so recovery resurrects it —
+        // the classic "ambiguous commit" a crash leaves behind.
+        let crashpoint = self
+            .db
+            .chaos
+            .roll(FaultKind::ServerCrash)
+            .map(CrashPoint::from_magnitude);
+        if crashpoint == Some(CrashPoint::BeforeAppend) {
+            return Err(self.die_in_commit(txn, CrashPoint::BeforeAppend, self.db.wal.current_lsn()));
+        }
         let mut cost = 0.0;
         if txn.wal_bytes > 0 {
-            let (_, wal_cost) = self.db.wal.commit(txn.wal_bytes, &self.db.metrics);
+            let (lsn, wal_cost) = self.db.wal.commit(txn.wal_bytes, &self.db.metrics);
             cost += wal_cost;
+            if !txn.redo.is_empty() {
+                let record = RedoRecord { lsn, txn: txn.id, ops: txn.redo.clone() }.encode();
+                let torn = crashpoint == Some(CrashPoint::AfterAppendBeforeFsync);
+                self.db.wal.append_redo(lsn, &record, torn);
+                if !torn {
+                    self.db.recovery.note_durable(lsn);
+                }
+            }
+            if let Some(point) = crashpoint {
+                return Err(self.die_in_commit(txn, point, lsn));
+            }
+        } else if let Some(point) = crashpoint {
+            // Read-only commit: nothing to append, but the process still
+            // dies mid-commit.
+            return Err(self.die_in_commit(txn, point, self.db.wal.current_lsn()));
         }
         // Chaos: a stalled fsync lengthens the commit's service demand.
         // Charged to fsync_us too so the doctor sees the stall as IO time.
@@ -269,9 +476,27 @@ impl Session {
         Ok(())
     }
 
+    /// Kill the engine at `point` during this txn's commit. The dying
+    /// txn's locks are released explicitly — the lock table survives
+    /// recovery, so leaking them would block rebuilt rows forever — and
+    /// the commit reports failure.
+    fn die_in_commit(&mut self, txn: Txn, point: CrashPoint, lsn: u64) -> StorageError {
+        self.db.crash(point, lsn);
+        self.db.locks.release_all(txn.id, &txn.locks);
+        self.db.metrics.txn_ended();
+        StorageError::Crashed
+    }
+
     pub fn rollback(&mut self) -> Result<()> {
         let txn = self.txn.take().ok_or(StorageError::NoActiveTransaction)?;
-        Self::undo_all(&txn);
+        // A txn from before the crash/recovery must not undo into the
+        // rebuilt tables: its effects were never recovered in the first
+        // place. Releasing its (stale) locks is still correct — the lock
+        // table survives recovery.
+        let stale = self.db.is_crashed() || txn.gen != self.db.generation();
+        if !stale {
+            Self::undo_all(&txn);
+        }
         self.db.locks.release_all(txn.id, &txn.locks);
         self.db.metrics.inc_aborts();
         self.db.metrics.txn_ended();
@@ -351,6 +576,7 @@ impl Session {
     /// Read a row by rowid, taking an S (or X when `for_update`) lock.
     /// Returns `None` if the row no longer exists.
     pub fn get_row(&mut self, table: &Arc<Table>, rowid: RowId, for_update: bool) -> Result<Option<Row>> {
+        self.ensure_alive()?;
         let (table_mode, row_mode) = if for_update {
             self.write_modes(table)
         } else {
@@ -433,6 +659,7 @@ impl Session {
 
     /// Full table scan under a table-level S lock.
     pub fn scan(&mut self, table: &Arc<Table>) -> Result<Vec<(RowId, Row)>> {
+        self.ensure_alive()?;
         self.lock(LockTarget::Table(table.id), LockMode::Shared)?;
         let rows = table.scan();
         self.charge(self.db.personality.scan_row_us * rows.len().max(1) as f64);
@@ -453,11 +680,12 @@ impl Session {
 
     /// Insert a row (validated against the schema).
     pub fn insert(&mut self, table: &Arc<Table>, row: Row) -> Result<RowId> {
+        self.ensure_alive()?;
         let row = table.schema.check_row(row)?;
         let (table_mode, _) = self.write_modes(table);
         self.lock(LockTarget::Table(table.id), table_mode)?;
         let bytes = table.schema.row_bytes(&row) as u64;
-        let rowid = table.insert(row)?;
+        let rowid = table.insert(row.clone())?;
         if self.db.personality.row_locking {
             // X-lock the new row so no one reads it before commit. The row is
             // brand new, so this cannot block.
@@ -467,6 +695,7 @@ impl Session {
         self.charge(self.db.personality.insert_us);
         let txn = self.txn_mut()?;
         txn.undo.push(Undo::Insert { table: table.clone(), rowid });
+        txn.redo.push(RedoOp::Insert { table: table.id, rowid, row });
         txn.wal_bytes += bytes;
         txn.rows_written += 1;
         Ok(rowid)
@@ -474,6 +703,7 @@ impl Session {
 
     /// Update a row in place by rowid.
     pub fn update(&mut self, table: &Arc<Table>, rowid: RowId, new_row: Row) -> Result<()> {
+        self.ensure_alive()?;
         let new_row = table.schema.check_row(new_row)?;
         let (table_mode, row_mode) = self.write_modes(table);
         self.lock(LockTarget::Table(table.id), table_mode)?;
@@ -482,10 +712,11 @@ impl Session {
         }
         self.touch_page(table, rowid, true);
         let bytes = table.schema.row_bytes(&new_row) as u64;
-        let before = table.update(rowid, new_row)?;
+        let before = table.update(rowid, new_row.clone())?;
         self.charge(self.db.personality.write_us);
         let txn = self.txn_mut()?;
         txn.undo.push(Undo::Update { table: table.clone(), rowid, before });
+        txn.redo.push(RedoOp::Update { table: table.id, rowid, row: new_row });
         txn.wal_bytes += bytes;
         txn.rows_written += 1;
         Ok(())
@@ -493,6 +724,7 @@ impl Session {
 
     /// Delete a row by rowid.
     pub fn delete(&mut self, table: &Arc<Table>, rowid: RowId) -> Result<()> {
+        self.ensure_alive()?;
         let (table_mode, row_mode) = self.write_modes(table);
         self.lock(LockTarget::Table(table.id), table_mode)?;
         if self.db.personality.row_locking {
@@ -504,6 +736,7 @@ impl Session {
         self.charge(self.db.personality.write_us);
         let txn = self.txn_mut()?;
         txn.undo.push(Undo::Delete { table: table.clone(), rowid, before });
+        txn.redo.push(RedoOp::Delete { table: table.id, rowid });
         txn.wal_bytes += bytes;
         txn.rows_written += 1;
         Ok(())

@@ -39,6 +39,10 @@ pub enum StorageError {
     InvalidSchema(String),
     /// Engine was shut down / reset while the operation was in flight.
     Shutdown,
+    /// The storage engine crashed (injected server crash); every operation
+    /// fails until recovery completes. Retryable so resilient clients ride
+    /// through the outage on backoff while the supervisor recovers.
+    Crashed,
     /// Transient fault injected by the chaos layer (retryable).
     Injected { site: &'static str },
 }
@@ -48,7 +52,10 @@ impl StorageError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            StorageError::Deadlock { .. } | StorageError::LockTimeout | StorageError::Injected { .. }
+            StorageError::Deadlock { .. }
+                | StorageError::LockTimeout
+                | StorageError::Crashed
+                | StorageError::Injected { .. }
         )
     }
 }
@@ -79,6 +86,7 @@ impl fmt::Display for StorageError {
             StorageError::IndexExists(i) => write!(f, "index already exists: {i}"),
             StorageError::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
             StorageError::Shutdown => write!(f, "engine shut down"),
+            StorageError::Crashed => write!(f, "storage engine crashed; recovery pending"),
             StorageError::Injected { site } => write!(f, "injected transient fault at {site}"),
         }
     }

@@ -15,6 +15,7 @@ pub mod error;
 pub mod lock;
 pub mod metrics;
 pub mod personality;
+pub mod recovery;
 pub mod schema;
 pub mod table;
 pub mod value;
@@ -25,6 +26,9 @@ pub use error::{Result, StorageError};
 pub use lock::{LockManager, LockMode, LockTarget, TxnId};
 pub use metrics::{MetricsSnapshot, ServerMetrics};
 pub use personality::{DelayMode, Personality};
+pub use recovery::{
+    CheckpointStats, CrashPoint, RecoveryReport, RecoveryStats, RecoveryStatus,
+};
 pub use schema::{Column, IndexDef, TableSchema};
 pub use table::{RowId, Table};
 pub use value::{DataType, Row, Value};

@@ -1,0 +1,627 @@
+//! Crash recovery: typed redo records, checkpoint images and recovery
+//! bookkeeping.
+//!
+//! Commits append one binary redo record (insert/update/delete with table
+//! id, rowid and row after-image) to the WAL's segment store. A checkpoint
+//! materializes the committed state at a stable LSN by replaying every
+//! complete record into an image, then truncates the consumed segments.
+//! [`crate::Database::recover`] loads the latest checkpoint, replays the
+//! redo tail and truncates a torn final record, so recovered state is
+//! exactly the committed prefix of the pre-crash run.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::table::RowId;
+use crate::value::{Row, Value};
+
+/// Where in the commit sequence an injected `ServerCrash` kills the engine.
+///
+/// The `bp-chaos` fault window's `magnitude` selects the point (mod 3), so
+/// one fault kind covers the whole matrix deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Before the redo record reaches the log: the transaction is lost.
+    BeforeAppend,
+    /// After the append but before the fsync: the record is torn and
+    /// recovery truncates it — the transaction is lost.
+    AfterAppendBeforeFsync,
+    /// After the fsync: the record is durable — the transaction survives
+    /// even though the client saw the commit fail.
+    AfterFsync,
+}
+
+impl CrashPoint {
+    pub const ALL: [CrashPoint; 3] = [
+        CrashPoint::BeforeAppend,
+        CrashPoint::AfterAppendBeforeFsync,
+        CrashPoint::AfterFsync,
+    ];
+
+    /// Map a fault-window magnitude onto a crashpoint.
+    pub fn from_magnitude(m: u64) -> CrashPoint {
+        Self::ALL[(m % 3) as usize]
+    }
+
+    pub fn index(self) -> u64 {
+        match self {
+            CrashPoint::BeforeAppend => 0,
+            CrashPoint::AfterAppendBeforeFsync => 1,
+            CrashPoint::AfterFsync => 2,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::BeforeAppend => "before_append",
+            CrashPoint::AfterAppendBeforeFsync => "after_append_before_fsync",
+            CrashPoint::AfterFsync => "after_fsync",
+        }
+    }
+}
+
+/// One logical change inside a committed transaction's redo record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RedoOp {
+    Insert { table: u32, rowid: RowId, row: Row },
+    Update { table: u32, rowid: RowId, row: Row },
+    Delete { table: u32, rowid: RowId },
+}
+
+/// A commit's redo record: everything needed to replay it physically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedoRecord {
+    pub lsn: u64,
+    pub txn: u64,
+    pub ops: Vec<RedoOp>,
+}
+
+// ---- binary codec ----
+//
+// Record layout: [len: u32][payload], where `len` counts the payload bytes
+// and the payload ends with an FNV-1a checksum over everything before it:
+//   payload = [lsn u64][txn u64][nops u32] op* [crc u32]
+//   op      = [tag u8][table u32][rowid u64] (row for insert/update)
+//   row     = [ncols u32] value*
+//   value   = [tag u8] ...
+// All integers little-endian. A record whose bytes run out mid-payload or
+// whose checksum mismatches is *torn* and recovery truncates it.
+
+const OP_INSERT: u8 = 1;
+const OP_UPDATE: u8 = 2;
+const OP_DELETE: u8 = 3;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(buf: &[u8], at: &mut usize) -> Option<u32> {
+    let b = buf.get(*at..*at + 4)?;
+    *at += 4;
+    Some(u32::from_le_bytes(b.try_into().ok()?))
+}
+
+fn get_u64(buf: &[u8], at: &mut usize) -> Option<u64> {
+    let b = buf.get(*at..*at + 8)?;
+    *at += 8;
+    Some(u64::from_le_bytes(b.try_into().ok()?))
+}
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for b in bytes {
+        h ^= *b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Bool(b) => {
+            buf.push(1);
+            buf.push(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.push(2);
+            put_u64(buf, *i as u64);
+        }
+        Value::Float(f) => {
+            buf.push(3);
+            put_u64(buf, f.to_bits());
+        }
+        Value::Str(s) => {
+            buf.push(4);
+            put_u32(buf, s.len() as u32);
+            buf.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            buf.push(5);
+            put_u32(buf, b.len() as u32);
+            buf.extend_from_slice(b);
+        }
+    }
+}
+
+fn decode_value(buf: &[u8], at: &mut usize) -> Option<Value> {
+    let tag = *buf.get(*at)?;
+    *at += 1;
+    Some(match tag {
+        0 => Value::Null,
+        1 => {
+            let b = *buf.get(*at)?;
+            *at += 1;
+            Value::Bool(b != 0)
+        }
+        2 => Value::Int(get_u64(buf, at)? as i64),
+        3 => Value::Float(f64::from_bits(get_u64(buf, at)?)),
+        4 => {
+            let n = get_u32(buf, at)? as usize;
+            let bytes = buf.get(*at..*at + n)?;
+            *at += n;
+            Value::Str(String::from_utf8(bytes.to_vec()).ok()?)
+        }
+        5 => {
+            let n = get_u32(buf, at)? as usize;
+            let bytes = buf.get(*at..*at + n)?;
+            *at += n;
+            Value::Bytes(bytes.to_vec())
+        }
+        _ => return None,
+    })
+}
+
+/// Canonically encode one row (also used by [`crate::Database::state_digest`]).
+pub fn encode_row(buf: &mut Vec<u8>, row: &Row) {
+    put_u32(buf, row.len() as u32);
+    for v in row {
+        encode_value(buf, v);
+    }
+}
+
+fn decode_row(buf: &[u8], at: &mut usize) -> Option<Row> {
+    let n = get_u32(buf, at)? as usize;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        row.push(decode_value(buf, at)?);
+    }
+    Some(row)
+}
+
+impl RedoRecord {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(64);
+        put_u64(&mut payload, self.lsn);
+        put_u64(&mut payload, self.txn);
+        put_u32(&mut payload, self.ops.len() as u32);
+        for op in &self.ops {
+            match op {
+                RedoOp::Insert { table, rowid, row } => {
+                    payload.push(OP_INSERT);
+                    put_u32(&mut payload, *table);
+                    put_u64(&mut payload, *rowid);
+                    encode_row(&mut payload, row);
+                }
+                RedoOp::Update { table, rowid, row } => {
+                    payload.push(OP_UPDATE);
+                    put_u32(&mut payload, *table);
+                    put_u64(&mut payload, *rowid);
+                    encode_row(&mut payload, row);
+                }
+                RedoOp::Delete { table, rowid } => {
+                    payload.push(OP_DELETE);
+                    put_u32(&mut payload, *table);
+                    put_u64(&mut payload, *rowid);
+                }
+            }
+        }
+        let crc = fnv1a(&payload);
+        put_u32(&mut payload, crc);
+        let mut out = Vec::with_capacity(4 + payload.len());
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// Result of decoding one record at an offset.
+pub enum Decoded {
+    /// A complete, checksum-valid record; `usize` is the total bytes consumed.
+    Record(RedoRecord, usize),
+    /// The buffer ends mid-record (or fails its checksum): a torn tail.
+    Torn,
+}
+
+/// Decode the record starting at `at`. Returns [`Decoded::Torn`] when the
+/// remaining bytes cannot hold a complete, checksum-valid record.
+pub fn decode_record(buf: &[u8], at: usize) -> Decoded {
+    let mut pos = at;
+    let Some(len) = get_u32(buf, &mut pos) else {
+        return Decoded::Torn;
+    };
+    let len = len as usize;
+    if buf.len() < pos + len || len < 24 {
+        return Decoded::Torn;
+    }
+    let payload = &buf[pos..pos + len];
+    let stored_crc = u32::from_le_bytes(payload[len - 4..].try_into().unwrap());
+    if fnv1a(&payload[..len - 4]) != stored_crc {
+        return Decoded::Torn;
+    }
+    let mut p = 0usize;
+    let (Some(lsn), Some(txn), Some(nops)) = (
+        get_u64(payload, &mut p),
+        get_u64(payload, &mut p),
+        get_u32(payload, &mut p),
+    ) else {
+        return Decoded::Torn;
+    };
+    let mut ops = Vec::with_capacity(nops as usize);
+    for _ in 0..nops {
+        let Some(&tag) = payload.get(p) else {
+            return Decoded::Torn;
+        };
+        p += 1;
+        let (Some(table), Some(rowid)) = (get_u32(payload, &mut p), get_u64(payload, &mut p))
+        else {
+            return Decoded::Torn;
+        };
+        let op = match tag {
+            OP_INSERT | OP_UPDATE => {
+                let Some(row) = decode_row(payload, &mut p) else {
+                    return Decoded::Torn;
+                };
+                if tag == OP_INSERT {
+                    RedoOp::Insert { table, rowid, row }
+                } else {
+                    RedoOp::Update { table, rowid, row }
+                }
+            }
+            OP_DELETE => RedoOp::Delete { table, rowid },
+            _ => return Decoded::Torn,
+        };
+        ops.push(op);
+    }
+    Decoded::Record(RedoRecord { lsn, txn, ops }, 4 + len)
+}
+
+/// A materialized table image: committed rows keyed by `(table id, rowid)`.
+pub type TableImage = BTreeMap<u32, BTreeMap<RowId, Row>>;
+
+/// A checkpoint: the committed state as of `lsn`, as a physical image.
+#[derive(Debug, Clone, Default)]
+pub struct Checkpoint {
+    pub lsn: u64,
+    pub tables: TableImage,
+}
+
+/// Apply one redo record to an image (checkpoint build and recovery share
+/// this).
+pub fn apply_record(image: &mut TableImage, rec: &RedoRecord) {
+    for op in &rec.ops {
+        match op {
+            RedoOp::Insert { table, rowid, row } | RedoOp::Update { table, rowid, row } => {
+                image.entry(*table).or_default().insert(*rowid, row.clone());
+            }
+            RedoOp::Delete { table, rowid } => {
+                if let Some(t) = image.get_mut(table) {
+                    t.remove(rowid);
+                }
+            }
+        }
+    }
+}
+
+/// What [`crate::Database::recover`] did, for callers and the journal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryReport {
+    pub replayed_records: u64,
+    pub torn_truncated: u64,
+    pub checkpoint_lsn: u64,
+    pub durable_lsn: u64,
+    pub duration_us: u64,
+    pub generation: u64,
+}
+
+/// What [`crate::Database::checkpoint`] did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointStats {
+    pub lsn: u64,
+    pub records_applied: u64,
+    pub segments_truncated: u64,
+}
+
+/// Lock-free recovery bookkeeping, exposed as `bp_recovery_*` metrics.
+#[derive(Debug, Default)]
+pub struct RecoveryStats {
+    crashes: AtomicU64,
+    recoveries: AtomicU64,
+    replayed_records: AtomicU64,
+    torn_truncations: AtomicU64,
+    checkpoints: AtomicU64,
+    segments_truncated: AtomicU64,
+    last_recovery_us: AtomicU64,
+    /// Crashpoint index + 1 of the most recent crash; 0 = never crashed.
+    last_crashpoint: AtomicU64,
+    checkpoint_lsn: AtomicU64,
+    durable_lsn: AtomicU64,
+    crashed: AtomicBool,
+}
+
+/// A point-in-time copy of [`RecoveryStats`] (plus the engine generation),
+/// consumed by `/recovery/status`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryStatus {
+    pub crashed: bool,
+    pub crashes: u64,
+    pub recoveries: u64,
+    pub replayed_records: u64,
+    pub torn_truncations: u64,
+    pub checkpoints: u64,
+    pub segments_truncated: u64,
+    pub last_recovery_us: u64,
+    pub last_crashpoint: Option<CrashPoint>,
+    pub checkpoint_lsn: u64,
+    pub durable_lsn: u64,
+    pub generation: u64,
+}
+
+impl RecoveryStats {
+    pub fn new() -> RecoveryStats {
+        RecoveryStats::default()
+    }
+
+    pub fn note_crash(&self, point: CrashPoint) {
+        self.crashes.fetch_add(1, Ordering::Relaxed);
+        self.last_crashpoint.store(point.index() + 1, Ordering::Relaxed);
+        self.crashed.store(true, Ordering::Relaxed);
+    }
+
+    pub fn note_recovery(&self, rep: &RecoveryReport) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.replayed_records.fetch_add(rep.replayed_records, Ordering::Relaxed);
+        self.torn_truncations.fetch_add(rep.torn_truncated, Ordering::Relaxed);
+        self.last_recovery_us.store(rep.duration_us, Ordering::Relaxed);
+        self.durable_lsn.store(rep.durable_lsn, Ordering::Relaxed);
+        self.crashed.store(false, Ordering::Relaxed);
+    }
+
+    pub fn note_checkpoint(&self, s: &CheckpointStats) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.segments_truncated.fetch_add(s.segments_truncated, Ordering::Relaxed);
+        self.checkpoint_lsn.store(s.lsn, Ordering::Relaxed);
+    }
+
+    pub fn note_durable(&self, lsn: u64) {
+        self.durable_lsn.store(lsn, Ordering::Relaxed);
+    }
+
+    pub fn reset(&self) {
+        self.checkpoint_lsn.store(0, Ordering::Relaxed);
+        self.durable_lsn.store(0, Ordering::Relaxed);
+    }
+
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
+    }
+
+    pub fn status(&self, generation: u64) -> RecoveryStatus {
+        let cp = self.last_crashpoint.load(Ordering::Relaxed);
+        RecoveryStatus {
+            crashed: self.crashed.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            replayed_records: self.replayed_records.load(Ordering::Relaxed),
+            torn_truncations: self.torn_truncations.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            segments_truncated: self.segments_truncated.load(Ordering::Relaxed),
+            last_recovery_us: self.last_recovery_us.load(Ordering::Relaxed),
+            last_crashpoint: cp.checked_sub(1).map(CrashPoint::from_magnitude),
+            checkpoint_lsn: self.checkpoint_lsn.load(Ordering::Relaxed),
+            durable_lsn: self.durable_lsn.load(Ordering::Relaxed),
+            generation,
+        }
+    }
+}
+
+impl bp_obs::MetricsSource for RecoveryStats {
+    fn collect(&self, buf: &mut bp_obs::MetricsBuf) {
+        let s = self.status(0);
+        let counters: [(&str, u64); 6] = [
+            ("crashes", s.crashes),
+            ("recoveries", s.recoveries),
+            ("replayed_records", s.replayed_records),
+            ("torn_truncations", s.torn_truncations),
+            ("checkpoints", s.checkpoints),
+            ("segments_truncated", s.segments_truncated),
+        ];
+        for (name, v) in counters {
+            let full = format!("bp_recovery_{name}_total");
+            buf.counter(&full, "Crash-recovery counter", &[], v as f64);
+        }
+        buf.gauge(
+            "bp_recovery_crashed",
+            "1 while the storage engine is dead awaiting recovery",
+            &[],
+            s.crashed as u64 as f64,
+        );
+        buf.gauge(
+            "bp_recovery_last_duration_us",
+            "Duration of the most recent recovery in microseconds",
+            &[],
+            s.last_recovery_us as f64,
+        );
+        buf.gauge(
+            "bp_recovery_checkpoint_lsn",
+            "Stable LSN of the latest checkpoint",
+            &[],
+            s.checkpoint_lsn as f64,
+        );
+        buf.gauge(
+            "bp_recovery_durable_lsn",
+            "Highest LSN whose redo record is durable",
+            &[],
+            s.durable_lsn as f64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> RedoRecord {
+        RedoRecord {
+            lsn: 42,
+            txn: 7,
+            ops: vec![
+                RedoOp::Insert {
+                    table: 1,
+                    rowid: 0,
+                    row: vec![Value::Int(1), Value::Str("hello".into()), Value::Null],
+                },
+                RedoOp::Update {
+                    table: 1,
+                    rowid: 0,
+                    row: vec![Value::Int(1), Value::Str("bye".into()), Value::Float(2.5)],
+                },
+                RedoOp::Delete { table: 2, rowid: 9 },
+            ],
+        }
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let rec = sample_record();
+        let bytes = rec.encode();
+        match decode_record(&bytes, 0) {
+            Decoded::Record(got, consumed) => {
+                assert_eq!(got, rec);
+                assert_eq!(consumed, bytes.len());
+            }
+            Decoded::Torn => panic!("complete record decoded as torn"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_torn() {
+        let bytes = sample_record().encode();
+        for cut in 0..bytes.len() {
+            match decode_record(&bytes[..cut], 0) {
+                Decoded::Torn => {}
+                Decoded::Record(..) => panic!("prefix of {cut} bytes decoded as complete"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_fails_checksum() {
+        let mut bytes = sample_record().encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(decode_record(&bytes, 0), Decoded::Torn));
+    }
+
+    #[test]
+    fn sequential_records_decode() {
+        let a = RedoRecord { lsn: 1, txn: 1, ops: vec![RedoOp::Delete { table: 1, rowid: 0 }] };
+        let b = sample_record();
+        let mut buf = a.encode();
+        buf.extend_from_slice(&b.encode());
+        let Decoded::Record(got_a, next) = decode_record(&buf, 0) else {
+            panic!("torn");
+        };
+        assert_eq!(got_a, a);
+        let Decoded::Record(got_b, _) = decode_record(&buf, next) else {
+            panic!("torn");
+        };
+        assert_eq!(got_b, b);
+    }
+
+    #[test]
+    fn apply_record_builds_image() {
+        let mut image = TableImage::new();
+        apply_record(
+            &mut image,
+            &RedoRecord {
+                lsn: 1,
+                txn: 1,
+                ops: vec![
+                    RedoOp::Insert { table: 1, rowid: 3, row: vec![Value::Int(10)] },
+                    RedoOp::Insert { table: 1, rowid: 4, row: vec![Value::Int(20)] },
+                ],
+            },
+        );
+        apply_record(
+            &mut image,
+            &RedoRecord {
+                lsn: 2,
+                txn: 2,
+                ops: vec![
+                    RedoOp::Update { table: 1, rowid: 3, row: vec![Value::Int(11)] },
+                    RedoOp::Delete { table: 1, rowid: 4 },
+                ],
+            },
+        );
+        let t = &image[&1];
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[&3], vec![Value::Int(11)]);
+    }
+
+    #[test]
+    fn crashpoint_magnitude_mapping() {
+        assert_eq!(CrashPoint::from_magnitude(0), CrashPoint::BeforeAppend);
+        assert_eq!(CrashPoint::from_magnitude(1), CrashPoint::AfterAppendBeforeFsync);
+        assert_eq!(CrashPoint::from_magnitude(2), CrashPoint::AfterFsync);
+        assert_eq!(CrashPoint::from_magnitude(5), CrashPoint::AfterFsync);
+        for p in CrashPoint::ALL {
+            assert_eq!(CrashPoint::from_magnitude(p.index()), p);
+        }
+    }
+
+    #[test]
+    fn stats_lifecycle() {
+        let s = RecoveryStats::new();
+        s.note_crash(CrashPoint::AfterFsync);
+        let st = s.status(1);
+        assert!(st.crashed);
+        assert_eq!(st.last_crashpoint, Some(CrashPoint::AfterFsync));
+        s.note_recovery(&RecoveryReport {
+            replayed_records: 12,
+            torn_truncated: 1,
+            durable_lsn: 40,
+            duration_us: 900,
+            ..Default::default()
+        });
+        let st = s.status(2);
+        assert!(!st.crashed);
+        assert_eq!(st.recoveries, 1);
+        assert_eq!(st.replayed_records, 12);
+        assert_eq!(st.torn_truncations, 1);
+        assert_eq!(st.generation, 2);
+    }
+
+    #[test]
+    fn metrics_expose_recovery_series() {
+        use bp_obs::MetricsSource as _;
+        let s = RecoveryStats::new();
+        s.note_crash(CrashPoint::BeforeAppend);
+        let mut buf = bp_obs::MetricsBuf::new();
+        s.collect(&mut buf);
+        let samples = buf.into_samples();
+        // 6 counters + 4 gauges.
+        assert_eq!(samples.len(), 10);
+        assert!(samples.iter().any(|x| {
+            x.name == "bp_recovery_crashes_total"
+                && x.value == bp_obs::MetricValue::Counter(1.0)
+        }));
+        assert!(samples.iter().any(|x| {
+            x.name == "bp_recovery_crashed" && x.value == bp_obs::MetricValue::Gauge(1.0)
+        }));
+    }
+}

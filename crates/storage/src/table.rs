@@ -369,6 +369,39 @@ impl Table {
         Ok(())
     }
 
+    /// Replace the table's contents with a recovered image, placing each
+    /// row at its original slot so recovered rowids match the pre-crash
+    /// run. Holes left by committed deletes become free slots again.
+    pub fn rebuild_from(&self, rows: &BTreeMap<RowId, Row>) {
+        let mut d = self.data.write();
+        d.slots.clear();
+        d.free.clear();
+        d.pk.clear();
+        for ix in &mut d.indexes {
+            ix.map.clear();
+        }
+        let cap = rows.keys().next_back().map(|r| *r as usize + 1).unwrap_or(0);
+        d.slots.resize(cap, None);
+        for (&rowid, row) in rows {
+            if self.schema.has_primary_key() {
+                let pk = self.schema.pk_of(row);
+                d.pk.insert(pk, rowid);
+            }
+            for ix in &mut d.indexes {
+                let key = ix.key_of(row);
+                // The image is committed state, so uniqueness holds by
+                // construction; a violation here is an engine bug.
+                let ok = ix.insert(key, rowid, &self.schema.name).is_ok();
+                debug_assert!(ok, "recovered image violates index {}", ix.def.name);
+            }
+            d.slots[rowid as usize] = Some(row.clone());
+        }
+        d.live = rows.len();
+        // Vacant slots (committed deletes) are free again; highest first so
+        // `free.pop()` hands out the lowest rowid, like fresh growth would.
+        d.free = (0..cap as RowId).rev().filter(|r| d.slots[*r as usize].is_none()).collect();
+    }
+
     /// Remove every row (used by truncate / game reset).
     pub fn truncate(&self) {
         let mut d = self.data.write();
@@ -601,6 +634,29 @@ mod tests {
         // Insert works again after truncate.
         t.insert(row(1, 1, "a")).unwrap();
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn rebuild_from_image_places_rows_at_original_slots() {
+        let t = table();
+        for i in 0..6 {
+            t.insert(row(i, i % 2, "x")).unwrap();
+        }
+        // Image with holes at slots 1 and 4 (committed deletes).
+        let mut image = BTreeMap::new();
+        for rid in [0u64, 2, 3, 5] {
+            image.insert(rid, row(rid as i64, 1, "r"));
+        }
+        t.rebuild_from(&image);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(2).unwrap()[0], Value::Int(2));
+        assert!(t.get(1).is_none());
+        assert_eq!(t.lookup_pk(&[Value::Int(5)]), Some(5));
+        assert_eq!(t.index_lookup("t_grp", &[Value::Int(1)]).unwrap().len(), 4);
+        // Vacant slots are handed out lowest-first to new inserts.
+        assert_eq!(t.insert(row(100, 0, "new")).unwrap(), 1);
+        assert_eq!(t.insert(row(101, 0, "new2")).unwrap(), 4);
+        assert_eq!(t.insert(row(102, 0, "new3")).unwrap(), 6);
     }
 
     #[test]

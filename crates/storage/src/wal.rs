@@ -11,12 +11,42 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bp_obs::{EventJournal, Severity};
+use bp_util::sync::Mutex;
 
 use crate::metrics::ServerMetrics;
+use crate::recovery::{
+    apply_record, decode_record, Checkpoint, CheckpointStats, Decoded, TableImage,
+};
 
 /// Default log-segment size; crossing it rotates to a new segment and
 /// emits a `wal_rotate` journal event.
 pub const DEFAULT_SEGMENT_BYTES: u64 = 16 * 1024 * 1024;
+
+/// One redo-log segment: encoded records starting at `base_lsn`.
+#[derive(Debug, Default)]
+struct RedoSegment {
+    #[cfg_attr(not(test), allow(dead_code))]
+    base_lsn: u64,
+    bytes: Vec<u8>,
+}
+
+/// The redo store behind the timing model: appended record bytes, the
+/// latest checkpoint image and the durable-LSN watermark.
+#[derive(Default)]
+struct RedoState {
+    segments: Vec<RedoSegment>,
+    checkpoint: Option<Checkpoint>,
+    durable_lsn: u64,
+}
+
+/// The redo tail materialized by [`Wal::recovered_image`].
+pub struct RecoveredImage {
+    pub tables: TableImage,
+    pub replayed_records: u64,
+    pub torn_truncated: u64,
+    pub checkpoint_lsn: u64,
+    pub durable_lsn: u64,
+}
 
 pub struct Wal {
     epoch: Instant,
@@ -32,6 +62,7 @@ pub struct Wal {
     /// Segments rotated away so far (current segment index).
     segments_rotated: AtomicU64,
     journal: Option<Arc<EventJournal>>,
+    redo: Mutex<RedoState>,
 }
 
 impl Wal {
@@ -47,6 +78,7 @@ impl Wal {
             segment_limit: DEFAULT_SEGMENT_BYTES,
             segments_rotated: AtomicU64::new(0),
             journal: None,
+            redo: Mutex::new(RedoState::default()),
         }
     }
 
@@ -134,10 +166,127 @@ impl Wal {
         self.next_lsn.load(Ordering::Relaxed)
     }
 
+    /// Append one encoded redo record for `lsn`. With `torn` the record is
+    /// cut mid-payload — the shape a crash between append and fsync leaves
+    /// behind — and the durable watermark does not advance.
+    pub fn append_redo(&self, lsn: u64, record: &[u8], torn: bool) {
+        let mut redo = self.redo.lock();
+        let open_new = match redo.segments.last() {
+            None => true,
+            Some(seg) => {
+                !seg.bytes.is_empty()
+                    && (seg.bytes.len() + record.len()) as u64 > self.segment_limit
+            }
+        };
+        if open_new {
+            redo.segments.push(RedoSegment { base_lsn: lsn, bytes: Vec::new() });
+        }
+        let seg = redo.segments.last_mut().expect("segment just ensured");
+        if torn {
+            seg.bytes.extend_from_slice(&record[..record.len() / 2]);
+        } else {
+            seg.bytes.extend_from_slice(record);
+            redo.durable_lsn = lsn;
+        }
+    }
+
+    /// Highest LSN whose redo record is fully appended.
+    pub fn durable_lsn(&self) -> u64 {
+        self.redo.lock().durable_lsn
+    }
+
+    /// Snapshot the committed state at the current stable LSN and truncate
+    /// the consumed segments. Every record in the store belongs to a
+    /// committed transaction, so the image is transaction-consistent
+    /// without quiescing writers.
+    pub fn take_checkpoint(&self) -> CheckpointStats {
+        let mut redo = self.redo.lock();
+        let mut image = redo.checkpoint.take().map(|c| c.tables).unwrap_or_default();
+        let mut applied = 0u64;
+        let mut lsn = redo.durable_lsn;
+        for seg in &redo.segments {
+            let mut at = 0;
+            while at < seg.bytes.len() {
+                match decode_record(&seg.bytes, at) {
+                    Decoded::Record(rec, consumed) => {
+                        apply_record(&mut image, &rec);
+                        lsn = lsn.max(rec.lsn);
+                        applied += 1;
+                        at += consumed;
+                    }
+                    // A torn tail only exists in a crashed engine; the
+                    // checkpointer never runs there. Stop defensively.
+                    Decoded::Torn => break,
+                }
+            }
+        }
+        let truncated = redo.segments.len() as u64;
+        redo.segments.clear();
+        redo.checkpoint = Some(Checkpoint { lsn, tables: image });
+        CheckpointStats { lsn, records_applied: applied, segments_truncated: truncated }
+    }
+
+    /// Rebuild the committed state: latest checkpoint plus the replayed
+    /// redo tail. A torn final record is truncated from the store.
+    pub fn recovered_image(&self) -> RecoveredImage {
+        let mut redo = self.redo.lock();
+        let checkpoint_lsn = redo.checkpoint.as_ref().map(|c| c.lsn).unwrap_or(0);
+        let mut tables = redo.checkpoint.as_ref().map(|c| c.tables.clone()).unwrap_or_default();
+        let mut replayed = 0u64;
+        let mut torn = 0u64;
+        let mut durable = checkpoint_lsn;
+        for seg in &mut redo.segments {
+            let mut at = 0;
+            while at < seg.bytes.len() {
+                match decode_record(&seg.bytes, at) {
+                    Decoded::Record(rec, consumed) => {
+                        apply_record(&mut tables, &rec);
+                        durable = durable.max(rec.lsn);
+                        replayed += 1;
+                        at += consumed;
+                    }
+                    Decoded::Torn => {
+                        seg.bytes.truncate(at);
+                        torn += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        redo.durable_lsn = durable;
+        RecoveredImage {
+            tables,
+            replayed_records: replayed,
+            torn_truncated: torn,
+            checkpoint_lsn,
+            durable_lsn: durable,
+        }
+    }
+
     /// Reset after a database reset.
     pub fn reset(&self) {
         self.last_fsync_us.store(u64::MAX, Ordering::Relaxed);
         self.segment_bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Full reset for `truncate_all`/`reset_schema`: also rewinds the LSN
+    /// counter, rotation count and the redo store so back-to-back runs do
+    /// not inherit the previous run's log state.
+    pub fn reset_full(&self) {
+        self.reset();
+        self.next_lsn.store(1, Ordering::Relaxed);
+        self.segments_rotated.store(0, Ordering::Relaxed);
+        let mut redo = self.redo.lock();
+        redo.segments.clear();
+        redo.checkpoint = None;
+        redo.durable_lsn = 0;
+    }
+
+    /// Test hook: pin the last-fsync timestamp (µs since epoch) to probe
+    /// the group-commit window boundary deterministically.
+    #[cfg(test)]
+    fn set_last_fsync_rel_us(&self, us: u64) {
+        self.last_fsync_us.store(us, Ordering::Relaxed);
     }
 }
 
@@ -216,5 +365,160 @@ mod tests {
         wal.reset();
         let (_, c) = wal.commit(0, &m);
         assert_eq!(c, 50.0);
+    }
+
+    #[test]
+    fn first_commit_always_fsyncs() {
+        // The u64::MAX sentinel must force an fsync on the very first
+        // commit no matter how wide the group window is, and again after
+        // every (full) reset.
+        for window in [1, 1_000, 60_000_000] {
+            let m = ServerMetrics::new();
+            let wal = Wal::new(window, 0.0, 75.0);
+            let (_, c) = wal.commit(10, &m);
+            assert_eq!(c, 75.0, "window {window}: first commit must pay the fsync");
+            wal.reset_full();
+            let (_, c) = wal.commit(10, &m);
+            assert_eq!(c, 75.0, "window {window}: first commit after reset_full");
+        }
+    }
+
+    #[test]
+    fn commit_exactly_at_window_edge_fsyncs() {
+        let m = ServerMetrics::new();
+        let wal = Wal::new(1_000, 0.0, 100.0);
+        let (_, c) = wal.commit(0, &m);
+        assert_eq!(c, 100.0);
+        // Pin the last fsync exactly one window before "now": the boundary
+        // is inclusive (elapsed >= window), so this commit must fsync even
+        // if zero additional time elapses before the check. The sleep puts
+        // the clock past one window so the subtraction cannot clamp to the
+        // epoch (which would leave elapsed < window).
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let now = wal.now_us();
+        assert!(now >= 1_000, "clock advanced past one window");
+        wal.set_last_fsync_rel_us(now - 1_000);
+        let (_, c) = wal.commit(0, &m);
+        assert_eq!(c, 100.0, "elapsed == window must start a new group");
+        // Just inside the window: the follower rides for free. The fsync
+        // timestamp is re-pinned far enough ahead that wall-clock drift
+        // between the store and the commit cannot close the window.
+        wal.set_last_fsync_rel_us(wal.now_us() + 60_000_000);
+        let (_, c) = wal.commit(0, &m);
+        assert_eq!(c, 0.0, "inside the window no fsync is due");
+    }
+
+    #[test]
+    fn segment_rotation_mid_group_commit_window() {
+        // A rotation landing inside an open group-commit window must not
+        // force an early fsync: rotation and fsync scheduling are
+        // independent.
+        let m = ServerMetrics::new();
+        let j = Arc::new(EventJournal::new());
+        let wal = Wal::new(60_000_000, 0.0, 100.0)
+            .with_journal(j.clone())
+            .with_segment_bytes(1000);
+        let (_, first) = wal.commit(300, &m);
+        assert_eq!(first, 100.0, "window opener pays the fsync");
+        for _ in 0..4 {
+            let (_, c) = wal.commit(300, &m);
+            assert_eq!(c, 0.0, "followers ride the open window across the rotation");
+        }
+        assert_eq!(wal.segments_rotated(), 1, "1500 bytes crossed the 1000-byte limit");
+        assert_eq!(m.snapshot().wal_fsyncs, 1, "rotation must not trigger an extra fsync");
+        assert!(j.all().iter().any(|e| e.kind == "wal_rotate"));
+    }
+
+    #[test]
+    fn reset_full_rewinds_lsn_and_rotation_counters() {
+        let m = ServerMetrics::new();
+        let wal = Wal::new(0, 0.0, 10.0).with_segment_bytes(100);
+        for _ in 0..5 {
+            wal.commit(60, &m);
+        }
+        assert!(wal.current_lsn() > 1);
+        assert!(wal.segments_rotated() > 0);
+        wal.append_redo(1, &[1, 2, 3, 4], false);
+        wal.reset_full();
+        assert_eq!(wal.current_lsn(), 1, "LSN counter rewound");
+        assert_eq!(wal.segments_rotated(), 0, "rotation counter rewound");
+        assert_eq!(wal.durable_lsn(), 0, "redo store cleared");
+        let (lsn, _) = wal.commit(10, &m);
+        assert_eq!(lsn, 1, "first commit after reset gets LSN 1");
+    }
+
+    #[test]
+    fn redo_append_checkpoint_and_recovery_round_trip() {
+        use crate::recovery::{RedoOp, RedoRecord};
+        use crate::value::Value;
+        let m = ServerMetrics::new();
+        let wal = Wal::new(0, 0.0, 0.0);
+        for i in 0..4u64 {
+            let (lsn, _) = wal.commit(32, &m);
+            let rec = RedoRecord {
+                lsn,
+                txn: i,
+                ops: vec![RedoOp::Insert { table: 1, rowid: i, row: vec![Value::Int(i as i64)] }],
+            };
+            wal.append_redo(lsn, &rec.encode(), false);
+        }
+        let cp = wal.take_checkpoint();
+        assert_eq!(cp.records_applied, 4);
+        assert_eq!(cp.segments_truncated, 1);
+        assert_eq!(cp.lsn, 4);
+        // Two more commits after the checkpoint, the last one torn.
+        let (lsn, _) = wal.commit(32, &m);
+        let rec = RedoRecord {
+            lsn,
+            txn: 10,
+            ops: vec![RedoOp::Delete { table: 1, rowid: 0 }],
+        };
+        wal.append_redo(lsn, &rec.encode(), false);
+        let (lsn2, _) = wal.commit(32, &m);
+        let rec2 = RedoRecord {
+            lsn: lsn2,
+            txn: 11,
+            ops: vec![RedoOp::Delete { table: 1, rowid: 1 }],
+        };
+        wal.append_redo(lsn2, &rec2.encode(), true);
+        let image = wal.recovered_image();
+        assert_eq!(image.checkpoint_lsn, 4);
+        assert_eq!(image.replayed_records, 1, "only the complete tail record replays");
+        assert_eq!(image.torn_truncated, 1, "the torn record is truncated");
+        assert_eq!(image.durable_lsn, lsn);
+        let t = &image.tables[&1];
+        assert_eq!(t.len(), 3, "rows 1..4 minus the replayed delete of row 0");
+        assert!(!t.contains_key(&0));
+        assert!(t.contains_key(&1), "torn delete of row 1 must not apply");
+    }
+
+    #[test]
+    fn redo_segments_rotate_by_size() {
+        use crate::recovery::{RedoOp, RedoRecord};
+        use crate::value::Value;
+        let m = ServerMetrics::new();
+        let wal = Wal::new(0, 0.0, 0.0).with_segment_bytes(128);
+        for i in 0..8u64 {
+            let (lsn, _) = wal.commit(64, &m);
+            let rec = RedoRecord {
+                lsn,
+                txn: i,
+                ops: vec![RedoOp::Insert {
+                    table: 1,
+                    rowid: i,
+                    row: vec![Value::Str("x".repeat(40))],
+                }],
+            };
+            wal.append_redo(lsn, &rec.encode(), false);
+        }
+        {
+            let redo = wal.redo.lock();
+            assert!(redo.segments.len() > 1, "records spill into multiple segments");
+            let bases: Vec<u64> = redo.segments.iter().map(|s| s.base_lsn).collect();
+            assert!(bases.windows(2).all(|w| w[0] < w[1]), "segment base LSNs ascend: {bases:?}");
+        }
+        let image = wal.recovered_image();
+        assert_eq!(image.replayed_records, 8, "replay walks every segment");
+        assert_eq!(image.tables[&1].len(), 8);
     }
 }

@@ -44,6 +44,10 @@ BENCH_SMOKE=1 cargo bench -q --offline -p bp-bench --bench event_overhead
 echo "== doctor: chaos-induced bottlenecks named with causal events over HTTP =="
 cargo run -q --release --offline -p bp-bench --bin harness doctor
 
+echo "== recovery: crashpoint matrix + supervised restart under live load =="
+cargo test -q --offline --test recovery
+cargo run -q --release --offline -p bp-bench --bin harness recovery
+
 if command -v cargo-clippy >/dev/null 2>&1 || cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --all-targets -- -D warnings =="
     cargo clippy --offline --all-targets -- -D warnings
