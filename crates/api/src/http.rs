@@ -228,9 +228,29 @@ fn write_response(
     stream.flush()
 }
 
+/// Per-request I/O ceiling for the blocking HTTP client: connect, every
+/// read, and every write each give up after this long, so a dead or
+/// wedged peer costs a bounded wait instead of a hung thread. Heartbeat
+/// and fan-out paths in the cluster layer pass tighter ceilings via
+/// [`http_request_text_timeout`].
+pub const CLIENT_IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
+
 /// A tiny blocking HTTP client for tests and examples.
 pub fn http_request(addr: SocketAddr, method: &str, path: &str, body: Option<&Json>) -> std::io::Result<(u16, Json)> {
     let (status, text) = http_request_text(addr, method, path, body)?;
+    let json = Json::parse(&text).unwrap_or(Json::Null);
+    Ok((status, json))
+}
+
+/// Like [`http_request`] but with an explicit per-request timeout.
+pub fn http_request_timeout(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+    timeout: std::time::Duration,
+) -> std::io::Result<(u16, Json)> {
+    let (status, text) = http_request_text_timeout(addr, method, path, body, timeout)?;
     let json = Json::parse(&text).unwrap_or(Json::Null);
     Ok((status, json))
 }
@@ -243,7 +263,21 @@ pub fn http_request_text(
     path: &str,
     body: Option<&Json>,
 ) -> std::io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
+    http_request_text_timeout(addr, method, path, body, CLIENT_IO_TIMEOUT)
+}
+
+/// The raw-body client with an explicit timeout applied to connect, reads
+/// and writes independently.
+pub fn http_request_text_timeout(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+    timeout: std::time::Duration,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     let body_text = body.map(|b| b.to_string()).unwrap_or_default();
     write!(
         stream,
@@ -446,6 +480,57 @@ mod tests {
         let guard = s.serve_http("127.0.0.1:0").unwrap();
         assert_eq!(raw_request(guard.addr(), b"\x00\x01\x02\r\n\r\n"), 400);
         assert_eq!(raw_request(guard.addr(), b"ONLYONETOKEN\r\n\r\n"), 400);
+    }
+
+    #[test]
+    fn client_times_out_on_dead_peer() {
+        // A listener that accepts and then never answers: the client must
+        // give up after its read timeout, not block forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _keep = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for s in listener.incoming().flatten() {
+                held.push(s); // hold the socket open, say nothing
+            }
+        });
+        let t0 = std::time::Instant::now();
+        let err = http_request_text_timeout(
+            addr,
+            "GET",
+            "/status",
+            None,
+            std::time::Duration::from_millis(150),
+        );
+        assert!(err.is_err(), "dead peer must not look like a response");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(2),
+            "timed out in {:?}, not bounded by the 150ms ceiling",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn route_extension_served_over_http() {
+        use crate::router::RouteExtension;
+        struct Ext;
+        impl RouteExtension for Ext {
+            fn handle(&self, req: &Request) -> Option<crate::router::Response> {
+                (req.path == "/cluster/ping")
+                    .then(|| crate::router::Response::ok(Json::obj().set("pong", true)))
+            }
+        }
+        let s = server();
+        s.set_extension(Arc::new(Ext));
+        let guard = s.serve_http("127.0.0.1:0").unwrap();
+        let (status, body) = http_request(guard.addr(), "GET", "/cluster/ping", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.get("pong").unwrap().as_bool(), Some(true));
+        // Built-in routes still win, and unclaimed paths still 404.
+        let (status, _) = http_request(guard.addr(), "GET", "/workloads", None).unwrap();
+        assert_eq!(status, 200);
+        let (status, _) = http_request(guard.addr(), "GET", "/cluster/ghost", None).unwrap();
+        assert_eq!(status, 404);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 pub mod http;
 pub mod router;
 
-pub use http::{http_request, http_request_text};
-pub use router::{ApiServer, Launcher, Method, RecordProvider, ReplayLauncher, Request, Response};
+pub use http::{http_request, http_request_text, http_request_text_timeout, http_request_timeout};
+pub use router::{
+    ApiServer, Launcher, Method, RecordProvider, ReplayLauncher, Request, Response, RouteExtension,
+};
 pub use router::{ARTIFACT_CONTENT_TYPE, JSONL_CONTENT_TYPE, PROMETHEUS_CONTENT_TYPE};

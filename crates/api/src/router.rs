@@ -105,6 +105,13 @@ pub trait Launcher: Send + Sync {
 /// text, or `None` while there is nothing to serve.
 pub type RecordProvider = Arc<dyn Fn() -> Option<String> + Send + Sync>;
 
+/// Pluggable route extension: a chance to serve requests the built-in
+/// router has no route for (the cluster layer mounts its `/cluster/*`
+/// endpoints this way). Returning `None` falls through to the 404.
+pub trait RouteExtension: Send + Sync {
+    fn handle(&self, req: &Request) -> Option<Response>;
+}
+
 /// Pluggable hook for `POST /replay`: the embedding application owns the
 /// database and workload, so it decides how a captured artifact turns into
 /// a live replay run (typically via `bp_replay::start_replay`).
@@ -125,6 +132,7 @@ pub struct ApiServer {
     replay_launcher: Option<Arc<dyn ReplayLauncher>>,
     replay: RwLock<Option<Arc<ReplaySession>>>,
     record: RwLock<Option<RecordProvider>>,
+    extension: RwLock<Option<Arc<dyn RouteExtension>>>,
 }
 
 impl Default for ApiServer {
@@ -350,7 +358,14 @@ impl ApiServer {
             replay_launcher: None,
             replay: RwLock::new(None),
             record: RwLock::new(None),
+            extension: RwLock::new(None),
         }
+    }
+
+    /// Mount a route extension; it sees every request the built-in routes
+    /// do not claim (e.g. `/cluster/*`).
+    pub fn set_extension(&self, ext: Arc<dyn RouteExtension>) {
+        *self.extension.write() = Some(ext);
     }
 
     /// Attach a replay launcher for `POST /replay`.
@@ -482,7 +497,13 @@ impl ApiServer {
             (Method::Get, ["doctor"]) => self.doctor(query),
             (Method::Get, ["workloads", id]) => self.workload_status(id),
             (Method::Post, ["workloads", id, action]) => self.workload_action(id, action, req),
-            _ => Response::error(404, &format!("no route for {}", req.path)),
+            _ => {
+                let ext = self.extension.read().clone();
+                match ext.and_then(|e| e.handle(req)) {
+                    Some(resp) => resp,
+                    None => Response::error(404, &format!("no route for {}", req.path)),
+                }
+            }
         }
     }
 

@@ -1,6 +1,6 @@
 //! The experiment harness CLI: regenerates every table/figure artifact.
 //!
-//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|obs|resilience|replay|slo|doctor|recovery|queue|all]`
+//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|obs|resilience|replay|slo|doctor|recovery|cluster|queue|all]`
 
 use bp_bench::*;
 
@@ -232,6 +232,41 @@ fn main() {
         assert!(r.metrics_ok, "bp_recovery_* series must be exposed");
         assert!(r.journal_ok, "crash + recovery events must be journaled");
     }
+    if run_all || arg == "cluster" {
+        ran = true;
+        println!("=== E17: bp-cluster — 3-agent fleet, node kill, re-split, merged telemetry ===");
+        let r = run_cluster();
+        let split = r
+            .split
+            .iter()
+            .map(|(n, x)| format!("{n}={x:.0}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("joined: {} nodes   global rate {:.0} tx/s split {split}", r.nodes_joined, r.global_rate);
+        println!(
+            "kill n2 -> dead in {:.2} heartbeat intervals; survivors re-split to {:.0} tx/s",
+            r.dead_after_intervals, r.survivor_rate_sum
+        );
+        println!(
+            "aggregate throughput: {:.0} tx/s pre-kill -> {:.0} tx/s post-kill (x{:.2})",
+            r.pre_kill_tps, r.post_kill_tps, r.recovery_ratio
+        );
+        println!(
+            "merged /cluster/metrics ok: {}   membership journaled: {}\n",
+            r.merged_metrics_ok, r.journal_ok
+        );
+        assert!(r.dead_after_intervals <= 2.6, "death detection too slow");
+        assert!(
+            (r.survivor_rate_sum - r.global_rate).abs() < 1.0,
+            "survivors must carry the full global rate"
+        );
+        assert!(
+            r.recovery_ratio >= 0.9,
+            "post-kill throughput must recover within 10% of pre-kill"
+        );
+        assert!(r.merged_metrics_ok, "merged metrics must reflect the fleet");
+        assert!(r.journal_ok, "membership transitions must be journaled");
+    }
     if run_all || arg == "queue" {
         ran = true;
         println!("=== Ablation: centralized queue dispatch gate (never-exceed, §2.2.1) ===");
@@ -243,7 +278,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects obs resilience replay slo doctor recovery queue all"
+            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects obs resilience replay slo doctor recovery cluster queue all"
         );
         std::process::exit(2);
     }

@@ -1447,6 +1447,241 @@ pub fn run_recovery(phase_s: f64) -> RecoveryExperimentReport {
     }
 }
 
+/// E17: bp-cluster — a 3-agent fleet over real localhost sockets. The
+/// coordinator splits a fleet-wide rate by capacity, one agent is killed
+/// via a chaos `ServerCrash`, the missed-heartbeat detector declares it
+/// dead, traffic re-splits to the survivors, and aggregate throughput
+/// recovers.
+pub struct ClusterReport {
+    pub nodes_joined: u64,
+    pub global_rate: f64,
+    /// (node, assigned rate) at the initial split.
+    pub split: Vec<(String, f64)>,
+    /// Aggregate committed tx/s across the fleet before the kill.
+    pub pre_kill_tps: f64,
+    /// Kill → dead-in-membership latency, in heartbeat intervals.
+    pub dead_after_intervals: f64,
+    /// Sum of survivor rate shares after the death re-split.
+    pub survivor_rate_sum: f64,
+    /// Aggregate committed tx/s across the survivors after re-split.
+    pub post_kill_tps: f64,
+    /// post / pre.
+    pub recovery_ratio: f64,
+    /// Merged `/cluster/metrics`: dead-node gauge up, families deduped.
+    pub merged_metrics_ok: bool,
+    /// node_join / node_dead / rate_resplit all journaled.
+    pub journal_ok: bool,
+}
+
+pub fn run_cluster() -> ClusterReport {
+    use bp_cluster::{start_agent, AgentConfig, ClusterCoordinator, CoordinatorConfig};
+    use bp_obs::MetricsRegistry;
+    use std::time::{Duration, Instant};
+
+    const HEARTBEAT_MS: u64 = 100;
+    const GLOBAL_RATE: f64 = 3_000.0;
+    let hb = Duration::from_millis(HEARTBEAT_MS);
+
+    // Coordinator: /cluster/* over a real socket, detector running.
+    let coordinator = ClusterCoordinator::new(CoordinatorConfig { heartbeat: hb });
+    let coord_reg = Arc::new(MetricsRegistry::new());
+    coord_reg.register("cluster", coordinator.clone());
+    coordinator.set_registry(coord_reg.clone());
+    let coord_api = Arc::new(bp_api::ApiServer::new().with_registry(coord_reg));
+    coord_api.set_extension(coordinator.clone());
+    let coord_http = coord_api.serve_http("127.0.0.1:0").expect("bind coordinator");
+    let _detector = coordinator.start_detector();
+
+    // Three agent nodes: voter on the test engine, each behind its own API
+    // server, joined to the coordinator.
+    struct Node {
+        handle: bp_core::RunHandle,
+        _http: bp_api::http::HttpServerGuard,
+        _agent: bp_cluster::AgentGuard,
+    }
+    let nodes: Vec<(String, Node)> = ["n1", "n2", "n3"]
+        .iter()
+        .map(|name| {
+            let db = Database::new(Personality::test());
+            let w = by_name("voter").unwrap();
+            let mut conn = Connection::open(&db);
+            w.setup(&mut conn, 0.3, &mut Rng::new(11)).unwrap();
+            let cfg = RunConfig {
+                terminals: 8,
+                script: PhaseScript::new(vec![Phase::new(Rate::Limited(100.0), 120.0)]),
+                collect_trace: false,
+                node: name.to_string(),
+                ..Default::default()
+            };
+            let handle = bp_core::start(db, w, wall_clock(), cfg);
+            let registry = Arc::new(bp_obs::MetricsRegistry::new());
+            let api = Arc::new(bp_api::ApiServer::new().with_registry(registry.clone()));
+            api.register(name, handle.controller.clone());
+            let http = api.serve_http("127.0.0.1:0").expect("bind agent");
+            let agent = start_agent(
+                AgentConfig::new(name, coord_http.addr(), http.addr()).with_heartbeat(hb),
+                handle.controller.clone(),
+                &api,
+                registry,
+            );
+            (name.to_string(), Node { handle, _http: http, _agent: agent })
+        })
+        .collect();
+
+    let status = || {
+        bp_api::http_request(coord_http.addr(), "GET", "/cluster/status", None)
+            .expect("cluster status")
+            .1
+    };
+    let wait_until = |deadline: Duration, pred: &mut dyn FnMut() -> bool| {
+        let end = Instant::now() + deadline;
+        while Instant::now() < end {
+            if pred() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        pred()
+    };
+
+    // Fleet forms.
+    let joined = wait_until(Duration::from_secs(10), &mut || {
+        status().get("joined").and_then(bp_util::json::Json::as_u64) == Some(3)
+    });
+    assert!(joined, "fleet never fully joined");
+
+    // Split the fleet-wide rate.
+    let (st, body) = bp_api::http_request(
+        coord_http.addr(),
+        "POST",
+        "/cluster/rate",
+        Some(&bp_util::json::Json::obj().set("tps", GLOBAL_RATE)),
+    )
+    .expect("set cluster rate");
+    assert_eq!(st, 200, "POST /cluster/rate failed: {body}");
+    let split: Vec<(String, f64)> = body
+        .get("split")
+        .and_then(bp_util::json::Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|s| {
+                    Some((
+                        s.get("node")?.as_str()?.to_string(),
+                        s.get("rate")?.as_f64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    // Pre-kill window: warm up, then measure aggregate committed tx/s.
+    let committed_sum = || -> u64 {
+        nodes.iter().map(|(_, n)| n.handle.controller.stats().status(1).committed).sum()
+    };
+    std::thread::sleep(Duration::from_millis(2_000));
+    let window = Duration::from_millis(1_500);
+    let c0 = committed_sum();
+    std::thread::sleep(window);
+    let pre_kill_tps = (committed_sum() - c0) as f64 / window.as_secs_f64();
+
+    // Kill n2: a ServerCrash plan fanned out to just that node. The engine
+    // dies on its next commit, the agent goes silent, and the detector does
+    // the rest.
+    let plan = bp_util::json::Json::obj().set(
+        "plan",
+        bp_util::json::Json::obj().set("name", "kill-n2").set("seed", 1u64).set(
+            "windows",
+            bp_util::json::Json::Arr(vec![bp_util::json::Json::obj()
+                .set("kind", "server_crash")
+                .set("intensity", 1.0)]),
+        ),
+    );
+    let kill_at = Instant::now();
+    let (st, body) =
+        bp_api::http_request(coord_http.addr(), "POST", "/cluster/chaos?node=n2", Some(&plan))
+            .expect("fan out chaos");
+    assert_eq!(st, 200, "POST /cluster/chaos failed: {body}");
+
+    // The membership table must declare n2 dead within ~2 heartbeat
+    // intervals of its last heartbeat.
+    let n2_state = |s: &bp_util::json::Json| -> String {
+        s.get("nodes")
+            .and_then(bp_util::json::Json::as_arr)
+            .and_then(|arr| {
+                arr.iter()
+                    .find(|n| n.get("node").and_then(bp_util::json::Json::as_str) == Some("n2"))
+            })
+            .and_then(|n| n.get("state").and_then(bp_util::json::Json::as_str))
+            .unwrap_or("?")
+            .to_string()
+    };
+    let died = wait_until(Duration::from_secs(5), &mut || n2_state(&status()) == "dead");
+    assert!(died, "n2 never declared dead");
+    let dead_after_intervals =
+        kill_at.elapsed().as_secs_f64() / Duration::from_millis(HEARTBEAT_MS).as_secs_f64();
+
+    // Survivors absorb the dead node's share.
+    let survivor_sum = |s: &bp_util::json::Json| -> f64 {
+        s.get("nodes")
+            .and_then(bp_util::json::Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .filter(|n| {
+                        n.get("state").and_then(bp_util::json::Json::as_str) == Some("joined")
+                    })
+                    .filter_map(|n| n.get("assigned_rate").and_then(bp_util::json::Json::as_f64))
+                    .sum()
+            })
+            .unwrap_or(0.0)
+    };
+    let resplit = wait_until(Duration::from_secs(5), &mut || {
+        (survivor_sum(&status()) - GLOBAL_RATE).abs() < 1.0
+    });
+    assert!(resplit, "rate never re-split to survivors");
+    let survivor_rate_sum = survivor_sum(&status());
+
+    // Post-kill window: survivors at their larger shares. (The dead node's
+    // counter is frozen, so the fleet-wide delta is survivor throughput.)
+    std::thread::sleep(Duration::from_millis(2_000));
+    let c2 = committed_sum();
+    std::thread::sleep(window);
+    let post_kill_tps = (committed_sum() - c2) as f64 / window.as_secs_f64();
+
+    // Merged telemetry over the coordinator: dead gauge, deduped families.
+    let (_, merged) =
+        bp_api::http_request_text(coord_http.addr(), "GET", "/cluster/metrics", None)
+            .expect("merged metrics");
+    let merged_metrics_ok = merged.contains("bp_cluster_nodes{state=\"dead\"} 1")
+        && merged.contains("bp_cluster_nodes{state=\"joined\"} 2")
+        && merged
+            .lines()
+            .filter(|l| l.starts_with("# TYPE bp_client_committed_total"))
+            .count()
+            == 1;
+
+    let events = coordinator.journal().recent(usize::MAX, bp_obs::Severity::Debug);
+    let has = |kind: &str| events.iter().any(|e| e.kind == kind);
+    let journal_ok = has("node_join") && has("node_suspect") && has("node_dead") && has("rate_resplit");
+
+    for (_, n) in nodes {
+        n.handle.controller.stop();
+        n.handle.stop_and_join();
+    }
+
+    ClusterReport {
+        nodes_joined: 3,
+        global_rate: GLOBAL_RATE,
+        split,
+        pre_kill_tps,
+        dead_after_intervals,
+        survivor_rate_sum,
+        post_kill_tps,
+        recovery_ratio: post_kill_tps / pre_kill_tps.max(1.0),
+        merged_metrics_ok,
+        journal_ok,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1623,6 +1858,34 @@ mod tests {
         assert!(r.doctor_evidence.is_some(), "doctor must report crash_recovery");
         assert!(r.metrics_ok, "bp_recovery_* series must be live on /metrics");
         assert!(r.journal_ok, "crash + recovery must be journaled");
+    }
+
+    #[test]
+    fn cluster_fleet_survives_node_kill() {
+        let _serial = serial();
+        let r = run_cluster();
+        assert_eq!(r.nodes_joined, 3);
+        let split_sum: f64 = r.split.iter().map(|(_, x)| x).sum();
+        assert!((split_sum - r.global_rate).abs() < 1e-6, "split sums to {split_sum}");
+        assert!(r.pre_kill_tps > 0.0, "fleet must commit work before the kill");
+        assert!(
+            r.dead_after_intervals <= 2.6,
+            "death detection took {:.2} heartbeat intervals",
+            r.dead_after_intervals
+        );
+        assert!(
+            (r.survivor_rate_sum - r.global_rate).abs() < 1.0,
+            "survivors must carry the full global rate, got {:.1}",
+            r.survivor_rate_sum
+        );
+        assert!(
+            r.recovery_ratio >= 0.9,
+            "post-kill throughput within 10% of pre-kill: {:.0} vs {:.0} tx/s",
+            r.post_kill_tps,
+            r.pre_kill_tps
+        );
+        assert!(r.merged_metrics_ok, "merged /cluster/metrics must reflect the fleet");
+        assert!(r.journal_ok, "membership transitions must be journaled");
     }
 
     #[test]

@@ -1,0 +1,831 @@
+//! The cluster coordinator: membership authority, control fan-out, merged
+//! telemetry, and the cluster-wide SLO loop.
+//!
+//! The coordinator owns no workload. It mounts its `/cluster/*` routes on a
+//! plain [`bp_api::ApiServer`] (via [`bp_api::router::RouteExtension`]) and
+//! runs one background detector thread that:
+//!
+//! * sweeps the [`MembershipTable`] (joined → suspect → dead on missed
+//!   heartbeats), journaling `node_suspect` / `node_dead`;
+//! * re-splits the global rate across survivors whenever the live set or
+//!   the global rate changes (`rate_resplit`), pushing each share to the
+//!   owning agent;
+//! * flags stragglers — one live node whose windowed p99 dominates the
+//!   median of its peers (`node_straggler`, picked up by bp-doctor);
+//! * when armed, runs AIMD on the *merged* windowed latency across the
+//!   fleet and steers the global rate (`cluster_slo`).
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bp_api::http::{http_request_text_timeout, http_request_timeout};
+use bp_api::router::RouteExtension;
+use bp_api::{Method, Request, Response, PROMETHEUS_CONTENT_TYPE};
+use bp_obs::{
+    merge_samples, render_samples, EventJournal, MetricsBuf, MetricsRegistry, MetricsSource,
+    Sample, Severity,
+};
+use bp_util::json::Json;
+use bp_util::sync::Mutex;
+
+use crate::member::{Admission, MembershipTable, NodeState, NodeWindow};
+
+/// Fan-out calls must never stall the detector behind a dead peer: a
+/// coordinator tick is ~hundreds of ms, so give each agent call a fraction
+/// of that.
+pub const FANOUT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A node is a straggler when its windowed p99 is at least this multiple
+/// of the median of its live peers.
+const STRAGGLER_FACTOR: f64 = 3.0;
+
+/// ...and above this floor, so an idle fleet with microsecond latencies
+/// doesn't flag noise.
+const STRAGGLER_FLOOR_US: u64 = 1_000;
+
+/// Minimum windowed completions per node before it participates in the
+/// straggler comparison.
+const STRAGGLER_MIN_COUNT: u64 = 20;
+
+/// Coordinator tuning.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Expected agent heartbeat period. Suspect after >1 missed interval,
+    /// dead after >2 (the failure-detection contract the harness asserts).
+    pub heartbeat: Duration,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig { heartbeat: Duration::from_millis(200) }
+    }
+}
+
+/// Cluster-wide SLO policy: AIMD on the merged windowed latency.
+#[derive(Debug, Clone)]
+pub struct ClusterSloConfig {
+    /// `true` steers on merged p99, `false` on merged p50.
+    pub on_p99: bool,
+    pub limit_us: u64,
+    /// Additive increase per tick (tx/s on the *global* rate).
+    pub step: f64,
+    /// Multiplicative backoff factor in (0, 1).
+    pub backoff: f64,
+    pub min_rate: f64,
+    pub max_rate: f64,
+    /// Control period; defaults to 2 heartbeat intervals so every tick
+    /// sees fresh windows from the whole fleet.
+    pub tick_us: u64,
+    /// Merged windowed completions required before acting.
+    pub min_samples: u64,
+}
+
+impl ClusterSloConfig {
+    fn default_with_heartbeat(heartbeat_us: u64) -> ClusterSloConfig {
+        ClusterSloConfig {
+            on_p99: true,
+            limit_us: 50_000,
+            step: 100.0,
+            backoff: 0.7,
+            min_rate: 50.0,
+            max_rate: f64::INFINITY,
+            tick_us: 2 * heartbeat_us,
+            min_samples: 20,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SloState {
+    cfg: ClusterSloConfig,
+    last_tick_us: u64,
+    ticks: u64,
+    increases: u64,
+    decreases: u64,
+    holds: u64,
+    observed_us: u64,
+}
+
+/// The coordinator. Construct with [`ClusterCoordinator::new`], mount on an
+/// [`bp_api::ApiServer`] with `set_extension`, and keep the
+/// [`DetectorGuard`] from [`ClusterCoordinator::start_detector`] alive for
+/// the run.
+pub struct ClusterCoordinator {
+    membership: Mutex<MembershipTable>,
+    /// Operator-or-SLO commanded fleet-wide rate; `None` until first set.
+    global_rate: Mutex<Option<f64>>,
+    slo: Mutex<Option<SloState>>,
+    journal: Arc<EventJournal>,
+    /// Own registry, folded into `GET /cluster/metrics` alongside agents.
+    registry: Mutex<Option<Arc<MetricsRegistry>>>,
+    origin: Instant,
+    heartbeat_us: u64,
+    heartbeats_total: AtomicU64,
+    resplits_total: AtomicU64,
+    stragglers_total: AtomicU64,
+}
+
+/// Stops and joins the detector thread on drop.
+pub struct DetectorGuard {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for DetectorGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').filter_map(|kv| kv.split_once('=')).find(|(k, _)| *k == key).map(|(_, v)| v)
+}
+
+fn window_from_json(j: &Json) -> NodeWindow {
+    NodeWindow {
+        count: j.get("count").and_then(Json::as_u64).unwrap_or(0),
+        p50_us: j.get("p50_us").and_then(Json::as_u64).unwrap_or(0),
+        p99_us: j.get("p99_us").and_then(Json::as_u64).unwrap_or(0),
+        throughput: j.get("throughput").and_then(Json::as_f64).unwrap_or(0.0),
+    }
+}
+
+impl ClusterCoordinator {
+    pub fn new(cfg: CoordinatorConfig) -> Arc<ClusterCoordinator> {
+        let heartbeat_us = cfg.heartbeat.as_micros().max(1) as u64;
+        Arc::new(ClusterCoordinator {
+            membership: Mutex::new(MembershipTable::new(heartbeat_us)),
+            global_rate: Mutex::new(None),
+            slo: Mutex::new(None),
+            journal: Arc::new(EventJournal::new()),
+            registry: Mutex::new(None),
+            origin: Instant::now(),
+            heartbeat_us,
+            heartbeats_total: AtomicU64::new(0),
+            resplits_total: AtomicU64::new(0),
+            stragglers_total: AtomicU64::new(0),
+        })
+    }
+
+    /// The coordinator's own event journal (`node_join`, `node_dead`,
+    /// `rate_resplit`, `node_straggler`, `cluster_slo`, …).
+    pub fn journal(&self) -> &Arc<EventJournal> {
+        &self.journal
+    }
+
+    /// Fold this registry (typically carrying the coordinator's own
+    /// [`MetricsSource`]) into `GET /cluster/metrics`.
+    pub fn set_registry(&self, registry: Arc<MetricsRegistry>) {
+        *self.registry.lock() = Some(registry);
+    }
+
+    /// Microseconds since coordinator start — the membership clock.
+    pub fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    pub fn heartbeat_interval(&self) -> Duration {
+        Duration::from_micros(self.heartbeat_us)
+    }
+
+    /// Set the fleet-wide rate: split across live agents by observed
+    /// capacity and push each share out. Returns the split.
+    pub fn set_global_rate(&self, tps: f64) -> Vec<(String, f64)> {
+        *self.global_rate.lock() = Some(tps);
+        self.resplit_and_fanout("operator")
+    }
+
+    pub fn global_rate(&self) -> Option<f64> {
+        *self.global_rate.lock()
+    }
+
+    /// Re-split the current global rate across live members and push each
+    /// share to its agent. No-op (empty) until a global rate is set.
+    fn resplit_and_fanout(&self, reason: &'static str) -> Vec<(String, f64)> {
+        let Some(global) = *self.global_rate.lock() else {
+            return Vec::new();
+        };
+        let (split, targets) = {
+            let mut table = self.membership.lock();
+            let split = table.split_rate(global);
+            let targets: Vec<(String, SocketAddr)> =
+                table.live().iter().map(|m| (m.id.clone(), m.addr)).collect();
+            (split, targets)
+        };
+        if split.is_empty() {
+            return split;
+        }
+        self.resplits_total.fetch_add(1, Ordering::Relaxed);
+        self.journal.emit_with(Severity::Info, "cluster", "rate_resplit", || {
+            let shares = split
+                .iter()
+                .map(|(id, r)| format!("{id}={r:.1}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            (
+                format!("global rate {global:.1} tx/s re-split ({reason}): {shares}"),
+                vec![
+                    ("reason", reason.to_string()),
+                    ("global_rate", format!("{global}")),
+                    ("nodes", format!("{}", split.len())),
+                ],
+            )
+        });
+        for (id, addr) in targets {
+            let share = split.iter().find(|(sid, _)| sid == &id).map(|(_, r)| *r).unwrap_or(0.0);
+            let body = Json::obj().set("tps", share);
+            if let Err(e) = http_request_timeout(
+                addr,
+                "POST",
+                &format!("/workloads/{id}/rate"),
+                Some(&body),
+                FANOUT_TIMEOUT,
+            ) {
+                self.journal.emit_with(Severity::Debug, "cluster", "fanout_error", || {
+                    (
+                        format!("rate push to {id} ({addr}) failed: {e}"),
+                        vec![("node", id.clone())],
+                    )
+                });
+            }
+        }
+        split
+    }
+
+    /// One detector pass: sweep membership, journal transitions, re-split
+    /// on deaths, run the straggler check, tick the SLO loop. Public so
+    /// in-process tests can drive it deterministically.
+    pub fn tick(&self) {
+        let now = self.now_us();
+        let transitions = self.membership.lock().sweep(now);
+        let mut lost_node = false;
+        for (id, state) in &transitions {
+            match state {
+                NodeState::Suspect => {
+                    self.journal.emit_with(Severity::Warn, "cluster", "node_suspect", || {
+                        (
+                            format!("node {id} missed a heartbeat interval"),
+                            vec![("node", id.clone())],
+                        )
+                    });
+                }
+                NodeState::Dead => {
+                    lost_node = true;
+                    self.journal.emit_with(Severity::Error, "cluster", "node_dead", || {
+                        (
+                            format!("node {id} missed 2 heartbeat intervals; declared dead"),
+                            vec![("node", id.clone())],
+                        )
+                    });
+                }
+                NodeState::Joined => {}
+            }
+        }
+        if lost_node {
+            self.resplit_and_fanout("node_dead");
+        }
+        self.straggler_check();
+        self.slo_tick(now);
+    }
+
+    /// Flag a live node whose windowed p99 is `STRAGGLER_FACTOR`× the
+    /// median of its peers. bp-doctor folds the resulting event run into a
+    /// `straggler_node` finding.
+    fn straggler_check(&self) {
+        let stats: Vec<(String, u64)> = {
+            let table = self.membership.lock();
+            table
+                .live()
+                .iter()
+                .filter(|m| m.window.count >= STRAGGLER_MIN_COUNT)
+                .map(|m| (m.id.clone(), m.window.p99_us))
+                .collect()
+        };
+        if stats.len() < 2 {
+            return;
+        }
+        for (id, p99) in &stats {
+            let mut others: Vec<u64> =
+                stats.iter().filter(|(oid, _)| oid != id).map(|(_, p)| *p).collect();
+            others.sort_unstable();
+            let median = others[others.len() / 2];
+            if *p99 >= STRAGGLER_FLOOR_US && *p99 as f64 >= STRAGGLER_FACTOR * median as f64 {
+                self.stragglers_total.fetch_add(1, Ordering::Relaxed);
+                self.journal.emit_with(Severity::Warn, "cluster", "node_straggler", || {
+                    (
+                        format!("node {id} window p99 {p99}us vs cluster median {median}us"),
+                        vec![
+                            ("node", id.clone()),
+                            ("p99_us", format!("{p99}")),
+                            ("cluster_p99_us", format!("{median}")),
+                        ],
+                    )
+                });
+            }
+        }
+    }
+
+    /// One SLO control step, rate-limited to the configured tick period.
+    fn slo_tick(&self, now: u64) {
+        let mut guard = self.slo.lock();
+        let Some(slo) = guard.as_mut() else { return };
+        if now.saturating_sub(slo.last_tick_us) < slo.cfg.tick_us {
+            return;
+        }
+        slo.last_tick_us = now;
+        slo.ticks += 1;
+        // Merged observation: count-weighted mean of each live node's
+        // windowed percentile. An approximation of the true merged
+        // percentile, but monotone in every node's latency — exactly what
+        // a control loop needs.
+        let (total_count, weighted_sum) = {
+            let table = self.membership.lock();
+            let mut count = 0u64;
+            let mut sum = 0.0f64;
+            for m in table.live() {
+                let p = if slo.cfg.on_p99 { m.window.p99_us } else { m.window.p50_us };
+                count += m.window.count;
+                sum += m.window.count as f64 * p as f64;
+            }
+            (count, sum)
+        };
+        if total_count < slo.cfg.min_samples {
+            slo.holds += 1;
+            return;
+        }
+        let observed = weighted_sum / total_count as f64;
+        slo.observed_us = observed as u64;
+        let current = (*self.global_rate.lock()).unwrap_or(slo.cfg.min_rate);
+        let (next, verdict) = if observed > slo.cfg.limit_us as f64 {
+            slo.decreases += 1;
+            ((current * slo.cfg.backoff).max(slo.cfg.min_rate), "decrease")
+        } else {
+            slo.increases += 1;
+            ((current + slo.cfg.step).min(slo.cfg.max_rate), "increase")
+        };
+        self.journal.emit_with(Severity::Debug, "cluster", "cluster_slo", || {
+            (
+                format!(
+                    "merged {} {observed:.0}us vs limit {}us: {verdict} {current:.1} -> {next:.1} tx/s",
+                    if slo.cfg.on_p99 { "p99" } else { "p50" },
+                    slo.cfg.limit_us,
+                ),
+                vec![("observed_us", format!("{observed:.0}")), ("rate", format!("{next:.1}"))],
+            )
+        });
+        drop(guard);
+        if (next - current).abs() > f64::EPSILON {
+            *self.global_rate.lock() = Some(next);
+            self.resplit_and_fanout("slo");
+        }
+    }
+
+    /// Spawn the background detector (membership sweep + straggler check +
+    /// SLO loop), ticking a few times per heartbeat interval so deaths are
+    /// declared promptly after the 2-interval deadline.
+    pub fn start_detector(self: &Arc<Self>) -> DetectorGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let me = self.clone();
+        let flag = stop.clone();
+        let period = Duration::from_micros((self.heartbeat_us / 4).max(5_000));
+        let thread = std::thread::Builder::new()
+            .name("bp-cluster-detector".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    me.tick();
+                    std::thread::sleep(period);
+                }
+            })
+            .expect("spawn detector thread");
+        DetectorGuard { stop, thread: Some(thread) }
+    }
+
+    // ---- route handlers -------------------------------------------------
+
+    fn join(&self, req: &Request) -> Response {
+        let body = req.body.clone().unwrap_or(Json::Null);
+        let Some(node) = body.get("node").and_then(Json::as_str) else {
+            return Response::error(400, "body must contain node");
+        };
+        let Some(addr) = body.get("addr").and_then(Json::as_str) else {
+            return Response::error(400, "body must contain addr (host:port)");
+        };
+        let addr: SocketAddr = match addr.parse() {
+            Ok(a) => a,
+            Err(_) => return Response::error(400, &format!("invalid addr {addr}")),
+        };
+        let now = self.now_us();
+        let admission = self.membership.lock().join(node, addr, now);
+        let node_owned = node.to_string();
+        self.journal.emit_with(Severity::Info, "cluster", "node_join", || {
+            let verb = match admission {
+                Admission::New => "joined",
+                Admission::Rejoined => "rejoined",
+                Admission::Refreshed => "re-registered",
+            };
+            (format!("node {node_owned} {verb} from {addr}"), vec![("node", node_owned.clone())])
+        });
+        if admission != Admission::Refreshed {
+            self.resplit_and_fanout("node_join");
+        }
+        let assigned =
+            self.membership.lock().get(node).map(|m| m.assigned_rate).unwrap_or(0.0);
+        Response::ok(
+            Json::obj()
+                .set("node", node)
+                .set("heartbeat_ms", self.heartbeat_us / 1_000)
+                .set("assigned_rate", assigned),
+        )
+    }
+
+    fn heartbeat(&self, req: &Request) -> Response {
+        let body = req.body.clone().unwrap_or(Json::Null);
+        let Some(node) = body.get("node").and_then(Json::as_str) else {
+            return Response::error(400, "body must contain node");
+        };
+        let window = body.get("window").map(window_from_json).unwrap_or_default();
+        let now = self.now_us();
+        self.heartbeats_total.fetch_add(1, Ordering::Relaxed);
+        let admission = self.membership.lock().heartbeat(node, window, now);
+        if admission == Admission::Rejoined {
+            let node_owned = node.to_string();
+            self.journal.emit_with(Severity::Info, "cluster", "node_join", || {
+                (
+                    format!("node {node_owned} resumed heartbeating; back in the live set"),
+                    vec![("node", node_owned.clone())],
+                )
+            });
+            self.resplit_and_fanout("node_rejoin");
+        }
+        let assigned =
+            self.membership.lock().get(node).map(|m| m.assigned_rate).unwrap_or(0.0);
+        let mut resp = Json::obj().set("node", node);
+        if self.global_rate.lock().is_some() {
+            resp = resp.set("assigned_rate", assigned);
+        }
+        Response::ok(resp)
+    }
+
+    fn status(&self) -> Response {
+        let table = self.membership.lock();
+        let nodes: Vec<Json> = table
+            .members()
+            .iter()
+            .map(|m| {
+                Json::obj()
+                    .set("node", m.id.as_str())
+                    .set("addr", m.addr.to_string().as_str())
+                    .set("state", m.state.name())
+                    .set("assigned_rate", m.assigned_rate)
+                    .set("weight", m.weight)
+                    .set("heartbeats", m.heartbeats)
+                    .set("last_seen_us", m.last_seen_us)
+                    .set(
+                        "window",
+                        Json::obj()
+                            .set("count", m.window.count)
+                            .set("p50_us", m.window.p50_us)
+                            .set("p99_us", m.window.p99_us)
+                            .set("throughput", m.window.throughput),
+                    )
+            })
+            .collect();
+        let (joined, suspect, dead) = table.counts();
+        drop(table);
+        Response::ok(
+            Json::obj()
+                .set("heartbeat_ms", self.heartbeat_us / 1_000)
+                .set(
+                    "global_rate",
+                    match self.global_rate() {
+                        Some(r) => Json::Num(r),
+                        None => Json::Null,
+                    },
+                )
+                .set("joined", joined as u64)
+                .set("suspect", suspect as u64)
+                .set("dead", dead as u64)
+                .set("heartbeats", self.heartbeats_total.load(Ordering::Relaxed))
+                .set("resplits", self.resplits_total.load(Ordering::Relaxed))
+                .set("nodes", Json::Arr(nodes)),
+        )
+    }
+
+    fn set_rate(&self, req: &Request) -> Response {
+        let body = req.body.clone().unwrap_or(Json::Null);
+        let tps = body
+            .get("tps")
+            .and_then(Json::as_f64)
+            .or_else(|| body.get("rate").and_then(Json::as_f64));
+        let Some(tps) = tps else {
+            return Response::error(400, "body must contain tps");
+        };
+        if !tps.is_finite() || tps < 0.0 {
+            return Response::error(400, "tps must be a finite non-negative number");
+        }
+        let split = self.set_global_rate(tps);
+        Response::ok(
+            Json::obj().set("global_rate", tps).set(
+                "split",
+                Json::Arr(
+                    split
+                        .into_iter()
+                        .map(|(id, r)| Json::obj().set("node", id.as_str()).set("rate", r))
+                        .collect(),
+                ),
+            ),
+        )
+    }
+
+    /// Fan a request out to agents: `path(id)` builds the per-agent path,
+    /// `body` is forwarded verbatim. `only` restricts to one node id.
+    fn fanout(
+        &self,
+        method: &str,
+        path: impl Fn(&str) -> String,
+        body: Option<&Json>,
+        only: Option<&str>,
+    ) -> Response {
+        let targets: Vec<(String, SocketAddr)> = {
+            let table = self.membership.lock();
+            table
+                .live()
+                .iter()
+                .filter(|m| only.is_none_or(|id| id == m.id))
+                .map(|m| (m.id.clone(), m.addr))
+                .collect()
+        };
+        if targets.is_empty() {
+            return Response::error(
+                404,
+                &only.map_or("no live nodes".to_string(), |id| format!("no live node {id}")),
+            );
+        }
+        let mut results = Vec::new();
+        for (id, addr) in targets {
+            let item = match http_request_timeout(addr, method, &path(&id), body, FANOUT_TIMEOUT) {
+                Ok((status, resp)) => Json::obj()
+                    .set("node", id.as_str())
+                    .set("status", status as u64)
+                    .set("body", resp),
+                Err(e) => {
+                    self.journal.emit_with(Severity::Debug, "cluster", "fanout_error", || {
+                        (
+                            format!("{method} {} to {id} failed: {e}", path(&id)),
+                            vec![("node", id.clone())],
+                        )
+                    });
+                    Json::obj().set("node", id.as_str()).set("error", e.to_string().as_str())
+                }
+            };
+            results.push(item);
+        }
+        Response::ok(Json::obj().set("results", Json::Arr(results)))
+    }
+
+    /// `GET /cluster/metrics`: pull every live agent's metrics snapshot
+    /// (structured samples, not text — no Prometheus parser needed), fold
+    /// them with the coordinator's own registry, and render one exposition
+    /// with families deduped and counters summed.
+    fn merged_metrics(&self) -> Response {
+        let targets: Vec<(String, SocketAddr)> = {
+            let table = self.membership.lock();
+            table.live().iter().map(|m| (m.id.clone(), m.addr)).collect()
+        };
+        let mut sets: Vec<Vec<Sample>> = Vec::new();
+        if let Some(reg) = self.registry.lock().clone() {
+            sets.push(reg.snapshot());
+        }
+        for (id, addr) in targets {
+            match http_request_text_timeout(addr, "GET", "/cluster/snapshot", None, FANOUT_TIMEOUT)
+            {
+                Ok((200, text)) => {
+                    let parsed = Json::parse(&text).unwrap_or(Json::Null);
+                    let samples: Vec<Sample> = parsed
+                        .get("samples")
+                        .and_then(Json::as_arr)
+                        .map(|arr| arr.iter().filter_map(Sample::from_json).collect())
+                        .unwrap_or_default();
+                    sets.push(samples);
+                }
+                Ok((status, _)) => {
+                    self.journal.emit_with(Severity::Debug, "cluster", "fanout_error", || {
+                        (
+                            format!("snapshot from {id} returned {status}"),
+                            vec![("node", id.clone())],
+                        )
+                    });
+                }
+                Err(e) => {
+                    self.journal.emit_with(Severity::Debug, "cluster", "fanout_error", || {
+                        (format!("snapshot from {id} failed: {e}"), vec![("node", id.clone())])
+                    });
+                }
+            }
+        }
+        let merged = merge_samples(sets);
+        Response::text(PROMETHEUS_CONTENT_TYPE, render_samples(&merged))
+    }
+
+    fn slo_arm(&self, req: &Request) -> Response {
+        let body = req.body.clone().unwrap_or(Json::Null);
+        let mut cfg = ClusterSloConfig::default_with_heartbeat(self.heartbeat_us);
+        match body.get("target").and_then(Json::as_str) {
+            Some("p99") | None => cfg.on_p99 = true,
+            Some("p50") => cfg.on_p99 = false,
+            Some(other) => {
+                return Response::error(400, &format!("unknown target {other}; known: p99, p50"))
+            }
+        }
+        if let Some(ms) = body.get("limit_ms").and_then(Json::as_f64) {
+            if !ms.is_finite() || ms <= 0.0 {
+                return Response::error(400, "limit_ms must be a positive number");
+            }
+            cfg.limit_us = (ms * 1_000.0).round() as u64;
+        }
+        if let Some(v) = body.get("step").and_then(Json::as_f64) {
+            cfg.step = v.max(0.0);
+        }
+        if let Some(v) = body.get("backoff").and_then(Json::as_f64) {
+            if !(0.0..1.0).contains(&v) || v == 0.0 {
+                return Response::error(400, "backoff must be in (0, 1)");
+            }
+            cfg.backoff = v;
+        }
+        if let Some(v) = body.get("min_rate").and_then(Json::as_f64) {
+            cfg.min_rate = v.max(0.0);
+        }
+        if let Some(v) = body.get("max_rate").and_then(Json::as_f64) {
+            cfg.max_rate = v;
+        }
+        if let Some(v) = body.get("tick_ms").and_then(Json::as_u64) {
+            cfg.tick_us = v.max(1) * 1_000;
+        }
+        if let Some(v) = body.get("min_samples").and_then(Json::as_u64) {
+            cfg.min_samples = v;
+        }
+        if cfg.max_rate < cfg.min_rate {
+            return Response::error(400, "max_rate must be >= min_rate");
+        }
+        // Seed the global rate so the loop has something to adjust.
+        if let Some(v) = body.get("initial_rate").and_then(Json::as_f64) {
+            *self.global_rate.lock() = Some(v);
+        } else if self.global_rate.lock().is_none() {
+            *self.global_rate.lock() = Some(cfg.min_rate);
+        }
+        *self.slo.lock() = Some(SloState {
+            cfg,
+            last_tick_us: self.now_us(),
+            ticks: 0,
+            increases: 0,
+            decreases: 0,
+            holds: 0,
+            observed_us: 0,
+        });
+        self.resplit_and_fanout("slo_arm");
+        self.slo_status()
+    }
+
+    fn slo_disarm(&self) -> Response {
+        *self.slo.lock() = None;
+        self.slo_status()
+    }
+
+    fn slo_status(&self) -> Response {
+        let guard = self.slo.lock();
+        let body = match guard.as_ref() {
+            None => Json::obj().set("active", false),
+            Some(s) => Json::obj()
+                .set("active", true)
+                .set("target", if s.cfg.on_p99 { "p99" } else { "p50" })
+                .set("limit_us", s.cfg.limit_us)
+                .set("observed_us", s.observed_us)
+                .set("ticks", s.ticks)
+                .set(
+                    "adjustments",
+                    Json::obj()
+                        .set("increase", s.increases)
+                        .set("decrease", s.decreases)
+                        .set("hold", s.holds),
+                ),
+        };
+        drop(guard);
+        let body = body.set(
+            "global_rate",
+            match self.global_rate() {
+                Some(r) => Json::Num(r),
+                None => Json::Null,
+            },
+        );
+        Response::ok(body)
+    }
+}
+
+impl RouteExtension for ClusterCoordinator {
+    fn handle(&self, req: &Request) -> Option<Response> {
+        let (path, query) = match req.path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (req.path.as_str(), ""),
+        };
+        let path = path.trim_matches('/');
+        let parts: Vec<&str> = if path.is_empty() { Vec::new() } else { path.split('/').collect() };
+        let resp = match (req.method, parts.as_slice()) {
+            (Method::Post, ["cluster", "join"]) => self.join(req),
+            (Method::Post, ["cluster", "heartbeat"]) => self.heartbeat(req),
+            (Method::Get, ["cluster", "status"]) => self.status(),
+            (Method::Get, ["cluster", "metrics"]) => self.merged_metrics(),
+            (Method::Post, ["cluster", "rate"]) => self.set_rate(req),
+            (Method::Post, ["cluster", action @ ("pause" | "resume" | "stop")]) => {
+                let action = action.to_string();
+                self.fanout(
+                    "POST",
+                    |id| format!("/workloads/{id}/{action}"),
+                    Some(&Json::obj()),
+                    query_param(query, "node"),
+                )
+            }
+            (Method::Post, ["cluster", "mixture"]) => self.fanout(
+                "POST",
+                |id| format!("/workloads/{id}/mixture"),
+                req.body.as_ref(),
+                query_param(query, "node"),
+            ),
+            (Method::Post, ["cluster", "chaos"]) => self.fanout(
+                "POST",
+                |_| "/chaos".to_string(),
+                req.body.as_ref(),
+                query_param(query, "node"),
+            ),
+            (Method::Delete, ["cluster", "chaos"]) => self.fanout(
+                "DELETE",
+                |_| "/chaos".to_string(),
+                None,
+                query_param(query, "node"),
+            ),
+            (Method::Post, ["cluster", "slo"]) => self.slo_arm(req),
+            (Method::Delete, ["cluster", "slo"]) => self.slo_disarm(),
+            (Method::Get, ["cluster", "slo"]) => self.slo_status(),
+            _ => return None,
+        };
+        Some(resp)
+    }
+}
+
+impl MetricsSource for ClusterCoordinator {
+    fn collect(&self, buf: &mut MetricsBuf) {
+        let (joined, suspect, dead) = self.membership.lock().counts();
+        buf.gauge(
+            "bp_cluster_nodes",
+            "Cluster members by failure-detector state.",
+            &[("state", "joined")],
+            joined as f64,
+        );
+        buf.gauge(
+            "bp_cluster_nodes",
+            "Cluster members by failure-detector state.",
+            &[("state", "suspect")],
+            suspect as f64,
+        );
+        buf.gauge(
+            "bp_cluster_nodes",
+            "Cluster members by failure-detector state.",
+            &[("state", "dead")],
+            dead as f64,
+        );
+        buf.gauge(
+            "bp_cluster_global_rate",
+            "Fleet-wide commanded rate (tx/s); 0 until set.",
+            &[],
+            self.global_rate().unwrap_or(0.0),
+        );
+        buf.counter(
+            "bp_cluster_heartbeats_total",
+            "Heartbeats received from agents.",
+            &[],
+            self.heartbeats_total.load(Ordering::Relaxed) as f64,
+        );
+        buf.counter(
+            "bp_cluster_resplits_total",
+            "Rate re-splits pushed to the fleet.",
+            &[],
+            self.resplits_total.load(Ordering::Relaxed) as f64,
+        );
+        buf.counter(
+            "bp_cluster_stragglers_total",
+            "Straggler detections (node_straggler events).",
+            &[],
+            self.stragglers_total.load(Ordering::Relaxed) as f64,
+        );
+        buf.gauge(
+            "bp_cluster_slo_active",
+            "1 while the cluster SLO loop is armed.",
+            &[],
+            if self.slo.lock().is_some() { 1.0 } else { 0.0 },
+        );
+    }
+}

@@ -39,6 +39,31 @@ pub struct WorkloadConfig {
     pub obs: ObsConfig,
     /// Closed-loop SLO control (`<slo>`; absent = open-loop).
     pub slo: Option<SloConfig>,
+    /// bp-cluster membership (`<cluster>`; absent = standalone run).
+    pub cluster: Option<ClusterMemberConfig>,
+}
+
+/// `<cluster>` block: this process's identity in a bp-cluster fleet and the
+/// coordinator it should join. Lives in bp-core (not bp-cluster) so the
+/// config layer stays dependency-free; bp-cluster consumes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterMemberConfig {
+    /// Node identity reported to the coordinator (`<node>`).
+    pub node: String,
+    /// Coordinator control address, e.g. "127.0.0.1:7070" (`<coordinator>`).
+    pub coordinator: String,
+    /// Heartbeat interval in milliseconds (`<heartbeatms>`).
+    pub heartbeat_ms: u64,
+}
+
+impl Default for ClusterMemberConfig {
+    fn default() -> Self {
+        ClusterMemberConfig {
+            node: "local".to_string(),
+            coordinator: String::new(),
+            heartbeat_ms: 200,
+        }
+    }
 }
 
 /// Configuration errors with context.
@@ -179,6 +204,28 @@ impl WorkloadConfig {
             slo = Some(cfg);
         }
 
+        let mut cluster = None;
+        if let Some(node) = root.child("cluster") {
+            let mut cfg = ClusterMemberConfig::default();
+            if let Some(id) = node.child_text("node") {
+                if id.is_empty() {
+                    return Err(ConfigError("<cluster> <node> must be non-empty".into()));
+                }
+                cfg.node = id.to_string();
+            }
+            cfg.coordinator = node
+                .child_text("coordinator")
+                .ok_or_else(|| ConfigError("missing <cluster> <coordinator>".into()))?
+                .to_string();
+            if let Some(ms) = node.child_parse::<u64>("heartbeatms") {
+                if ms == 0 {
+                    return Err(ConfigError("<cluster> <heartbeatms> must be positive".into()));
+                }
+                cfg.heartbeat_ms = ms;
+            }
+            cluster = Some(cfg);
+        }
+
         Ok(WorkloadConfig {
             dbtype,
             benchmark,
@@ -187,6 +234,7 @@ impl WorkloadConfig {
             script: PhaseScript::new(phases),
             obs,
             slo,
+            cluster,
         })
     }
 
@@ -198,6 +246,11 @@ impl WorkloadConfig {
             seed,
             obs: self.obs,
             slo: self.slo.clone(),
+            node: self
+                .cluster
+                .as_ref()
+                .map(|c| c.node.clone())
+                .unwrap_or_else(|| "local".to_string()),
             ..Default::default()
         }
     }
@@ -262,6 +315,13 @@ impl WorkloadConfig {
             slo.children.push(add("kd", format!("{}", s.kd)));
             slo.children.push(add("minsamples", format!("{}", s.min_samples)));
             root.children.push(slo);
+        }
+        if let Some(c) = &self.cluster {
+            let mut cluster = XmlNode::new("cluster");
+            cluster.children.push(add("node", c.node.clone()));
+            cluster.children.push(add("coordinator", c.coordinator.clone()));
+            cluster.children.push(add("heartbeatms", format!("{}", c.heartbeat_ms)));
+            root.children.push(cluster);
         }
         root.to_xml()
     }
@@ -428,6 +488,39 @@ mod tests {
             "<slo><backoff>1.5</backoff></slo></parameters>",
         );
         assert!(WorkloadConfig::parse(&bad_backoff).is_err());
+    }
+
+    #[test]
+    fn parse_cluster_block() {
+        let xml = SAMPLE.replace(
+            "</parameters>",
+            "<cluster><node>agent-2</node><coordinator>127.0.0.1:7070</coordinator>\
+             <heartbeatms>100</heartbeatms></cluster></parameters>",
+        );
+        let cfg = WorkloadConfig::parse(&xml).unwrap();
+        let c = cfg.cluster.clone().unwrap();
+        assert_eq!(c.node, "agent-2");
+        assert_eq!(c.coordinator, "127.0.0.1:7070");
+        assert_eq!(c.heartbeat_ms, 100);
+        // Node identity flows into the run config.
+        assert_eq!(cfg.run_config(1).node, "agent-2");
+        // Standalone configs keep the default identity.
+        assert!(WorkloadConfig::parse(SAMPLE).unwrap().cluster.is_none());
+        assert_eq!(WorkloadConfig::parse(SAMPLE).unwrap().run_config(1).node, "local");
+        // Survives the XML round trip.
+        let back = WorkloadConfig::parse(&cfg.to_xml()).unwrap();
+        assert_eq!(back, cfg);
+
+        let missing_coord = SAMPLE.replace(
+            "</parameters>",
+            "<cluster><node>a</node></cluster></parameters>",
+        );
+        assert!(WorkloadConfig::parse(&missing_coord).is_err());
+        let zero_hb = SAMPLE.replace(
+            "</parameters>",
+            "<cluster><coordinator>c:1</coordinator><heartbeatms>0</heartbeatms></cluster></parameters>",
+        );
+        assert!(WorkloadConfig::parse(&zero_hb).is_err());
     }
 
     #[test]

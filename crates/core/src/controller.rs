@@ -203,6 +203,8 @@ pub struct Controller {
     db: Arc<Database>,
     types: Arc<Vec<TransactionType>>,
     workload_name: String,
+    /// Node identity in a bp-cluster fleet ("local" outside one).
+    node: String,
     spans: Option<Arc<bp_obs::SpanRecorder>>,
     breaker: Option<Arc<bp_chaos::CircuitBreaker>>,
     recorder: Option<Arc<bp_obs::TelemetryRecorder>>,
@@ -231,12 +233,25 @@ impl Controller {
             db,
             types: Arc::new(types),
             workload_name: workload_name.to_string(),
+            node: "local".to_string(),
             spans: None,
             breaker: None,
             recorder: None,
             slo: Arc::new(SloHandle::new(workload_name)),
             recovery: Arc::new(RecoveryHandle::new()),
         }
+    }
+
+    /// Stamp the cluster node identity (builder-style; the executor does
+    /// this from `RunConfig.node`).
+    pub fn with_node(mut self, node: &str) -> Controller {
+        self.node = node.to_string();
+        self
+    }
+
+    /// The cluster node this run belongs to ("local" outside a cluster).
+    pub fn node_id(&self) -> &str {
+        &self.node
     }
 
     /// Attach the run's span recorder (builder-style; the executor does

@@ -64,6 +64,10 @@ pub struct RunConfig {
     /// Continuous telemetry recorder tick, µs of wall time (0 disables
     /// the recorder thread entirely).
     pub telemetry_interval_us: u64,
+    /// Node identity in a bp-cluster fleet; single-process runs keep the
+    /// default. Stamped on the controller so the agent layer and merged
+    /// cluster views can attribute this run to a node.
+    pub node: String,
 }
 
 impl Default for RunConfig {
@@ -80,6 +84,7 @@ impl Default for RunConfig {
             resilience: ResilienceConfig::default(),
             slo: None,
             telemetry_interval_us: 1_000_000,
+            node: "local".to_string(),
         }
     }
 }
@@ -173,6 +178,7 @@ pub fn start_with_source(
         types,
         workload.name(),
     )
+    .with_node(&cfg.node)
     .with_spans(spans.clone());
     if let Some(b) = &breaker {
         controller = controller.with_breaker(b.clone());

@@ -27,7 +27,7 @@ pub mod trace;
 pub mod workload;
 
 pub use bp_chaos::{Admission, BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig, RetryBudget};
-pub use config::WorkloadConfig;
+pub use config::{ClusterMemberConfig, WorkloadConfig};
 pub use controller::{ControlState, Controller};
 pub use des::{simulate_script, SimRun, SimSample};
 pub use executor::{start, start_with_source, RunConfig, RunHandle};

@@ -38,6 +38,7 @@ pub enum Bottleneck {
     QueueBackpressure,
     ShedDominated,
     CrashRecovery,
+    StragglerNode,
 }
 
 impl Bottleneck {
@@ -50,6 +51,7 @@ impl Bottleneck {
             Bottleneck::QueueBackpressure => "queue_backpressure",
             Bottleneck::ShedDominated => "shed_dominated",
             Bottleneck::CrashRecovery => "crash_recovery",
+            Bottleneck::StragglerNode => "straggler_node",
         }
     }
 }
@@ -281,6 +283,7 @@ pub fn diagnose(report: &Report) -> Vec<Finding> {
     let samples = &report.samples;
     if samples.is_empty() {
         let mut findings = crash_findings(report);
+        findings.extend(straggler_findings(report));
         findings.sort_by(|a, b| b.score.total_cmp(&a.score));
         return findings;
     }
@@ -361,9 +364,11 @@ pub fn diagnose(report: &Report) -> Vec<Finding> {
                 "delivered {:.0} tx/s ~= commanded {:.0} tx/s with healthy tail",
                 peak_sample.throughput, peak_sample.rate,
             ),
-            // Crash findings are synthesized from journal events, never
-            // from window classification.
-            Bottleneck::CrashRecovery => unreachable!("event-driven class"),
+            // Crash and straggler findings are synthesized from journal
+            // events, never from window classification.
+            Bottleneck::CrashRecovery | Bottleneck::StragglerNode => {
+                unreachable!("event-driven class")
+            }
         };
         evidence.push_str("; ");
         evidence.push_str(&detail);
@@ -391,7 +396,50 @@ pub fn diagnose(report: &Report) -> Vec<Finding> {
     }
 
     findings.extend(crash_findings(report));
+    findings.extend(straggler_findings(report));
     findings.sort_by(|a, b| b.score.total_cmp(&a.score));
+    findings
+}
+
+/// Event-driven straggler findings: the cluster coordinator emits a
+/// `node_straggler` event whenever one live agent's reported window
+/// latency dominates the merged cluster window. Consecutive events for
+/// the same node fold into one finding spanning the whole episode.
+fn straggler_findings(report: &Report) -> Vec<Finding> {
+    let field = |e: &Event, name: &str| {
+        e.fields.iter().find(|(k, _)| *k == name).map(|(_, v)| v.clone())
+    };
+    let events: Vec<&Event> =
+        report.events.iter().filter(|e| e.kind == "node_straggler").collect();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut i = 0;
+    while i < events.len() {
+        let first = events[i];
+        let node = field(first, "node").unwrap_or_else(|| "unknown".to_string());
+        let mut last = first;
+        while i + 1 < events.len()
+            && field(events[i + 1], "node").as_deref() == Some(node.as_str())
+        {
+            i += 1;
+            last = events[i];
+        }
+        i += 1;
+        let p99 = field(last, "p99_us").unwrap_or_else(|| "?".to_string());
+        let cluster = field(last, "cluster_p99_us").unwrap_or_else(|| "?".to_string());
+        findings.push(Finding {
+            bottleneck: Bottleneck::StragglerNode,
+            start_us: first.ts_us,
+            end_us: last.ts_us.max(first.ts_us + report.interval_us),
+            // Above every counter-driven class but below a dead engine:
+            // one slow node drags the whole merged tail.
+            score: 40.0,
+            evidence: format!(
+                "node {node} window p99 {p99}us dominates cluster median {cluster}us"
+            ),
+            causal_event: Some(first.seq),
+            causal_kind: Some("node_straggler"),
+        });
+    }
     findings
 }
 
@@ -590,6 +638,50 @@ mod tests {
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].bottleneck, Bottleneck::CrashRecovery);
         assert!(findings[0].evidence.contains("has not recovered"), "{}", findings[0].evidence);
+    }
+
+    #[test]
+    fn straggler_events_become_findings() {
+        let straggle = |seq: u64, ts_us: u64, node: &str| Event {
+            seq,
+            ts_us,
+            severity: Severity::Warn,
+            source: "cluster",
+            kind: "node_straggler",
+            message: format!("node {node} lags the cluster"),
+            fields: vec![
+                ("node", node.to_string()),
+                ("p99_us", "45000".to_string()),
+                ("cluster_p99_us", "900".to_string()),
+            ],
+        };
+        // Healthy windows + a straggler episode: consecutive events for
+        // the same node fold into one finding.
+        let samples: Vec<TelemetrySample> = (0..4).map(healthy).collect();
+        let events = vec![
+            straggle(3, 1_200_000, "agent-2"),
+            straggle(4, 2_200_000, "agent-2"),
+            straggle(5, 3_200_000, "agent-1"),
+        ];
+        let findings = diagnose(&report(samples, events.clone()));
+        let stragglers: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.bottleneck == Bottleneck::StragglerNode)
+            .collect();
+        assert_eq!(stragglers.len(), 2, "{findings:?}");
+        let top = stragglers[0];
+        assert_eq!(top.start_us, 1_200_000);
+        assert_eq!(top.end_us, 2_200_000);
+        assert_eq!(top.causal_event, Some(3));
+        assert_eq!(top.causal_kind, Some("node_straggler"));
+        assert!(top.evidence.contains("agent-2"), "{}", top.evidence);
+        assert!(top.evidence.contains("45000us"), "{}", top.evidence);
+        assert_eq!(top.to_json().get("bottleneck").and_then(Json::as_str), Some("straggler_node"));
+
+        // A sample-free report (the coordinator has no telemetry recorder)
+        // still surfaces stragglers.
+        let findings = diagnose(&report(vec![], events));
+        assert!(findings.iter().any(|f| f.bottleneck == Bottleneck::StragglerNode));
     }
 
     #[test]

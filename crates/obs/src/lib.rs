@@ -43,7 +43,8 @@ pub use recorder::{
     Report, TelemetryGuard, TelemetryRecorder, TelemetrySample, SAMPLE_COLUMNS,
 };
 pub use registry::{
-    escape_label_value, MetricValue, MetricsBuf, MetricsRegistry, MetricsSource, Sample,
+    escape_label_value, merge_samples, render_samples, MetricValue, MetricsBuf, MetricsRegistry,
+    MetricsSource, Sample,
 };
 pub use span::{
     add_commit_us, add_lock_wait_us, format_stage_line, take_stage_acc, ObsConfig, Span,

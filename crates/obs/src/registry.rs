@@ -51,8 +51,96 @@ impl MetricValue {
 pub struct Sample {
     pub name: String,
     pub labels: Vec<(String, String)>,
-    pub help: &'static str,
+    pub help: String,
     pub value: MetricValue,
+}
+
+impl Sample {
+    /// Structural JSON encoding, used by the cluster snapshot endpoint to
+    /// ship a registry's samples to the coordinator without a Prometheus
+    /// text parser on the other end.
+    pub fn to_json(&self) -> bp_util::json::Json {
+        use bp_util::json::Json;
+        let labels = Json::Arr(
+            self.labels
+                .iter()
+                .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Str(v.clone())]))
+                .collect(),
+        );
+        let j = Json::obj()
+            .set("name", self.name.as_str())
+            .set("help", self.help.as_str())
+            .set("labels", labels);
+        match &self.value {
+            MetricValue::Counter(v) => j.set("type", "counter").set("value", *v),
+            MetricValue::Gauge(v) => j.set("type", "gauge").set("value", *v),
+            MetricValue::Histogram { buckets, sum, count } => j
+                .set("type", "histogram")
+                .set("sum", *sum)
+                .set("count", *count)
+                .set(
+                    "buckets",
+                    Json::Arr(
+                        buckets
+                            .iter()
+                            .map(|(le, c)| {
+                                // +Inf is not representable as a JSON number.
+                                let le = if le.is_infinite() {
+                                    Json::Str("+Inf".into())
+                                } else {
+                                    Json::Num(*le)
+                                };
+                                Json::Arr(vec![le, Json::Num(*c as f64)])
+                            })
+                            .collect(),
+                    ),
+                ),
+        }
+    }
+
+    /// Inverse of [`Sample::to_json`]. Returns `None` on any structural
+    /// mismatch — a peer speaking a different version is skipped, not
+    /// trusted.
+    pub fn from_json(j: &bp_util::json::Json) -> Option<Sample> {
+        use bp_util::json::Json;
+        let name = j.get("name")?.as_str()?.to_string();
+        let help = j.get("help").and_then(Json::as_str).unwrap_or("").to_string();
+        let labels = j
+            .get("labels")?
+            .as_arr()?
+            .iter()
+            .map(|pair| {
+                let kv = pair.as_arr()?;
+                Some((kv.first()?.as_str()?.to_string(), kv.get(1)?.as_str()?.to_string()))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let value = match j.get("type")?.as_str()? {
+            "counter" => MetricValue::Counter(j.get("value")?.as_f64()?),
+            "gauge" => MetricValue::Gauge(j.get("value")?.as_f64()?),
+            "histogram" => {
+                let buckets = j
+                    .get("buckets")?
+                    .as_arr()?
+                    .iter()
+                    .map(|b| {
+                        let pair = b.as_arr()?;
+                        let le = match pair.first()? {
+                            Json::Str(s) if s == "+Inf" => f64::INFINITY,
+                            v => v.as_f64()?,
+                        };
+                        Some((le, pair.get(1)?.as_f64()? as u64))
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                MetricValue::Histogram {
+                    buckets,
+                    sum: j.get("sum")?.as_f64()?,
+                    count: j.get("count")?.as_u64()?,
+                }
+            }
+            _ => return None,
+        };
+        Some(Sample { name, labels, help, value })
+    }
 }
 
 /// Collection buffer handed to [`MetricsSource::collect`].
@@ -102,7 +190,7 @@ impl MetricsBuf {
                 .iter()
                 .map(|(k, v)| (sanitize_name(k), escape_label_value(v)))
                 .collect(),
-            help,
+            help: help.to_string(),
             value,
         });
     }
@@ -228,27 +316,116 @@ impl MetricsRegistry {
 
     /// Render the current snapshot in Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
-        let samples = self.snapshot();
-        let mut out = String::with_capacity(4096 + samples.len() * 64);
-        let mut last_family = "";
-        for s in &samples {
-            if s.name != last_family {
-                out.push_str("# HELP ");
-                out.push_str(&s.name);
-                out.push(' ');
-                out.push_str(s.help);
-                out.push('\n');
-                out.push_str("# TYPE ");
-                out.push_str(&s.name);
-                out.push(' ');
-                out.push_str(s.value.type_name());
-                out.push('\n');
-                last_family = &s.name;
-            }
-            render_sample(&mut out, s);
-        }
-        out
+        render_samples(&self.snapshot())
     }
+}
+
+/// Render a name-sorted sample list in Prometheus text exposition format.
+/// One `# HELP`/`# TYPE` header per metric family, however many sample
+/// sets the list was merged from.
+pub fn render_samples(samples: &[Sample]) -> String {
+    let mut out = String::with_capacity(4096 + samples.len() * 64);
+    let mut last_family = "";
+    for s in samples {
+        if s.name != last_family {
+            out.push_str("# HELP ");
+            out.push_str(&s.name);
+            out.push(' ');
+            out.push_str(&s.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&s.name);
+            out.push(' ');
+            out.push_str(s.value.type_name());
+            out.push('\n');
+            last_family = &s.name;
+        }
+        render_sample(&mut out, s);
+    }
+    out
+}
+
+/// Merge several snapshots (e.g. one per cluster node) into one
+/// name-sorted sample list. Samples with the same name *and* label set
+/// fold into a single series — counters and gauges sum, histograms merge
+/// bucket-wise over the union of their bounds — so scraping the merged
+/// set never emits duplicate series or duplicate `HELP`/`TYPE` lines.
+/// Same-name samples with different labels stay separate series under one
+/// family, exactly as a single registry renders them.
+pub fn merge_samples(sets: Vec<Vec<Sample>>) -> Vec<Sample> {
+    let mut all: Vec<Sample> = sets.into_iter().flatten().collect();
+    all.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    let mut out: Vec<Sample> = Vec::with_capacity(all.len());
+    for s in all {
+        match out.last_mut() {
+            Some(prev) if prev.name == s.name && prev.labels == s.labels => {
+                if !fold_value(&mut prev.value, &s.value) {
+                    out.push(s);
+                }
+            }
+            _ => out.push(s),
+        }
+    }
+    out
+}
+
+/// Fold `b` into `a` when the two values are the same metric type;
+/// returns false (leaving both untouched) on a type clash.
+fn fold_value(a: &mut MetricValue, b: &MetricValue) -> bool {
+    match (a, b) {
+        (MetricValue::Counter(x), MetricValue::Counter(y)) => {
+            *x += y;
+            true
+        }
+        (MetricValue::Gauge(x), MetricValue::Gauge(y)) => {
+            *x += y;
+            true
+        }
+        (
+            MetricValue::Histogram { buckets, sum, count },
+            MetricValue::Histogram { buckets: b2, sum: s2, count: c2 },
+        ) => {
+            *buckets = merge_buckets(buckets, b2);
+            *sum += s2;
+            *count += c2;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Merge two cumulative bucket lists over the union of their bounds.
+/// Works on per-bound increments so peers with different bound sets still
+/// produce a monotone cumulative result.
+fn merge_buckets(a: &[(f64, u64)], b: &[(f64, u64)]) -> Vec<(f64, u64)> {
+    let increments = |list: &[(f64, u64)]| {
+        let mut prev = 0u64;
+        list.iter()
+            .map(|&(le, c)| {
+                let inc = c.saturating_sub(prev);
+                prev = c;
+                (le, inc)
+            })
+            .collect::<Vec<_>>()
+    };
+    let mut bounds: Vec<f64> = a.iter().chain(b).map(|&(le, _)| le).collect();
+    bounds.sort_by(f64::total_cmp);
+    bounds.dedup();
+    let mut merged: Vec<(f64, u64)> = bounds.into_iter().map(|le| (le, 0)).collect();
+    for (le, inc) in increments(a).into_iter().chain(increments(b)) {
+        // Each increment lands at its own bound, which is always present
+        // in the union (`==` is exact here: both sides are the same
+        // literal bound or +Inf).
+        if let Some(slot) = merged.iter_mut().find(|(b, _)| b.total_cmp(&le).is_eq()) {
+            slot.1 += inc;
+        }
+    }
+    let mut cum = 0u64;
+    for slot in &mut merged {
+        cum += slot.1;
+        slot.1 = cum;
+    }
+    merged
 }
 
 /// The always-on self-identification samples: `bp_build_info` (value 1,
@@ -476,6 +653,82 @@ mod tests {
         let mut out = String::new();
         render_sample(&mut out, s);
         assert!(out.contains("m_total{l=\"a\\\"b\\\\c\\nd\"} 1\n"), "no double escape: {out}");
+    }
+
+    #[test]
+    fn merged_registries_dedupe_families_and_sum_counters() {
+        // Two nodes exposing the same families: the merged scrape must
+        // carry ONE HELP/TYPE per family and the *sum* of each counter,
+        // not duplicate exposition lines.
+        let node = |commits: f64, lat: u64| {
+            struct Src(f64, u64);
+            impl MetricsSource for Src {
+                fn collect(&self, buf: &mut MetricsBuf) {
+                    buf.counter("bp_client_committed_total", "commits", &[("type", "T")], self.0);
+                    buf.gauge("bp_queue_depth", "depth", &[], 2.0);
+                    let mut h = Histogram::latency();
+                    h.record(self.1);
+                    buf.histogram("bp_latency_us", "lat", &[], &h);
+                }
+            }
+            let reg = MetricsRegistry::new();
+            reg.register("stats", Arc::new(Src(commits, lat)));
+            reg
+        };
+        let (a, b) = (node(10.0, 120), node(32.0, 600_000));
+        let merged = merge_samples(vec![a.snapshot(), b.snapshot()]);
+        let text = render_samples(&merged);
+
+        assert_eq!(text.matches("# HELP bp_client_committed_total").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE bp_client_committed_total").count(), 1);
+        assert!(text.contains("bp_client_committed_total{type=\"T\"} 42\n"), "{text}");
+        // Gauges sum across nodes (cluster-wide totals).
+        assert!(text.contains("bp_queue_depth 4\n"), "{text}");
+        // Histograms merge bucket-wise: one series, count 2, both samples.
+        assert_eq!(text.matches("# TYPE bp_latency_us histogram").count(), 1);
+        assert!(text.contains("bp_latency_us_count 2\n"), "{text}");
+        assert!(text.contains("bp_latency_us_bucket{le=\"+Inf\"} 2\n"), "{text}");
+        // Exactly one series line per (name, labels): no duplicates.
+        let dup = text
+            .lines()
+            .filter(|l| l.starts_with("bp_client_committed_total{"))
+            .count();
+        assert_eq!(dup, 1, "{text}");
+        // Per-node build_info gauges share one family header too.
+        assert_eq!(text.matches("# TYPE bp_build_info gauge").count(), 1);
+    }
+
+    #[test]
+    fn merge_keeps_distinct_label_sets_separate() {
+        let mut buf = MetricsBuf::new();
+        buf.counter("m_total", "c", &[("w", "a")], 1.0);
+        buf.counter("m_total", "c", &[("w", "b")], 2.0);
+        let s1 = buf.into_samples();
+        let mut buf = MetricsBuf::new();
+        buf.counter("m_total", "c", &[("w", "a")], 5.0);
+        let s2 = buf.into_samples();
+        let merged = merge_samples(vec![s1, s2]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].value, MetricValue::Counter(6.0));
+        assert_eq!(merged[1].value, MetricValue::Counter(2.0));
+    }
+
+    #[test]
+    fn sample_json_round_trip() {
+        let mut h = Histogram::latency();
+        h.record(300);
+        h.record(40_000);
+        h.record(5_000_000); // lands in +Inf
+        let mut buf = MetricsBuf::new();
+        buf.counter("c_total", "a counter", &[("k", "v\"q")], 7.5);
+        buf.gauge("g", "a gauge", &[], -1.25);
+        buf.histogram("h_us", "a histogram", &[("node", "n1")], &h);
+        for s in buf.into_samples() {
+            let back = Sample::from_json(&s.to_json()).expect("round-trip");
+            assert_eq!(back, s);
+        }
+        // Garbage is rejected, not misparsed.
+        assert!(Sample::from_json(&bp_util::json::Json::obj()).is_none());
     }
 
     #[test]

@@ -146,14 +146,34 @@ impl Histogram {
         self.percentile(99.0)
     }
 
-    /// Merge another histogram into this one. Precisions must match.
+    /// Merge another histogram into this one. Same-precision histograms
+    /// merge bucket-for-bucket (lossless). A mismatched precision — e.g. a
+    /// cluster peer built with different sub-bucket bits — re-buckets each
+    /// of the other's non-empty buckets at its representative value, so the
+    /// result stays within the coarser side's relative-error bound instead
+    /// of panicking. Count, sum, min, and max are exact either way.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.sub_bucket_bits, other.sub_bucket_bits);
-        if other.counts.len() > self.counts.len() {
-            self.counts.resize(other.counts.len(), 0);
+        if other.total == 0 {
+            return;
         }
-        for (i, &c) in other.counts.iter().enumerate() {
-            self.counts[i] += c;
+        if self.sub_bucket_bits == other.sub_bucket_bits {
+            if other.counts.len() > self.counts.len() {
+                self.counts.resize(other.counts.len(), 0);
+            }
+            for (i, &c) in other.counts.iter().enumerate() {
+                self.counts[i] += c;
+            }
+        } else {
+            for (i, &c) in other.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let idx = self.bucket_index(other.bucket_mid(i));
+                if idx >= self.counts.len() {
+                    self.counts.resize(idx + 1, 0);
+                }
+                self.counts[idx] += c;
+            }
         }
         self.total += other.total;
         self.sum += other.sum;
@@ -350,6 +370,72 @@ mod tests {
         assert_eq!(a.p95(), both.p95());
         assert_eq!(a.min(), both.min());
         assert_eq!(a.max(), both.max());
+    }
+
+    #[test]
+    fn merge_empty_operands() {
+        // Empty into empty.
+        let mut a = Histogram::latency();
+        a.merge(&Histogram::latency());
+        assert!(a.is_empty());
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.p99(), 0);
+        // Empty into populated: a no-op, even across precisions.
+        let mut a = Histogram::latency();
+        a.record(123);
+        a.merge(&Histogram::new(8));
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.p50(), 123);
+        // Populated into empty: the empty side adopts everything exactly.
+        let mut b = Histogram::latency();
+        b.record(77);
+        b.record(99_000);
+        let mut empty = Histogram::latency();
+        empty.merge(&b);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.min(), 77);
+        assert_eq!(empty.max(), 99_000);
+        assert_eq!(empty.mean(), b.mean());
+    }
+
+    #[test]
+    fn merge_mismatched_precision_rebuckets() {
+        // A coarse peer (2 bits ≈ 25% error) folded into a fine histogram:
+        // count/sum/min/max exact, percentiles within the coarse bound.
+        let mut fine = Histogram::new(8);
+        let mut coarse = Histogram::new(2);
+        for i in 0..1_000u64 {
+            let v = 50 + i * 37;
+            if i % 2 == 0 {
+                fine.record(v);
+            } else {
+                coarse.record(v);
+            }
+        }
+        let (csum, ccount) = (coarse.mean() * coarse.count() as f64, coarse.count());
+        let fmin = fine.min().min(coarse.min());
+        let fmax = fine.max().max(coarse.max());
+        let premerge_sum = fine.mean() * fine.count() as f64;
+        fine.merge(&coarse);
+        assert_eq!(fine.count(), 500 + ccount);
+        assert_eq!(fine.min(), fmin);
+        assert_eq!(fine.max(), fmax);
+        let total_mean = (premerge_sum + csum) / fine.count() as f64;
+        assert!((fine.mean() - total_mean).abs() < 1e-6);
+        // p50 of 50 + i*37 over i in 0..1000 is ~18550; coarse buckets
+        // bound the representative error at 25%.
+        let p50 = fine.p50() as f64;
+        assert!((p50 - 18_550.0).abs() < 18_550.0 * 0.30, "p50 {p50}");
+        // And the reverse direction (fine into coarse) must not panic and
+        // keeps exact aggregates too.
+        let mut coarse2 = Histogram::new(2);
+        coarse2.record(10);
+        let mut fine2 = Histogram::new(8);
+        fine2.record(1_000_000);
+        coarse2.merge(&fine2);
+        assert_eq!(coarse2.count(), 2);
+        assert_eq!(coarse2.min(), 10);
+        assert_eq!(coarse2.max(), 1_000_000);
     }
 
     #[test]

@@ -106,19 +106,42 @@ impl TimeSeries {
         self.windows.iter().map(|w| w.mean()).collect()
     }
 
-    /// Merge another series of the same width into this one, window by
-    /// window. Used to combine per-worker statistics shards into one view.
+    /// Merge another series into this one. Same width and origin (the
+    /// sharded-stats path) merges window-for-window, losslessly. A
+    /// mismatched layout — a cluster peer binning at a different width or
+    /// origin — re-bins each of the other's non-empty windows into the slot
+    /// covering its start time, so aggregate count/sum/min/max are exact
+    /// and only sub-window timing is coarsened; nothing panics.
     pub fn merge(&mut self, other: &TimeSeries) {
-        assert_eq!(self.width, other.width, "cannot merge series of different widths");
-        assert_eq!(self.origin, other.origin, "cannot merge series of different origins");
-        if other.windows.len() > self.windows.len() {
-            let mut start = self.origin + self.windows.len() as u64 * self.width;
-            while self.windows.len() < other.windows.len() {
-                self.windows.push(Window::empty(start));
-                start += self.width;
+        if self.width == other.width && self.origin == other.origin {
+            if other.windows.len() > self.windows.len() {
+                let mut start = self.origin + self.windows.len() as u64 * self.width;
+                while self.windows.len() < other.windows.len() {
+                    self.windows.push(Window::empty(start));
+                    start += self.width;
+                }
             }
+            for (w, o) in self.windows.iter_mut().zip(&other.windows) {
+                w.count += o.count;
+                w.sum += o.sum;
+                w.min = w.min.min(o.min);
+                w.max = w.max.max(o.max);
+            }
+            return;
         }
-        for (w, o) in self.windows.iter_mut().zip(&other.windows) {
+        for o in &other.windows {
+            if o.count == 0 {
+                continue;
+            }
+            let idx = ((o.start.saturating_sub(self.origin)) / self.width) as usize;
+            if idx >= self.windows.len() {
+                let mut start = self.origin + self.windows.len() as u64 * self.width;
+                while self.windows.len() <= idx {
+                    self.windows.push(Window::empty(start));
+                    start += self.width;
+                }
+            }
+            let w = &mut self.windows[idx];
             w.count += o.count;
             w.sum += o.sum;
             w.min = w.min.min(o.min);
@@ -258,6 +281,62 @@ mod tests {
         let before = a.windows().to_vec();
         a.merge(&TimeSeries::per_second());
         assert_eq!(a.windows(), &before[..]);
+    }
+
+    #[test]
+    fn merge_empty_operands() {
+        // Empty into empty stays empty.
+        let mut a = TimeSeries::per_second();
+        a.merge(&TimeSeries::per_second());
+        assert!(a.is_empty());
+        assert_eq!(a.total(), 0);
+        // Populated into empty adopts the windows verbatim.
+        let mut b = TimeSeries::per_second();
+        b.record(10, 100);
+        b.record(2 * MICROS_PER_SEC, 300);
+        let mut empty = TimeSeries::per_second();
+        empty.merge(&b);
+        assert_eq!(empty.windows(), b.windows());
+        // Empty-but-mismatched-width into populated is a no-op.
+        let before = b.windows().to_vec();
+        b.merge(&TimeSeries::new(250_000));
+        assert_eq!(b.windows(), &before[..]);
+    }
+
+    #[test]
+    fn merge_mismatched_width_rebins() {
+        // A peer binning at 250ms folded into a per-second series: each
+        // fine window lands in the second covering its start; totals,
+        // sums and extrema are preserved exactly.
+        let mut coarse = TimeSeries::per_second();
+        coarse.record(100, 500);
+        let mut fine = TimeSeries::new(250_000);
+        fine.record(300_000, 10); // second 0
+        fine.record(750_000, 90); // second 0
+        fine.record(MICROS_PER_SEC + 10, 40); // second 1
+        coarse.merge(&fine);
+        assert_eq!(coarse.len(), 2);
+        assert_eq!(coarse.windows()[0].count, 3);
+        assert_eq!(coarse.windows()[0].min, 10);
+        assert_eq!(coarse.windows()[0].max, 500);
+        assert_eq!(coarse.windows()[0].sum, 600);
+        assert_eq!(coarse.windows()[1].count, 1);
+        assert_eq!(coarse.total(), 4);
+    }
+
+    #[test]
+    fn merge_mismatched_origin_rebins() {
+        let mut a = TimeSeries::per_second();
+        a.record(10, 1);
+        // Same width, shifted origin: re-binned by window start time.
+        let mut b = TimeSeries { width: MICROS_PER_SEC, origin: 500_000, windows: Vec::new() };
+        b.record(500_000, 7); // b's window 0 starts at 0.5s -> a's second 0
+        b.record(1_600_000, 9); // b's window 1 starts at 1.5s -> a's second 1
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.windows()[0].count, 2);
+        assert_eq!(a.windows()[1].count, 1);
+        assert_eq!(a.total(), 3);
     }
 
     #[test]

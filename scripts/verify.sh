@@ -48,6 +48,10 @@ echo "== recovery: crashpoint matrix + supervised restart under live load =="
 cargo test -q --offline --test recovery
 cargo run -q --release --offline -p bp-bench --bin harness recovery
 
+echo "== cluster: 3-agent fleet — membership, merged telemetry, node-kill re-split =="
+cargo test -q --offline -p bp-cluster
+cargo run -q --release --offline -p bp-bench --bin harness cluster
+
 if command -v cargo-clippy >/dev/null 2>&1 || cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --all-targets -- -D warnings =="
     cargo clippy --offline --all-targets -- -D warnings

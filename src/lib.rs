@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the whole BenchPress workspace.
 pub use bp_api as api;
 pub use bp_chaos as chaos;
+pub use bp_cluster as cluster;
 pub use bp_core as core;
 pub use bp_game as game;
 pub use bp_monitor as monitor;
