@@ -23,6 +23,15 @@ pub const JSONL_CONTENT_TYPE: &str = "application/x-ndjson";
 /// Content type for `GET /record` replay artifacts.
 pub const ARTIFACT_CONTENT_TYPE: &str = "text/plain; charset=utf-8";
 
+/// Slack added on each side of a span's lifetime when correlating journal
+/// events by time in `GET /trace/{id}` (the clock domains align only
+/// loosely).
+const TRACE_EVENT_SLACK_US: u64 = 1_000;
+
+/// Cap on correlated events returned by `GET /trace/{id}` (most recent
+/// win).
+const TRACE_EVENT_CAP: usize = 50;
+
 /// HTTP-style method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Method {
@@ -182,6 +191,48 @@ fn parse_last(query: &str, default: usize) -> Result<usize, Response> {
             Response::error(400, &format!("invalid last={v}: must be a non-negative integer"))
         }),
     }
+}
+
+/// Optional `/trace/spans` filters; each absent field means "no filter".
+struct SpanFilters {
+    outcome: Option<bp_obs::SpanOutcome>,
+    tenant: Option<u16>,
+    min_us: Option<u64>,
+}
+
+impl SpanFilters {
+    fn matches(&self, s: &bp_obs::Span) -> bool {
+        self.outcome.is_none_or(|o| s.outcome == o)
+            && self.tenant.is_none_or(|t| s.tenant == t)
+            && self.min_us.is_none_or(|us| s.total_us() >= us)
+    }
+}
+
+/// Strict parsing of the `/trace/spans` filters (`outcome=`, `tenant=`,
+/// `min_us=`): absent falls through, present but unparseable is a 400.
+fn parse_span_filters(query: &str) -> Result<SpanFilters, Response> {
+    let outcome = match query_param(query, "outcome") {
+        None => None,
+        Some(v) => Some(bp_obs::SpanOutcome::parse(v).ok_or_else(|| {
+            Response::error(
+                400,
+                &format!("invalid outcome={v}; known: committed, user_aborted, failed, shed"),
+            )
+        })?),
+    };
+    let tenant = match query_param(query, "tenant") {
+        None => None,
+        Some(v) => Some(v.parse::<u16>().map_err(|_| {
+            Response::error(400, &format!("invalid tenant={v}: must be an integer in 0..=65535"))
+        })?),
+    };
+    let min_us = match query_param(query, "min_us") {
+        None => None,
+        Some(v) => Some(v.parse::<u64>().map_err(|_| {
+            Response::error(400, &format!("invalid min_us={v}: must be a non-negative integer"))
+        })?),
+    };
+    Ok(SpanFilters { outcome, tenant, min_us })
 }
 
 /// Strict `?severity=` parsing: absent means everything (debug and up).
@@ -492,6 +543,7 @@ impl ApiServer {
             (Method::Get, ["slo", "status"]) => self.slo_status(req, query),
             (Method::Get, ["trace", "spans"]) => self.trace_spans(query),
             (Method::Get, ["trace", "summary"]) => self.trace_summary(),
+            (Method::Get, ["trace", id]) => self.trace_detail(id),
             (Method::Get, ["events"]) => self.events(query),
             (Method::Get, ["report"]) => self.report(query),
             (Method::Get, ["doctor"]) => self.doctor(query),
@@ -899,9 +951,15 @@ impl ApiServer {
 
     /// GET /trace/spans?last=N — the most recent N spans across every
     /// workload's flight recorder, oldest first, one JSON object per line.
+    /// Optional filters: `outcome=` (committed/user_aborted/failed/shed),
+    /// `tenant=` and `min_us=` (end-to-end latency floor).
     fn trace_spans(&self, query: &str) -> Response {
         let last = match parse_last(query, 100) {
             Ok(v) => v,
+            Err(r) => return r,
+        };
+        let filters = match parse_span_filters(query) {
+            Ok(f) => f,
             Err(r) => return r,
         };
         let mut spans: Vec<(String, bp_obs::Span)> = Vec::new();
@@ -909,7 +967,12 @@ impl ApiServer {
             let map = self.workloads.read();
             for (id, c) in map.iter() {
                 if let Some(rec) = c.spans() {
-                    spans.extend(rec.recent(last).into_iter().map(|s| (id.clone(), s)));
+                    spans.extend(
+                        rec.recent(usize::MAX)
+                            .into_iter()
+                            .filter(|s| filters.matches(s))
+                            .map(|s| (id.clone(), s)),
+                    );
                 }
             }
         }
@@ -964,6 +1027,90 @@ impl ApiServer {
             })
             .collect();
         Response::ok(Json::obj().set("workloads", Json::Arr(items)))
+    }
+
+    /// GET /trace/{id} — resolve one retained trace id to its full stage
+    /// breakdown plus journal events correlated with the request: events
+    /// explicitly tagged `trace_id=<id>` (deadlock victims, crashes), or
+    /// events whose timestamp falls inside the span's lifetime.
+    fn trace_detail(&self, id_hex: &str) -> Response {
+        let Some(id) = bp_obs::parse_trace_id(id_hex) else {
+            return Response::error(
+                400,
+                &format!("invalid trace id {id_hex}: expected 1-16 hex digits"),
+            );
+        };
+        let found = {
+            let map = self.workloads.read();
+            let mut ids: Vec<&String> = map.keys().collect();
+            ids.sort();
+            ids.into_iter().find_map(|wid| {
+                let c = &map[wid];
+                let span = c.spans()?.find_trace(id)?;
+                Some((wid.clone(), span, c.clone()))
+            })
+        };
+        let Some((wid, span, c)) = found else {
+            return Response::error(
+                404,
+                &format!("trace {id_hex} not retained (never sampled, or evicted)"),
+            );
+        };
+        let stages = [
+            ("queue", span.queue_wait_us()),
+            ("lock", span.lock_wait_us),
+            ("exec", span.exec_us()),
+            ("commit", span.commit_us),
+        ];
+        let dominant =
+            stages.iter().max_by_key(|(_, us)| *us).map(|(name, _)| *name).unwrap_or("queue");
+        // Span timestamps count µs from the run's clock origin; journal
+        // events count from the process journal origin. Align the two
+        // domains by their current offset — exact enough for a per-request
+        // correlation window.
+        let offset = bp_obs::journal_now_us().saturating_sub(c.stats().clock().now());
+        let lo = (span.submitted_us + offset).saturating_sub(TRACE_EVENT_SLACK_US);
+        let hi = span.end_us + offset + TRACE_EVENT_SLACK_US;
+        let hex = bp_obs::format_trace_id(id);
+        let mut events: Vec<Json> = c
+            .journal()
+            .all()
+            .into_iter()
+            .filter(|e| {
+                let tagged = e.fields.iter().any(|(k, v)| *k == "trace_id" && *v == hex);
+                tagged || (e.ts_us >= lo && e.ts_us <= hi)
+            })
+            .map(|e| e.to_json())
+            .collect();
+        if events.len() > TRACE_EVENT_CAP {
+            events.drain(..events.len() - TRACE_EVENT_CAP);
+        }
+        Response::ok(
+            Json::obj()
+                .set("trace_id", hex.as_str())
+                .set("workload", wid.as_str())
+                .set("node", c.node_id())
+                .set("seq", span.seq)
+                .set("tenant", span.tenant as u64)
+                .set("txn_type", span.txn_type as u64)
+                .set("phase", span.phase as u64)
+                .set("retries", span.retries as u64)
+                .set("outcome", span.outcome.name())
+                .set("submitted_us", span.submitted_us)
+                .set("end_us", span.end_us)
+                .set("total_us", span.total_us())
+                .set(
+                    "stages",
+                    Json::Arr(
+                        stages
+                            .iter()
+                            .map(|(name, us)| Json::obj().set("stage", *name).set("us", *us))
+                            .collect(),
+                    ),
+                )
+                .set("dominant_stage", dominant)
+                .set("events", Json::Arr(events)),
+        )
     }
 
     fn all_status(&self) -> Response {
@@ -1430,17 +1577,18 @@ mod tests {
         let rec = Arc::new(SpanRecorder::new(ObsConfig::default()));
         for seq in 0..3u64 {
             rec.record(Span {
+                trace_id: bp_obs::trace_id(42, seq),
                 seq,
                 submitted_us: seq * 100,
                 dequeued_us: seq * 100 + 50,
                 end_us: seq * 100 + 250,
                 lock_wait_us: 20,
                 commit_us: 30,
-                tenant: 0,
+                tenant: (seq % 2) as u16,
                 phase: 0,
                 txn_type: (seq % 2) as u16,
                 retries: 0,
-                outcome: SpanOutcome::Committed,
+                outcome: if seq == 2 { SpanOutcome::Failed } else { SpanOutcome::Committed },
             });
         }
         controller().with_spans(rec)
@@ -1496,6 +1644,56 @@ mod tests {
         let stages = items[0].get("stages").unwrap().as_arr().unwrap();
         assert_eq!(stages.len(), 4);
         assert!(stages.iter().any(|st| st.get("stage").unwrap().as_str() == Some("queue")));
+    }
+
+    #[test]
+    fn trace_spans_filters() {
+        let s = ApiServer::new();
+        s.register("demo", controller_with_spans());
+        // outcome= keeps only matching spans (seq 2 is the lone failure).
+        let r = s.handle(&Request::get("/trace/spans?outcome=failed"));
+        let (_, text) = r.raw.expect("raw payload");
+        assert_eq!(text.lines().count(), 1, "{text}");
+        assert!(text.contains("\"seq\": 2") || text.contains("\"seq\":2"), "{text}");
+        // tenant= filters on the issuing tenant (seqs 0 and 2 are tenant 0).
+        let r = s.handle(&Request::get("/trace/spans?tenant=0"));
+        let (_, text) = r.raw.expect("raw payload");
+        assert_eq!(text.lines().count(), 2, "{text}");
+        // min_us= is an end-to-end latency floor; every helper span takes
+        // 250µs total, so 251 excludes all and 250 keeps all.
+        let r = s.handle(&Request::get("/trace/spans?min_us=251"));
+        assert_eq!(r.raw.as_ref().unwrap().1.lines().count(), 0);
+        let r = s.handle(&Request::get("/trace/spans?min_us=250"));
+        assert_eq!(r.raw.as_ref().unwrap().1.lines().count(), 3);
+        // Filters compose.
+        let r = s.handle(&Request::get("/trace/spans?outcome=committed&tenant=0"));
+        assert_eq!(r.raw.as_ref().unwrap().1.lines().count(), 1);
+    }
+
+    #[test]
+    fn trace_detail_resolves_and_404s() {
+        let s = ApiServer::new();
+        s.register("demo", controller_with_spans());
+        let hex = bp_obs::format_trace_id(bp_obs::trace_id(42, 1));
+        let r = s.handle(&Request::get(&format!("/trace/{hex}")));
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(r.body.get("trace_id").unwrap().as_str(), Some(hex.as_str()));
+        assert_eq!(r.body.get("workload").unwrap().as_str(), Some("demo"));
+        assert_eq!(r.body.get("seq").unwrap().as_u64(), Some(1));
+        assert_eq!(r.body.get("total_us").unwrap().as_u64(), Some(250));
+        let stages = r.body.get("stages").unwrap().as_arr().unwrap();
+        assert_eq!(stages.len(), 4);
+        let sum: u64 = stages.iter().map(|st| st.get("us").unwrap().as_u64().unwrap()).sum();
+        // queue 50 + lock 20 + exec 150 + commit 30 = end-to-end 250.
+        assert_eq!(sum, 250);
+        // exec = 200 − 20 − 30 = 150 dominates.
+        assert_eq!(r.body.get("dominant_stage").unwrap().as_str(), Some("exec"));
+        // Unknown-but-valid id is a 404; garbage is a 400.
+        let r = s.handle(&Request::get("/trace/deadbeef"));
+        assert_eq!(r.status, 404, "{r:?}");
+        let r = s.handle(&Request::get("/trace/nothex!"));
+        assert_eq!(r.status, 400, "{r:?}");
+        assert!(r.body.get("error").unwrap().as_str().unwrap().contains("invalid"));
     }
 
     #[test]
@@ -1695,6 +1893,10 @@ mod tests {
             "/events?last=99999999999999999999999999",
             "/events?severity=loud",
             "/trace/spans?last=half",
+            "/trace/spans?outcome=exploded",
+            "/trace/spans?tenant=-3",
+            "/trace/spans?tenant=70000",
+            "/trace/spans?min_us=soon",
         ] {
             let r = s.handle(&Request::get(q));
             assert_eq!(r.status, 400, "{q} -> {r:?}");

@@ -14,6 +14,7 @@ use bp_obs::{ObsConfig, Span, SpanMode, SpanOutcome, SpanRecorder};
 
 fn span(seq: u64) -> Span {
     Span {
+        trace_id: bp_obs::trace_id(42, seq),
         seq,
         submitted_us: seq * 10,
         dequeued_us: seq * 10 + 3,

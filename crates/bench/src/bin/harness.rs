@@ -1,6 +1,6 @@
 //! The experiment harness CLI: regenerates every table/figure artifact.
 //!
-//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|obs|resilience|replay|slo|doctor|recovery|cluster|queue|all]`
+//! Usage: `harness [table1|rate|mixture|tenancy|challenges|physics|dbms|api|dialects|obs|resilience|replay|slo|doctor|recovery|cluster|trace|queue|all]`
 
 use bp_bench::*;
 
@@ -267,6 +267,29 @@ fn main() {
         assert!(r.merged_metrics_ok, "merged metrics must reflect the fleet");
         assert!(r.journal_ok, "membership transitions must be journaled");
     }
+    if run_all || arg == "trace" {
+        ran = true;
+        println!("=== E18: distributed tracing — tail sampling under a latency spike, exemplar -> /cluster/trace ===");
+        let r = run_trace();
+        println!(
+            "slow requests (>100ms) on spiked node: {}   retained by tail sampler: {} ({:.1}%)",
+            r.slow_requests,
+            r.retained_slow,
+            r.retention * 100.0
+        );
+        println!(
+            "retained spans total: {} (budget {}, cap 2x)   trace ids deterministic: {}",
+            r.retained_total, r.span_budget, r.ids_deterministic
+        );
+        println!(
+            "exemplar {} -> /cluster/trace: ok={} dominant stage {}\n",
+            r.exemplar, r.cluster_trace_ok, r.dominant_stage
+        );
+        assert!(r.retention >= 0.99, "tail sampler must retain >=99% of slow requests");
+        assert!(r.retained_total <= 2 * r.span_budget, "span budget overrun");
+        assert!(r.cluster_trace_ok, "exemplar must resolve to a merged cluster trace");
+        assert!(r.ids_deterministic, "trace ids must re-derive from (seed, seq)");
+    }
     if run_all || arg == "queue" {
         ran = true;
         println!("=== Ablation: centralized queue dispatch gate (never-exceed, §2.2.1) ===");
@@ -278,7 +301,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects obs resilience replay slo doctor recovery cluster queue all"
+            "unknown experiment '{arg}'. one of: table1 rate mixture tenancy challenges physics dbms api dialects obs resilience replay slo doctor recovery cluster trace queue all"
         );
         std::process::exit(2);
     }

@@ -1648,16 +1648,35 @@ pub fn run_cluster() -> ClusterReport {
     let post_kill_tps = (committed_sum() - c2) as f64 / window.as_secs_f64();
 
     // Merged telemetry over the coordinator: dead gauge, deduped families.
-    let (_, merged) =
-        bp_api::http_request_text(coord_http.addr(), "GET", "/cluster/metrics", None)
-            .expect("merged metrics");
-    let merged_metrics_ok = merged.contains("bp_cluster_nodes{state=\"dead\"} 1")
-        && merged.contains("bp_cluster_nodes{state=\"joined\"} 2")
-        && merged
+    // A survivor can flicker through `suspect` when its heartbeat thread
+    // loses a scheduling race on a loaded box, so re-scrape for up to two
+    // heartbeat intervals rather than judging one snapshot.
+    let merge_deadline = Instant::now() + Duration::from_millis(2 * HEARTBEAT_MS);
+    let merged_metrics_ok = loop {
+        let (_, merged) =
+            bp_api::http_request_text(coord_http.addr(), "GET", "/cluster/metrics", None)
+                .expect("merged metrics");
+        let dead_gauge_ok = merged.contains("bp_cluster_nodes{state=\"dead\"} 1");
+        let joined_gauge_ok = merged.contains("bp_cluster_nodes{state=\"joined\"} 2");
+        let deduped_ok = merged
             .lines()
             .filter(|l| l.starts_with("# TYPE bp_client_committed_total"))
             .count()
             == 1;
+        let ok = dead_gauge_ok && joined_gauge_ok && deduped_ok;
+        if ok || Instant::now() >= merge_deadline {
+            if !ok {
+                let gauges: Vec<&str> =
+                    merged.lines().filter(|l| l.starts_with("bp_cluster_nodes")).collect();
+                eprintln!(
+                    "cluster metrics merge failed: dead_gauge={dead_gauge_ok} \
+                     joined_gauge={joined_gauge_ok} dedup={deduped_ok}; gauges: {gauges:?}"
+                );
+            }
+            break ok;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
 
     let events = coordinator.journal().recent(usize::MAX, bp_obs::Severity::Debug);
     let has = |kind: &str| events.iter().any(|e| e.kind == kind);
@@ -1679,6 +1698,275 @@ pub fn run_cluster() -> ClusterReport {
         recovery_ratio: post_kill_tps / pre_kill_tps.max(1.0),
         merged_metrics_ok,
         journal_ok,
+    }
+}
+
+/// E18: end-to-end distributed tracing — under a chaos latency spike on
+/// one node of a two-node fleet, the tail-based sampler retains every
+/// slow request while ratio-sampling the bulk under its span budget, and
+/// an exemplar trace id scraped from the node's `/metrics` resolves
+/// through the coordinator's `GET /cluster/trace/{id}` to a merged stage
+/// breakdown naming the dominant stage. All measurements over live HTTP.
+pub struct TraceReport {
+    /// Ground truth: requests slower than the floor on the spiked node,
+    /// from its own latency histogram (`/metrics` bucket counts).
+    pub slow_requests: u64,
+    /// Of those, how many the tail sampler retained
+    /// (`/trace/spans?min_us=`).
+    pub retained_slow: u64,
+    /// retained_slow / slow_requests (capped at 1.0).
+    pub retention: f64,
+    /// Every retained span on the spiked node, vs the configured budget.
+    pub retained_total: u64,
+    pub span_budget: u64,
+    /// Exemplar trace id scraped from a `/metrics` histogram bucket.
+    pub exemplar: String,
+    /// `GET /cluster/trace/{exemplar}` returned a merged breakdown.
+    pub cluster_trace_ok: bool,
+    /// The merged breakdown's dominant stage.
+    pub dominant_stage: String,
+    /// Every retained span's id re-derives from (run seed, seq).
+    pub ids_deterministic: bool,
+}
+
+/// Requests slower than `floor_us` in a rendered `/metrics` histogram:
+/// cumulative count at `+Inf` minus cumulative count at `le="floor_us"`,
+/// summed across label sets. Bucket lines may carry ` # {...}` exemplar
+/// suffixes; only the first value token after the labels is the count.
+fn histogram_above(text: &str, metric: &str, floor_us: u64) -> u64 {
+    let prefix = format!("{metric}{{");
+    let floor = format!("le=\"{floor_us}\"");
+    let mut inf = 0.0f64;
+    let mut at_floor = 0.0f64;
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(&prefix) else { continue };
+        let Some(close) = rest.find('}') else { continue };
+        let labels = &rest[..close];
+        let count: f64 = rest[close + 1..]
+            .split_whitespace()
+            .next()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(0.0);
+        if labels.contains("le=\"+Inf\"") {
+            inf += count;
+        } else if labels.contains(&floor) {
+            at_floor += count;
+        }
+    }
+    (inf - at_floor).max(0.0).round() as u64
+}
+
+/// First `# {trace_id="..."}` exemplar in a rendered `/metrics` page.
+fn first_exemplar(text: &str) -> Option<String> {
+    const NEEDLE: &str = "# {trace_id=\"";
+    for line in text.lines() {
+        if let Some(i) = line.find(NEEDLE) {
+            let rest = &line[i + NEEDLE.len()..];
+            if let Some(j) = rest.find('"') {
+                return Some(rest[..j].to_string());
+            }
+        }
+    }
+    None
+}
+
+pub fn run_trace() -> TraceReport {
+    use bp_cluster::{start_agent, AgentConfig, ClusterCoordinator, CoordinatorConfig};
+    use bp_obs::{MetricsRegistry, ObsConfig, SpanMode};
+    use bp_util::json::Json;
+    use std::time::{Duration, Instant};
+
+    const HEARTBEAT_MS: u64 = 100;
+    /// A request slower than this is "slow" ground truth; a histogram
+    /// bucket bound so the cumulative counts give an exact count. Baseline
+    /// voter latencies sit orders of magnitude below it.
+    const SLOW_FLOOR_US: u64 = 100_000;
+    /// Each injected spike adds this much — far above both the floor and
+    /// any learned p99 threshold.
+    const SPIKE_MAGNITUDE_US: u64 = 500_000;
+    /// Per-op injection probability: keeps spiked requests well under 1%
+    /// of traffic so the live p99 (the tail sampler's slow cutoff) stays
+    /// at baseline while the spikes land.
+    const SPIKE_INTENSITY: f64 = 0.001;
+    const SPAN_BUDGET: usize = 512;
+    const SEED: u64 = 42;
+    let hb = Duration::from_millis(HEARTBEAT_MS);
+
+    let coordinator = ClusterCoordinator::new(CoordinatorConfig { heartbeat: hb });
+    let coord_reg = Arc::new(MetricsRegistry::new());
+    coord_reg.register("cluster", coordinator.clone());
+    coordinator.set_registry(coord_reg.clone());
+    let coord_api = Arc::new(bp_api::ApiServer::new().with_registry(coord_reg));
+    coord_api.set_extension(coordinator.clone());
+    let coord_http = coord_api.serve_http("127.0.0.1:0").expect("bind coordinator");
+    let _detector = coordinator.start_detector();
+
+    struct Node {
+        handle: bp_core::RunHandle,
+        http: bp_api::http::HttpServerGuard,
+        _agent: bp_cluster::AgentGuard,
+    }
+    let nodes: Vec<(String, Node)> = ["n1", "n2"]
+        .iter()
+        .map(|name| {
+            // A personality with real (busy-wait) delays: latency spikes
+            // must turn into wall-clock latency for the tail sampler and
+            // the client histogram to see them.
+            let db = Database::new(Personality::mysql_like());
+            let w = by_name("voter").unwrap();
+            let mut conn = Connection::open(&db);
+            w.setup(&mut conn, 0.3, &mut Rng::new(11)).unwrap();
+            let cfg = RunConfig {
+                terminals: 8,
+                script: PhaseScript::new(vec![Phase::new(Rate::Limited(400.0), 120.0)]),
+                collect_trace: false,
+                node: name.to_string(),
+                seed: SEED,
+                obs: ObsConfig {
+                    mode: SpanMode::Sampled,
+                    sample_ratio: 0.05,
+                    span_budget: SPAN_BUDGET,
+                    ..ObsConfig::default()
+                },
+                // Tick the sensor fast so the slow threshold locks onto
+                // the live p99 within the warm-up window.
+                telemetry_interval_us: 250_000,
+                ..Default::default()
+            };
+            let handle = bp_core::start(db, w, wall_clock(), cfg);
+            let registry = Arc::new(bp_obs::MetricsRegistry::new());
+            let api = Arc::new(bp_api::ApiServer::new().with_registry(registry.clone()));
+            api.register(name, handle.controller.clone());
+            let http = api.serve_http("127.0.0.1:0").expect("bind agent");
+            let agent = start_agent(
+                AgentConfig::new(name, coord_http.addr(), http.addr()).with_heartbeat(hb),
+                handle.controller.clone(),
+                &api,
+                registry,
+            );
+            (name.to_string(), Node { handle, http, _agent: agent })
+        })
+        .collect();
+
+    let wait_until = |deadline: Duration, pred: &mut dyn FnMut() -> bool| {
+        let end = Instant::now() + deadline;
+        while Instant::now() < end {
+            if pred() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        pred()
+    };
+    let joined = wait_until(Duration::from_secs(10), &mut || {
+        bp_api::http_request(coord_http.addr(), "GET", "/cluster/status", None)
+            .ok()
+            .and_then(|(_, s)| s.get("joined").and_then(Json::as_u64))
+            == Some(2)
+    });
+    assert!(joined, "fleet never fully joined");
+
+    // Warm up: traffic flows and the tail sampler learns its slow
+    // threshold from the live window p99.
+    std::thread::sleep(Duration::from_millis(2_500));
+
+    // Latency spike on n1 only, armed through the coordinator.
+    let plan = Json::obj().set(
+        "plan",
+        Json::obj().set("name", "spike-n1").set("seed", 1u64).set(
+            "windows",
+            Json::Arr(vec![Json::obj()
+                .set("kind", "latency_spike")
+                .set("intensity", SPIKE_INTENSITY)
+                .set("magnitude", SPIKE_MAGNITUDE_US)]),
+        ),
+    );
+    let (st, body) =
+        bp_api::http_request(coord_http.addr(), "POST", "/cluster/chaos?node=n1", Some(&plan))
+            .expect("fan out chaos");
+    assert_eq!(st, 200, "POST /cluster/chaos failed: {body}");
+    std::thread::sleep(Duration::from_millis(5_000));
+
+    // Freeze the fleet, let in-flight requests drain, then measure
+    // everything over the live HTTP surfaces.
+    for (_, n) in &nodes {
+        n.handle.controller.pause();
+    }
+    std::thread::sleep(Duration::from_millis(400));
+
+    let n1 = &nodes[0].1;
+    if std::env::var("BP_TRACE_DEBUG").is_ok() {
+        let rec = n1.handle.controller.spans().unwrap();
+        eprintln!(
+            "dbg: threshold={:?}us retained slow={} err={} shed={} crash={} ratio={} evicted={}",
+            rec.slow_threshold_us(),
+            rec.tail_retained(bp_obs::RetainReason::Slow),
+            rec.tail_retained(bp_obs::RetainReason::Error),
+            rec.tail_retained(bp_obs::RetainReason::Shed),
+            rec.tail_retained(bp_obs::RetainReason::Crash),
+            rec.tail_retained(bp_obs::RetainReason::Ratio),
+            rec.tail_evicted(),
+        );
+    }
+    let (_, metrics_text) =
+        bp_api::http_request_text(n1.http.addr(), "GET", "/metrics", None).expect("n1 metrics");
+    let slow_requests =
+        histogram_above(&metrics_text, "bp_client_latency_us_bucket", SLOW_FLOOR_US);
+    let spans_text = |path: &str| -> String {
+        bp_api::http_request_text(n1.http.addr(), "GET", path, None).expect("n1 spans").1
+    };
+    let retained_slow = spans_text(&format!("/trace/spans?last=1000000&min_us={SLOW_FLOOR_US}"))
+        .lines()
+        .count() as u64;
+    let all_spans = spans_text("/trace/spans?last=1000000");
+    let retained_total = all_spans.lines().count() as u64;
+    let ids_deterministic = all_spans.lines().all(|line| {
+        let Ok(j) = Json::parse(line) else { return false };
+        match (j.get("trace_id").and_then(Json::as_str), j.get("seq").and_then(Json::as_u64)) {
+            (Some(hex), Some(seq)) => {
+                bp_obs::parse_trace_id(hex) == Some(bp_obs::trace_id(SEED, seq))
+            }
+            _ => false,
+        }
+    });
+
+    // The observability loop closes: an exemplar scraped off a histogram
+    // bucket resolves through the coordinator to a merged breakdown.
+    let exemplar = first_exemplar(&metrics_text).unwrap_or_default();
+    let (st, body) = bp_api::http_request(
+        coord_http.addr(),
+        "GET",
+        &format!("/cluster/trace/{exemplar}"),
+        None,
+    )
+    .expect("cluster trace");
+    let dominant_stage = body
+        .get("merged")
+        .and_then(|m| m.get("dominant_stage"))
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
+    let cluster_trace_ok = st == 200 && !dominant_stage.is_empty();
+
+    for (_, n) in nodes {
+        n.handle.controller.stop();
+        n.handle.stop_and_join();
+    }
+
+    TraceReport {
+        slow_requests,
+        retained_slow,
+        retention: if slow_requests == 0 {
+            1.0
+        } else {
+            (retained_slow as f64 / slow_requests as f64).min(1.0)
+        },
+        retained_total,
+        span_budget: SPAN_BUDGET as u64,
+        exemplar,
+        cluster_trace_ok,
+        dominant_stage,
+        ids_deterministic,
     }
 }
 
@@ -1886,6 +2174,32 @@ mod tests {
         );
         assert!(r.merged_metrics_ok, "merged /cluster/metrics must reflect the fleet");
         assert!(r.journal_ok, "membership transitions must be journaled");
+    }
+
+    #[test]
+    fn trace_tail_sampling_and_cluster_resolution() {
+        let _serial = serial();
+        let r = run_trace();
+        assert!(r.slow_requests > 0, "the latency spike must actually slow some requests");
+        assert!(
+            r.retention >= 0.99,
+            "tail sampler must retain >=99% of slow requests: kept {} of {}",
+            r.retained_slow,
+            r.slow_requests
+        );
+        assert!(
+            r.retained_total <= 2 * r.span_budget,
+            "retained spans ({}) must stay within 2x the {} budget",
+            r.retained_total,
+            r.span_budget
+        );
+        assert!(!r.exemplar.is_empty(), "/metrics must carry a trace_id exemplar");
+        assert!(
+            r.cluster_trace_ok,
+            "exemplar {} must resolve via /cluster/trace to a merged breakdown",
+            r.exemplar
+        );
+        assert!(r.ids_deterministic, "trace ids must re-derive from (seed, seq)");
     }
 
     #[test]

@@ -152,6 +152,11 @@ fn window_from_json(j: &Json) -> NodeWindow {
         p50_us: j.get("p50_us").and_then(Json::as_u64).unwrap_or(0),
         p99_us: j.get("p99_us").and_then(Json::as_u64).unwrap_or(0),
         throughput: j.get("throughput").and_then(Json::as_f64).unwrap_or(0.0),
+        slow_trace: j
+            .get("slow_trace")
+            .and_then(Json::as_str)
+            .and_then(bp_obs::parse_trace_id)
+            .unwrap_or(0),
     }
 }
 
@@ -297,33 +302,37 @@ impl ClusterCoordinator {
     /// median of its peers. bp-doctor folds the resulting event run into a
     /// `straggler_node` finding.
     fn straggler_check(&self) {
-        let stats: Vec<(String, u64)> = {
+        let stats: Vec<(String, u64, u64)> = {
             let table = self.membership.lock();
             table
                 .live()
                 .iter()
                 .filter(|m| m.window.count >= STRAGGLER_MIN_COUNT)
-                .map(|m| (m.id.clone(), m.window.p99_us))
+                .map(|m| (m.id.clone(), m.window.p99_us, m.window.slow_trace))
                 .collect()
         };
         if stats.len() < 2 {
             return;
         }
-        for (id, p99) in &stats {
+        for (id, p99, slow_trace) in &stats {
             let mut others: Vec<u64> =
-                stats.iter().filter(|(oid, _)| oid != id).map(|(_, p)| *p).collect();
+                stats.iter().filter(|(oid, _, _)| oid != id).map(|(_, p, _)| *p).collect();
             others.sort_unstable();
             let median = others[others.len() / 2];
             if *p99 >= STRAGGLER_FLOOR_US && *p99 as f64 >= STRAGGLER_FACTOR * median as f64 {
                 self.stragglers_total.fetch_add(1, Ordering::Relaxed);
                 self.journal.emit_with(Severity::Warn, "cluster", "node_straggler", || {
+                    let mut fields = vec![
+                        ("node", id.clone()),
+                        ("p99_us", format!("{p99}")),
+                        ("cluster_p99_us", format!("{median}")),
+                    ];
+                    if *slow_trace != 0 {
+                        fields.push(("trace_id", bp_obs::format_trace_id(*slow_trace)));
+                    }
                     (
                         format!("node {id} window p99 {p99}us vs cluster median {median}us"),
-                        vec![
-                            ("node", id.clone()),
-                            ("p99_us", format!("{p99}")),
-                            ("cluster_p99_us", format!("{median}")),
-                        ],
+                        fields,
                     )
                 });
             }
@@ -477,6 +486,15 @@ impl ClusterCoordinator {
             .members()
             .iter()
             .map(|m| {
+                let mut window = Json::obj()
+                    .set("count", m.window.count)
+                    .set("p50_us", m.window.p50_us)
+                    .set("p99_us", m.window.p99_us)
+                    .set("throughput", m.window.throughput);
+                if m.window.slow_trace != 0 {
+                    window = window
+                        .set("slow_trace", bp_obs::format_trace_id(m.window.slow_trace).as_str());
+                }
                 Json::obj()
                     .set("node", m.id.as_str())
                     .set("addr", m.addr.to_string().as_str())
@@ -485,14 +503,7 @@ impl ClusterCoordinator {
                     .set("weight", m.weight)
                     .set("heartbeats", m.heartbeats)
                     .set("last_seen_us", m.last_seen_us)
-                    .set(
-                        "window",
-                        Json::obj()
-                            .set("count", m.window.count)
-                            .set("p50_us", m.window.p50_us)
-                            .set("p99_us", m.window.p99_us)
-                            .set("throughput", m.window.throughput),
-                    )
+                    .set("window", window)
             })
             .collect();
         let (joined, suspect, dead) = table.counts();
@@ -586,6 +597,88 @@ impl ClusterCoordinator {
             results.push(item);
         }
         Response::ok(Json::obj().set("results", Json::Arr(results)))
+    }
+
+    /// `GET /cluster/trace/{id}`: fan the trace lookup out to every live
+    /// agent's `GET /trace/{id}` and merge the per-node views — stages
+    /// summed across nodes, the dominant stage named on the merged
+    /// breakdown. 404 only when no live node retained the trace.
+    fn cluster_trace(&self, id_hex: &str) -> Response {
+        let Some(id) = bp_obs::parse_trace_id(id_hex) else {
+            return Response::error(
+                400,
+                &format!("invalid trace id {id_hex}: expected 1-16 hex digits"),
+            );
+        };
+        let hex = bp_obs::format_trace_id(id);
+        let targets: Vec<(String, SocketAddr)> = {
+            let table = self.membership.lock();
+            table.live().iter().map(|m| (m.id.clone(), m.addr)).collect()
+        };
+        let mut nodes: Vec<Json> = Vec::new();
+        let mut stage_sums: Vec<(String, u64)> = Vec::new();
+        let mut total_us = 0u64;
+        for (nid, addr) in targets {
+            match http_request_timeout(addr, "GET", &format!("/trace/{hex}"), None, FANOUT_TIMEOUT)
+            {
+                Ok((200, body)) => {
+                    if let Some(stages) = body.get("stages").and_then(Json::as_arr) {
+                        for st in stages {
+                            let name = st.get("stage").and_then(Json::as_str);
+                            let us = st.get("us").and_then(Json::as_u64);
+                            let (Some(name), Some(us)) = (name, us) else { continue };
+                            match stage_sums.iter_mut().find(|(n, _)| n == name) {
+                                Some((_, sum)) => *sum += us,
+                                None => stage_sums.push((name.to_string(), us)),
+                            }
+                        }
+                    }
+                    total_us += body.get("total_us").and_then(Json::as_u64).unwrap_or(0);
+                    nodes.push(Json::obj().set("node", nid.as_str()).set("trace", body));
+                }
+                // 404 just means this node never retained the trace.
+                Ok((404, _)) => {}
+                Ok((status, _)) => {
+                    self.journal.emit_with(Severity::Debug, "cluster", "fanout_error", || {
+                        (
+                            format!("trace lookup on {nid} returned {status}"),
+                            vec![("node", nid.clone())],
+                        )
+                    });
+                }
+                Err(e) => {
+                    self.journal.emit_with(Severity::Debug, "cluster", "fanout_error", || {
+                        (
+                            format!("trace lookup on {nid} failed: {e}"),
+                            vec![("node", nid.clone())],
+                        )
+                    });
+                }
+            }
+        }
+        if nodes.is_empty() {
+            return Response::error(404, &format!("trace {hex} not retained on any live node"));
+        }
+        let dominant = stage_sums
+            .iter()
+            .max_by_key(|(_, us)| *us)
+            .map(|(n, _)| n.clone())
+            .unwrap_or_default();
+        let stages_json = Json::Arr(
+            stage_sums
+                .iter()
+                .map(|(n, us)| Json::obj().set("stage", n.as_str()).set("us", *us))
+                .collect(),
+        );
+        Response::ok(
+            Json::obj().set("trace_id", hex.as_str()).set("nodes", Json::Arr(nodes)).set(
+                "merged",
+                Json::obj()
+                    .set("stages", stages_json)
+                    .set("total_us", total_us)
+                    .set("dominant_stage", dominant.as_str()),
+            ),
+        )
     }
 
     /// `GET /cluster/metrics`: pull every live agent's metrics snapshot
@@ -767,6 +860,7 @@ impl RouteExtension for ClusterCoordinator {
                 None,
                 query_param(query, "node"),
             ),
+            (Method::Get, ["cluster", "trace", id]) => self.cluster_trace(id),
             (Method::Post, ["cluster", "slo"]) => self.slo_arm(req),
             (Method::Delete, ["cluster", "slo"]) => self.slo_disarm(),
             (Method::Get, ["cluster", "slo"]) => self.slo_status(),

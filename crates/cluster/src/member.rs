@@ -50,6 +50,10 @@ pub struct NodeWindow {
     pub p50_us: u64,
     pub p99_us: u64,
     pub throughput: f64,
+    /// Trace id of the slowest recently retained span on that node (0 when
+    /// the agent has no span recorder or nothing retained yet). Lets
+    /// straggler findings cite a concrete exemplar request.
+    pub slow_trace: u64,
 }
 
 /// One agent as the coordinator sees it.
@@ -322,8 +326,10 @@ mod tests {
         t.join("a", addr(1), 0);
         t.join("b", addr(2), 0);
         // a reports 3x the throughput of b.
-        let wa = NodeWindow { count: 300, p50_us: 500, p99_us: 2_000, throughput: 300.0 };
-        let wb = NodeWindow { count: 100, p50_us: 900, p99_us: 9_000, throughput: 100.0 };
+        let wa =
+            NodeWindow { count: 300, p50_us: 500, p99_us: 2_000, throughput: 300.0, slow_trace: 0 };
+        let wb =
+            NodeWindow { count: 100, p50_us: 900, p99_us: 9_000, throughput: 100.0, slow_trace: 0 };
         t.heartbeat("a", wa, 10);
         t.heartbeat("b", wb, 10);
         let split: Vec<f64> = t.split_rate(1_000.0).into_iter().map(|(_, r)| r).collect();
@@ -348,7 +354,7 @@ mod tests {
     fn weight_ema_smooths_noise() {
         let mut t = MembershipTable::new(HB);
         t.join("a", addr(1), 0);
-        let w = |tp: f64| NodeWindow { count: 10, p50_us: 1, p99_us: 1, throughput: tp };
+        let w = |tp: f64| NodeWindow { count: 10, p50_us: 1, p99_us: 1, throughput: tp, ..NodeWindow::default() };
         t.heartbeat("a", w(100.0), 1);
         assert_eq!(t.get("a").unwrap().weight, 100.0);
         t.heartbeat("a", w(200.0), 2);

@@ -149,6 +149,9 @@ impl WorkloadConfig {
             if let Some(cap) = node.child_parse::<usize>("ringcapacity") {
                 obs.ring_capacity = cap;
             }
+            if let Some(budget) = node.child_parse::<usize>("spanbudget") {
+                obs.span_budget = budget;
+            }
         }
 
         let mut slo = None;
@@ -295,6 +298,9 @@ impl WorkloadConfig {
             obs.children.push(add("spans", self.obs.mode.name().into()));
             obs.children.push(add("samplerate", format!("{}", self.obs.sample_ratio)));
             obs.children.push(add("ringcapacity", format!("{}", self.obs.ring_capacity)));
+            if self.obs.span_budget > 0 {
+                obs.children.push(add("spanbudget", format!("{}", self.obs.span_budget)));
+            }
             root.children.push(obs);
         }
         if let Some(s) = &self.slo {
@@ -415,12 +421,14 @@ mod tests {
         let xml = SAMPLE.replace(
             "</parameters>",
             "<observability><spans>sampled</spans><samplerate>0.25</samplerate>\
-             <ringcapacity>1024</ringcapacity></observability></parameters>",
+             <ringcapacity>1024</ringcapacity><spanbudget>512</spanbudget>\
+             </observability></parameters>",
         );
         let cfg = WorkloadConfig::parse(&xml).unwrap();
         assert_eq!(cfg.obs.mode, SpanMode::Sampled);
         assert_eq!(cfg.obs.sample_ratio, 0.25);
         assert_eq!(cfg.obs.ring_capacity, 1024);
+        assert_eq!(cfg.obs.span_budget, 512);
         // Carried into the run config verbatim.
         assert_eq!(cfg.run_config(1).obs, cfg.obs);
         // Survives the XML round trip.

@@ -162,7 +162,8 @@ pub fn start_with_source(
     queue.set_rate(initial_rate.arrivals_per_second(cfg.unlimited_rate));
     let stats = Arc::new(StatsCollector::new(clock.clone(), &type_names));
     let trace = if cfg.collect_trace { Some(Arc::new(Trace::new())) } else { None };
-    let spans = Arc::new(SpanRecorder::new(cfg.obs));
+    let spans = Arc::new(SpanRecorder::new(cfg.obs).with_journal(db.journal().clone()));
+    stats.set_span_source(spans.clone());
     let breaker = cfg.resilience.breaker.as_ref().map(|b| {
         Arc::new(
             CircuitBreaker::new(workload.name(), b.clone()).with_journal(db.journal().clone()),
@@ -196,6 +197,7 @@ pub fn start_with_source(
             stats.clone(),
             db.clone(),
             breaker.clone(),
+            spans.clone(),
         ));
         Some(guard)
     } else {
@@ -240,6 +242,7 @@ pub fn start_with_source(
         let max_retries = cfg.max_retries;
         let tenant = cfg.tenant;
         let seed = cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1));
+        let run_seed = cfg.seed;
         let breaker = breaker.clone();
         let budget = budget.clone();
         let resilience = cfg.resilience.clone();
@@ -259,6 +262,7 @@ pub fn start_with_source(
                         max_retries,
                         tenant,
                         seed,
+                        run_seed,
                         breaker,
                         budget,
                         resilience,
@@ -282,6 +286,7 @@ fn sensor(
     stats: Arc<StatsCollector>,
     db: Arc<Database>,
     breaker: Option<Arc<CircuitBreaker>>,
+    spans: Arc<SpanRecorder>,
 ) -> Box<dyn FnMut() -> TelemetrySample + Send> {
     let mut prev_srv = db.metrics().snapshot();
     let mut prev_done = 0u64;
@@ -289,6 +294,16 @@ fn sensor(
     let mut prev_shed = 0u64;
     Box::new(move || {
         let win = stats.window_snapshot(3);
+        // Feed the tail sampler: the live window p99 becomes its "slow"
+        // cutoff (rise-slowly / fall-fast smoothing happens inside), and a
+        // crashed engine marks the moment so in-flight requests that
+        // straddle it are always retained.
+        if win.count >= 20 {
+            spans.set_slow_threshold(win.p99_us);
+        }
+        if db.is_crashed() {
+            spans.note_crash(stats.clock().now());
+        }
         let status = stats.status(3);
         let srv = db.metrics().snapshot();
         let d = srv.delta(&prev_srv);
@@ -410,6 +425,10 @@ struct WorkerCtx {
     max_retries: u32,
     tenant: u16,
     seed: u64,
+    /// The unperturbed run seed: trace ids must be a function of
+    /// (run seed, seq) alone so every worker — and every node replaying
+    /// the same schedule — derives the same id for the same request.
+    run_seed: u64,
     breaker: Option<Arc<CircuitBreaker>>,
     budget: Arc<RetryBudget>,
     resilience: ResilienceConfig,
@@ -429,6 +448,7 @@ fn worker_loop(ctx: WorkerCtx) {
         max_retries,
         tenant,
         seed,
+        run_seed,
         breaker,
         budget,
         resilience,
@@ -460,8 +480,12 @@ fn worker_loop(ctx: WorkerCtx) {
         let start = clock.now();
         // One mode check per request; the storage layer's stage accumulator
         // is always drained (here, pre-execution) so lock-wait/commit time
-        // from an unrecorded request can't leak into a recorded one.
-        let record_span = spans.should_record(req.seq);
+        // from an unrecorded request can't leak into a recorded one. The
+        // retain/drop decision itself is tail-based: every completed span
+        // is *offered* to the recorder, which keeps slow/errored/shed/
+        // crash-straddling ones unconditionally.
+        let record_span = spans.enabled();
+        let tid = if record_span { bp_obs::trace_id(run_seed, req.seq) } else { 0 };
         bp_obs::take_stage_acc();
 
         // Admission control: an Open breaker fast-fails the request before
@@ -481,7 +505,8 @@ fn worker_loop(ctx: WorkerCtx) {
                 retries: 0,
             });
             if record_span {
-                spans.record(Span {
+                spans.offer(Span {
+                    trace_id: tid,
                     seq: req.seq,
                     submitted_us: req.arrival,
                     dequeued_us: start,
@@ -506,6 +531,12 @@ fn worker_loop(ctx: WorkerCtx) {
             continue;
         }
 
+        // Mark this thread's in-flight trace so deep storage events
+        // (deadlock victims, crashes) can cite the request that was
+        // on-CPU when they fired.
+        if record_span {
+            bp_obs::set_current_trace(tid);
+        }
         let mut retries = 0u32;
         let outcome = loop {
             // A tenant blackout invalidates the attempt before it reaches
@@ -582,6 +613,9 @@ fn worker_loop(ctx: WorkerCtx) {
             }
         };
         let end = clock.now();
+        if record_span {
+            bp_obs::set_current_trace(0);
+        }
 
         if let Some(b) = &breaker {
             match outcome {
@@ -593,7 +627,8 @@ fn worker_loop(ctx: WorkerCtx) {
         stats.record(Sample { txn_type: txn_idx, arrival: req.arrival, start, end, outcome, retries });
         if record_span {
             let (lock_wait_us, commit_us) = bp_obs::take_stage_acc();
-            spans.record(Span {
+            spans.offer(Span {
+                trace_id: tid,
                 seq: req.seq,
                 submitted_us: req.arrival,
                 dequeued_us: start,

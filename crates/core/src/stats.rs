@@ -126,6 +126,9 @@ pub struct StatsCollector {
     type_names: Vec<String>,
     clock: SharedClock,
     start: Micros,
+    /// Span recorder attached by the executor so client latency histograms
+    /// can carry trace-id exemplars on scrape (cold path only).
+    span_source: Mutex<Option<std::sync::Arc<bp_obs::SpanRecorder>>>,
 }
 
 /// One completed-request sample.
@@ -183,7 +186,14 @@ impl StatsCollector {
             type_names: type_names.iter().map(|n| (*n).to_string()).collect(),
             start: clock.now(),
             clock,
+            span_source: Mutex::new(None),
         }
+    }
+
+    /// Attach the run's span recorder; scrapes then decorate
+    /// `bp_client_latency_us` buckets with recent trace-id exemplars.
+    pub fn set_span_source(&self, spans: std::sync::Arc<bp_obs::SpanRecorder>) {
+        *self.span_source.lock() = Some(spans);
     }
 
     pub fn shard_count(&self) -> usize {
@@ -364,7 +374,15 @@ pub struct WindowSnapshot {
 impl bp_obs::MetricsSource for StatsCollector {
     fn collect(&self, buf: &mut bp_obs::MetricsBuf) {
         let merged = self.merged();
-        for (name, pt) in self.type_names.iter().zip(&merged.per_type) {
+        // Recent retained spans, oldest first, for per-type latency
+        // exemplars (client latency = dispatch → end, matching `Sample`).
+        let recent_spans = self
+            .span_source
+            .lock()
+            .as_ref()
+            .map(|s| s.recent(256))
+            .unwrap_or_default();
+        for (idx, (name, pt)) in self.type_names.iter().zip(&merged.per_type).enumerate() {
             let labels: [(&str, &str); 1] = [("type", name)];
             buf.counter(
                 "bp_client_committed_total",
@@ -396,11 +414,17 @@ impl bp_obs::MetricsSource for StatsCollector {
                 &labels,
                 pt.shed as f64,
             );
-            buf.histogram(
+            let exemplars: Vec<(u64, String)> = recent_spans
+                .iter()
+                .filter(|s| s.trace_id != 0 && s.txn_type as usize == idx)
+                .map(|s| (s.end_us.saturating_sub(s.dequeued_us), bp_obs::format_trace_id(s.trace_id)))
+                .collect();
+            buf.histogram_with_exemplars(
                 "bp_client_latency_us",
                 "Client-observed execution latency in microseconds",
                 &labels,
                 &pt.latency,
+                &exemplars,
             );
         }
         buf.histogram(

@@ -553,6 +553,7 @@ mod tests {
         let db = bp_storage::Database::new(bp_storage::Personality::test());
         let rec = Arc::new(SpanRecorder::new(ObsConfig::default()));
         rec.record(Span {
+            trace_id: bp_obs::trace_id(42, 0),
             seq: 0,
             submitted_us: 0,
             dequeued_us: 10,

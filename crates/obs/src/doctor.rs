@@ -39,6 +39,8 @@ pub enum Bottleneck {
     ShedDominated,
     CrashRecovery,
     StragglerNode,
+    /// The tail sampler's span budget is too small for the retention rate.
+    TraceBudget,
 }
 
 impl Bottleneck {
@@ -52,6 +54,7 @@ impl Bottleneck {
             Bottleneck::ShedDominated => "shed_dominated",
             Bottleneck::CrashRecovery => "crash_recovery",
             Bottleneck::StragglerNode => "straggler_node",
+            Bottleneck::TraceBudget => "trace_budget",
         }
     }
 }
@@ -253,7 +256,7 @@ fn crash_findings(report: &Report) -> Vec<Finding> {
                 .or(report_end)
                 .unwrap_or(crash.ts_us);
             let point = field(crash, "crashpoint").unwrap_or_else(|| "unknown".to_string());
-            let evidence = match recovered {
+            let mut evidence = match recovered {
                 Some(r) => format!(
                     "engine crashed at {point} and recovered in {:.0}ms (replayed {} redo records, {} torn)",
                     (end_us.saturating_sub(crash.ts_us)) as f64 / 1e3,
@@ -262,6 +265,7 @@ fn crash_findings(report: &Report) -> Vec<Finding> {
                 ),
                 None => format!("engine crashed at {point} and has not recovered"),
             };
+            cite_trace(&mut evidence, crash);
             Finding {
                 bottleneck: Bottleneck::CrashRecovery,
                 start_us: crash.ts_us,
@@ -277,6 +281,47 @@ fn crash_findings(report: &Report) -> Vec<Finding> {
         .collect()
 }
 
+/// Event-driven trace-budget findings: the span recorder journals a
+/// rate-limited `trace_evict` whenever the tail sampler's budget ring
+/// overwrites a retained span. All evict events fold into one finding
+/// spanning the episode — the fix (a larger `spanbudget`) is the same no
+/// matter how often it fired.
+fn trace_findings(report: &Report) -> Vec<Finding> {
+    let field = |e: &Event, name: &str| {
+        e.fields.iter().find(|(k, _)| *k == name).map(|(_, v)| v.clone())
+    };
+    let evicts: Vec<&Event> =
+        report.events.iter().filter(|e| e.kind == "trace_evict").collect();
+    let (Some(first), Some(last)) = (evicts.first(), evicts.last()) else {
+        return Vec::new();
+    };
+    let evicted = field(last, "evicted").unwrap_or_else(|| "?".to_string());
+    let budget = field(last, "budget").unwrap_or_else(|| "?".to_string());
+    vec![Finding {
+        bottleneck: Bottleneck::TraceBudget,
+        start_us: first.ts_us,
+        end_us: last.ts_us.max(first.ts_us + report.interval_us),
+        // A hint, not a bottleneck: evidence quality suffers, the
+        // workload doesn't. Ranks below every performance class.
+        score: 20.0,
+        evidence: format!(
+            "tail sampler evicted {evicted} retained spans (budget {budget}); \
+             raise <spanbudget> or lower the sample ratio to keep slow-request traces"
+        ),
+        causal_event: Some(first.seq),
+        causal_kind: Some("trace_evict"),
+    }]
+}
+
+/// If the causal event carries a `trace_id` field, cite it in the
+/// evidence so the finding links straight to `GET /trace/{id}`.
+fn cite_trace(evidence: &mut String, e: &Event) {
+    if let Some((_, id)) = e.fields.iter().find(|(k, _)| *k == "trace_id") {
+        use std::fmt::Write as _;
+        let _ = write!(evidence, "; trace {id}");
+    }
+}
+
 /// Diagnose a report: classify each window, fold consecutive same-class
 /// windows into findings, attach causal events, rank by score descending.
 pub fn diagnose(report: &Report) -> Vec<Finding> {
@@ -284,6 +329,7 @@ pub fn diagnose(report: &Report) -> Vec<Finding> {
     if samples.is_empty() {
         let mut findings = crash_findings(report);
         findings.extend(straggler_findings(report));
+        findings.extend(trace_findings(report));
         findings.sort_by(|a, b| b.score.total_cmp(&a.score));
         return findings;
     }
@@ -364,9 +410,9 @@ pub fn diagnose(report: &Report) -> Vec<Finding> {
                 "delivered {:.0} tx/s ~= commanded {:.0} tx/s with healthy tail",
                 peak_sample.throughput, peak_sample.rate,
             ),
-            // Crash and straggler findings are synthesized from journal
-            // events, never from window classification.
-            Bottleneck::CrashRecovery | Bottleneck::StragglerNode => {
+            // Crash, straggler, and trace-budget findings are synthesized
+            // from journal events, never from window classification.
+            Bottleneck::CrashRecovery | Bottleneck::StragglerNode | Bottleneck::TraceBudget => {
                 unreachable!("event-driven class")
             }
         };
@@ -397,6 +443,7 @@ pub fn diagnose(report: &Report) -> Vec<Finding> {
 
     findings.extend(crash_findings(report));
     findings.extend(straggler_findings(report));
+    findings.extend(trace_findings(report));
     findings.sort_by(|a, b| b.score.total_cmp(&a.score));
     findings
 }
@@ -426,6 +473,9 @@ fn straggler_findings(report: &Report) -> Vec<Finding> {
         i += 1;
         let p99 = field(last, "p99_us").unwrap_or_else(|| "?".to_string());
         let cluster = field(last, "cluster_p99_us").unwrap_or_else(|| "?".to_string());
+        let mut evidence =
+            format!("node {node} window p99 {p99}us dominates cluster median {cluster}us");
+        cite_trace(&mut evidence, last);
         findings.push(Finding {
             bottleneck: Bottleneck::StragglerNode,
             start_us: first.ts_us,
@@ -433,9 +483,7 @@ fn straggler_findings(report: &Report) -> Vec<Finding> {
             // Above every counter-driven class but below a dead engine:
             // one slow node drags the whole merged tail.
             score: 40.0,
-            evidence: format!(
-                "node {node} window p99 {p99}us dominates cluster median {cluster}us"
-            ),
+            evidence,
             causal_event: Some(first.seq),
             causal_kind: Some("node_straggler"),
         });
@@ -682,6 +730,78 @@ mod tests {
         // still surfaces stragglers.
         let findings = diagnose(&report(vec![], events));
         assert!(findings.iter().any(|f| f.bottleneck == Bottleneck::StragglerNode));
+    }
+
+    #[test]
+    fn trace_evict_events_become_budget_hint() {
+        let evict = |seq: u64, ts_us: u64, evicted: &str| Event {
+            seq,
+            ts_us,
+            severity: Severity::Warn,
+            source: "obs",
+            kind: "trace_evict",
+            message: format!("span budget full: {evicted} retained spans evicted"),
+            fields: vec![
+                ("evicted", evicted.to_string()),
+                ("budget", "512".to_string()),
+            ],
+        };
+        let samples: Vec<TelemetrySample> = (0..4).map(healthy).collect();
+        let events = vec![evict(2, 1_100_000, "40"), evict(3, 2_100_000, "230")];
+        let findings = diagnose(&report(samples, events.clone()));
+        let hints: Vec<&Finding> =
+            findings.iter().filter(|f| f.bottleneck == Bottleneck::TraceBudget).collect();
+        assert_eq!(hints.len(), 1, "all evicts fold into one hint: {findings:?}");
+        let hint = hints[0];
+        assert_eq!(hint.start_us, 1_100_000);
+        assert_eq!(hint.end_us, 2_100_000);
+        assert_eq!(hint.causal_kind, Some("trace_evict"));
+        assert!(hint.evidence.contains("evicted 230"), "{}", hint.evidence);
+        assert!(hint.evidence.contains("budget 512"), "{}", hint.evidence);
+        assert!(hint.evidence.contains("spanbudget"), "{}", hint.evidence);
+        assert_eq!(
+            hint.to_json().get("bottleneck").and_then(Json::as_str),
+            Some("trace_budget")
+        );
+        // Sample-free reports surface it too.
+        assert!(diagnose(&report(vec![], events))
+            .iter()
+            .any(|f| f.bottleneck == Bottleneck::TraceBudget));
+    }
+
+    #[test]
+    fn findings_cite_trace_ids_from_events() {
+        let straggle = Event {
+            seq: 5,
+            ts_us: 1_200_000,
+            severity: Severity::Warn,
+            source: "cluster",
+            kind: "node_straggler",
+            message: "node n2 lags".into(),
+            fields: vec![
+                ("node", "n2".to_string()),
+                ("p99_us", "45000".to_string()),
+                ("cluster_p99_us", "900".to_string()),
+                ("trace_id", "00ab12cd34ef5678".to_string()),
+            ],
+        };
+        let crash = Event {
+            seq: 9,
+            ts_us: 2_000_000,
+            severity: Severity::Error,
+            source: "storage",
+            kind: "server_crash",
+            message: "crashed".into(),
+            fields: vec![
+                ("crashpoint", "torn".to_string()),
+                ("trace_id", "deadbeefdeadbeef".to_string()),
+            ],
+        };
+        let findings = diagnose(&report(vec![], vec![straggle, crash]));
+        let strag = findings.iter().find(|f| f.bottleneck == Bottleneck::StragglerNode).unwrap();
+        assert!(strag.evidence.contains("trace 00ab12cd34ef5678"), "{}", strag.evidence);
+        let cr = findings.iter().find(|f| f.bottleneck == Bottleneck::CrashRecovery).unwrap();
+        assert!(cr.evidence.contains("trace deadbeefdeadbeef"), "{}", cr.evidence);
     }
 
     #[test]

@@ -163,7 +163,8 @@ const VOCAB: &[&str] = &[
     "chaos_armed", "chaos_disarmed", "breaker_transition", "deadlock_victim", "wal_rotate",
     "buffer_pressure", "saturation_change", "replay_launch", "doctor", "phase", "rate", "before",
     "after", "plan", "state", "txn", "holder", "segment", "lsn", "bytes", "ratio", "from", "to",
-    "workload", "adjustment", "p99_us", "limit_us", "crash", "unknown",
+    "workload", "adjustment", "p99_us", "limit_us", "crash", "obs", "trace_evict", "evicted",
+    "budget", "trace_id", "unknown",
 ];
 
 fn intern(s: &str) -> &'static str {

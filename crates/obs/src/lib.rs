@@ -43,10 +43,11 @@ pub use recorder::{
     Report, TelemetryGuard, TelemetryRecorder, TelemetrySample, SAMPLE_COLUMNS,
 };
 pub use registry::{
-    escape_label_value, merge_samples, render_samples, MetricValue, MetricsBuf, MetricsRegistry,
-    MetricsSource, Sample,
+    escape_label_value, merge_samples, render_samples, Exemplar, MetricValue, MetricsBuf,
+    MetricsRegistry, MetricsSource, Sample,
 };
 pub use span::{
-    add_commit_us, add_lock_wait_us, format_stage_line, take_stage_acc, ObsConfig, Span,
+    add_commit_us, add_lock_wait_us, current_trace, format_stage_line, format_trace_id,
+    parse_trace_id, set_current_trace, take_stage_acc, trace_id, ObsConfig, RetainReason, Span,
     SpanMode, SpanOutcome, SpanRecorder, Stage, StageSummary,
 };

@@ -46,6 +46,19 @@ impl MetricValue {
     }
 }
 
+/// One OpenMetrics exemplar: a concrete trace id attached to a histogram
+/// bucket, rendered as `... # {trace_id="<id>"} <value>` after the bucket
+/// line. At most one per bucket (`le` is unique within a sample).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// Upper bound of the bucket this exemplar belongs to.
+    pub le: f64,
+    /// Trace id, already escaped like a label value.
+    pub trace_id: String,
+    /// The observed value (µs) that fell into the bucket.
+    pub value: f64,
+}
+
 /// One named sample contributed by a source.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
@@ -53,6 +66,9 @@ pub struct Sample {
     pub labels: Vec<(String, String)>,
     pub help: String,
     pub value: MetricValue,
+    /// Histogram bucket exemplars (empty for counters/gauges and for
+    /// histograms without any recent traced observation).
+    pub exemplars: Vec<Exemplar>,
 }
 
 impl Sample {
@@ -67,10 +83,31 @@ impl Sample {
                 .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Str(v.clone())]))
                 .collect(),
         );
-        let j = Json::obj()
+        let mut j = Json::obj()
             .set("name", self.name.as_str())
             .set("help", self.help.as_str())
             .set("labels", labels);
+        if !self.exemplars.is_empty() {
+            j = j.set(
+                "exemplars",
+                Json::Arr(
+                    self.exemplars
+                        .iter()
+                        .map(|e| {
+                            let le = if e.le.is_infinite() {
+                                Json::Str("+Inf".into())
+                            } else {
+                                Json::Num(e.le)
+                            };
+                            Json::obj()
+                                .set("le", le)
+                                .set("trace_id", e.trace_id.as_str())
+                                .set("value", e.value)
+                        })
+                        .collect(),
+                ),
+            );
+        }
         match &self.value {
             MetricValue::Counter(v) => j.set("type", "counter").set("value", *v),
             MetricValue::Gauge(v) => j.set("type", "gauge").set("value", *v),
@@ -139,7 +176,25 @@ impl Sample {
             }
             _ => return None,
         };
-        Some(Sample { name, labels, help, value })
+        // Exemplars are optional on the wire: older peers omit the key.
+        let exemplars = match j.get("exemplars").and_then(Json::as_arr) {
+            Some(arr) => arr
+                .iter()
+                .map(|e| {
+                    let le = match e.get("le")? {
+                        Json::Str(s) if s == "+Inf" => f64::INFINITY,
+                        v => v.as_f64()?,
+                    };
+                    Some(Exemplar {
+                        le,
+                        trace_id: e.get("trace_id")?.as_str()?.to_string(),
+                        value: e.get("value")?.as_f64()?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?,
+            None => Vec::new(),
+        };
+        Some(Sample { name, labels, help, value, exemplars })
     }
 }
 
@@ -184,6 +239,17 @@ impl MetricsBuf {
     }
 
     fn push(&mut self, name: &str, help: &'static str, labels: &[(&str, &str)], value: MetricValue) {
+        self.push_with_exemplars(name, help, labels, value, Vec::new());
+    }
+
+    fn push_with_exemplars(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        value: MetricValue,
+        exemplars: Vec<Exemplar>,
+    ) {
         self.samples.push(Sample {
             name: sanitize_name(name),
             labels: labels
@@ -192,6 +258,7 @@ impl MetricsBuf {
                 .collect(),
             help: help.to_string(),
             value,
+            exemplars,
         });
     }
 
@@ -226,39 +293,71 @@ impl MetricsBuf {
         h: &Histogram,
         bounds: &[u64],
     ) {
-        // Project the log-linear histogram onto the fixed bounds: each
-        // internal bucket's count lands in the first bound that covers its
-        // lower edge (≤3% representative error, same as the histogram).
-        let mut per_bound = vec![0u64; bounds.len()];
-        let mut overflow = 0u64;
-        for (low, count) in h.iter() {
-            match bounds.iter().position(|&b| low <= b) {
-                Some(i) => per_bound[i] += count,
-                None => overflow += count,
-            }
+        let value = project_histogram(h, bounds);
+        self.push(name, help, labels, value);
+    }
+
+    /// Render a [`Histogram`] on the standard latency bounds, attaching at
+    /// most one exemplar per bucket from `(observed_us, trace_id)` pairs.
+    /// Pairs are expected oldest-first; the most recent observation per
+    /// bucket wins. Trace ids are escaped here like label values, so
+    /// hostile content cannot break out of the exemplar braces.
+    pub fn histogram_with_exemplars(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        h: &Histogram,
+        observations: &[(u64, String)],
+    ) {
+        let bounds = &LATENCY_BOUNDS_US;
+        let value = project_histogram(h, bounds);
+        // One slot per bound plus +Inf; later (more recent) pairs overwrite.
+        let mut slots: Vec<Option<Exemplar>> = vec![None; bounds.len() + 1];
+        for (us, trace) in observations {
+            let (i, le) = match bounds.iter().position(|&b| *us <= b) {
+                Some(i) => (i, bounds[i] as f64),
+                None => (bounds.len(), f64::INFINITY),
+            };
+            slots[i] = Some(Exemplar {
+                le,
+                trace_id: escape_label_value(trace),
+                value: *us as f64,
+            });
         }
-        let mut buckets = Vec::with_capacity(bounds.len() + 1);
-        let mut cum = 0u64;
-        for (b, c) in bounds.iter().zip(&per_bound) {
-            cum += c;
-            buckets.push((*b as f64, cum));
-        }
-        buckets.push((f64::INFINITY, cum + overflow));
-        self.push(
-            name,
-            help,
-            labels,
-            MetricValue::Histogram {
-                buckets,
-                // An empty histogram's mean is NaN; its sum must render 0.
-                sum: if h.count() == 0 { 0.0 } else { h.mean() * h.count() as f64 },
-                count: h.count(),
-            },
-        );
+        let exemplars = slots.into_iter().flatten().collect();
+        self.push_with_exemplars(name, help, labels, value, exemplars);
     }
 
     pub fn into_samples(self) -> Vec<Sample> {
         self.samples
+    }
+}
+
+/// Project a log-linear [`Histogram`] onto fixed bounds: each internal
+/// bucket's count lands in the first bound that covers its lower edge
+/// (≤3% representative error, same as the histogram).
+fn project_histogram(h: &Histogram, bounds: &[u64]) -> MetricValue {
+    let mut per_bound = vec![0u64; bounds.len()];
+    let mut overflow = 0u64;
+    for (low, count) in h.iter() {
+        match bounds.iter().position(|&b| low <= b) {
+            Some(i) => per_bound[i] += count,
+            None => overflow += count,
+        }
+    }
+    let mut buckets = Vec::with_capacity(bounds.len() + 1);
+    let mut cum = 0u64;
+    for (b, c) in bounds.iter().zip(&per_bound) {
+        cum += c;
+        buckets.push((*b as f64, cum));
+    }
+    buckets.push((f64::INFINITY, cum + overflow));
+    MetricValue::Histogram {
+        buckets,
+        // An empty histogram's mean is NaN; its sum must render 0.
+        sum: if h.count() == 0 { 0.0 } else { h.mean() * h.count() as f64 },
+        count: h.count(),
     }
 }
 
@@ -361,6 +460,14 @@ pub fn merge_samples(sets: Vec<Vec<Sample>>) -> Vec<Sample> {
             Some(prev) if prev.name == s.name && prev.labels == s.labels => {
                 if !fold_value(&mut prev.value, &s.value) {
                     out.push(s);
+                } else {
+                    // Keep at most one exemplar per bucket across nodes;
+                    // the first node's exemplar wins on a shared bound.
+                    for e in s.exemplars {
+                        if !prev.exemplars.iter().any(|p| p.le.total_cmp(&e.le).is_eq()) {
+                            prev.exemplars.push(e);
+                        }
+                    }
                 }
             }
             _ => out.push(s),
@@ -468,6 +575,14 @@ fn render_sample(out: &mut String, s: &Sample) {
                 render_labels(out, &s.labels, Some(*le));
                 out.push(' ');
                 out.push_str(&c.to_string());
+                // OpenMetrics exemplar: `# {trace_id="..."} <value>` after
+                // the bucket count. Ids were escaped at push time.
+                if let Some(e) = s.exemplars.iter().find(|e| e.le.total_cmp(le).is_eq()) {
+                    out.push_str(" # {trace_id=\"");
+                    out.push_str(&e.trace_id);
+                    out.push_str("\"} ");
+                    render_value(out, e.value);
+                }
                 out.push('\n');
             }
             out.push_str(&s.name);
@@ -711,6 +826,129 @@ mod tests {
         assert_eq!(merged.len(), 2);
         assert_eq!(merged[0].value, MetricValue::Counter(6.0));
         assert_eq!(merged[1].value, MetricValue::Counter(2.0));
+    }
+
+    #[test]
+    fn exemplar_renders_after_bucket_line() {
+        let mut h = Histogram::latency();
+        h.record(120);
+        h.record(30_000);
+        let mut buf = MetricsBuf::new();
+        buf.histogram_with_exemplars(
+            "lat_us",
+            "h",
+            &[("stage", "exec")],
+            &h,
+            &[(120, "00ab12cd34ef5678".to_string()), (30_000, "ffffffffffffffff".to_string())],
+        );
+        let s = &buf.into_samples()[0];
+        let mut out = String::new();
+        render_sample(&mut out, s);
+        // 120µs lands in the first (le=250) bucket; 30ms in le=50000.
+        assert!(
+            out.contains("lat_us_bucket{stage=\"exec\",le=\"250\"} 1 # {trace_id=\"00ab12cd34ef5678\"} 120\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("le=\"50000\"} 2 # {trace_id=\"ffffffffffffffff\"} 30000\n"),
+            "{out}"
+        );
+        // Buckets without an exemplar render bare.
+        assert!(out.contains("lat_us_bucket{stage=\"exec\",le=\"100\"} 0\n"), "{out}");
+    }
+
+    #[test]
+    fn at_most_one_exemplar_per_bucket_most_recent_wins() {
+        let mut h = Histogram::latency();
+        for v in [150u64, 160, 170] {
+            h.record(v);
+        }
+        let mut buf = MetricsBuf::new();
+        // All three land in the le=250 bucket; pairs are oldest-first.
+        buf.histogram_with_exemplars(
+            "lat_us",
+            "h",
+            &[],
+            &h,
+            &[
+                (150, "aaaa".to_string()),
+                (160, "bbbb".to_string()),
+                (170, "cccc".to_string()),
+            ],
+        );
+        let s = &buf.into_samples()[0];
+        assert_eq!(s.exemplars.len(), 1, "one exemplar per bucket");
+        assert_eq!(s.exemplars[0].trace_id, "cccc", "most recent wins");
+        let mut out = String::new();
+        render_sample(&mut out, s);
+        assert_eq!(out.matches(" # {").count(), 1, "{out}");
+    }
+
+    #[test]
+    fn exemplar_trace_ids_escaped_inside_braces() {
+        let mut h = Histogram::latency();
+        h.record(120);
+        let mut buf = MetricsBuf::new();
+        buf.histogram_with_exemplars(
+            "lat_us",
+            "h",
+            &[],
+            &h,
+            &[(120, "bad\"id\\with\nstuff".to_string())],
+        );
+        let s = &buf.into_samples()[0];
+        assert_eq!(s.exemplars[0].trace_id, "bad\\\"id\\\\with\\nstuff", "stored pre-escaped");
+        let mut out = String::new();
+        render_sample(&mut out, s);
+        assert!(out.contains("# {trace_id=\"bad\\\"id\\\\with\\nstuff\"} 120"), "{out}");
+        // No raw quote/newline survives inside the braces.
+        let brace = out.split(" # {").nth(1).unwrap();
+        assert!(!brace.contains('\n') || brace.ends_with('\n'), "{out}");
+    }
+
+    #[test]
+    fn overflow_observation_lands_in_inf_exemplar() {
+        let mut h = Histogram::latency();
+        h.record(5_000_000);
+        let mut buf = MetricsBuf::new();
+        buf.histogram_with_exemplars("lat_us", "h", &[], &h, &[(5_000_000, "abcd".to_string())]);
+        let s = &buf.into_samples()[0];
+        assert_eq!(s.exemplars.len(), 1);
+        assert!(s.exemplars[0].le.is_infinite());
+        let mut out = String::new();
+        render_sample(&mut out, s);
+        assert!(out.contains("le=\"+Inf\"} 1 # {trace_id=\"abcd\"} 5000000\n"), "{out}");
+    }
+
+    #[test]
+    fn exemplars_survive_json_round_trip_and_merge() {
+        let mut h = Histogram::latency();
+        h.record(120);
+        let mut buf = MetricsBuf::new();
+        buf.histogram_with_exemplars("lat_us", "h", &[], &h, &[(120, "aaaa".to_string())]);
+        let s = buf.into_samples().remove(0);
+        let back = Sample::from_json(&s.to_json()).expect("round-trip");
+        assert_eq!(back, s);
+        // Merge: same bound keeps the first node's exemplar; a bound only
+        // the second node has comes through.
+        let mut h2 = Histogram::latency();
+        h2.record(130);
+        h2.record(40_000);
+        let mut buf = MetricsBuf::new();
+        buf.histogram_with_exemplars(
+            "lat_us",
+            "h",
+            &[],
+            &h2,
+            &[(130, "bbbb".to_string()), (40_000, "cccc".to_string())],
+        );
+        let s2 = buf.into_samples().remove(0);
+        let merged = merge_samples(vec![vec![s], vec![s2]]);
+        assert_eq!(merged.len(), 1);
+        let ids: Vec<&str> = merged[0].exemplars.iter().map(|e| e.trace_id.as_str()).collect();
+        assert!(ids.contains(&"aaaa"), "first node's exemplar kept: {ids:?}");
+        assert!(ids.contains(&"cccc"), "second node's unique bound merged: {ids:?}");
+        assert!(!ids.contains(&"bbbb"), "shared bound keeps one exemplar: {ids:?}");
     }
 
     #[test]

@@ -1,19 +1,31 @@
-//! The request-lifecycle flight recorder.
+//! The request-lifecycle flight recorder and distributed-tracing core.
 //!
 //! Every request the testbed dispatches passes through the same stages:
 //! submitted (scheduled arrival) → dequeued (queue wait ends, execution
 //! starts) → lock waits inside the storage engine → commit/abort. A
 //! [`Span`] captures that lifecycle as explicit timestamps and stage
-//! durations, small enough (one cache line) to copy by value.
+//! durations, small enough (~72 bytes) to copy by value. Each span carries
+//! a 64-bit [`trace id`](trace_id) derived deterministically from the run
+//! seed and the request's schedule sequence number, so same-seed runs
+//! produce identical ids and a trace id printed by one tool (an exemplar
+//! on `/metrics`, a journal event, a doctor finding) resolves in any other
+//! (`GET /trace/{id}`), across every node of a cluster.
 //!
 //! [`SpanRecorder`] stores spans in per-thread sharded, fixed-capacity
 //! ring buffers. Everything is preallocated when the recorder is built:
-//! the hot path takes one uncontended lock, writes 64 bytes into a ring
-//! slot, and bumps four stage histograms — no allocation, no shared
-//! atomics beyond the mode check. When a ring fills, the oldest spans are
-//! overwritten (flight-recorder semantics); aggregate stage histograms
-//! keep counting regardless, so percentiles cover the whole run even when
-//! the raw rings only hold the tail.
+//! the hot path takes one uncontended lock, writes one ring slot, and
+//! bumps four stage histograms — no allocation, no shared atomics beyond
+//! the mode check. When a ring fills, the oldest spans are overwritten
+//! (flight-recorder semantics); aggregate stage histograms keep counting
+//! regardless, so percentiles cover the whole run even when the raw rings
+//! only hold the tail.
+//!
+//! Sampling is **tail-based** in `Sampled` mode: the keep/drop decision
+//! happens at span *completion* ([`SpanRecorder::offer`]), when the
+//! outcome and total latency are known. Slow (above the live p99-derived
+//! threshold), errored, shed, and crash-straddling requests are always
+//! retained; the healthy rest is ratio-sampled by the deterministic
+//! splitmix64 head-sampler under a fixed span budget.
 //!
 //! Lock-wait and commit durations are produced deep inside `bp-storage`,
 //! which knows nothing about requests. Rather than thread a context
@@ -81,12 +93,26 @@ impl SpanOutcome {
             SpanOutcome::Shed => "shed",
         }
     }
+
+    /// Parse the `?outcome=` filter value of `GET /trace/spans`.
+    pub fn parse(s: &str) -> Option<SpanOutcome> {
+        match s {
+            "committed" => Some(SpanOutcome::Committed),
+            "user_aborted" => Some(SpanOutcome::UserAborted),
+            "failed" => Some(SpanOutcome::Failed),
+            "shed" => Some(SpanOutcome::Shed),
+            _ => None,
+        }
+    }
 }
 
-/// One request's recorded lifecycle. `Copy` and exactly one cache line so
-/// ring writes are a plain memcpy.
+/// One request's recorded lifecycle. `Copy` and small (~72 bytes) so ring
+/// writes are a plain memcpy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Span {
+    /// 64-bit distributed trace id; deterministic from (run seed, seq) via
+    /// [`trace_id`]. Never 0 for real requests (0 means "untraced").
+    pub trace_id: u64,
     /// Queue sequence number of the request.
     pub seq: u64,
     /// Scheduled arrival time (µs since run start).
@@ -142,6 +168,7 @@ impl Span {
     /// JSON object for the `/trace/spans` JSONL endpoint.
     pub fn to_json(&self) -> Json {
         Json::obj()
+            .set("trace_id", format_trace_id(self.trace_id).as_str())
             .set("seq", self.seq)
             .set("tenant", self.tenant as u64)
             .set("phase", self.phase as u64)
@@ -209,6 +236,9 @@ pub struct ObsConfig {
     pub ring_capacity: usize,
     /// Shard count; power of two keeps the thread-slot modulo cheap.
     pub shards: usize,
+    /// Tail-sampling span budget: total retained-span slots across shards.
+    /// 0 (the default) means "use `ring_capacity`".
+    pub span_budget: usize,
 }
 
 impl Default for ObsConfig {
@@ -218,8 +248,62 @@ impl Default for ObsConfig {
             sample_ratio: 0.1,
             ring_capacity: 8192,
             shards: 16,
+            span_budget: 0,
         }
     }
+}
+
+/// Derive the deterministic 64-bit trace id for request `seq` of a run
+/// with the given seed. Same (seed, seq) → same id on every node and
+/// every rerun; never returns 0 (0 is the "untraced" sentinel).
+#[inline]
+pub fn trace_id(seed: u64, seq: u64) -> u64 {
+    let id = splitmix64(seed ^ splitmix64(seq));
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Canonical lowercase 16-hex-digit rendering of a trace id — the form
+/// used in exemplars, journal fields, and `/trace/{id}` paths.
+pub fn format_trace_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parse a trace id in the canonical hex form (1–16 hex digits, case
+/// insensitive). Returns `None` for anything else, including empty
+/// strings and ids that would be 0.
+pub fn parse_trace_id(s: &str) -> Option<u64> {
+    if s.is_empty() || s.len() > 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    match u64::from_str_radix(s, 16) {
+        Ok(0) | Err(_) => None,
+        Ok(id) => Some(id),
+    }
+}
+
+thread_local! {
+    /// Trace id of the request currently executing on this thread, or 0.
+    /// Lets deep storage-layer journal events (deadlock victims, crashes)
+    /// tag themselves with the request that was on-CPU, without threading
+    /// an id through every engine call signature.
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Worker loop: mark `id` as the trace executing on this thread (0 to
+/// clear between requests).
+#[inline]
+pub fn set_current_trace(id: u64) {
+    CURRENT_TRACE.with(|c| c.set(id));
+}
+
+/// The trace id currently executing on this thread (0 if none).
+#[inline]
+pub fn current_trace() -> u64 {
+    CURRENT_TRACE.with(|c| c.get())
 }
 
 thread_local! {
@@ -337,6 +421,46 @@ pub fn format_stage_line(count: u64, stages: &[StageSummary; 4]) -> String {
     out
 }
 
+/// Why the tail sampler retained a span. Indexes into the per-reason
+/// counters and the `reason` label on `bp_spans_tail_retained_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum RetainReason {
+    /// Total latency exceeded the live slow threshold (tracks window p99).
+    Slow = 0,
+    /// The request failed (serialization error, deadlock, engine error).
+    Error = 1,
+    /// Shed by the admission controller without executing.
+    Shed = 2,
+    /// The request's lifetime straddled a server crash.
+    Crash = 3,
+    /// Healthy request kept by the deterministic ratio sampler.
+    Ratio = 4,
+}
+
+impl RetainReason {
+    pub const ALL: [RetainReason; 5] = [
+        RetainReason::Slow,
+        RetainReason::Error,
+        RetainReason::Shed,
+        RetainReason::Crash,
+        RetainReason::Ratio,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            RetainReason::Slow => "slow",
+            RetainReason::Error => "error",
+            RetainReason::Shed => "shed",
+            RetainReason::Crash => "crash",
+            RetainReason::Ratio => "ratio",
+        }
+    }
+}
+
+/// Sentinel for "no slow threshold learned yet".
+const SLOW_UNSET: u64 = u64::MAX;
+
 /// The sharded flight recorder. See the module docs for the design.
 pub struct SpanRecorder {
     shards: Vec<CachePadded<Mutex<Shard>>>,
@@ -346,12 +470,30 @@ pub struct SpanRecorder {
     mode: AtomicU8,
     /// Sampling threshold: record when `splitmix64(seq) <= threshold`.
     threshold: AtomicU64,
+    /// Tail-sampling slow cutoff in µs ([`SLOW_UNSET`] until the sensor
+    /// pushes the first live window p99).
+    slow_threshold: AtomicU64,
+    /// Span-clock time of the most recent observed server crash (0: none).
+    last_crash_us: AtomicU64,
+    /// Spans retained by the tail sampler, by [`RetainReason`].
+    tail_retained: [AtomicU64; 5],
+    /// Retained spans later evicted by budget-ring overwrite (Sampled
+    /// mode only — in Full mode overwrites are ordinary flight-recorder
+    /// wraparound, not a budget problem).
+    tail_evicted: AtomicU64,
+    /// Journal for `trace_evict` events (optional: tests and standalone
+    /// recorders run without one).
+    journal: Option<std::sync::Arc<crate::journal::EventJournal>>,
+    /// Last second (journal clock) a `trace_evict` event was emitted;
+    /// rate-limits eviction logging to ~1/s.
+    evict_logged_s: AtomicU64,
 }
 
 impl SpanRecorder {
     pub fn new(cfg: ObsConfig) -> SpanRecorder {
         let shards = cfg.shards.max(1);
-        let shard_capacity = (cfg.ring_capacity / shards).max(64);
+        let budget = if cfg.span_budget > 0 { cfg.span_budget } else { cfg.ring_capacity };
+        let shard_capacity = (budget / shards).max(64);
         SpanRecorder {
             shards: (0..shards)
                 .map(|_| CachePadded::new(Mutex::new(Shard::new(shard_capacity))))
@@ -359,15 +501,53 @@ impl SpanRecorder {
             shard_capacity,
             mode: AtomicU8::new(cfg.mode as u8),
             threshold: AtomicU64::new(Self::ratio_to_threshold(cfg.sample_ratio)),
+            slow_threshold: AtomicU64::new(SLOW_UNSET),
+            last_crash_us: AtomicU64::new(0),
+            tail_retained: std::array::from_fn(|_| AtomicU64::new(0)),
+            tail_evicted: AtomicU64::new(0),
+            journal: None,
+            evict_logged_s: AtomicU64::new(0),
         }
     }
 
+    /// Attach the event journal so budget-ring evictions of retained spans
+    /// surface as `trace_evict` events.
+    pub fn with_journal(mut self, journal: std::sync::Arc<crate::journal::EventJournal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Convert a sample ratio to the u64 comparison threshold, rounding
+    /// half-up so tiny ratios aren't truncated to "never sample". A ratio
+    /// of exactly 1.0 (or more) must map to `u64::MAX` so every hash value
+    /// passes the `<=` gate.
     fn ratio_to_threshold(ratio: f64) -> u64 {
-        (ratio.clamp(0.0, 1.0) * u64::MAX as f64) as u64
+        let r = ratio.clamp(0.0, 1.0);
+        if r >= 1.0 {
+            return u64::MAX;
+        }
+        // u64::MAX as f64 rounds to 2^64 exactly, so r * 2^64 + 0.5 floors
+        // to the half-up-rounded threshold; guard the edge where rounding
+        // lands on 2^64 itself.
+        let scaled = (r * u64::MAX as f64 + 0.5).floor();
+        if scaled >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            scaled as u64
+        }
     }
 
     pub fn mode(&self) -> SpanMode {
         SpanMode::from_u8(self.mode.load(Ordering::Relaxed))
+    }
+
+    /// Is any recording active? Workers use this as the cheap per-request
+    /// gate; the retain/drop decision itself is tail-based in [`offer`].
+    ///
+    /// [`offer`]: SpanRecorder::offer
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.mode.load(Ordering::Relaxed) != 0
     }
 
     /// Change the recording mode (and sampling ratio) at runtime.
@@ -390,22 +570,155 @@ impl SpanRecorder {
         }
     }
 
-    /// Record one span into the calling thread's shard. One uncontended
-    /// lock, four histogram bumps, one 64-byte ring write; no allocation
-    /// once the ring has grown to capacity.
-    pub fn record(&self, span: Span) {
-        let mut sh = self.shards[thread_slot() % self.shards.len()].lock();
-        sh.stage_hist[Stage::Queue as usize].record(span.queue_wait_us());
-        sh.stage_hist[Stage::Lock as usize].record(span.lock_wait_us);
-        sh.stage_hist[Stage::Exec as usize].record(span.exec_us());
-        sh.stage_hist[Stage::Commit as usize].record(span.commit_us);
-        let idx = (sh.written % self.shard_capacity as u64) as usize;
-        if idx < sh.ring.len() {
-            sh.ring[idx] = span;
+    /// Update the tail sampler's slow cutoff from the live windowed p99.
+    /// Rises slowly (1/8 of the gap per push, so a latency spike can't
+    /// drag the cutoff up fast enough to hide its own tail) but falls
+    /// fast (adopts a lower p99 immediately, so recovery re-arms slow
+    /// detection right away). The first push is adopted directly.
+    pub fn set_slow_threshold(&self, p99_us: u64) {
+        let target = p99_us.max(1);
+        let cur = self.slow_threshold.load(Ordering::Relaxed);
+        let next = if cur == SLOW_UNSET || target <= cur {
+            target
         } else {
-            sh.ring.push(span);
+            cur.saturating_add(((target - cur) / 8).max(1))
+        };
+        self.slow_threshold.store(next, Ordering::Relaxed);
+    }
+
+    /// Current slow cutoff in µs, if one has been learned.
+    pub fn slow_threshold_us(&self) -> Option<u64> {
+        match self.slow_threshold.load(Ordering::Relaxed) {
+            SLOW_UNSET => None,
+            v => Some(v),
         }
-        sh.written += 1;
+    }
+
+    /// Note a server crash observed at `now_us` (span-clock axis) so
+    /// requests whose lifetime straddles it are always retained.
+    pub fn note_crash(&self, now_us: u64) {
+        self.last_crash_us.store(now_us.max(1), Ordering::Relaxed);
+    }
+
+    /// Tail-sampling decision for one *completed* span. In `Full` mode
+    /// everything is recorded; in `Off` mode nothing. In `Sampled` mode a
+    /// span is always retained when it is slow (above the live threshold),
+    /// errored, shed, or crash-straddling; otherwise the deterministic
+    /// ratio sampler decides. Returns whether the span was recorded.
+    pub fn offer(&self, span: Span) -> bool {
+        match self.mode.load(Ordering::Relaxed) {
+            0 => return false,
+            2 => {
+                self.record(span);
+                return true;
+            }
+            _ => {}
+        }
+        let reason = if span.outcome == SpanOutcome::Failed {
+            Some(RetainReason::Error)
+        } else if span.outcome == SpanOutcome::Shed {
+            Some(RetainReason::Shed)
+        } else if self.is_slow(&span) {
+            Some(RetainReason::Slow)
+        } else if self.straddles_crash(&span) {
+            Some(RetainReason::Crash)
+        } else if splitmix64(span.seq) <= self.threshold.load(Ordering::Relaxed) {
+            Some(RetainReason::Ratio)
+        } else {
+            None
+        };
+        match reason {
+            Some(r) => {
+                self.tail_retained[r as usize].fetch_add(1, Ordering::Relaxed);
+                self.record(span);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Compares *service* latency (dequeue → end) against the cutoff — the
+    /// same domain the cutoff is learned from (the live windowed latency
+    /// p99). Queue wait is excluded deliberately: under saturation every
+    /// request queues, and a total-latency comparison would retain nearly
+    /// all of them, flooding the budget ring and evicting the genuinely
+    /// slow spans.
+    fn is_slow(&self, span: &Span) -> bool {
+        let cutoff = self.slow_threshold.load(Ordering::Relaxed);
+        cutoff != SLOW_UNSET && span.end_us.saturating_sub(span.dequeued_us) > cutoff
+    }
+
+    fn straddles_crash(&self, span: &Span) -> bool {
+        let crash = self.last_crash_us.load(Ordering::Relaxed);
+        crash != 0 && span.submitted_us <= crash && crash <= span.end_us
+    }
+
+    /// Spans retained by the tail sampler for `reason`.
+    pub fn tail_retained(&self, reason: RetainReason) -> u64 {
+        self.tail_retained[reason as usize].load(Ordering::Relaxed)
+    }
+
+    /// Retained spans later dropped by budget-ring overwrite (Sampled mode).
+    pub fn tail_evicted(&self) -> u64 {
+        self.tail_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Record one span into the calling thread's shard. One uncontended
+    /// lock, four histogram bumps, one ring-slot write; no allocation once
+    /// the ring has grown to capacity.
+    pub fn record(&self, span: Span) {
+        let mut evicted_now = None;
+        {
+            let mut sh = self.shards[thread_slot() % self.shards.len()].lock();
+            sh.stage_hist[Stage::Queue as usize].record(span.queue_wait_us());
+            sh.stage_hist[Stage::Lock as usize].record(span.lock_wait_us);
+            sh.stage_hist[Stage::Exec as usize].record(span.exec_us());
+            sh.stage_hist[Stage::Commit as usize].record(span.commit_us);
+            let idx = (sh.written % self.shard_capacity as u64) as usize;
+            if idx < sh.ring.len() {
+                sh.ring[idx] = span;
+                // In Sampled mode every ring slot holds a deliberately
+                // retained span, so an overwrite means the budget is too
+                // small for the retention rate — count it and (rate
+                // limited) journal it. Full-mode wraparound is expected
+                // flight-recorder behavior, not a budget problem.
+                if self.mode.load(Ordering::Relaxed) == SpanMode::Sampled as u8 {
+                    evicted_now = Some(self.tail_evicted.fetch_add(1, Ordering::Relaxed) + 1);
+                }
+            } else {
+                sh.ring.push(span);
+            }
+            sh.written += 1;
+        }
+        if let Some(total) = evicted_now {
+            self.log_evict(total);
+        }
+    }
+
+    /// Emit a rate-limited (~1/s) `trace_evict` journal event.
+    fn log_evict(&self, evicted_total: u64) {
+        let Some(journal) = &self.journal else { return };
+        // Stamp is the wall second + 1 so the very first eviction (second
+        // 0 vs the initial 0) still logs; at most one event per second.
+        let stamp = crate::journal::journal_now_us() / 1_000_000 + 1;
+        let last = self.evict_logged_s.load(Ordering::Relaxed);
+        if stamp == last
+            || self
+                .evict_logged_s
+                .compare_exchange(last, stamp, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+        {
+            return;
+        }
+        let budget = self.capacity();
+        journal.emit_with(crate::journal::Severity::Warn, "obs", "trace_evict", || {
+            (
+                format!(
+                    "span budget full: {evicted_total} retained spans evicted (budget {budget})"
+                ),
+                vec![("evicted", evicted_total.to_string()), ("budget", budget.to_string())],
+            )
+        });
     }
 
     /// Total spans ever recorded (including ones since overwritten).
@@ -441,6 +754,25 @@ impl SpanRecorder {
             all.drain(..all.len() - n);
         }
         all
+    }
+
+    /// Find the retained span for a trace id, if it is still in a ring.
+    /// If multiple spans match (never for real runs — ids are unique per
+    /// seq), the most recently completed wins.
+    pub fn find_trace(&self, id: u64) -> Option<Span> {
+        if id == 0 {
+            return None;
+        }
+        let mut best: Option<Span> = None;
+        for s in &self.shards {
+            let sh = s.lock();
+            for sp in sh.ordered(self.shard_capacity) {
+                if sp.trace_id == id && best.is_none_or(|b| sp.end_us >= b.end_us) {
+                    best = Some(*sp);
+                }
+            }
+        }
+        best
     }
 
     /// Merged per-stage histograms (cover the whole run, not just the
@@ -496,12 +828,22 @@ impl SpanRecorder {
 impl MetricsSource for SpanRecorder {
     fn collect(&self, buf: &mut MetricsBuf) {
         let hists = self.stage_histograms();
+        // Exemplars: pair each stage histogram with (duration, trace id)
+        // samples from the recently retained spans so a human staring at a
+        // bucket can jump straight to one concrete request.
+        let recent = self.recent(256);
         for (stage, h) in Stage::ALL.iter().zip(&hists) {
-            buf.histogram(
+            let exemplars: Vec<(u64, String)> = recent
+                .iter()
+                .filter(|s| s.trace_id != 0)
+                .map(|s| (s.stage_us(*stage), format_trace_id(s.trace_id)))
+                .collect();
+            buf.histogram_with_exemplars(
                 "bp_stage_latency_us",
                 "Per-stage request latency in microseconds",
                 &[("stage", stage.name())],
                 h,
+                &exemplars,
             );
         }
         buf.counter(
@@ -516,6 +858,20 @@ impl MetricsSource for SpanRecorder {
             &[],
             self.overwritten() as f64,
         );
+        for reason in RetainReason::ALL {
+            buf.counter(
+                "bp_spans_tail_retained_total",
+                "Spans retained by the tail-based sampler, by reason",
+                &[("reason", reason.name())],
+                self.tail_retained(reason) as f64,
+            );
+        }
+        buf.counter(
+            "bp_spans_tail_evicted_total",
+            "Tail-retained spans evicted by span-budget ring overwrites",
+            &[],
+            self.tail_evicted() as f64,
+        );
     }
 }
 
@@ -525,6 +881,7 @@ mod tests {
 
     fn span(seq: u64, phase: u16) -> Span {
         Span {
+            trace_id: trace_id(42, seq),
             seq,
             submitted_us: seq * 100,
             dequeued_us: seq * 100 + 40,
@@ -679,6 +1036,184 @@ mod tests {
             assert!(j.get(key).is_some(), "missing {key}");
         }
         assert_eq!(j.get("outcome").unwrap().as_str(), Some("committed"));
+    }
+
+    #[test]
+    fn trace_ids_deterministic_and_distinct() {
+        // Same (seed, seq) → same id; different seq or seed → different id.
+        assert_eq!(trace_id(42, 7), trace_id(42, 7));
+        assert_ne!(trace_id(42, 7), trace_id(42, 8));
+        assert_ne!(trace_id(42, 7), trace_id(43, 7));
+        assert_ne!(trace_id(42, 7), 0, "0 is the untraced sentinel");
+        // 100k seqs under one seed: no collisions (birthday bound is ~3e-10).
+        let mut ids: Vec<u64> = (0..100_000).map(|s| trace_id(1, s)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 100_000);
+    }
+
+    #[test]
+    fn trace_id_hex_round_trips() {
+        let id = trace_id(42, 1234);
+        let hex = format_trace_id(id);
+        assert_eq!(hex.len(), 16);
+        assert_eq!(parse_trace_id(&hex), Some(id));
+        assert_eq!(parse_trace_id(&hex.to_uppercase()), Some(id));
+        assert_eq!(parse_trace_id("1"), Some(1), "short forms parse");
+        for bad in ["", "xyz", "0", "00000000000000000", "12 34", "-1"] {
+            assert_eq!(parse_trace_id(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn ratio_to_threshold_rounds_half_up_exactly() {
+        // u64::MAX as f64 == 2^64 exactly, so ratios that are exact
+        // multiples of 2^-64 map to exact thresholds. The old truncating
+        // conversion lost the fractional part and rounded tiny ratios to
+        // "never sample".
+        let ulp = 2f64.powi(-64);
+        assert_eq!(SpanRecorder::ratio_to_threshold(0.0), 0);
+        assert_eq!(SpanRecorder::ratio_to_threshold(0.25 * ulp), 0, "below half rounds down");
+        assert_eq!(SpanRecorder::ratio_to_threshold(0.5 * ulp), 1, "half rounds up");
+        assert_eq!(SpanRecorder::ratio_to_threshold(1.5 * ulp), 2, "half rounds up");
+        assert_eq!(SpanRecorder::ratio_to_threshold(2.0 * ulp), 2, "exact multiples exact");
+        assert_eq!(SpanRecorder::ratio_to_threshold(1.0), u64::MAX);
+        assert_eq!(SpanRecorder::ratio_to_threshold(7.5), u64::MAX, "clamped above");
+        assert_eq!(SpanRecorder::ratio_to_threshold(-0.5), 0, "clamped below");
+    }
+
+    #[test]
+    fn current_trace_tls_round_trips() {
+        set_current_trace(0);
+        assert_eq!(current_trace(), 0);
+        set_current_trace(0xdead_beef);
+        assert_eq!(current_trace(), 0xdead_beef);
+        set_current_trace(0);
+        assert_eq!(current_trace(), 0);
+    }
+
+    fn slow_span(seq: u64, total_us: u64) -> Span {
+        let mut s = span(seq, 0);
+        s.end_us = s.submitted_us + total_us;
+        s
+    }
+
+    #[test]
+    fn tail_sampler_always_keeps_slow_errored_shed_and_crash_spans() {
+        let cfg = ObsConfig { mode: SpanMode::Sampled, sample_ratio: 0.0, ..ObsConfig::default() };
+        let r = SpanRecorder::new(cfg);
+        // Ratio 0: nothing healthy is kept…
+        assert!(!r.offer(span(1, 0)));
+        // …but errors, sheds always are.
+        let mut failed = span(2, 0);
+        failed.outcome = SpanOutcome::Failed;
+        assert!(r.offer(failed));
+        assert_eq!(r.tail_retained(RetainReason::Error), 1);
+        let mut shed = span(3, 0);
+        shed.outcome = SpanOutcome::Shed;
+        assert!(r.offer(shed));
+        assert_eq!(r.tail_retained(RetainReason::Shed), 1);
+        // Slow: only once a threshold has been learned.
+        assert!(!r.offer(slow_span(4, 1_000_000)), "no threshold learned yet");
+        r.set_slow_threshold(10_000);
+        assert!(r.offer(slow_span(5, 1_000_000)));
+        assert_eq!(r.tail_retained(RetainReason::Slow), 1);
+        assert!(!r.offer(slow_span(6, 5_000)), "below threshold, healthy, ratio 0");
+        // Crash-straddling: submitted ≤ crash ≤ end.
+        let sp = span(7, 0); // lives [700, 940]
+        r.note_crash(800);
+        assert!(r.offer(sp));
+        assert_eq!(r.tail_retained(RetainReason::Crash), 1);
+        let after = span(9, 0); // lives [900, 1140]; crash at 800 is before
+        assert!(!r.offer(after));
+    }
+
+    #[test]
+    fn tail_sampler_ratio_gate_matches_head_sampler() {
+        let cfg = ObsConfig { mode: SpanMode::Sampled, sample_ratio: 0.25, ..ObsConfig::default() };
+        let r = SpanRecorder::new(cfg);
+        for i in 0..10_000 {
+            let kept = r.offer(span(i, 0));
+            assert_eq!(kept, r.should_record(i), "offer and head gate agree on healthy spans");
+        }
+        let ratio = r.tail_retained(RetainReason::Ratio) as f64 / 10_000.0;
+        assert!((ratio - 0.25).abs() < 0.02, "observed ratio {ratio}");
+    }
+
+    #[test]
+    fn slow_threshold_rises_slowly_falls_fast() {
+        let r = SpanRecorder::new(ObsConfig::default());
+        assert_eq!(r.slow_threshold_us(), None);
+        r.set_slow_threshold(10_000);
+        assert_eq!(r.slow_threshold_us(), Some(10_000), "first push adopted directly");
+        r.set_slow_threshold(90_000);
+        assert_eq!(r.slow_threshold_us(), Some(20_000), "rises 1/8 of the gap");
+        r.set_slow_threshold(5_000);
+        assert_eq!(r.slow_threshold_us(), Some(5_000), "falls immediately");
+        r.set_slow_threshold(5_001);
+        assert_eq!(r.slow_threshold_us(), Some(5_001), "tiny rises still move (min 1µs)");
+    }
+
+    #[test]
+    fn sampled_overwrite_counts_eviction_but_full_does_not() {
+        let full = SpanRecorder::new(ObsConfig { ring_capacity: 64, shards: 1, ..ObsConfig::default() });
+        for i in 0..100 {
+            full.record(span(i, 0));
+        }
+        assert_eq!(full.tail_evicted(), 0, "full-mode wraparound is not an eviction");
+        let cfg = ObsConfig {
+            mode: SpanMode::Sampled,
+            sample_ratio: 1.0,
+            ring_capacity: 128,
+            span_budget: 64,
+            shards: 1,
+            ..ObsConfig::default()
+        };
+        let tail = SpanRecorder::new(cfg);
+        assert_eq!(tail.capacity(), 64, "span_budget overrides ring_capacity");
+        for i in 0..100 {
+            assert!(tail.offer(span(i, 0)));
+        }
+        assert_eq!(tail.tail_evicted(), 36);
+    }
+
+    #[test]
+    fn eviction_emits_rate_limited_journal_event() {
+        let journal = std::sync::Arc::new(crate::journal::EventJournal::new());
+        let cfg = ObsConfig {
+            mode: SpanMode::Sampled,
+            sample_ratio: 1.0,
+            span_budget: 64,
+            shards: 1,
+            ..ObsConfig::default()
+        };
+        let r = SpanRecorder::new(cfg).with_journal(journal.clone());
+        for i in 0..1_000 {
+            r.offer(span(i, 0));
+        }
+        let evicts: Vec<_> = journal
+            .recent(usize::MAX, crate::journal::Severity::Debug)
+            .into_iter()
+            .filter(|e| e.kind == "trace_evict")
+            .collect();
+        assert!(!evicts.is_empty(), "eviction must journal");
+        assert!(evicts.len() <= 2, "rate-limited to ~1/s, got {}", evicts.len());
+        let e = &evicts[0];
+        assert!(e.fields.iter().any(|(k, _)| *k == "evicted"));
+        assert!(e.fields.iter().any(|(k, v)| *k == "budget" && v == "64"));
+    }
+
+    #[test]
+    fn find_trace_locates_retained_span() {
+        let r = SpanRecorder::new(ObsConfig::default());
+        for i in 0..50 {
+            r.record(span(i, 0));
+        }
+        let want = trace_id(42, 17);
+        let found = r.find_trace(want).expect("span retained");
+        assert_eq!(found.seq, 17);
+        assert_eq!(r.find_trace(0), None);
+        assert_eq!(r.find_trace(0x1234_5678), None, "unknown id");
     }
 
     #[test]

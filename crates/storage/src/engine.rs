@@ -238,9 +238,15 @@ impl Database {
         }
         self.recovery.note_crash(point);
         self.journal.emit_with(Severity::Error, "storage", "server_crash", || {
+            let mut fields =
+                vec![("crashpoint", point.name().to_string()), ("lsn", lsn.to_string())];
+            let tid = bp_obs::current_trace();
+            if tid != 0 {
+                fields.push(("trace_id", bp_obs::format_trace_id(tid)));
+            }
             (
                 format!("storage engine crashed mid-commit at crashpoint {}", point.name()),
-                vec![("crashpoint", point.name().to_string()), ("lsn", lsn.to_string())],
+                fields,
             )
         });
     }

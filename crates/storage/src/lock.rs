@@ -122,9 +122,14 @@ impl LockManager {
     fn note_victim(&self, txn: TxnId, holder: TxnId) {
         if let Some(j) = &self.journal {
             j.emit_with(Severity::Debug, "storage", "deadlock_victim", || {
+                let mut fields = vec![("txn", txn.to_string()), ("holder", holder.to_string())];
+                let tid = bp_obs::current_trace();
+                if tid != 0 {
+                    fields.push(("trace_id", bp_obs::format_trace_id(tid)));
+                }
                 (
                     format!("txn {txn} aborted: wait-die victim behind txn {holder}"),
-                    vec![("txn", txn.to_string()), ("holder", holder.to_string())],
+                    fields,
                 )
             });
         }

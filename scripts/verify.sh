@@ -52,6 +52,10 @@ echo "== cluster: 3-agent fleet — membership, merged telemetry, node-kill re-s
 cargo test -q --offline -p bp-cluster
 cargo run -q --release --offline -p bp-bench --bin harness cluster
 
+echo "== trace: tail sampling retention + exemplar → /cluster/trace resolution =="
+cargo test -q --offline -p bp-obs span
+cargo run -q --release --offline -p bp-bench --bin harness trace
+
 if command -v cargo-clippy >/dev/null 2>&1 || cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy --all-targets -- -D warnings =="
     cargo clippy --offline --all-targets -- -D warnings

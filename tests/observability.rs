@@ -60,6 +60,34 @@ fn parse_prometheus(text: &str) -> (HashMap<String, String>, Vec<String>) {
             );
         } else {
             assert!(!line.starts_with('#'), "unknown comment form: {line}");
+            // OpenMetrics exemplar suffix: `... <count> # {trace_id="<hex>"} <value>`.
+            // Validate and strip it before parsing the sample proper; only
+            // histogram bucket lines may carry one.
+            let line = match line.split_once(" # ") {
+                Some((sample, exemplar)) => {
+                    assert!(
+                        line.contains("_bucket"),
+                        "exemplar on a non-bucket line: {line}"
+                    );
+                    let rest = exemplar
+                        .strip_prefix("{trace_id=\"")
+                        .unwrap_or_else(|| panic!("malformed exemplar in: {line}"));
+                    let (id, val) = rest
+                        .split_once("\"} ")
+                        .unwrap_or_else(|| panic!("unterminated exemplar in: {line}"));
+                    assert!(
+                        !id.is_empty()
+                            && id.len() <= 16
+                            && id.chars().all(|c| c.is_ascii_hexdigit()),
+                        "exemplar trace id must be 1-16 hex digits in: {line}"
+                    );
+                    let v: f64 =
+                        val.parse().unwrap_or_else(|_| panic!("bad exemplar value in: {line}"));
+                    assert!(v.is_finite(), "non-finite exemplar value in: {line}");
+                    sample
+                }
+                None => line,
+            };
             let (name_labels, value) =
                 line.rsplit_once(' ').unwrap_or_else(|| panic!("no value in: {line}"));
             let v: f64 = value.parse().unwrap_or_else(|_| panic!("bad value in: {line}"));
@@ -340,4 +368,89 @@ fn trace_spans_jsonl_over_http() {
     let spans = workloads[0].get("spans").and_then(Json::as_u64).unwrap();
     assert_eq!(spans, controller.spans().unwrap().recorded());
     assert!(spans > 0);
+}
+
+#[test]
+fn metric_exemplars_resolve_to_trace_detail_over_http() {
+    let (api, _controller) = finished_run();
+    let guard = api.serve_http("127.0.0.1:0").unwrap();
+    let (status, text) = http_request_text(guard.addr(), "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    // Exemplars survive the strict parse (which validates their syntax).
+    parse_prometheus(&text);
+
+    // The latency histograms carry at least one trace-id exemplar after a
+    // full-span run.
+    let exemplar_line = text
+        .lines()
+        .find(|l| {
+            (l.starts_with("bp_client_latency_us_bucket")
+                || l.starts_with("bp_stage_latency_us_bucket"))
+                && l.contains(" # {trace_id=\"")
+        })
+        .unwrap_or_else(|| panic!("no exemplar on any latency bucket:\n{text}"));
+    let start = exemplar_line.find("# {trace_id=\"").unwrap() + "# {trace_id=\"".len();
+    let id = &exemplar_line[start..start + exemplar_line[start..].find('"').unwrap()];
+
+    // The printed id resolves to a full per-request stage breakdown: the
+    // debugging loop "see a slow bucket on a dashboard, paste the trace id"
+    // works over plain HTTP.
+    let (status, body) =
+        http_request_text(guard.addr(), "GET", &format!("/trace/{id}"), None).unwrap();
+    assert_eq!(status, 200, "exemplar trace id must resolve: {body}");
+    let j = Json::parse(&body).unwrap();
+    assert_eq!(j.get("trace_id").and_then(Json::as_str), Some(id));
+    assert_eq!(j.get("workload").and_then(Json::as_str), Some("voter"));
+    let stages = j.get("stages").and_then(Json::as_arr).unwrap();
+    assert_eq!(stages.len(), 4, "queue/lock/exec/commit breakdown: {body}");
+    let total = j.get("total_us").and_then(Json::as_u64).unwrap();
+    let sum: u64 =
+        stages.iter().map(|s| s.get("us").and_then(Json::as_u64).unwrap()).sum();
+    assert!(sum <= total, "stage sum {sum} exceeds total {total}: {body}");
+    assert!(j.get("dominant_stage").and_then(Json::as_str).is_some(), "{body}");
+}
+
+#[test]
+fn trace_ids_deterministic_across_identical_runs() {
+    // Two identical full-span runs with the same seed must stamp the same
+    // trace id on every sequence number — a trace id written down from one
+    // run identifies the same logical request in a replay.
+    fn run_ids(seed: u64) -> HashMap<u64, u64> {
+        let db = Database::new(Personality::test());
+        let workload = by_name("voter").unwrap();
+        let mut conn = Connection::open(&db);
+        workload.setup(&mut conn, 0.3, &mut Rng::new(3)).unwrap();
+        let cfg = RunConfig {
+            terminals: 2,
+            seed,
+            script: PhaseScript::new(vec![Phase::new(Rate::Limited(200.0), 0.8)]),
+            ..Default::default()
+        };
+        let controller = benchpress::core::start(db, workload, wall_clock(), cfg).join();
+        let spans = controller.spans().unwrap().recent(usize::MAX);
+        assert!(!spans.is_empty());
+        spans.into_iter().map(|s| (s.seq, s.trace_id)).collect()
+    }
+
+    let a = run_ids(7);
+    let b = run_ids(7);
+    for (seq, id) in &a {
+        assert_eq!(
+            *id,
+            benchpress::obs::trace_id(7, *seq),
+            "trace id must be a pure function of (seed, seq)"
+        );
+        if let Some(other) = b.get(seq) {
+            assert_eq!(id, other, "seq {seq} got different ids across identical runs");
+        }
+    }
+    // A different seed relabels every request.
+    let c = run_ids(8);
+    for (seq, id) in &c {
+        assert_ne!(
+            *id,
+            benchpress::obs::trace_id(7, *seq),
+            "seed must perturb trace ids (seq {seq})"
+        );
+    }
 }
